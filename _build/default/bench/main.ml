@@ -1,0 +1,125 @@
+(* The benchmark harness.
+
+   Two parts:
+
+   1. Regenerate every table and figure from the paper and print it —
+      the rows/series a reader would compare against the original.
+      Scale defaults to Quick; set RENOFS_BENCH_SCALE=full for the long
+      sweeps recorded in EXPERIMENTS.md.
+
+   2. A Bechamel suite with one Test.make per paper artifact (how much
+      wall time one Quick regeneration costs) plus microbenchmarks of
+      the substrate hot paths (XDR encode, checksum, fragmentation,
+      event loop).
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module E = Renofs_workload.Experiments
+module Mbuf = Renofs_mbuf.Mbuf
+module Xdr = Renofs_xdr.Xdr
+module Packet = Renofs_net.Packet
+module Sim = Renofs_engine.Sim
+
+let scale =
+  match Sys.getenv_opt "RENOFS_BENCH_SCALE" with
+  | Some ("full" | "FULL") -> E.Full
+  | _ -> E.Quick
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate every artifact                                   *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate () =
+  Format.printf "=== Regenerating all paper artifacts (%s scale) ===@.@."
+    (match scale with E.Quick -> "quick" | E.Full -> "full");
+  List.iter
+    (fun (id, f) ->
+      let t0 = Unix.gettimeofday () in
+      let table = f ?scale:(Some scale) () in
+      E.print_table Format.std_formatter table;
+      (match Renofs_workload.Ascii_plot.render_table table with
+      | Some chart when String.length id >= 5 && String.sub id 0 5 = "graph" ->
+          Format.printf "%s@." chart
+      | _ -> ());
+      Format.printf "(%s regenerated in %.1fs wall)@.@." id
+        (Unix.gettimeofday () -. t0))
+    E.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_tests =
+  (* One Test.make per table/figure: cost of a Quick regeneration. *)
+  List.map
+    (fun (id, f) ->
+      Test.make ~name:id (Staged.stage (fun () -> ignore (f ?scale:(Some E.Quick) ()))))
+    E.all
+
+let micro_tests =
+  let payload = Bytes.create 8192 in
+  [
+    Test.make ~name:"mbuf-chain-8K"
+      (Staged.stage (fun () -> ignore (Mbuf.of_bytes payload)));
+    Test.make ~name:"checksum-8K"
+      (let chain = Mbuf.of_bytes payload in
+       Staged.stage (fun () -> ignore (Mbuf.checksum chain)));
+    Test.make ~name:"xdr-encode-write-rpc"
+      (Staged.stage (fun () ->
+           let enc = Xdr.Enc.create () in
+           Xdr.Enc.int enc 8192;
+           Xdr.Enc.string enc "somefile";
+           Xdr.Enc.opaque enc payload;
+           ignore (Xdr.Enc.chain enc)));
+    Test.make ~name:"fragment-8K-ethernet"
+      (Staged.stage (fun () ->
+           let p =
+             Packet.make_datagram ~proto:Packet.Udp ~src:1 ~dst:2 ~src_port:1
+               ~dst_port:2049 ~ip_id:1 (Mbuf.of_bytes payload)
+           in
+           ignore (Packet.fragment p ~mtu:1500)));
+    Test.make ~name:"sim-10k-events"
+      (Staged.stage (fun () ->
+           let sim = Sim.create () in
+           for i = 1 to 10_000 do
+             Sim.at sim (float_of_int i) ignore
+           done;
+           Sim.run sim));
+  ]
+
+let run_bechamel tests =
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"renofs" tests)
+  in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) ols []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, result) ->
+      let short =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "  %-28s %14.0f ns/run@." short est
+      | _ -> Format.printf "  %-28s (no estimate)@." short)
+    rows
+
+let () =
+  regenerate ();
+  Format.printf "=== Bechamel: per-artifact regeneration cost ===@.";
+  run_bechamel experiment_tests;
+  Format.printf "@.=== Bechamel: substrate microbenchmarks ===@.";
+  run_bechamel micro_tests

@@ -1,0 +1,70 @@
+(* nfsbench: regenerate the paper's tables and figures from the command
+   line.
+
+     nfsbench list            show every experiment id
+     nfsbench run graph5      run one experiment (Quick scale)
+     nfsbench run table1 -f   run one experiment at Full scale
+     nfsbench all [-f]        run everything *)
+
+open Cmdliner
+module E = Renofs_workload.Experiments
+
+let scale_of_full full = if full then E.Full else E.Quick
+
+let print_with_chart id table =
+  E.print_table Format.std_formatter table;
+  match Renofs_workload.Ascii_plot.render_table table with
+  | Some chart when String.length id >= 5 && String.sub id 0 5 = "graph" ->
+      Format.printf "%s@." chart
+  | _ -> ()
+
+let run_one id full =
+  match List.assoc_opt id E.all with
+  | Some f ->
+      print_with_chart id (f ?scale:(Some (scale_of_full full)) ());
+      `Ok ()
+  | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown experiment %S; try one of: %s" id
+            (String.concat ", " (List.map fst E.all)) )
+
+let run_all full =
+  List.iter
+    (fun (id, f) ->
+      Format.printf "running %s...@." id;
+      print_with_chart id (f ?scale:(Some (scale_of_full full)) ()))
+    E.all
+
+let list_ids () =
+  List.iter (fun (id, _) -> print_endline id) E.all
+
+let full_flag =
+  Arg.(value & flag & info [ "f"; "full" ] ~doc:"Run at full scale (longer sweeps).")
+
+let id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
+       ~doc:"Experiment id, e.g. graph1 or table5.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment and print its table")
+    Term.(ret (const run_one $ id_arg $ full_flag))
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment")
+    Term.(const run_all $ full_flag)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids") Term.(const list_ids $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "nfsbench" ~version:"1.0"
+       ~doc:
+         "Reproduce the experiments of 'Lessons Learned Tuning the 4.3BSD Reno \
+          Implementation of the NFS Protocol' (Macklem, USENIX 1991)")
+    [ run_cmd; all_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cache_policies.ml: Andrew Create_delete List Option Printf Renofs_core Renofs_engine Renofs_net Renofs_transport Renofs_workload

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes List Printf Renofs_core Renofs_engine Renofs_net Renofs_transport

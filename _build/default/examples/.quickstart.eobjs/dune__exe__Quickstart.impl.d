@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes List Printf Renofs_core Renofs_engine Renofs_net Renofs_transport String

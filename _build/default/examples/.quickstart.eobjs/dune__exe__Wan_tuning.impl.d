@@ -1,0 +1,1 @@
+examples/wan_tuning.ml: Fileset List Nhfsstone Option Printf Renofs_core Renofs_engine Renofs_net Renofs_transport Renofs_workload

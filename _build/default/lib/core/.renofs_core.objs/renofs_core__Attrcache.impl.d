@@ -1,0 +1,1 @@
+lib/core/attrcache.ml: Hashtbl Nfs_proto Renofs_engine

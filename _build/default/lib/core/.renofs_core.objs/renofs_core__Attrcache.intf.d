@@ -1,0 +1,1 @@
+lib/core/attrcache.mli: Nfs_proto Renofs_engine

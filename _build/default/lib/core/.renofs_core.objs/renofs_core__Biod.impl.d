@@ -1,0 +1,1 @@
+lib/core/biod.ml: Renofs_engine

@@ -1,0 +1,1 @@
+lib/core/biod.mli: Renofs_engine

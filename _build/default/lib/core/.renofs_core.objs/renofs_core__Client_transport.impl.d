@@ -1,0 +1,1 @@
+lib/core/client_transport.ml: Float Hashtbl Int32 List Nfs_proto Option Renofs_engine Renofs_mbuf Renofs_net Renofs_rpc Renofs_transport Renofs_xdr String

@@ -1,0 +1,1 @@
+lib/core/client_transport.mli: Nfs_proto Renofs_engine Renofs_transport

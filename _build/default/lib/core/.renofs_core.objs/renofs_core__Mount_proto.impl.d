@@ -1,0 +1,1 @@
+lib/core/mount_proto.ml: Bytes Int32 List Nfs_proto Printf Renofs_xdr

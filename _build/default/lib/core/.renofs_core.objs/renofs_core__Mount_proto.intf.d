@@ -1,0 +1,1 @@
+lib/core/mount_proto.mli: Nfs_proto Renofs_xdr

@@ -1,0 +1,1 @@
+lib/core/mountd.ml: List Mount_proto Nfs_server Printf Renofs_engine Renofs_net Renofs_rpc Renofs_transport Renofs_vfs Renofs_xdr String

@@ -1,0 +1,1 @@
+lib/core/mountd.mli: Nfs_server

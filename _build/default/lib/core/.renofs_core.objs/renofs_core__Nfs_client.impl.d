@@ -1,0 +1,1 @@
+lib/core/nfs_client.ml: Attrcache Biod Bytes Client_transport Hashtbl List Mount_proto Nfs_proto Printf Renofs_engine Renofs_net Renofs_rpc Renofs_transport Renofs_vfs Renofs_xdr String

@@ -1,0 +1,1 @@
+lib/core/nfs_client.mli: Client_transport Nfs_proto Renofs_engine Renofs_net Renofs_transport

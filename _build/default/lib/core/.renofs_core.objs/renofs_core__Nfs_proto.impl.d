@@ -1,0 +1,1 @@
+lib/core/nfs_proto.ml: Bytes Int32 List Printf Renofs_xdr

@@ -1,0 +1,1 @@
+lib/core/nfs_proto.mli: Renofs_mbuf Renofs_xdr

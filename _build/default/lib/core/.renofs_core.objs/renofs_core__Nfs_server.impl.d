@@ -1,0 +1,1 @@
+lib/core/nfs_server.ml: Bytes Float Hashtbl List Nfs_proto Option Queue Renofs_engine Renofs_mbuf Renofs_net Renofs_rpc Renofs_transport Renofs_vfs Renofs_xdr String

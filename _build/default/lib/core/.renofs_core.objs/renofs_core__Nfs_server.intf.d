@@ -1,0 +1,1 @@
+lib/core/nfs_server.mli: Nfs_proto Renofs_engine Renofs_net Renofs_transport Renofs_vfs

@@ -1,0 +1,35 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+
+type t = {
+  count : int;
+  jobs : (unit -> unit) Proc.Mailbox.t;
+  mutable jobs_run : int;
+}
+
+let create sim ~count =
+  if count < 0 then invalid_arg "Biod.create: negative count";
+  let t = { count; jobs = Proc.Mailbox.create sim; jobs_run = 0 } in
+  for _ = 1 to count do
+    Proc.spawn sim (fun () ->
+        let rec serve () =
+          let job = Proc.Mailbox.recv t.jobs in
+          job ();
+          t.jobs_run <- t.jobs_run + 1;
+          serve ()
+        in
+        serve ())
+  done;
+  t
+
+let count t = t.count
+
+let submit t job =
+  if t.count = 0 then begin
+    job ();
+    t.jobs_run <- t.jobs_run + 1
+  end
+  else Proc.Mailbox.send t.jobs job
+
+let queued t = Proc.Mailbox.length t.jobs
+let jobs_run t = t.jobs_run

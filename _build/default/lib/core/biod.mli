@@ -1,0 +1,23 @@
+(** The biod pool: daemons that perform asynchronous I/O for the NFS
+    client.
+
+    Write-behind and read-ahead RPCs are handed to the pool so the user
+    process does not block; with zero daemons the work runs inline and
+    the write policy degrades to write-through, exactly as in the
+    paper's Table 5 ("With no biods running, the write policy becomes
+    write through"). *)
+
+type t
+
+val create : Renofs_engine.Sim.t -> count:int -> t
+
+val count : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Queue a job for a daemon; runs inline (blocking the caller) when the
+    pool has no daemons. *)
+
+val queued : t -> int
+(** Jobs waiting for a daemon. *)
+
+val jobs_run : t -> int

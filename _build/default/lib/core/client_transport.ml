@@ -1,0 +1,444 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Rtt = Renofs_engine.Rtt
+module Stats = Renofs_engine.Stats
+module Mbuf = Renofs_mbuf.Mbuf
+module Xdr = Renofs_xdr.Xdr
+module Rpc_msg = Renofs_rpc.Rpc_msg
+module Record_mark = Renofs_rpc.Record_mark
+module Node = Renofs_net.Node
+module Udp = Renofs_transport.Udp
+module Tcp = Renofs_transport.Tcp
+module P = Nfs_proto
+
+exception Rpc_error of string
+exception Rpc_timed_out
+
+type summary = { calls : int; retransmits : int; mean_rtt : float }
+
+type pending = {
+  p_xid : int32;
+  p_proc : int;
+  request : Mbuf.t; (* master copy for retransmission *)
+  reply : (Mbuf.t, exn) result Proc.Ivar.t;
+  mutable sent_at : float;
+  mutable retransmitted : bool;
+  mutable retries : int;
+  mutable backoff : float;
+  mutable timer : Sim.timer option;
+}
+
+(* Jacobson estimators for the four most frequent RPCs; the paper uses
+   A+4D for the big, high-variance ones and A+2D for the small ones.
+   The backoff persists across requests of the class (Karn): while no
+   clean sample has arrived, successive requests keep the inflated RTO,
+   otherwise an underestimating default could retransmit every request
+   forever and never obtain a sample to learn from. *)
+type est_entry = { e_rtt : Rtt.t; mutable e_backoff : float }
+
+type estimators = {
+  e_read : est_entry;
+  e_write : est_entry;
+  e_getattr : est_entry;
+  e_lookup : est_entry;
+}
+
+type tcp_state = {
+  tcp_stack : Tcp.stack;
+  tcp_mss : int;
+  mutable conn : Tcp.conn;
+  mutable reconnecting : bool;
+}
+
+type mode =
+  | Udp_fixed
+  | Udp_dynamic of estimators
+  | Tcp_stream of tcp_state
+
+type t = {
+  sim : Sim.t;
+  node : Node.t;
+  mode : mode;
+  sock : Udp.socket option;
+  server : int;
+  timeo : float;
+  max_retries : int option; (* None = hard mount: retry forever *)
+  cred : Rpc_msg.auth;
+  mutable next_xid : int32;
+  pending : (int32, pending) Hashtbl.t;
+  (* congestion window on outstanding requests (dynamic mode only) *)
+  mutable cwnd : float;
+  cwnd_max : float;
+  mutable last_cwnd_cut : float;
+  mutable outstanding : int;
+  mutable gate : (unit -> unit) list;
+  (* statistics *)
+  mutable n_calls : int;
+  mutable n_retransmits : int;
+  rtt_all : Stats.Welford.t;
+  rtt_by_proc : (string, Stats.Welford.t) Hashtbl.t;
+  mutable trace : (Stats.Series.t * Stats.Series.t) option;
+}
+
+let encode_instructions = 260.0
+let decode_instructions = 260.0
+
+let charge t instructions =
+  Cpu.consume (Node.cpu t.node) (Cpu.seconds_of_instructions (Node.cpu t.node) instructions)
+
+let fresh_estimators () =
+  let entry k = { e_rtt = Rtt.create ~k (); e_backoff = 1.0 } in
+  {
+    e_read = entry 4.0;
+    e_write = entry 4.0;
+    e_getattr = entry 2.0;
+    e_lookup = entry 2.0;
+  }
+
+let estimator_for est proc =
+  match proc with
+  | 6 -> Some est.e_read
+  | 8 -> Some est.e_write
+  | 1 -> Some est.e_getattr
+  | 4 -> Some est.e_lookup
+  | _ -> None
+
+(* RTO for a transmission attempt, using the *current* A and D (the
+   paper recalculates on every NFS clock tick so the freshest values are
+   used; computing at arm time gives the same effect). *)
+let rto_for t p =
+  match t.mode with
+  | Udp_fixed -> t.timeo *. p.backoff
+  | Udp_dynamic est -> (
+      match estimator_for est p.p_proc with
+      | Some e -> Rtt.rto e.e_rtt ~default:t.timeo *. e.e_backoff *. p.backoff
+      | None -> t.timeo *. p.backoff)
+  | Tcp_stream _ -> infinity
+
+let record_rtt t p rtt =
+  Stats.Welford.add t.rtt_all rtt;
+  let name = P.proc_name p.p_proc in
+  let w =
+    match Hashtbl.find_opt t.rtt_by_proc name with
+    | Some w -> w
+    | None ->
+        let w = Stats.Welford.create () in
+        Hashtbl.replace t.rtt_by_proc name w;
+        w
+  in
+  Stats.Welford.add w rtt;
+  (match t.mode with
+  | Udp_dynamic est -> (
+      match estimator_for est p.p_proc with
+      | Some e ->
+          Rtt.observe e.e_rtt rtt;
+          e.e_backoff <- 1.0
+      | None -> ())
+  | Udp_fixed | Tcp_stream _ -> ());
+  match t.trace with
+  | Some (rtts, rtos) when p.p_proc = 6 ->
+      let now = Sim.now t.sim in
+      Stats.Series.add rtts now rtt;
+      let rto =
+        match t.mode with
+        | Udp_dynamic est -> Rtt.rto est.e_read.e_rtt ~default:t.timeo
+        | Udp_fixed -> t.timeo
+        | Tcp_stream _ -> 0.0
+      in
+      Stats.Series.add rtos now rto
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* UDP transmission and retransmission                                *)
+(* ------------------------------------------------------------------ *)
+
+let request_copy p = Mbuf.sub_copy p.request ~pos:0 ~len:(Mbuf.length p.request)
+
+let rec transmit_udp t p =
+  let sock = Option.get t.sock in
+  p.sent_at <- Sim.now t.sim;
+  Udp.sendto sock ~dst:t.server ~dst_port:P.port (request_copy p);
+  let rto = rto_for t p in
+  p.timer <-
+    Some
+      (Sim.timer_after t.sim rto (fun () ->
+           Proc.spawn t.sim (fun () -> on_udp_timeout t p)))
+
+and on_udp_timeout t p =
+  if Hashtbl.mem t.pending p.p_xid then begin
+    p.retries <- p.retries + 1;
+    match t.max_retries with
+    | Some limit when p.retries > limit ->
+        (* Soft mount: give up and fail the call. *)
+        Hashtbl.remove t.pending p.p_xid;
+        t.outstanding <- t.outstanding - 1;
+        (match t.gate with
+        | [] -> ()
+        | resume :: rest ->
+            t.gate <- rest;
+            Sim.after t.sim 0.0 resume);
+        Proc.Ivar.fill p.reply (Error Rpc_timed_out)
+    | _ ->
+        t.n_retransmits <- t.n_retransmits + 1;
+        p.retransmitted <- true;
+        p.backoff <- Float.min (p.backoff *. 2.0) 64.0;
+        (match t.mode with
+        | Udp_dynamic est ->
+            (* One window cut per congestion event, as TCP does: a burst
+               of outstanding requests timing out together is one event,
+               not ten. *)
+            if Sim.now t.sim -. t.last_cwnd_cut > 1.0 then begin
+              t.cwnd <- Float.max 1.0 (t.cwnd /. 2.0);
+              t.last_cwnd_cut <- Sim.now t.sim
+            end;
+            (match estimator_for est p.p_proc with
+            | Some e -> e.e_backoff <- Float.min (e.e_backoff *. 2.0) 16.0
+            | None -> ())
+        | Udp_fixed | Tcp_stream _ -> ());
+        transmit_udp t p
+  end
+
+let complete t xid chain =
+  match Hashtbl.find_opt t.pending xid with
+  | None -> () (* reply for a forgotten (already answered) request *)
+  | Some p ->
+      Hashtbl.remove t.pending xid;
+      (match p.timer with Some tm -> Sim.cancel tm | None -> ());
+      (* Karn's rule: no RTT sample from retransmitted requests. *)
+      if not p.retransmitted then record_rtt t p (Sim.now t.sim -. p.sent_at);
+      (match t.mode with
+      | Udp_dynamic _ ->
+          (* +1 per round trip, approximated as +1/cwnd per reply; the
+             paper's scheme with slow start removed. *)
+          t.cwnd <- Float.min t.cwnd_max (t.cwnd +. (1.0 /. Float.max 1.0 t.cwnd))
+      | Udp_fixed | Tcp_stream _ -> ());
+      t.outstanding <- t.outstanding - 1;
+      (match t.gate with
+      | [] -> ()
+      | resume :: rest ->
+          t.gate <- rest;
+          Sim.after t.sim 0.0 resume);
+      Proc.Ivar.fill p.reply (Ok chain)
+
+let start_udp_receiver t =
+  let sock = Option.get t.sock in
+  Proc.spawn t.sim (fun () ->
+      let rec loop () =
+        let dg = Udp.recv sock in
+        (match Rpc_msg.peek_xid dg.Udp.payload with
+        | Some xid -> complete t xid dg.Udp.payload
+        | None -> ());
+        loop ()
+      in
+      loop ())
+
+(* Receive records until the connection dies, then reconnect and resend
+   every pending request — the client-side connection maintenance the
+   paper describes for stream sockets.  Requests the server executed
+   before the crash are re-executed; for the non-idempotent ones this
+   is precisely the at-least-once hazard the paper's conclusion calls
+   out (the server's duplicate cache died with it). *)
+let rec start_tcp_receiver t st =
+  Proc.spawn t.sim (fun () ->
+      let conn = st.conn in
+      let reader = Record_mark.Reader.create () in
+      let rec loop () =
+        match Tcp.recv conn ~max:65536 with
+        | chunk ->
+            Record_mark.Reader.push reader chunk;
+            let rec drain () =
+              match Record_mark.Reader.pop reader with
+              | Some record -> (
+                  match Rpc_msg.peek_xid record with
+                  | Some xid ->
+                      complete t xid record;
+                      drain ()
+                  | None -> drain ())
+              | None -> ()
+            in
+            drain ();
+            loop ()
+        | exception Tcp.Connection_closed -> reconnect t st
+      in
+      loop ())
+
+and reconnect t st =
+  if not st.reconnecting then begin
+    st.reconnecting <- true;
+    let rec attempt () =
+      Proc.sleep t.sim 1.0;
+      match Tcp.connect ~mss:st.tcp_mss st.tcp_stack ~dst:t.server ~dst_port:P.port with
+      | conn ->
+          st.conn <- conn;
+          st.reconnecting <- false;
+          start_tcp_receiver t st;
+          (* Replay everything still unanswered. *)
+          let pending = Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] in
+          List.iter
+            (fun p ->
+              p.retransmitted <- true;
+              t.n_retransmits <- t.n_retransmits + 1;
+              try Tcp.send conn (Record_mark.frame (request_copy p))
+              with Tcp.Connection_closed -> ())
+            pending
+      | exception Tcp.Connect_timeout -> attempt ()
+    in
+    attempt ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let base node ~mode ~sock ~server ~timeo ?max_retries ?(uid = 100) ?(gid = 100)
+    ~cwnd_init ~cwnd_max () =
+  {
+    sim = Node.sim node;
+    node;
+    mode;
+    sock;
+    server;
+    timeo;
+    max_retries;
+    cred = Rpc_msg.Auth_unix { stamp = 0; machine = "renofs-client"; uid; gid };
+    next_xid = 1l;
+    pending = Hashtbl.create 32;
+    cwnd = cwnd_init;
+    cwnd_max;
+    last_cwnd_cut = -1.0;
+    outstanding = 0;
+    gate = [];
+    n_calls = 0;
+    n_retransmits = 0;
+    rtt_all = Stats.Welford.create ();
+    rtt_by_proc = Hashtbl.create 8;
+    trace = None;
+  }
+
+let create_udp_fixed stack ~server ?(timeo = 1.0) ?max_retries ?uid ?gid () =
+  let node = Udp.node stack in
+  let sock = Udp.bind_ephemeral stack in
+  let t =
+    base node ~mode:Udp_fixed ~sock:(Some sock) ~server ~timeo ?max_retries ?uid
+      ?gid ~cwnd_init:infinity ~cwnd_max:infinity ()
+  in
+  start_udp_receiver t;
+  t
+
+let create_udp_dynamic stack ~server ?(timeo = 1.0) ?max_retries ?uid ?gid
+    ?(cwnd_init = 4.0) ?(cwnd_max = 12.0) () =
+  let node = Udp.node stack in
+  let sock = Udp.bind_ephemeral stack in
+  let t =
+    base node
+      ~mode:(Udp_dynamic (fresh_estimators ()))
+      ~sock:(Some sock) ~server ~timeo ?max_retries ?uid ?gid ~cwnd_init ~cwnd_max ()
+  in
+  start_udp_receiver t;
+  t
+
+let create_tcp stack ~server ?(mss = 1024) ?uid ?gid () =
+  let node = Tcp.node stack in
+  match Tcp.connect ~mss stack ~dst:server ~dst_port:P.port with
+  | conn ->
+      let st = { tcp_stack = stack; tcp_mss = mss; conn; reconnecting = false } in
+      let t =
+        base node ~mode:(Tcp_stream st) ~sock:None ~server ~timeo:1.0 ?uid ?gid
+          ~cwnd_init:infinity ~cwnd_max:infinity ()
+      in
+      start_tcp_receiver t st;
+      t
+  | exception Tcp.Connect_timeout -> raise (Rpc_error "NFS server not responding (TCP connect)")
+
+(* ------------------------------------------------------------------ *)
+(* The call itself                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gate_wait t =
+  match t.mode with
+  | Udp_dynamic _ ->
+      let rec wait () =
+        if float_of_int t.outstanding >= t.cwnd then begin
+          Proc.suspend (fun resume -> t.gate <- t.gate @ [ resume ]);
+          wait ()
+        end
+      in
+      wait ()
+  | Udp_fixed | Tcp_stream _ -> ()
+
+let call t call_v =
+  let proc = P.proc_of_call call_v in
+  charge t encode_instructions;
+  let xid = t.next_xid in
+  t.next_xid <- Int32.add t.next_xid 1l;
+  let ctr = Node.copy_counters t.node in
+  let enc =
+    Rpc_msg.encode_call ~ctr
+      { Rpc_msg.xid; prog = P.program; vers = P.version; proc; cred = t.cred }
+  in
+  P.encode_call ~ctr enc call_v;
+  let master = Xdr.Enc.chain enc in
+  let p =
+    {
+      p_xid = xid;
+      p_proc = proc;
+      request = master;
+      reply = Proc.Ivar.create t.sim;
+      sent_at = Sim.now t.sim;
+      retransmitted = false;
+      retries = 0;
+      backoff = 1.0;
+      timer = None;
+    }
+  in
+  gate_wait t;
+  t.outstanding <- t.outstanding + 1;
+  t.n_calls <- t.n_calls + 1;
+  Hashtbl.replace t.pending xid p;
+  (match t.mode with
+  | Udp_fixed | Udp_dynamic _ -> transmit_udp t p
+  | Tcp_stream st -> (
+      p.sent_at <- Sim.now t.sim;
+      (* A dead connection is not an error: the request stays pending
+         and is replayed after the automatic reconnect. *)
+      try Tcp.send st.conn (Record_mark.frame ~ctr (request_copy p))
+      with Tcp.Connection_closed -> ()));
+  let reply_chain =
+    match Proc.Ivar.read p.reply with Ok c -> c | Error e -> raise e
+  in
+  charge t decode_instructions;
+  match Rpc_msg.decode_reply reply_chain with
+  | exception (Rpc_msg.Bad_message m | Xdr.Decode_error m) -> raise (Rpc_error m)
+  | _, Rpc_msg.Accepted Rpc_msg.Success, dec -> P.decode_reply ~proc dec
+  | _, Rpc_msg.Accepted _, _ -> raise (Rpc_error "rpc accepted with error")
+  | _, Rpc_msg.Denied _, _ -> raise (Rpc_error "rpc denied")
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let summary t =
+  {
+    calls = t.n_calls;
+    retransmits = t.n_retransmits;
+    mean_rtt = Stats.Welford.mean t.rtt_all;
+  }
+
+let retransmits t = t.n_retransmits
+let outstanding t = t.outstanding
+let congestion_window t = t.cwnd
+
+let rtt_by_proc t =
+  Hashtbl.fold (fun k w acc -> (k, w) :: acc) t.rtt_by_proc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let enable_read_trace t =
+  if t.trace = None then
+    t.trace <- Some (Stats.Series.create ~name:"rtt" (), Stats.Series.create ~name:"rto" ())
+
+let read_rtt_trace t =
+  match t.trace with Some (r, _) -> Stats.Series.to_list r | None -> []
+
+let read_rto_trace t =
+  match t.trace with Some (_, r) -> Stats.Series.to_list r | None -> []

@@ -1,0 +1,84 @@
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Xdr = Renofs_xdr.Xdr
+module Rpc_msg = Renofs_rpc.Rpc_msg
+module Node = Renofs_net.Node
+module Udp = Renofs_transport.Udp
+module Fs = Renofs_vfs.Fs
+module MP = Mount_proto
+
+type t = {
+  server : Nfs_server.t;
+  mutable records : (string * string) list; (* newest first *)
+  mutable served : int;
+}
+
+let mounts t = List.rev t.records
+let requests_served t = t.served
+
+let client_name src src_port = Printf.sprintf "host%d:%d" src src_port
+
+(* Resolve an exported path to a file handle by walking the server's
+   filesystem directly (mountd runs on the server host). *)
+let resolve t path =
+  let fs = Nfs_server.fs t.server in
+  let components =
+    String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+  in
+  try
+    let v = List.fold_left (fun dir c -> Fs.lookup fs dir c) (Fs.root fs) components in
+    MP.Mnt_ok (Fs.ino v)
+  with Fs.Err Fs.Enoent -> MP.Mnt_error 2 (* ENOENT *)
+     | Fs.Err Fs.Enotdir -> MP.Mnt_error 20
+
+let execute t ~src ~src_port (call : MP.call) : MP.reply =
+  match call with
+  | MP.Mnt_null -> MP.Rmnt_null
+  | MP.Mnt path ->
+      let status = resolve t path in
+      (match status with
+      | MP.Mnt_ok _ -> t.records <- (client_name src src_port, path) :: t.records
+      | MP.Mnt_error _ -> ());
+      MP.Rmnt status
+  | MP.Dump -> MP.Rdump (mounts t)
+  | MP.Umnt path ->
+      let me = client_name src src_port in
+      t.records <-
+        List.filter (fun (host, p) -> not (host = me && p = path)) t.records;
+      MP.Rumnt
+  | MP.Umntall ->
+      let me = client_name src src_port in
+      t.records <- List.filter (fun (host, _) -> host <> me) t.records;
+      MP.Rumnt
+  | MP.Export -> MP.Rexport [ "/" ]
+
+let start server =
+  let t = { server; records = []; served = 0 } in
+  let node = Nfs_server.node server in
+  let sock = Udp.bind (Nfs_server.udp_stack server) ~port:MP.port in
+  Proc.spawn (Node.sim node) (fun () ->
+      let rec serve () =
+        let dg = Udp.recv sock in
+        Cpu.consume (Node.cpu node)
+          (Cpu.seconds_of_instructions (Node.cpu node) 500.0);
+        (match Rpc_msg.decode_call dg.Udp.payload with
+        | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) -> ()
+        | hdr, dec -> (
+            match MP.decode_call ~proc:hdr.Rpc_msg.proc dec with
+            | exception Xdr.Decode_error _ -> ()
+            | call ->
+                t.served <- t.served + 1;
+                let reply =
+                  execute t ~src:dg.Udp.src ~src_port:dg.Udp.src_port call
+                in
+                let enc =
+                  Rpc_msg.encode_reply ~xid:hdr.Rpc_msg.xid
+                    (Rpc_msg.Accepted Rpc_msg.Success)
+                in
+                MP.encode_reply enc reply;
+                Udp.sendto sock ~dst:dg.Udp.src ~dst_port:dg.Udp.src_port
+                  (Xdr.Enc.chain enc)));
+        serve ()
+      in
+      serve ());
+  t

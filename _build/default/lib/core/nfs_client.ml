@@ -1,0 +1,1187 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Stats = Renofs_engine.Stats
+module Node = Renofs_net.Node
+module Nic = Renofs_net.Nic
+module Udp = Renofs_transport.Udp
+module Tcp = Renofs_transport.Tcp
+module Namecache = Renofs_vfs.Namecache
+module P = Nfs_proto
+
+type write_policy = Write_through | Async | Delayed
+
+type mount_opts = {
+  transport : [ `Udp_fixed | `Udp_dynamic | `Tcp ];
+  timeo : float;
+  mss : int;
+  rsize : int;
+  wsize : int;
+  attr_timeout : float;
+  num_biods : int;
+  write_policy : write_policy;
+  push_on_close : bool;
+  consistency : bool;
+  name_cache : bool;
+  push_dirty_before_read : bool;
+  trust_own_writes : bool;
+  read_ahead : int;
+  cache_blocks : int;
+  use_readdirlook : bool;
+  delay_full_blocks : bool;
+      (** under [Delayed], also delay full blocks instead of starting
+          their write RPCs immediately — the "delayed write without push
+          on close" policy of the noconsist experiments *)
+  use_leases : bool;
+      (** the experimental NQNFS-style lease protocol: cached data is
+          valid while a read lease is held, and delayed writes without
+          push-on-close are safe under a write lease *)
+  soft : bool;
+      (** soft mount: fail operations with an I/O error after [retrans]
+          retransmissions instead of retrying forever *)
+  retrans : int;
+  adaptive_transfer : bool;
+      (** the paper's last-ditch option, made dynamic as its Section 4
+          suggests: halve the read/write transfer size when
+          retransmissions indicate fragment loss, and grow it back after
+          a run of clean transfers *)
+  uid : int;  (** AUTH_UNIX credentials presented to the server *)
+  gid : int;
+}
+
+let reno_mount =
+  {
+    transport = `Udp_fixed;
+    timeo = 1.0;
+    mss = 1024;
+    rsize = 8192;
+    wsize = 8192;
+    attr_timeout = 5.0;
+    num_biods = 4;
+    write_policy = Delayed;
+    push_on_close = true;
+    consistency = true;
+    name_cache = true;
+    push_dirty_before_read = true;
+    trust_own_writes = false;
+    read_ahead = 1;
+    (* 48 x 8K = 384 KB: the scale of a MicroVAXII buffer cache. *)
+    cache_blocks = 48;
+    use_readdirlook = false;
+    delay_full_blocks = false;
+    use_leases = false;
+    soft = false;
+    retrans = 4;
+    adaptive_transfer = false;
+    uid = 100;
+    gid = 100;
+  }
+
+let reno_tcp_mount = { reno_mount with transport = `Tcp }
+let reno_dynamic_mount = { reno_mount with transport = `Udp_dynamic }
+let reno_nopush_mount = { reno_mount with push_on_close = false }
+
+let noconsist_mount =
+  {
+    reno_mount with
+    consistency = false;
+    push_on_close = false;
+    delay_full_blocks = true;
+  }
+
+(* The paper's future-work configuration: full consistency through
+   leases, with the noconsist mount's write behaviour. *)
+let lease_mount =
+  {
+    reno_mount with
+    use_leases = true;
+    push_on_close = false;
+    delay_full_blocks = true;
+    push_dirty_before_read = false;
+  }
+
+let ultrix_mount =
+  {
+    reno_mount with
+    name_cache = false;
+    push_dirty_before_read = false;
+    trust_own_writes = true;
+    (* The reference port starts a write RPC per write call rather than
+       delaying and merging partial-block dirty regions. *)
+    write_policy = Async;
+  }
+
+exception Nfs_error of P.stat
+
+let fail st = raise (Nfs_error st)
+
+(* A cached block.  [valid] means the whole block's contents (up to the
+   file size) are known; a block created by a partial write is *not*
+   valid but carries a dirty region — the no-preread behaviour of the
+   Reno buf structure. *)
+type cblock = {
+  b_blk : int;
+  data : Bytes.t;
+  mutable valid : bool;
+  mutable dirty : (int * int) option;
+  mutable lru : int;
+  mutable fetching : unit Proc.Ivar.t option;
+  mutable pushing : bool;
+      (* a write RPC for this block is in flight (B_BUSY): further
+         pushes must chain behind it or the server could apply them out
+         of order *)
+}
+
+type cfile = {
+  c_fh : int;
+  blocks : (int, cblock) Hashtbl.t;
+  mutable cached_mtime : float;
+  mutable csize : int;
+  mutable dirty_count : int;
+  mutable last_seq_blk : int;
+  mutable outstanding : int; (* async write RPCs in flight *)
+  mutable waiters : (unit -> unit) list;
+  mutable write_error : P.stat option;
+  mutable lease : (P.lease_mode * float) option; (* (mode, expiry) *)
+  mutable open_count : int;
+  mutable silly : (int * string) option;
+      (* unlinked while open: renamed server-side to .nfsNNNN in
+         (directory, name), removed at last close — the classic BSD
+         silly rename *)
+}
+
+type fd = cfile
+
+type t = {
+  sim : Sim.t;
+  node : Node.t;
+  opts : mount_opts;
+  xport : Client_transport.t;
+  root : int;
+  files : (int, cfile) Hashtbl.t;
+  attrs : Attrcache.t;
+  names : Namecache.t option;
+  name_stamps : (int, float) Hashtbl.t;
+      (* directory mtime under which its cached names were entered; a
+         changed mtime invalidates them, as the BSD cache_purge on
+         directory change does *)
+  biods : Biod.t;
+  counters : Stats.Counter.t;
+  mutable lru_clock : int;
+  mutable total_blocks : int;
+  mutable xfer_size : int; (* current read/write transfer size *)
+  mutable clean_transfers : int;
+  mutable seen_retransmits : int;
+}
+
+let opts t = t.opts
+let transport t = t.xport
+let sim t = t.sim
+let node t = t.node
+let rpc_counters t = t.counters
+
+let syscall_instructions = 180.0
+
+let charge t instructions =
+  Cpu.consume (Node.cpu t.node) (Cpu.seconds_of_instructions (Node.cpu t.node) instructions)
+
+let charge_copy t bytes =
+  let bw = (Node.nic t.node).Nic.copy_bandwidth in
+  Cpu.consume (Node.cpu t.node) (float_of_int bytes /. bw)
+
+let mtime_of (a : P.fattr) = P.float_of_time a.P.mtime
+
+(* Issue one RPC, counting it and folding any returned attributes into
+   the attribute cache (the piggyback updates that keep Getattr rare). *)
+let rpc t call =
+  Stats.Counter.incr t.counters (P.proc_name (P.proc_of_call call));
+  let reply =
+    try Client_transport.call t.xport call
+    with Client_transport.Rpc_timed_out ->
+      (* Soft mount semantics: the operation fails with EIO. *)
+      fail P.NFSERR_IO
+  in
+  (match (reply, call) with
+  | P.Rattr (Ok a), P.Getattr fh
+  | P.Rattr (Ok a), P.Setattr (fh, _)
+  | P.Rattr (Ok a), P.Write { P.write_file = fh; _ } ->
+      Attrcache.update t.attrs fh a
+  | P.Rdirop (Ok (fh, a)), _ -> Attrcache.update t.attrs fh a
+  | P.Rread (Ok (a, _)), P.Read r -> Attrcache.update t.attrs r.P.read_file a
+  | P.Rlease (Ok (Some ok)), P.Getlease la ->
+      Attrcache.update t.attrs la.P.lease_file ok.P.lease_attr
+  | _ -> ());
+  reply
+
+let getattr_rpc t fh =
+  match rpc t (P.Getattr fh) with
+  | P.Rattr (Ok a) -> a
+  | P.Rattr (Error st) -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let get_attrs t fh =
+  match Attrcache.get t.attrs fh with Some a -> a | None -> getattr_rpc t fh
+
+(* ------------------------------------------------------------------ *)
+(* Pathname resolution                                                *)
+(* ------------------------------------------------------------------ *)
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+
+(* Record a name under the directory's currently-believed mtime; a
+   different stamp means older entries are stale, so purge them. *)
+let name_enter t ~dir name fh =
+  match t.names with
+  | None -> ()
+  | Some nc ->
+      let dir_mtime =
+        match Attrcache.peek t.attrs dir with Some a -> mtime_of a | None -> 0.0
+      in
+      (match Hashtbl.find_opt t.name_stamps dir with
+      | Some stamp when stamp <> dir_mtime -> Namecache.invalidate_dir nc dir
+      | _ -> ());
+      Hashtbl.replace t.name_stamps dir dir_mtime;
+      Namecache.enter nc ~dir name fh
+
+let name_remove t ~dir name =
+  match t.names with Some nc -> Namecache.remove nc ~dir name | None -> ()
+
+let lookup_rpc t dir name =
+  match rpc t (P.Lookup { P.dir; name }) with
+  | P.Rdirop (Ok (fh, a)) ->
+      name_enter t ~dir name fh;
+      (fh, Some a)
+  | P.Rdirop (Error st) -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let lookup_component t dir name =
+  let cached =
+    match t.names with
+    | Some nc -> (
+        match Namecache.lookup nc ~dir name with
+        | None -> None
+        | Some fh -> (
+            (* Validate against the directory's modify time (through the
+               attribute cache, so at most one getattr per timeout). *)
+            let da = get_attrs t dir in
+            let m = mtime_of da in
+            match Hashtbl.find_opt t.name_stamps dir with
+            | Some stamp when stamp = m -> Some fh
+            | _ ->
+                Namecache.invalidate_dir nc dir;
+                Hashtbl.replace t.name_stamps dir m;
+                None))
+    | None -> None
+  in
+  match cached with
+  | Some fh -> fh
+  | None -> fst (lookup_rpc t dir name)
+
+let readlink_rpc t fh =
+  match rpc t (P.Readlink fh) with
+  | P.Rreadlink (Ok target) -> target
+  | P.Rreadlink (Error st) -> fail st
+  | _ -> fail P.NFSERR_IO
+
+(* An inode's type never changes, so a stale cache entry is still good
+   enough to decide whether to follow; only an unknown handle costs a
+   getattr. *)
+let kind_of_fh t fh =
+  match Attrcache.peek t.attrs fh with
+  | Some a -> a.P.ftype
+  | None -> (get_attrs t fh).P.ftype
+
+(* namei: resolve components from [dir], following symbolic links (up to
+   a loop budget; the final component only when [follow_last]). *)
+let rec resolve t ~fuel dir components ~follow_last =
+  match components with
+  | [] -> dir
+  | name :: rest -> (
+      let fh = lookup_component t dir name in
+      let is_last = rest = [] in
+      match kind_of_fh t fh with
+      | P.NFLNK when (not is_last) || follow_last ->
+          if fuel = 0 then fail P.NFSERR_IO (* symlink loop *);
+          let target = readlink_rpc t fh in
+          let tcomps = split_path target in
+          let base = if String.length target > 0 && target.[0] = '/' then t.root else dir in
+          resolve t ~fuel:(fuel - 1) base (tcomps @ rest) ~follow_last
+      | _ -> resolve t ~fuel fh rest ~follow_last)
+
+let walk t path = resolve t ~fuel:8 t.root (split_path path) ~follow_last:true
+
+(* Resolve a path into (parent directory handle, final component);
+   intermediate links are followed, the final name is taken literally. *)
+let walk_parent t path =
+  match List.rev (split_path path) with
+  | [] -> fail P.NFSERR_NOENT
+  | name :: rev_dirs ->
+      let dir = resolve t ~fuel:8 t.root (List.rev rev_dirs) ~follow_last:true in
+      (dir, name)
+
+(* ------------------------------------------------------------------ *)
+(* Block cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cfile_of t fh ~attr =
+  match Hashtbl.find_opt t.files fh with
+  | Some cf -> cf
+  | None ->
+      let mtime, size =
+        match attr with Some a -> (mtime_of a, a.P.size) | None -> (0.0, 0)
+      in
+      let cf =
+        {
+          c_fh = fh;
+          blocks = Hashtbl.create 16;
+          cached_mtime = mtime;
+          csize = size;
+          dirty_count = 0;
+          last_seq_blk = -2;
+          outstanding = 0;
+          waiters = [];
+          write_error = None;
+          lease = None;
+          open_count = 0;
+          silly = None;
+        }
+      in
+      Hashtbl.replace t.files fh cf;
+      cf
+
+let set_dirty cf b range =
+  (match (b.dirty, range) with
+  | None, Some _ -> cf.dirty_count <- cf.dirty_count + 1
+  | Some _, None -> cf.dirty_count <- cf.dirty_count - 1
+  | _ -> ());
+  b.dirty <- range
+
+(* Adaptive transfer feedback: any retransmission since the last look
+   is read as fragment loss (the paper's suggested signal), halving the
+   transfer size; a run of clean transfers grows it back. *)
+let note_transfer t =
+  if t.opts.adaptive_transfer then begin
+    let r = Client_transport.retransmits t.xport in
+    if r > t.seen_retransmits then begin
+      t.seen_retransmits <- r;
+      t.clean_transfers <- 0;
+      t.xfer_size <- max 1024 (t.xfer_size / 2)
+    end
+    else begin
+      t.clean_transfers <- t.clean_transfers + 1;
+      if t.clean_transfers >= 25 && t.xfer_size < t.opts.rsize then begin
+        t.xfer_size <- min t.opts.rsize (t.xfer_size * 2);
+        t.clean_transfers <- 0
+      end
+    end
+  end
+
+let lease_valid t cf mode =
+  match cf.lease with
+  | Some (held, expiry) when Sim.now t.sim < expiry ->
+      held = P.Lease_write || mode = P.Lease_read
+  | _ -> false
+
+let wait_outstanding cf =
+  let rec wait () =
+    if cf.outstanding > 0 then begin
+      Proc.suspend (fun resume -> cf.waiters <- cf.waiters @ [ resume ]);
+      wait ()
+    end
+  in
+  wait ()
+
+let push_block t cf b ~wait =
+  match b.dirty with
+  | None -> ()
+  | Some _ when b.pushing ->
+      (* The in-flight writer re-checks the dirty region when its RPC
+         completes and will carry this data too. *)
+      if wait then wait_outstanding cf
+  | Some (lo, hi) ->
+      b.pushing <- true;
+      set_dirty cf b None;
+      cf.outstanding <- cf.outstanding + 1;
+      let write_rpc ~lo ~hi =
+        (* One RPC per current transfer size: under adaptive transfer a
+           big dirty region goes out in smaller, fragment-safe pieces. *)
+        let rec go lo =
+          if lo < hi then begin
+            let n = min (hi - lo) (max 1024 t.xfer_size) in
+            let off = (b.b_blk * t.opts.rsize) + lo in
+            let payload = Bytes.sub b.data lo n in
+            (match
+               rpc t
+                 (P.Write { P.write_file = cf.c_fh; write_offset = off; data = payload })
+             with
+            | P.Rattr (Ok a) ->
+                (* Under a write lease nobody else can be writing, so the
+                   new modify time is certainly ours. *)
+                if t.opts.trust_own_writes || lease_valid t cf P.Lease_write then
+                  cf.cached_mtime <- mtime_of a;
+                cf.csize <- max cf.csize a.P.size
+            | P.Rattr (Error st) -> cf.write_error <- Some st
+            | exception Nfs_error st -> cf.write_error <- Some st
+            | _ -> cf.write_error <- Some P.NFSERR_IO);
+            note_transfer t;
+            go (lo + n)
+          end
+        in
+        go lo
+      in
+      let rec do_write ~lo ~hi =
+        write_rpc ~lo ~hi;
+        match b.dirty with
+        | Some (lo', hi') ->
+            (* Re-dirtied while the RPC was in flight: push that too,
+               still holding the block busy. *)
+            set_dirty cf b None;
+            do_write ~lo:lo' ~hi:hi'
+        | None ->
+            b.pushing <- false;
+            cf.outstanding <- cf.outstanding - 1;
+            if cf.outstanding = 0 then begin
+              let waiters = cf.waiters in
+              cf.waiters <- [];
+              List.iter (fun resume -> Sim.after t.sim 0.0 resume) waiters
+            end
+      in
+      if wait then do_write ~lo ~hi
+      else Biod.submit t.biods (fun () -> do_write ~lo ~hi)
+
+let flush_file t cf ~wait =
+  Hashtbl.iter (fun _ b -> push_block t cf b ~wait:false) cf.blocks;
+  if wait then wait_outstanding cf
+
+(* Evict the least-recently-used block across all files, pushing it
+   first if dirty. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ cf ->
+      Hashtbl.iter
+        (fun _ b ->
+          match !victim with
+          | Some (_, best) when best.lru <= b.lru -> ()
+          | _ -> victim := Some (cf, b))
+        cf.blocks)
+    t.files;
+  match !victim with
+  | None -> ()
+  | Some (cf, b) ->
+      push_block t cf b ~wait:true;
+      Hashtbl.remove cf.blocks b.b_blk;
+      t.total_blocks <- t.total_blocks - 1
+
+let get_or_create_block t cf blk =
+  match Hashtbl.find_opt cf.blocks blk with
+  | Some b ->
+      t.lru_clock <- t.lru_clock + 1;
+      b.lru <- t.lru_clock;
+      b
+  | None ->
+      while t.total_blocks >= t.opts.cache_blocks do
+        evict_one t
+      done;
+      t.lru_clock <- t.lru_clock + 1;
+      let b =
+        {
+          b_blk = blk;
+          data = Bytes.make t.opts.rsize '\000';
+          valid = false;
+          dirty = None;
+          lru = t.lru_clock;
+          fetching = None;
+          pushing = false;
+        }
+      in
+      Hashtbl.replace cf.blocks blk b;
+      t.total_blocks <- t.total_blocks + 1;
+      b
+
+(* Invalidate the clean cached blocks of a file (dirty data survives:
+   it still has to reach the server). *)
+let invalidate_clean t cf =
+  let doomed =
+    Hashtbl.fold
+      (fun blk b acc ->
+        if b.dirty = None && not b.pushing then blk :: acc else acc)
+      cf.blocks []
+  in
+  List.iter
+    (fun blk ->
+      Hashtbl.remove cf.blocks blk;
+      t.total_blocks <- t.total_blocks - 1)
+    doomed
+
+(* The Reno consistency rule: cached data is valid only while the
+   server's modify time matches what we cached under.  A client that
+   does not [trust_own_writes] cannot tell its own writes from another
+   client's, so its own pushes invalidate its cache.  A valid lease
+   short-circuits all of it: the server has promised nobody else is
+   writing. *)
+let validate t cf =
+  if t.opts.use_leases && lease_valid t cf P.Lease_read then ()
+  else if t.opts.consistency then begin
+    let a = get_attrs t cf.c_fh in
+    let m = mtime_of a in
+    if m <> cf.cached_mtime then begin
+      invalidate_clean t cf;
+      cf.cached_mtime <- m
+    end;
+    cf.csize <- (if cf.dirty_count > 0 then max cf.csize a.P.size else a.P.size)
+  end
+
+(* Acquire, renew or upgrade a lease.  A refusal is a vacate order:
+   flush everything and stop caching until re-acquired. *)
+let getlease t cf mode =
+  match
+    rpc t (P.Getlease { P.lease_file = cf.c_fh; lease_mode = mode; lease_duration = 6 })
+  with
+  | P.Rlease (Ok (Some ok)) ->
+      let m = mtime_of ok.P.lease_attr in
+      if m <> cf.cached_mtime then begin
+        invalidate_clean t cf;
+        cf.cached_mtime <- m
+      end;
+      cf.csize <-
+        (if cf.dirty_count > 0 then max cf.csize ok.P.lease_attr.P.size
+         else ok.P.lease_attr.P.size);
+      let held =
+        match (cf.lease, mode) with
+        | Some (P.Lease_write, _), _ -> P.Lease_write
+        | _, m -> m
+      in
+      (* A safety margin keeps us from acting on a lease the server is
+         about to consider expired. *)
+      cf.lease <-
+        Some (held, Sim.now t.sim +. float_of_int ok.P.granted_duration -. 0.25);
+      true
+  | P.Rlease (Ok None) ->
+      cf.lease <- None;
+      flush_file t cf ~wait:true;
+      invalidate_clean t cf;
+      false
+  | P.Rlease (Error st) -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let ensure_lease t cf mode =
+  if lease_valid t cf mode then true else getlease t cf mode
+
+(* ------------------------------------------------------------------ *)
+(* Mount                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let syncer_interval = 30.0
+
+let mount ~udp ?tcp ~server ~root opts =
+  let node = Udp.node udp in
+  let max_retries = if opts.soft then Some opts.retrans else None in
+  let uid = opts.uid and gid = opts.gid in
+  let xport =
+    match opts.transport with
+    | `Udp_fixed ->
+        Client_transport.create_udp_fixed udp ~server ~timeo:opts.timeo
+          ?max_retries ~uid ~gid ()
+    | `Udp_dynamic ->
+        Client_transport.create_udp_dynamic udp ~server ~timeo:opts.timeo
+          ?max_retries ~uid ~gid ()
+    | `Tcp -> (
+        match tcp with
+        | Some stack ->
+            Client_transport.create_tcp stack ~server ~mss:opts.mss ~uid ~gid ()
+        | None -> invalid_arg "Nfs_client.mount: TCP transport needs a tcp stack")
+  in
+  let t =
+    {
+      sim = Node.sim node;
+      node;
+      opts;
+      xport;
+      root;
+      files = Hashtbl.create 64;
+      attrs = Attrcache.create (Node.sim node) ~timeout:opts.attr_timeout ();
+      names = (if opts.name_cache then Some (Namecache.create ()) else None);
+      name_stamps = Hashtbl.create 32;
+      biods = Biod.create (Node.sim node) ~count:opts.num_biods;
+      counters = Stats.Counter.create ();
+      lru_clock = 0;
+      total_blocks = 0;
+      xfer_size = opts.rsize;
+      clean_transfers = 0;
+      seen_retransmits = 0;
+    }
+  in
+  ignore (getattr_rpc t root);
+  (* Lease renewal: dirty files keep their leases alive (and get told to
+     vacate as soon as they are contested); clean leases just lapse. *)
+  if opts.use_leases then
+    Proc.spawn t.sim (fun () ->
+        let rec tick () =
+          Proc.sleep t.sim 2.0;
+          let snapshot = Hashtbl.fold (fun _ cf acc -> cf :: acc) t.files [] in
+          List.iter
+            (fun cf ->
+              match cf.lease with
+              | Some (_, expiry) when Sim.now t.sim >= expiry ->
+                  (* The lease lapsed: exclusivity can no longer be
+                     assumed (the server may even have rebooted and lost
+                     the lease table), so dirty data must be written back
+                     before anyone else is granted a lease. *)
+                  cf.lease <- None;
+                  if cf.dirty_count > 0 then flush_file t cf ~wait:false
+              | Some (mode, expiry) ->
+                  if
+                    (cf.dirty_count > 0 || cf.outstanding > 0)
+                    && expiry -. Sim.now t.sim < 4.0
+                  then (
+                    try ignore (getlease t cf mode)
+                    with Nfs_error _ | Client_transport.Rpc_error _ -> ())
+              | None ->
+                  (* Dirty data that lost its lease must not linger. *)
+                  if cf.dirty_count > 0 then flush_file t cf ~wait:false)
+            snapshot;
+          tick ()
+        in
+        tick ());
+  (* The 30-second sync that pushes delayed writes. *)
+  Proc.spawn t.sim (fun () ->
+      let rec tick () =
+        Proc.sleep t.sim syncer_interval;
+        Hashtbl.iter (fun _ cf -> flush_file t cf ~wait:false) t.files;
+        tick ()
+      in
+      tick ());
+  t
+
+exception Mount_failed of string
+
+(* One-shot RPC exchange with the mount daemon: its own little socket
+   and a fixed-timeout retry loop (mount(8) does the same). *)
+let mount_path ~udp ?tcp ~server ~path opts =
+  let node = Udp.node udp in
+  let sim = Node.sim node in
+  let sock = Udp.bind_ephemeral udp in
+  let reply = ref None in
+  Proc.spawn sim (fun () ->
+      let rec listen () =
+        let dg = Udp.recv sock in
+        reply := Some dg.Udp.payload;
+        listen ()
+      in
+      try listen () with _ -> ());
+  let call = Mount_proto.Mnt path in
+  let xid = 77l in
+  let attempt () =
+    let enc =
+      Renofs_rpc.Rpc_msg.encode_call
+        {
+          Renofs_rpc.Rpc_msg.xid;
+          prog = Mount_proto.program;
+          vers = Mount_proto.version;
+          proc = Mount_proto.proc_of_call call;
+          cred = Renofs_rpc.Rpc_msg.Auth_null;
+        }
+    in
+    Mount_proto.encode_call enc call;
+    Udp.sendto sock ~dst:server ~dst_port:Mount_proto.port
+      (Renofs_xdr.Xdr.Enc.chain enc)
+  in
+  let rec wait_reply tries =
+    if !reply <> None then ()
+    else if tries = 0 then begin
+      Udp.close sock;
+      raise (Mount_failed "mount daemon not responding")
+    end
+    else begin
+      attempt ();
+      let deadline = Sim.now sim +. 1.0 in
+      let rec poll () =
+        if !reply = None && Sim.now sim < deadline then begin
+          Proc.sleep sim 0.05;
+          poll ()
+        end
+      in
+      poll ();
+      if !reply = None then wait_reply (tries - 1)
+    end
+  in
+  wait_reply 5;
+  Udp.close sock;
+  match !reply with
+  | None -> raise (Mount_failed "mount daemon not responding")
+  | Some chain -> (
+      match Renofs_rpc.Rpc_msg.decode_reply chain with
+      | _, Renofs_rpc.Rpc_msg.Accepted Renofs_rpc.Rpc_msg.Success, dec -> (
+          match Mount_proto.decode_reply ~proc:1 dec with
+          | Mount_proto.Rmnt (Mount_proto.Mnt_ok root) -> mount ~udp ?tcp ~server ~root opts
+          | Mount_proto.Rmnt (Mount_proto.Mnt_error errno) ->
+              raise (Mount_failed (Printf.sprintf "mount denied (errno %d)" errno))
+          | _ -> raise (Mount_failed "unexpected mount reply"))
+      | _ -> raise (Mount_failed "mount RPC rejected")
+      | exception _ -> raise (Mount_failed "garbled mount reply"))
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let install_block t _cf b (data : bytes) =
+  (* Preserve any dirty range: locally-written bytes win over the
+     server's copy until they are pushed. *)
+  let saved =
+    match b.dirty with
+    | Some (lo, hi) -> Some (lo, hi, Bytes.sub b.data lo (hi - lo))
+    | None -> None
+  in
+  Bytes.fill b.data 0 (Bytes.length b.data) '\000';
+  Bytes.blit data 0 b.data 0 (Bytes.length data);
+  (match saved with
+  | Some (lo, hi, bytes_) -> Bytes.blit bytes_ 0 b.data lo (hi - lo)
+  | None -> ());
+  b.valid <- true;
+  ignore t
+
+let rec ensure_block t cf blk =
+  let b = get_or_create_block t cf blk in
+  match b.fetching with
+  | Some iv ->
+      Proc.Ivar.read iv;
+      ensure_block t cf blk
+  | None ->
+      if not b.valid then begin
+        let iv = Proc.Ivar.create t.sim in
+        b.fetching <- Some iv;
+        let bs = t.opts.rsize in
+        let base = blk * bs in
+        let buf = Bytes.create bs in
+        let finish_err st =
+          b.fetching <- None;
+          Proc.Ivar.fill iv ();
+          fail st
+        in
+        (* Fetch the block in [xfer_size] pieces; a short reply is EOF. *)
+        let rec fetch pos =
+          if pos >= bs then pos
+          else begin
+            let want = min (bs - pos) (max 1024 t.xfer_size) in
+            match
+              rpc t (P.Read { P.read_file = cf.c_fh; offset = base + pos; count = want })
+            with
+            | P.Rread (Ok (a, data)) ->
+                Bytes.blit data 0 buf pos (Bytes.length data);
+                if cf.cached_mtime = 0.0 then cf.cached_mtime <- mtime_of a;
+                cf.csize <-
+                  (if cf.dirty_count > 0 then max cf.csize a.P.size else a.P.size);
+                note_transfer t;
+                if Bytes.length data < want then pos + Bytes.length data
+                else fetch (pos + Bytes.length data)
+            | P.Rread (Error st) -> finish_err st
+            | exception Nfs_error st -> finish_err st
+            | _ -> finish_err P.NFSERR_IO
+          end
+        in
+        let got = fetch 0 in
+        install_block t cf b (Bytes.sub buf 0 got);
+        b.fetching <- None;
+        Proc.Ivar.fill iv ()
+      end;
+      b
+
+let read_ahead t cf blk =
+  if t.opts.read_ahead > 0 && Biod.count t.biods > 0 then
+    for k = 1 to t.opts.read_ahead do
+      let target = blk + k in
+      if target * t.opts.rsize < cf.csize then begin
+        let already =
+          match Hashtbl.find_opt cf.blocks target with
+          | Some b -> b.valid || b.fetching <> None
+          | None -> false
+        in
+        if not already then
+          Biod.submit t.biods (fun () ->
+              try ignore (ensure_block t cf target) with Nfs_error _ -> ())
+      end
+    done
+
+let read t fd ~off ~len =
+  charge t syscall_instructions;
+  if off < 0 || len < 0 then fail P.NFSERR_IO;
+  let cf = fd in
+  let leased = t.opts.use_leases && ensure_lease t cf P.Lease_read in
+  if not leased then begin
+    if t.opts.consistency && t.opts.push_dirty_before_read && cf.dirty_count > 0
+    then flush_file t cf ~wait:true;
+    validate t cf
+  end;
+  let len = if off >= cf.csize then 0 else min len (cf.csize - off) in
+  let out = Bytes.create len in
+  let bs = t.opts.rsize in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let blk = abs / bs in
+    let b = ensure_block t cf blk in
+    let in_blk = abs mod bs in
+    let n = min (bs - in_blk) (len - !pos) in
+    Bytes.blit b.data in_blk out !pos n;
+    pos := !pos + n;
+    (* Sequential access triggers read-ahead. *)
+    if blk = cf.last_seq_blk + 1 || blk = cf.last_seq_blk then read_ahead t cf blk;
+    cf.last_seq_blk <- blk
+  done;
+  charge_copy t len;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mergeable b lo hi =
+  match b.dirty with
+  | None -> true
+  | Some (dlo, dhi) ->
+      (* Overlapping or adjacent ranges always merge; disjoint ranges
+         merge only when the block is fully valid (the gap bytes are
+         then known data). *)
+      b.valid || (lo <= dhi && hi >= dlo)
+
+let write t fd ~off data =
+  charge t syscall_instructions;
+  let cf = fd in
+  (* Dirty data may only be delayed under a write lease. *)
+  let leased = t.opts.use_leases && ensure_lease t cf P.Lease_write in
+  let len = Bytes.length data in
+  charge_copy t len;
+  let bs = t.opts.wsize in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let blk = abs / bs in
+    let lo = abs mod bs in
+    let n = min (bs - lo) (len - !pos) in
+    let hi = lo + n in
+    let b = get_or_create_block t cf blk in
+    (* A buf holds a single dirty region: push the old one first if the
+       new range cannot merge with it. *)
+    if not (mergeable b lo hi) then push_block t cf b ~wait:true;
+    Bytes.blit data !pos b.data lo n;
+    let range =
+      match b.dirty with
+      | Some (dlo, dhi) -> (min lo dlo, max hi dhi)
+      | None -> (lo, hi)
+    in
+    set_dirty cf b (Some range);
+    if off + len > cf.csize then cf.csize <- off + len;
+    (* A block dirtied from its start to its end — or to end-of-file —
+       has fully known contents. *)
+    (match b.dirty with
+    | Some (0, dhi) when dhi = bs || (blk * bs) + dhi >= cf.csize -> b.valid <- true
+    | _ -> ());
+    (match t.opts.write_policy with
+    | Write_through -> push_block t cf b ~wait:true
+    | Async -> push_block t cf b ~wait:false
+    | Delayed ->
+        (* Asynchronous for full blocks, delayed for partial ones —
+           unless the mount delays everything. *)
+        let dlo, dhi = match b.dirty with Some r -> r | None -> (0, 0) in
+        if dlo = 0 && dhi = bs && not (t.opts.delay_full_blocks || leased) then
+          push_block t cf b ~wait:false);
+    pos := !pos + n
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Open / close / attributes                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stat t path =
+  charge t syscall_instructions;
+  let fh = walk t path in
+  get_attrs t fh
+
+let open_ t path =
+  charge t syscall_instructions;
+  let fh = walk t path in
+  let a = get_attrs t fh in
+  if a.P.ftype = P.NFDIR then fail P.NFSERR_ISDIR;
+  let cf = cfile_of t fh ~attr:(Some a) in
+  validate t cf;
+  cf.open_count <- cf.open_count + 1;
+  cf
+
+let create t path =
+  charge t syscall_instructions;
+  let dir, name = walk_parent t path in
+  match
+    rpc t
+      (P.Create
+         {
+           P.where = { P.dir; name };
+           attributes = { P.sattr_none with P.s_mode = 0o644; s_size = 0 };
+         })
+  with
+  | P.Rdirop (Ok (fh, a)) ->
+      name_enter t ~dir name fh;
+      (* Truncation by create: discard any cached data. *)
+      (match Hashtbl.find_opt t.files fh with
+      | Some old ->
+          Hashtbl.iter (fun _ b -> set_dirty old b None) old.blocks;
+          invalidate_clean t old;
+          old.csize <- 0;
+          old.cached_mtime <- mtime_of a
+      | None -> ());
+      let cf = cfile_of t fh ~attr:(Some a) in
+      cf.cached_mtime <- mtime_of a;
+      cf.csize <- a.P.size;
+      cf.open_count <- cf.open_count + 1;
+      cf
+  | P.Rdirop (Error st) -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let fsync t fd =
+  charge t syscall_instructions;
+  flush_file t fd ~wait:true;
+  match fd.write_error with
+  | Some st ->
+      fd.write_error <- None;
+      fail st
+  | None -> ()
+
+(* Forget everything cached about a file (it is going away). *)
+let drop_cfile t fh =
+  match Hashtbl.find_opt t.files fh with
+  | Some cf ->
+      t.total_blocks <- t.total_blocks - Hashtbl.length cf.blocks;
+      Hashtbl.remove t.files fh
+  | None -> ()
+
+let close t fd =
+  charge t syscall_instructions;
+  if fd.open_count > 0 then fd.open_count <- fd.open_count - 1;
+  (* The last close of a silly-renamed file finally removes it. *)
+  (if fd.open_count = 0 then
+     match fd.silly with
+     | Some (dir, name) ->
+         fd.silly <- None;
+         (match rpc t (P.Remove { P.dir; name }) with
+         | P.Rstat _ -> ()
+         | _ -> ());
+         name_remove t ~dir name;
+         drop_cfile t fd.c_fh;
+         Attrcache.invalidate t.attrs fd.c_fh
+     | None -> ());
+  if t.opts.use_leases && lease_valid t fd P.Lease_write then
+    (* The write lease guarantees close/open consistency without the
+       blocking push: a later opener's lease request forces our flush. *)
+    ()
+  else if t.opts.push_on_close && t.opts.consistency then begin
+    flush_file t fd ~wait:true;
+    match fd.write_error with
+    | Some st ->
+        fd.write_error <- None;
+        fail st
+    | None -> ()
+  end
+
+let fd_size t fd =
+  validate t fd;
+  fd.csize
+
+let unlink t path =
+  charge t syscall_instructions;
+  let dir, name = walk_parent t path in
+  (* Unlinking a file some process still has open: the stateless server
+     would free the inode and later reads would see ESTALE, so the BSD
+     client renames it out of the way and removes it at the last close
+     — the silly rename. *)
+  let open_cfile =
+    match
+      (match t.names with Some nc -> Namecache.lookup nc ~dir name | None -> None)
+    with
+    | Some fh -> (
+        match Hashtbl.find_opt t.files fh with
+        | Some cf when cf.open_count > 0 -> Some cf
+        | _ -> None)
+    | None -> None
+  in
+  match open_cfile with
+  | Some cf -> (
+      let silly_name = Printf.sprintf ".nfs%04d" cf.c_fh in
+      match
+        rpc t
+          (P.Rename
+             { P.from_dir = { P.dir; name }; to_dir = { P.dir; name = silly_name } })
+      with
+      | P.Rstat P.NFS_OK ->
+          name_remove t ~dir name;
+          cf.silly <- Some (dir, silly_name)
+      | P.Rstat st -> fail st
+      | _ -> fail P.NFSERR_IO)
+  | None -> (
+      let doomed =
+        match t.names with
+        | Some nc -> Namecache.lookup nc ~dir name
+        | None -> None
+      in
+      match rpc t (P.Remove { P.dir; name }) with
+      | P.Rstat P.NFS_OK ->
+          name_remove t ~dir name;
+          (match doomed with
+          | Some fh ->
+              drop_cfile t fh;
+              Attrcache.invalidate t.attrs fh
+          | None -> ())
+      | P.Rstat st -> fail st
+      | _ -> fail P.NFSERR_IO)
+
+let mkdir t path =
+  charge t syscall_instructions;
+  let dir, name = walk_parent t path in
+  match
+    rpc t
+      (P.Mkdir
+         { P.where = { P.dir; name }; attributes = { P.sattr_none with P.s_mode = 0o755 } })
+  with
+  | P.Rdirop (Ok (fh, _)) -> name_enter t ~dir name fh
+  | P.Rdirop (Error st) -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let rmdir t path =
+  charge t syscall_instructions;
+  let dir, name = walk_parent t path in
+  match rpc t (P.Rmdir { P.dir; name }) with
+  | P.Rstat P.NFS_OK -> (
+      match t.names with
+      | Some nc ->
+          (match Namecache.lookup nc ~dir name with
+          | Some fh ->
+              Namecache.invalidate_dir nc fh;
+              Hashtbl.remove t.name_stamps fh
+          | None -> ());
+          Namecache.remove nc ~dir name
+      | None -> ())
+  | P.Rstat st -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let rename t src dst =
+  charge t syscall_instructions;
+  let sdir, sname = walk_parent t src in
+  let ddir, dname = walk_parent t dst in
+  match
+    rpc t (P.Rename { P.from_dir = { P.dir = sdir; name = sname };
+                      to_dir = { P.dir = ddir; name = dname } })
+  with
+  | P.Rstat P.NFS_OK -> (
+      match t.names with
+      | Some nc ->
+          (match Namecache.lookup nc ~dir:sdir sname with
+          | Some fh -> name_enter t ~dir:ddir dname fh
+          | None -> ());
+          Namecache.remove nc ~dir:sdir sname
+      | None -> ())
+  | P.Rstat st -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let symlink t path ~target =
+  charge t syscall_instructions;
+  let dir, name = walk_parent t path in
+  match
+    rpc t
+      (P.Symlink
+         { P.sym_where = { P.dir; name }; sym_target = target; sym_attr = P.sattr_none })
+  with
+  | P.Rstat P.NFS_OK -> ()
+  | P.Rstat st -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let readlink t path =
+  charge t syscall_instructions;
+  let dir, name = walk_parent t path in
+  let fh = lookup_component t dir name in
+  readlink_rpc t fh
+
+let link t ~existing path =
+  charge t syscall_instructions;
+  let src = walk t existing in
+  let dir, name = walk_parent t path in
+  match rpc t (P.Link { P.link_from = src; link_to = { P.dir; name } }) with
+  | P.Rstat P.NFS_OK ->
+      (* The v2 link reply carries no attributes and nlink changed:
+         invalidate, as the BSD client zaps n_attrstamp here. *)
+      Attrcache.invalidate t.attrs src;
+      name_enter t ~dir name src
+  | P.Rstat st -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let readdir t path =
+  charge t syscall_instructions;
+  let dir = walk t path in
+  let rec page cookie acc =
+    if t.opts.use_readdirlook then begin
+      match rpc t (P.Readdirlook { P.rd_dir = dir; cookie; rd_count = 8192 }) with
+      | P.Rreaddirlook (Ok (ents, eof)) ->
+          (* Prefetch: each entry's handle and attributes feed the name
+             and attribute caches, saving later lookup/getattr RPCs. *)
+          List.iter
+            (fun le ->
+              name_enter t ~dir le.P.le_entry.P.entry_name le.P.le_file;
+              Attrcache.update t.attrs le.P.le_file le.P.le_attr)
+            ents;
+          let acc = List.rev_append (List.map (fun le -> le.P.le_entry.P.entry_name) ents) acc in
+          if eof then List.rev acc
+          else
+            let next =
+              match List.rev ents with
+              | last :: _ -> last.P.le_entry.P.entry_cookie
+              | [] -> cookie
+            in
+            page next acc
+      | P.Rreaddirlook (Error st) -> fail st
+      | _ -> fail P.NFSERR_IO
+    end
+    else begin
+      match rpc t (P.Readdir { P.rd_dir = dir; cookie; rd_count = 8192 }) with
+      | P.Rreaddir (Ok (entries, eof)) ->
+          let acc = List.rev_append (List.map (fun e -> e.P.entry_name) entries) acc in
+          if eof then List.rev acc
+          else
+            let next =
+              match List.rev entries with
+              | last :: _ -> last.P.entry_cookie
+              | [] -> cookie
+            in
+            page next acc
+      | P.Rreaddir (Error st) -> fail st
+      | _ -> fail P.NFSERR_IO
+    end
+  in
+  page 0 []
+
+let statfs t =
+  charge t syscall_instructions;
+  match rpc t (P.Statfs t.root) with
+  | P.Rstatfs (Ok s) -> s
+  | P.Rstatfs (Error st) -> fail st
+  | _ -> fail P.NFSERR_IO
+
+let flush_all t =
+  Hashtbl.iter (fun _ cf -> flush_file t cf ~wait:false) t.files;
+  Hashtbl.iter (fun _ cf -> wait_outstanding cf) t.files
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let current_transfer_size t = t.xfer_size
+
+let dirty_blocks t = Hashtbl.fold (fun _ cf acc -> acc + cf.dirty_count) t.files 0
+let cached_blocks t = t.total_blocks
+
+let name_cache_stats t =
+  match t.names with
+  | Some nc ->
+      let s = Namecache.stats nc in
+      Some (s.Namecache.hits, s.Namecache.misses)
+  | None -> None
+
+let attr_cache_stats t = (Attrcache.hits t.attrs, Attrcache.misses t.attrs)

@@ -1,0 +1,570 @@
+module Xdr = Renofs_xdr.Xdr
+
+let program = 100003
+let version = 2
+let port = 2049
+let max_data = 8192
+let fhandle_size = 32
+let max_name = 255
+let max_path = 1024
+
+type fhandle = int
+
+type stat =
+  | NFS_OK
+  | NFSERR_PERM
+  | NFSERR_NOENT
+  | NFSERR_IO
+  | NFSERR_ACCES
+  | NFSERR_EXIST
+  | NFSERR_NOTDIR
+  | NFSERR_ISDIR
+  | NFSERR_FBIG
+  | NFSERR_NOSPC
+  | NFSERR_NAMETOOLONG
+  | NFSERR_NOTEMPTY
+  | NFSERR_STALE
+
+let int_of_stat = function
+  | NFS_OK -> 0
+  | NFSERR_PERM -> 1
+  | NFSERR_NOENT -> 2
+  | NFSERR_IO -> 5
+  | NFSERR_ACCES -> 13
+  | NFSERR_EXIST -> 17
+  | NFSERR_NOTDIR -> 20
+  | NFSERR_ISDIR -> 21
+  | NFSERR_FBIG -> 27
+  | NFSERR_NOSPC -> 28
+  | NFSERR_NAMETOOLONG -> 63
+  | NFSERR_NOTEMPTY -> 66
+  | NFSERR_STALE -> 70
+
+let stat_of_int = function
+  | 0 -> NFS_OK
+  | 1 -> NFSERR_PERM
+  | 2 -> NFSERR_NOENT
+  | 5 -> NFSERR_IO
+  | 13 -> NFSERR_ACCES
+  | 17 -> NFSERR_EXIST
+  | 20 -> NFSERR_NOTDIR
+  | 21 -> NFSERR_ISDIR
+  | 27 -> NFSERR_FBIG
+  | 28 -> NFSERR_NOSPC
+  | 63 -> NFSERR_NAMETOOLONG
+  | 66 -> NFSERR_NOTEMPTY
+  | 70 -> NFSERR_STALE
+  | n -> raise (Xdr.Decode_error (Printf.sprintf "bad nfsstat %d" n))
+
+type ftype = NFNON | NFREG | NFDIR | NFBLK | NFCHR | NFLNK
+
+let int_of_ftype = function
+  | NFNON -> 0
+  | NFREG -> 1
+  | NFDIR -> 2
+  | NFBLK -> 3
+  | NFCHR -> 4
+  | NFLNK -> 5
+
+let ftype_of_int = function
+  | 0 -> NFNON
+  | 1 -> NFREG
+  | 2 -> NFDIR
+  | 3 -> NFBLK
+  | 4 -> NFCHR
+  | 5 -> NFLNK
+  | n -> raise (Xdr.Decode_error (Printf.sprintf "bad ftype %d" n))
+
+type time = { seconds : int; useconds : int }
+
+let time_of_float f =
+  let s = int_of_float f in
+  { seconds = s; useconds = int_of_float ((f -. float_of_int s) *. 1e6) }
+
+let float_of_time t = float_of_int t.seconds +. (float_of_int t.useconds /. 1e6)
+
+type fattr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  blocksize : int;
+  rdev : int;
+  blocks : int;
+  fsid : int;
+  fileid : int;
+  atime : time;
+  mtime : time;
+  ctime : time;
+}
+
+type sattr = {
+  s_mode : int;
+  s_uid : int;
+  s_gid : int;
+  s_size : int;
+  s_atime : time option;
+  s_mtime : time option;
+}
+
+let sattr_none =
+  { s_mode = -1; s_uid = -1; s_gid = -1; s_size = -1; s_atime = None; s_mtime = None }
+
+type diropargs = { dir : fhandle; name : string }
+type readargs = { read_file : fhandle; offset : int; count : int }
+type writeargs = { write_file : fhandle; write_offset : int; data : bytes }
+type createargs = { where : diropargs; attributes : sattr }
+type renameargs = { from_dir : diropargs; to_dir : diropargs }
+type linkargs = { link_from : fhandle; link_to : diropargs }
+type symlinkargs = { sym_where : diropargs; sym_target : string; sym_attr : sattr }
+type readdirargs = { rd_dir : fhandle; cookie : int; rd_count : int }
+type entry = { fileid : int; entry_name : string; entry_cookie : int }
+
+type statfsok = {
+  tsize : int;
+  bsize : int;
+  blocks_total : int;
+  blocks_free : int;
+  blocks_avail : int;
+}
+
+type lookent = { le_entry : entry; le_file : fhandle; le_attr : fattr }
+
+type lease_mode = Lease_read | Lease_write
+
+type leaseargs = {
+  lease_file : fhandle;
+  lease_mode : lease_mode;
+  lease_duration : int;
+}
+
+type leaseok = { granted_duration : int; lease_attr : fattr }
+
+type call =
+  | Null
+  | Getattr of fhandle
+  | Setattr of fhandle * sattr
+  | Lookup of diropargs
+  | Readlink of fhandle
+  | Read of readargs
+  | Write of writeargs
+  | Create of createargs
+  | Remove of diropargs
+  | Rename of renameargs
+  | Link of linkargs
+  | Symlink of symlinkargs
+  | Mkdir of createargs
+  | Rmdir of diropargs
+  | Readdir of readdirargs
+  | Statfs of fhandle
+  | Readdirlook of readdirargs
+  | Getlease of leaseargs
+
+type reply =
+  | Rnull
+  | Rattr of (fattr, stat) result
+  | Rdirop of (fhandle * fattr, stat) result
+  | Rreadlink of (string, stat) result
+  | Rread of (fattr * bytes, stat) result
+  | Rstat of stat
+  | Rreaddir of (entry list * bool, stat) result
+  | Rstatfs of (statfsok, stat) result
+  | Rreaddirlook of (lookent list * bool, stat) result
+  | Rlease of (leaseok option, stat) result
+
+let proc_of_call = function
+  | Null -> 0
+  | Getattr _ -> 1
+  | Setattr _ -> 2
+  | Lookup _ -> 4
+  | Readlink _ -> 5
+  | Read _ -> 6
+  | Write _ -> 8
+  | Create _ -> 9
+  | Remove _ -> 10
+  | Rename _ -> 11
+  | Link _ -> 12
+  | Symlink _ -> 13
+  | Mkdir _ -> 14
+  | Rmdir _ -> 15
+  | Readdir _ -> 16
+  | Statfs _ -> 17
+  | Readdirlook _ -> 18
+  | Getlease _ -> 19
+
+let proc_name = function
+  | 0 -> "null"
+  | 1 -> "getattr"
+  | 2 -> "setattr"
+  | 3 -> "root"
+  | 4 -> "lookup"
+  | 5 -> "readlink"
+  | 6 -> "read"
+  | 7 -> "writecache"
+  | 8 -> "write"
+  | 9 -> "create"
+  | 10 -> "remove"
+  | 11 -> "rename"
+  | 12 -> "link"
+  | 13 -> "symlink"
+  | 14 -> "mkdir"
+  | 15 -> "rmdir"
+  | 16 -> "readdir"
+  | 17 -> "statfs"
+  | 18 -> "readdirlook"
+  | 19 -> "getlease"
+  | n -> Printf.sprintf "proc%d" n
+
+let is_idempotent = function
+  | 0 | 1 | 4 | 5 | 6 | 16 | 17 | 18 | 19 -> true
+  | _ -> false
+
+let classify = function 6 | 8 | 16 | 18 -> `Big | _ -> `Small
+
+(* ------------------------------------------------------------------ *)
+(* XDR pieces                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let enc_fhandle enc fh =
+  let b = Bytes.make fhandle_size '\000' in
+  Bytes.set_int32_be b 0 (Int32.of_int fh);
+  Xdr.Enc.opaque_fixed enc b
+
+let dec_fhandle dec =
+  let b = Xdr.Dec.opaque_fixed dec fhandle_size in
+  Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFFFFFF
+
+let enc_time enc t =
+  Xdr.Enc.int enc t.seconds;
+  Xdr.Enc.int enc t.useconds
+
+let dec_time dec =
+  let seconds = Xdr.Dec.int dec in
+  let useconds = Xdr.Dec.int dec in
+  { seconds; useconds }
+
+let enc_fattr enc a =
+  Xdr.Enc.enum enc (int_of_ftype a.ftype);
+  Xdr.Enc.int enc a.mode;
+  Xdr.Enc.int enc a.nlink;
+  Xdr.Enc.int enc a.uid;
+  Xdr.Enc.int enc a.gid;
+  Xdr.Enc.int enc a.size;
+  Xdr.Enc.int enc a.blocksize;
+  Xdr.Enc.int enc a.rdev;
+  Xdr.Enc.int enc a.blocks;
+  Xdr.Enc.int enc a.fsid;
+  Xdr.Enc.int enc a.fileid;
+  enc_time enc a.atime;
+  enc_time enc a.mtime;
+  enc_time enc a.ctime
+
+let dec_fattr dec =
+  let ftype = ftype_of_int (Xdr.Dec.enum dec) in
+  let mode = Xdr.Dec.int dec in
+  let nlink = Xdr.Dec.int dec in
+  let uid = Xdr.Dec.int dec in
+  let gid = Xdr.Dec.int dec in
+  let size = Xdr.Dec.int dec in
+  let blocksize = Xdr.Dec.int dec in
+  let rdev = Xdr.Dec.int dec in
+  let blocks = Xdr.Dec.int dec in
+  let fsid = Xdr.Dec.int dec in
+  let fileid = Xdr.Dec.int dec in
+  let atime = dec_time dec in
+  let mtime = dec_time dec in
+  let ctime = dec_time dec in
+  { ftype; mode; nlink; uid; gid; size; blocksize; rdev; blocks; fsid; fileid;
+    atime; mtime; ctime }
+
+(* -1 on the wire means "do not set". *)
+let enc_u32_or_neg enc v =
+  if v < 0 then Xdr.Enc.u32 enc (-1l) else Xdr.Enc.int enc v
+
+let dec_u32_or_neg dec =
+  let v = Xdr.Dec.u32 dec in
+  if v = -1l then -1 else Int32.to_int v land 0xFFFFFFFF
+
+let enc_time_or_neg enc = function
+  | Some t -> enc_time enc t
+  | None ->
+      Xdr.Enc.u32 enc (-1l);
+      Xdr.Enc.u32 enc (-1l)
+
+let dec_time_or_neg dec =
+  let s = Xdr.Dec.u32 dec in
+  let u = Xdr.Dec.u32 dec in
+  if s = -1l then None
+  else
+    Some
+      {
+        seconds = Int32.to_int s land 0xFFFFFFFF;
+        useconds = Int32.to_int u land 0xFFFFFFFF;
+      }
+
+let enc_sattr enc s =
+  enc_u32_or_neg enc s.s_mode;
+  enc_u32_or_neg enc s.s_uid;
+  enc_u32_or_neg enc s.s_gid;
+  enc_u32_or_neg enc s.s_size;
+  enc_time_or_neg enc s.s_atime;
+  enc_time_or_neg enc s.s_mtime
+
+let dec_sattr dec =
+  let s_mode = dec_u32_or_neg dec in
+  let s_uid = dec_u32_or_neg dec in
+  let s_gid = dec_u32_or_neg dec in
+  let s_size = dec_u32_or_neg dec in
+  let s_atime = dec_time_or_neg dec in
+  let s_mtime = dec_time_or_neg dec in
+  { s_mode; s_uid; s_gid; s_size; s_atime; s_mtime }
+
+let enc_diropargs enc d =
+  enc_fhandle enc d.dir;
+  Xdr.Enc.string enc d.name
+
+let dec_diropargs dec =
+  let dir = dec_fhandle dec in
+  let name = Xdr.Dec.string dec ~max:max_name in
+  { dir; name }
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let encode_call ?ctr:_ enc call =
+  match call with
+  | Null -> ()
+  | Getattr fh | Readlink fh | Statfs fh -> enc_fhandle enc fh
+  | Setattr (fh, s) ->
+      enc_fhandle enc fh;
+      enc_sattr enc s
+  | Lookup d | Remove d | Rmdir d -> enc_diropargs enc d
+  | Read r ->
+      enc_fhandle enc r.read_file;
+      Xdr.Enc.int enc r.offset;
+      Xdr.Enc.int enc r.count;
+      Xdr.Enc.int enc 0 (* totalcount, unused *)
+  | Write w ->
+      enc_fhandle enc w.write_file;
+      Xdr.Enc.int enc 0 (* beginoffset, unused *);
+      Xdr.Enc.int enc w.write_offset;
+      Xdr.Enc.int enc 0 (* totalcount, unused *);
+      Xdr.Enc.opaque enc w.data
+  | Create c | Mkdir c ->
+      enc_diropargs enc c.where;
+      enc_sattr enc c.attributes
+  | Rename r ->
+      enc_diropargs enc r.from_dir;
+      enc_diropargs enc r.to_dir
+  | Link l ->
+      enc_fhandle enc l.link_from;
+      enc_diropargs enc l.link_to
+  | Symlink s ->
+      enc_diropargs enc s.sym_where;
+      Xdr.Enc.string enc s.sym_target;
+      enc_sattr enc s.sym_attr
+  | Readdir r | Readdirlook r ->
+      enc_fhandle enc r.rd_dir;
+      Xdr.Enc.int enc r.cookie;
+      Xdr.Enc.int enc r.rd_count
+  | Getlease l ->
+      enc_fhandle enc l.lease_file;
+      Xdr.Enc.enum enc (match l.lease_mode with Lease_read -> 0 | Lease_write -> 1);
+      Xdr.Enc.int enc l.lease_duration
+
+let decode_call ~proc dec =
+  match proc with
+  | 0 -> Null
+  | 1 -> Getattr (dec_fhandle dec)
+  | 2 ->
+      let fh = dec_fhandle dec in
+      Setattr (fh, dec_sattr dec)
+  | 4 -> Lookup (dec_diropargs dec)
+  | 5 -> Readlink (dec_fhandle dec)
+  | 6 ->
+      let read_file = dec_fhandle dec in
+      let offset = Xdr.Dec.int dec in
+      let count = Xdr.Dec.int dec in
+      let _total = Xdr.Dec.int dec in
+      if count > max_data then raise (Xdr.Decode_error "read count too large");
+      Read { read_file; offset; count }
+  | 8 ->
+      let write_file = dec_fhandle dec in
+      let _begin = Xdr.Dec.int dec in
+      let write_offset = Xdr.Dec.int dec in
+      let _total = Xdr.Dec.int dec in
+      let data = Xdr.Dec.opaque dec ~max:max_data in
+      Write { write_file; write_offset; data }
+  | 9 ->
+      let where = dec_diropargs dec in
+      Create { where; attributes = dec_sattr dec }
+  | 10 -> Remove (dec_diropargs dec)
+  | 11 ->
+      let from_dir = dec_diropargs dec in
+      Rename { from_dir; to_dir = dec_diropargs dec }
+  | 12 ->
+      let link_from = dec_fhandle dec in
+      Link { link_from; link_to = dec_diropargs dec }
+  | 13 ->
+      let sym_where = dec_diropargs dec in
+      let sym_target = Xdr.Dec.string dec ~max:max_path in
+      Symlink { sym_where; sym_target; sym_attr = dec_sattr dec }
+  | 14 ->
+      let where = dec_diropargs dec in
+      Mkdir { where; attributes = dec_sattr dec }
+  | 15 -> Rmdir (dec_diropargs dec)
+  | 16 | 18 ->
+      let rd_dir = dec_fhandle dec in
+      let cookie = Xdr.Dec.int dec in
+      let rd_count = Xdr.Dec.int dec in
+      let args = { rd_dir; cookie; rd_count } in
+      if proc = 16 then Readdir args else Readdirlook args
+  | 17 -> Statfs (dec_fhandle dec)
+  | 19 ->
+      let lease_file = dec_fhandle dec in
+      let lease_mode =
+        match Xdr.Dec.enum dec with
+        | 0 -> Lease_read
+        | 1 -> Lease_write
+        | n -> raise (Xdr.Decode_error (Printf.sprintf "bad lease mode %d" n))
+      in
+      let lease_duration = Xdr.Dec.int dec in
+      Getlease { lease_file; lease_mode; lease_duration }
+  | n -> raise (Xdr.Decode_error (Printf.sprintf "unknown NFS procedure %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let enc_status enc st = Xdr.Enc.enum enc (int_of_stat st)
+
+let enc_result enc r enc_ok =
+  match r with
+  | Ok v ->
+      enc_status enc NFS_OK;
+      enc_ok v
+  | Error st -> enc_status enc st
+
+let dec_result dec dec_ok =
+  match stat_of_int (Xdr.Dec.enum dec) with
+  | NFS_OK -> Ok (dec_ok ())
+  | st -> Error st
+
+let encode_reply ?ctr enc reply =
+  match reply with
+  | Rnull -> ()
+  | Rattr r -> enc_result enc r (fun a -> enc_fattr enc a)
+  | Rdirop r ->
+      enc_result enc r (fun (fh, a) ->
+          enc_fhandle enc fh;
+          enc_fattr enc a)
+  | Rreadlink r -> enc_result enc r (fun s -> Xdr.Enc.string enc s)
+  | Rread r ->
+      enc_result enc r (fun (a, data) ->
+          enc_fattr enc a;
+          (* The data copy out of the buffer cache into mbufs: counted. *)
+          ignore ctr;
+          Xdr.Enc.opaque enc data)
+  | Rstat st -> enc_status enc st
+  | Rreaddir r ->
+      enc_result enc r (fun (entries, eof) ->
+          List.iter
+            (fun e ->
+              Xdr.Enc.bool enc true;
+              Xdr.Enc.int enc e.fileid;
+              Xdr.Enc.string enc e.entry_name;
+              Xdr.Enc.int enc e.entry_cookie)
+            entries;
+          Xdr.Enc.bool enc false;
+          Xdr.Enc.bool enc eof)
+  | Rstatfs r ->
+      enc_result enc r (fun s ->
+          Xdr.Enc.int enc s.tsize;
+          Xdr.Enc.int enc s.bsize;
+          Xdr.Enc.int enc s.blocks_total;
+          Xdr.Enc.int enc s.blocks_free;
+          Xdr.Enc.int enc s.blocks_avail)
+  | Rreaddirlook r ->
+      enc_result enc r (fun (ents, eof) ->
+          List.iter
+            (fun le ->
+              Xdr.Enc.bool enc true;
+              Xdr.Enc.int enc le.le_entry.fileid;
+              Xdr.Enc.string enc le.le_entry.entry_name;
+              Xdr.Enc.int enc le.le_entry.entry_cookie;
+              enc_fhandle enc le.le_file;
+              enc_fattr enc le.le_attr)
+            ents;
+          Xdr.Enc.bool enc false;
+          Xdr.Enc.bool enc eof)
+  | Rlease r ->
+      enc_result enc r (fun granted ->
+          match granted with
+          | Some ok ->
+              Xdr.Enc.bool enc true;
+              Xdr.Enc.int enc ok.granted_duration;
+              enc_fattr enc ok.lease_attr
+          | None -> Xdr.Enc.bool enc false)
+
+let dec_entries dec dec_one =
+  let rec go acc =
+    if Xdr.Dec.bool dec then go (dec_one () :: acc) else List.rev acc
+  in
+  let entries = go [] in
+  let eof = Xdr.Dec.bool dec in
+  (entries, eof)
+
+let decode_reply ~proc dec =
+  match proc with
+  | 0 -> Rnull
+  | 1 | 2 | 8 -> Rattr (dec_result dec (fun () -> dec_fattr dec))
+  | 4 | 9 | 14 ->
+      Rdirop
+        (dec_result dec (fun () ->
+             let fh = dec_fhandle dec in
+             (fh, dec_fattr dec)))
+  | 5 -> Rreadlink (dec_result dec (fun () -> Xdr.Dec.string dec ~max:max_path))
+  | 6 ->
+      Rread
+        (dec_result dec (fun () ->
+             let a = dec_fattr dec in
+             (a, Xdr.Dec.opaque dec ~max:max_data)))
+  | 10 | 11 | 12 | 13 | 15 -> Rstat (stat_of_int (Xdr.Dec.enum dec))
+  | 16 ->
+      Rreaddir
+        (dec_result dec (fun () ->
+             dec_entries dec (fun () ->
+                 let fileid = Xdr.Dec.int dec in
+                 let entry_name = Xdr.Dec.string dec ~max:max_name in
+                 let entry_cookie = Xdr.Dec.int dec in
+                 { fileid; entry_name; entry_cookie })))
+  | 17 ->
+      Rstatfs
+        (dec_result dec (fun () ->
+             let tsize = Xdr.Dec.int dec in
+             let bsize = Xdr.Dec.int dec in
+             let blocks_total = Xdr.Dec.int dec in
+             let blocks_free = Xdr.Dec.int dec in
+             let blocks_avail = Xdr.Dec.int dec in
+             { tsize; bsize; blocks_total; blocks_free; blocks_avail }))
+  | 18 ->
+      Rreaddirlook
+        (dec_result dec (fun () ->
+             dec_entries dec (fun () ->
+                 let fileid = Xdr.Dec.int dec in
+                 let entry_name = Xdr.Dec.string dec ~max:max_name in
+                 let entry_cookie = Xdr.Dec.int dec in
+                 let le_file = dec_fhandle dec in
+                 let le_attr = dec_fattr dec in
+                 { le_entry = { fileid; entry_name; entry_cookie }; le_file; le_attr })))
+  | 19 ->
+      Rlease
+        (dec_result dec (fun () ->
+             if Xdr.Dec.bool dec then
+               let granted_duration = Xdr.Dec.int dec in
+               Some { granted_duration; lease_attr = dec_fattr dec }
+             else None))
+  | n -> raise (Xdr.Decode_error (Printf.sprintf "unknown NFS procedure %d" n))

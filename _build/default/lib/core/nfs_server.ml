@@ -1,0 +1,610 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Stats = Renofs_engine.Stats
+module Mbuf = Renofs_mbuf.Mbuf
+module Xdr = Renofs_xdr.Xdr
+module Rpc_msg = Renofs_rpc.Rpc_msg
+module Record_mark = Renofs_rpc.Record_mark
+module Node = Renofs_net.Node
+module Nic = Renofs_net.Nic
+module Udp = Renofs_transport.Udp
+module Tcp = Renofs_transport.Tcp
+module Fs = Renofs_vfs.Fs
+module Disk = Renofs_vfs.Disk
+module P = Nfs_proto
+
+type profile = {
+  fs_config : Fs.config;
+  nfsd_count : int;
+  duplicate_cache : bool;
+  decode_instructions : float;
+  encode_instructions : float;
+  xdr_layer_instructions : float;
+}
+
+let reno_profile =
+  {
+    fs_config = Fs.reno_config;
+    nfsd_count = 4;
+    duplicate_cache = true;
+    decode_instructions = 320.0;
+    encode_instructions = 280.0;
+    xdr_layer_instructions = 0.0;
+  }
+
+let reference_port_profile =
+  {
+    fs_config = Fs.reference_port_config;
+    nfsd_count = 4;
+    duplicate_cache = false;
+    decode_instructions = 320.0;
+    encode_instructions = 280.0;
+    (* The user-mode RPC/XDR runtime ported into the kernel: extra
+       buffer management and dispatch layers on every RPC. *)
+    xdr_layer_instructions = 900.0;
+  }
+
+(* A recent-request cache entry [Juszczak89]: requests still executing
+   must also be recognised, or a retransmission arriving mid-execution
+   would re-run a non-idempotent operation. *)
+type dup_entry = In_progress | Done of { at : float; reply : Mbuf.t }
+
+(* One client's hold on a file lease. *)
+type lease_holder = {
+  lh_client : int * int; (* (host, port) identity *)
+  lh_mode : P.lease_mode;
+  mutable lh_expiry : float;
+  mutable lh_contested : bool;
+      (* someone is waiting for a conflicting lease: renewals are
+         refused so the holder flushes and the wait is bounded *)
+}
+
+type t = {
+  node : Node.t;
+  profile : profile;
+  fs : Fs.t;
+  udp : Udp.stack;
+  tcp : Tcp.stack option;
+  counters : Stats.Counter.t;
+  service_times : (string, Stats.Welford.t) Hashtbl.t;
+  mutable served : int;
+  mutable dups : int;
+  dup_table : (int32 * int * int, dup_entry) Hashtbl.t;
+  dup_order : (int32 * int * int) Queue.t;
+  leases : (int, lease_holder list ref) Hashtbl.t; (* per fhandle *)
+  mutable up : bool;
+  mutable no_leases_before : float; (* reboot grace period *)
+}
+
+let dup_window = 6.0
+let dup_capacity = 128
+
+let lease_duration = 6.0
+(* Short, as NQNFS leases are: the bound on both staleness after a
+   partition and the wait for a contested grant. *)
+
+let create node ?(profile = reno_profile) ~udp ?tcp () =
+  let sim = Node.sim node in
+  let disk = Disk.create sim () in
+  let fs = Fs.create sim (Node.cpu node) disk profile.fs_config in
+  {
+    node;
+    profile;
+    fs;
+    udp;
+    tcp;
+    counters = Stats.Counter.create ();
+    service_times = Hashtbl.create 20;
+    served = 0;
+    dups = 0;
+    dup_table = Hashtbl.create dup_capacity;
+    dup_order = Queue.create ();
+    leases = Hashtbl.create 64;
+    up = true;
+    no_leases_before = 0.0;
+  }
+
+let fs t = t.fs
+let is_up t = t.up
+let udp_stack t = t.udp
+let node t = t.node
+let root_fhandle t = Fs.ino (Fs.root t.fs)
+let counters t = t.counters
+
+let service_times t =
+  Hashtbl.fold
+    (fun name w acc -> (name, Stats.Welford.mean w, Stats.Welford.count w) :: acc)
+    t.service_times []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let note_service t name seconds =
+  let w =
+    match Hashtbl.find_opt t.service_times name with
+    | Some w -> w
+    | None ->
+        let w = Stats.Welford.create () in
+        Hashtbl.replace t.service_times name w;
+        w
+  in
+  Stats.Welford.add w seconds
+
+let rpcs_served t = t.served
+let duplicates_dropped t = t.dups
+
+let charge t instructions =
+  Cpu.consume (Node.cpu t.node)
+    (Cpu.seconds_of_instructions (Node.cpu t.node) instructions)
+
+let charge_copy t bytes =
+  let bw = (Node.nic t.node).Nic.copy_bandwidth in
+  Cpu.consume (Node.cpu t.node) (float_of_int bytes /. bw)
+
+let stat_of_fs_err : Fs.err -> P.stat = function
+  | Fs.Enoent -> P.NFSERR_NOENT
+  | Fs.Eexist -> P.NFSERR_EXIST
+  | Fs.Enotdir -> P.NFSERR_NOTDIR
+  | Fs.Eisdir -> P.NFSERR_ISDIR
+  | Fs.Enotempty -> P.NFSERR_NOTEMPTY
+  | Fs.Estale -> P.NFSERR_STALE
+  | Fs.Einval -> P.NFSERR_IO
+  | Fs.Efbig -> P.NFSERR_FBIG
+
+let fattr_of_attrs (a : Fs.attrs) : P.fattr =
+  {
+    P.ftype =
+      (match a.Fs.kind with Fs.Reg -> P.NFREG | Fs.Dir -> P.NFDIR | Fs.Lnk -> P.NFLNK);
+    mode = a.Fs.mode;
+    nlink = a.Fs.nlink;
+    uid = a.Fs.uid;
+    gid = a.Fs.gid;
+    size = a.Fs.size;
+    blocksize = 8192;
+    rdev = 0;
+    blocks = (a.Fs.size + 511) / 512;
+    fsid = 1;
+    fileid = a.Fs.ino;
+    atime = P.time_of_float a.Fs.atime;
+    mtime = P.time_of_float a.Fs.mtime;
+    ctime = P.time_of_float a.Fs.ctime;
+  }
+
+let sattr_to_fs (s : P.sattr) =
+  let opt v = if v < 0 then None else Some v in
+  (opt s.P.s_mode, opt s.P.s_uid, opt s.P.s_gid, opt s.P.s_size,
+   Option.map P.float_of_time s.P.s_mtime)
+
+(* Execute one NFS call against the filesystem.  Every [Fs] operation
+   charges its own CPU and disk costs. *)
+(* --- lease machinery ------------------------------------------------ *)
+
+let lease_holders t fh =
+  match Hashtbl.find_opt t.leases fh with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.leases fh r;
+      r
+
+let purge_expired t holders =
+  let now = Sim.now (Node.sim t.node) in
+  holders := List.filter (fun h -> h.lh_expiry > now) !holders
+
+let conflicts_with ~client ~mode h =
+  h.lh_client <> client && (mode = P.Lease_write || h.lh_mode = P.Lease_write)
+
+(* Grant (or renew) a lease, waiting out conflicting holders.  A
+   contested holder is refused renewal, so the wait is bounded by one
+   lease duration.  Runs in the serving nfsd's process. *)
+let rec obtain_lease t ~client ~mode fh =
+  let holders = lease_holders t fh in
+  purge_expired t holders;
+  let mine = List.find_opt (fun h -> h.lh_client = client) !holders in
+  (match mine with
+  | Some h when h.lh_contested ->
+      (* Refuse renewal: the holder must flush and vacate. *)
+      holders := List.filter (fun x -> x != h) !holders;
+      `Vacate
+  | _ -> (
+      let others = List.filter (fun h -> conflicts_with ~client ~mode h) !holders in
+      match others with
+      | [] ->
+          let now = Sim.now (Node.sim t.node) in
+          let expiry = now +. lease_duration in
+          (match mine with
+          | Some h ->
+              h.lh_expiry <- expiry;
+              (* An upgrade replaces the mode. *)
+              if mode = P.Lease_write && h.lh_mode = P.Lease_read then
+                holders :=
+                  { h with lh_mode = P.Lease_write }
+                  :: List.filter (fun x -> x != h) !holders
+          | None ->
+              holders :=
+                { lh_client = client; lh_mode = mode; lh_expiry = expiry;
+                  lh_contested = false }
+                :: !holders);
+          `Granted
+      | _ ->
+          List.iter (fun h -> h.lh_contested <- true) others;
+          let earliest =
+            List.fold_left (fun acc h -> Float.min acc h.lh_expiry) infinity others
+          in
+          Proc.sleep (Node.sim t.node) (Float.max 0.01 (earliest -. Sim.now (Node.sim t.node)) +. 0.001);
+          obtain_lease t ~client ~mode fh))
+  [@@warning "-57"]
+
+exception Access_denied
+
+(* Classic Unix permission bits against the AUTH_UNIX credential; uid 0
+   bypasses, as the kernel's VOP_ACCESS does. *)
+let access_ok (a : Fs.attrs) ~uid ~gid ~want =
+  uid = 0
+  ||
+  let bits =
+    if uid = a.Fs.uid then (a.Fs.mode lsr 6) land 7
+    else if gid = a.Fs.gid then (a.Fs.mode lsr 3) land 7
+    else a.Fs.mode land 7
+  in
+  bits land want = want
+
+let r_ok = 4
+let w_ok = 2
+let x_ok = 1
+
+let execute t ?(client = (0, 0)) ?(cred = Rpc_msg.Auth_null) (call : P.call) :
+    P.reply =
+  let uid, gid =
+    match cred with
+    | Rpc_msg.Auth_unix { uid; gid; _ } -> (uid, gid)
+    | Rpc_msg.Auth_null -> (65534, 65534) (* nobody *)
+  in
+  let vn fh = Fs.vnode_by_ino t.fs fh in
+  let attr v = fattr_of_attrs (Fs.getattr t.fs v) in
+  (* Raises through the wrap_* handlers below. *)
+  let check v ~want =
+    if not (access_ok (Fs.getattr t.fs v) ~uid ~gid ~want) then raise Access_denied
+  in
+  let wrap_attr f =
+    try P.Rattr (Ok (f ())) with
+    | Fs.Err e -> P.Rattr (Error (stat_of_fs_err e))
+    | Access_denied -> P.Rattr (Error P.NFSERR_ACCES)
+  in
+  let wrap_dirop f =
+    try P.Rdirop (Ok (f ())) with
+    | Fs.Err e -> P.Rdirop (Error (stat_of_fs_err e))
+    | Access_denied -> P.Rdirop (Error P.NFSERR_ACCES)
+  in
+  let wrap_stat f =
+    try
+      f ();
+      P.Rstat P.NFS_OK
+    with
+    | Fs.Err e -> P.Rstat (stat_of_fs_err e)
+    | Access_denied -> P.Rstat P.NFSERR_ACCES
+  in
+  match call with
+  | P.Null -> P.Rnull
+  | P.Getattr fh -> wrap_attr (fun () -> attr (vn fh))
+  | P.Setattr (fh, s) ->
+      wrap_attr (fun () ->
+          let v = vn fh in
+          (* Only the owner (or root) may change attributes. *)
+          let a = Fs.getattr t.fs v in
+          if uid <> 0 && uid <> a.Fs.uid then raise Access_denied;
+          let mode, s_uid, s_gid, size, mtime = sattr_to_fs s in
+          fattr_of_attrs
+            (Fs.setattr t.fs v ?mode ?uid:s_uid ?gid:s_gid ?size ?mtime ()))
+  | P.Lookup { P.dir; name } ->
+      wrap_dirop (fun () ->
+          let d = vn dir in
+          check d ~want:x_ok;
+          let v = Fs.lookup t.fs d name in
+          (Fs.ino v, attr v))
+  | P.Readlink fh -> (
+      try P.Rreadlink (Ok (Fs.readlink t.fs (vn fh)))
+      with Fs.Err e -> P.Rreadlink (Error (stat_of_fs_err e)))
+  | P.Read { P.read_file; offset; count } -> (
+      try
+        let v = vn read_file in
+        check v ~want:r_ok;
+        let data = Fs.read t.fs v ~off:offset ~len:count in
+        (* Buffer cache to mbuf copy: the residual bottleneck of
+           Section 3. *)
+        charge_copy t (Bytes.length data);
+        P.Rread (Ok (attr v, data))
+      with
+      | Fs.Err e -> P.Rread (Error (stat_of_fs_err e))
+      | Access_denied -> P.Rread (Error P.NFSERR_ACCES))
+  | P.Write { P.write_file; write_offset; data } ->
+      wrap_attr (fun () ->
+          let v = vn write_file in
+          check v ~want:w_ok;
+          (* mbuf to buffer cache copy before the synchronous write. *)
+          charge_copy t (Bytes.length data);
+          Fs.write t.fs v ~off:write_offset data;
+          attr v)
+  | P.Create { P.where = { P.dir; name }; attributes } ->
+      wrap_dirop (fun () ->
+          let mode, _, _, size, _ = sattr_to_fs attributes in
+          let parent = vn dir in
+          check parent ~want:w_ok;
+          let v =
+            try
+              Fs.create_file t.fs ~dir:parent name
+                ~mode:(Option.value mode ~default:0o644) ~uid ~gid ()
+            with Fs.Err Fs.Eexist ->
+              (* NFS create of an existing file truncates per [size]. *)
+              Fs.lookup t.fs parent name
+          in
+          (match size with Some s -> ignore (Fs.setattr t.fs v ~size:s ()) | None -> ());
+          (Fs.ino v, attr v))
+  | P.Remove { P.dir; name } ->
+      wrap_stat (fun () ->
+          let d = vn dir in
+          check d ~want:w_ok;
+          Fs.remove t.fs ~dir:d name)
+  | P.Rename { P.from_dir; to_dir } ->
+      wrap_stat (fun () ->
+          let src_dir = vn from_dir.P.dir and dst_dir = vn to_dir.P.dir in
+          check src_dir ~want:w_ok;
+          check dst_dir ~want:w_ok;
+          Fs.rename t.fs ~src_dir from_dir.P.name ~dst_dir to_dir.P.name)
+  | P.Link { P.link_from; link_to } ->
+      wrap_stat (fun () ->
+          let d = vn link_to.P.dir in
+          check d ~want:w_ok;
+          Fs.link t.fs ~src:(vn link_from) ~dir:d link_to.P.name)
+  | P.Symlink { P.sym_where = { P.dir; name }; sym_target; _ } ->
+      wrap_stat (fun () ->
+          let d = vn dir in
+          check d ~want:w_ok;
+          Fs.symlink t.fs ~dir:d name ~target:sym_target ~uid ~gid ())
+  | P.Mkdir { P.where = { P.dir; name }; attributes } ->
+      wrap_dirop (fun () ->
+          let mode, _, _, _, _ = sattr_to_fs attributes in
+          let parent = vn dir in
+          check parent ~want:w_ok;
+          let v =
+            Fs.mkdir t.fs ~dir:parent name ~mode:(Option.value mode ~default:0o755)
+              ~uid ~gid ()
+          in
+          (Fs.ino v, attr v))
+  | P.Rmdir { P.dir; name } ->
+      wrap_stat (fun () ->
+          let d = vn dir in
+          check d ~want:w_ok;
+          Fs.rmdir t.fs ~dir:d name)
+  | P.Readdir { P.rd_dir; cookie; rd_count } -> (
+      try
+        let v = vn rd_dir in
+        check v ~want:r_ok;
+        (* Entries fit [rd_count] reply bytes: ~16 bytes of framing plus
+           the name, per entry. *)
+        let approx_entries = max 1 (rd_count / 24) in
+        let entries, eof = Fs.readdir t.fs v ~cookie ~count:approx_entries in
+        let entries =
+          List.mapi
+            (fun i (name, ino_) ->
+              { P.fileid = ino_; entry_name = name; entry_cookie = cookie + i + 1 })
+            entries
+        in
+        P.Rreaddir (Ok (entries, eof))
+      with
+      | Fs.Err e -> P.Rreaddir (Error (stat_of_fs_err e))
+      | Access_denied -> P.Rreaddir (Error P.NFSERR_ACCES))
+  | P.Statfs fh -> (
+      try
+        ignore (vn fh);
+        let st = Fs.statfs t.fs in
+        P.Rstatfs
+          (Ok
+             {
+               P.tsize = P.max_data;
+               bsize = st.Fs.block_size;
+               blocks_total = st.Fs.total_blocks;
+               blocks_free = st.Fs.free_blocks;
+               blocks_avail = st.Fs.free_blocks;
+             })
+      with Fs.Err e -> P.Rstatfs (Error (stat_of_fs_err e)))
+  | P.Getlease { P.lease_file; lease_mode; lease_duration = want } -> (
+      try
+        let v = vn lease_file in
+        (* Grace period after a reboot: the lease table died with the
+           kernel, so leases issued before the crash may still live in
+           client memories.  Refuse grants (a vacate) until they must
+           all have expired; the refusal also makes lapsed holders
+           flush their delayed writes promptly. *)
+        if Sim.now (Node.sim t.node) < t.no_leases_before then P.Rlease (Ok None)
+        else
+          match obtain_lease t ~client ~mode:lease_mode lease_file with
+          | `Granted ->
+              let dur = min (max 1 want) (int_of_float lease_duration) in
+              P.Rlease (Ok (Some { P.granted_duration = dur; lease_attr = attr v }))
+          | `Vacate -> P.Rlease (Ok None)
+      with Fs.Err e -> P.Rlease (Error (stat_of_fs_err e)))
+  | P.Readdirlook { P.rd_dir; cookie; rd_count } -> (
+      try
+        let v = vn rd_dir in
+        let approx_entries = max 1 (rd_count / 96) in
+        let entries, eof = Fs.readdir t.fs v ~cookie ~count:approx_entries in
+        let ents =
+          List.mapi
+            (fun i (name, ino_) ->
+              let target = Fs.vnode_by_ino t.fs ino_ in
+              {
+                P.le_entry =
+                  { P.fileid = ino_; entry_name = name; entry_cookie = cookie + i + 1 };
+                le_file = ino_;
+                le_attr = fattr_of_attrs (Fs.getattr t.fs target);
+              })
+            entries
+        in
+        P.Rreaddirlook (Ok (ents, eof))
+      with Fs.Err e -> P.Rreaddirlook (Error (stat_of_fs_err e)))
+
+let dup_key (hdr : Rpc_msg.call_header) ~src ~src_port =
+  (hdr.Rpc_msg.xid, src, src_port)
+
+(* [`Execute]: new request, marked in-progress.  [`Drop]: a duplicate of
+   a request still executing.  [`Replay r]: a duplicate of a completed
+   request whose cached reply should be resent. *)
+let dup_check t key =
+  match Hashtbl.find_opt t.dup_table key with
+  | Some In_progress -> `Drop
+  | Some (Done e) when Sim.now (Node.sim t.node) -. e.at <= dup_window ->
+      `Replay e.reply
+  | Some (Done _) | None ->
+      if not (Hashtbl.mem t.dup_table key) then begin
+        while Queue.length t.dup_order >= dup_capacity do
+          match Queue.take_opt t.dup_order with
+          | Some victim -> Hashtbl.remove t.dup_table victim
+          | None -> ()
+        done;
+        Queue.add key t.dup_order
+      end;
+      Hashtbl.replace t.dup_table key In_progress;
+      `Execute
+
+let dup_store t key reply =
+  if Hashtbl.mem t.dup_table key then
+    Hashtbl.replace t.dup_table key
+      (Done
+         {
+           at = Sim.now (Node.sim t.node);
+           reply = Mbuf.sub_copy reply ~pos:0 ~len:(Mbuf.length reply);
+         })
+
+(* Handle one RPC message; returns the reply chain, or [None] for
+   undecodable garbage (dropped, as a datagram server does). *)
+let handle_message t chain ~src ~src_port =
+  if not t.up then None
+  else begin
+  charge t (t.profile.decode_instructions +. t.profile.xdr_layer_instructions);
+  match Rpc_msg.decode_call chain with
+  | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) -> None
+  | hdr, dec -> (
+      let key = dup_key hdr ~src ~src_port in
+      let verdict =
+        if t.profile.duplicate_cache && not (P.is_idempotent hdr.Rpc_msg.proc) then
+          dup_check t key
+        else `Execute_untracked
+      in
+      match verdict with
+      | `Drop ->
+          t.dups <- t.dups + 1;
+          None
+      | `Replay reply ->
+          t.dups <- t.dups + 1;
+          Some (Mbuf.sub_copy reply ~pos:0 ~len:(Mbuf.length reply))
+      | `Execute | `Execute_untracked ->
+          let reply_body =
+            match P.decode_call ~proc:hdr.Rpc_msg.proc dec with
+            | exception Xdr.Decode_error _ -> None
+            | call ->
+                Stats.Counter.incr t.counters (P.proc_name hdr.Rpc_msg.proc);
+                t.served <- t.served + 1;
+                let t0 = Sim.now (Node.sim t.node) in
+                let reply = execute t ~client:(src, src_port) ~cred:hdr.Rpc_msg.cred call in
+                note_service t (P.proc_name hdr.Rpc_msg.proc)
+                  (Sim.now (Node.sim t.node) -. t0);
+                Some reply
+          in
+          charge t (t.profile.encode_instructions +. t.profile.xdr_layer_instructions);
+          let ctr = Node.copy_counters t.node in
+          let enc =
+            match reply_body with
+            | None -> Rpc_msg.encode_reply ~ctr ~xid:hdr.Rpc_msg.xid
+                        (Rpc_msg.Accepted Rpc_msg.Garbage_args)
+            | Some body ->
+                let enc =
+                  Rpc_msg.encode_reply ~ctr ~xid:hdr.Rpc_msg.xid
+                    (Rpc_msg.Accepted Rpc_msg.Success)
+                in
+                P.encode_reply ~ctr enc body;
+                enc
+          in
+          let reply = Xdr.Enc.chain enc in
+          if t.profile.duplicate_cache && not (P.is_idempotent hdr.Rpc_msg.proc)
+          then
+            if reply_body <> None then dup_store t key reply
+            else Hashtbl.remove t.dup_table key;
+          Some reply)
+  end
+
+let crash_and_reboot t ~downtime =
+  t.up <- false;
+  (* Volatile state dies with the machine. *)
+  Hashtbl.reset t.dup_table;
+  Queue.clear t.dup_order;
+  Hashtbl.reset t.leases;
+  (match Fs.namecache t.fs with Some nc -> Renofs_vfs.Namecache.purge nc | None -> ());
+  (* A rebooting host's TCP resets every connection. *)
+  (match t.tcp with Some stack -> Tcp.reset_all stack | None -> ());
+  Proc.sleep (Node.sim t.node) downtime;
+  (* Grace period: 1.5 lease terms, covering a pre-crash lease plus the
+     holder's write-back slack. *)
+  t.no_leases_before <- Sim.now (Node.sim t.node) +. (1.5 *. lease_duration);
+  t.up <- true
+
+let start_udp t =
+  let sock = Udp.bind t.udp ~port:P.port in
+  for _ = 1 to t.profile.nfsd_count do
+    Proc.spawn (Node.sim t.node) (fun () ->
+        let rec serve () =
+          let dg = Udp.recv sock in
+          (match
+             handle_message t dg.Udp.payload ~src:dg.Udp.src ~src_port:dg.Udp.src_port
+           with
+          | Some reply -> Udp.sendto sock ~dst:dg.Udp.src ~dst_port:dg.Udp.src_port reply
+          | None -> ());
+          serve ()
+        in
+        serve ())
+  done
+
+let start_tcp t stack =
+  (* Each connection gets a reader that reassembles records; requests are
+     served by up to [nfsd_count] concurrent workers per connection. *)
+  Tcp.listen stack ~port:P.port (fun conn ->
+      let sim = Node.sim t.node in
+      let slots = Proc.Semaphore.create sim t.profile.nfsd_count in
+      let reader = Record_mark.Reader.create () in
+      let rec pump () =
+        match Tcp.recv conn ~max:65536 with
+        | chunk ->
+            Record_mark.Reader.push reader chunk;
+            let rec drain () =
+              match Record_mark.Reader.pop reader with
+              | Some record ->
+                  Proc.spawn sim (fun () ->
+                      Proc.Semaphore.acquire slots;
+                      if not t.up then
+                        (* A down host's TCP answers with a reset. *)
+                        Tcp.abort conn
+                      else begin
+                        (* Duplicate-cache identity must be per
+                           connection: xids from different clients
+                           collide. *)
+                        match
+                          handle_message t record ~src:(Tcp.peer conn)
+                            ~src_port:(Tcp.peer_port conn)
+                        with
+                        | Some reply -> (
+                            try Tcp.send conn (Record_mark.frame reply)
+                            with Tcp.Connection_closed -> ())
+                        | None -> ()
+                      end;
+                      Proc.Semaphore.release slots);
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            pump ()
+        | exception Tcp.Connection_closed -> ()
+      in
+      pump ())
+
+let start t =
+  start_udp t;
+  match t.tcp with Some stack -> start_tcp t stack | None -> ()

@@ -1,0 +1,72 @@
+(** The NFS server: a pool of nfsd processes serving NFSv2 RPCs from a
+    {!Renofs_vfs.Fs} backing store, over UDP and TCP simultaneously.
+
+    Two cost profiles mirror the paper's comparison: the Reno profile
+    decodes and builds RPCs directly in mbufs (cheap, [nfsm_build] /
+    [nfsm_disect]) with vnode-chained buffer search and a server name
+    cache; the reference-port profile pays an extra per-RPC toll for the
+    user-level RPC/XDR library that was "ported into the kernel" (paper,
+    Section 1), searches the buffer cache globally, and has no name
+    cache.  A Juszczak-style duplicate request cache protects
+    non-idempotent procedures from retransmitted requests. *)
+
+type profile = {
+  fs_config : Renofs_vfs.Fs.config;
+  nfsd_count : int;
+  duplicate_cache : bool;
+  decode_instructions : float;  (** per-RPC request decode *)
+  encode_instructions : float;  (** per-RPC reply build *)
+  xdr_layer_instructions : float;
+      (** extra per-RPC cost of the layered RPC/XDR library (0 for Reno) *)
+}
+
+val reno_profile : profile
+val reference_port_profile : profile
+(** The Ultrix-2.2-shaped server used in Graphs 8-9 and Tables 2-4. *)
+
+type t
+
+val create :
+  Renofs_net.Node.t ->
+  ?profile:profile ->
+  udp:Renofs_transport.Udp.stack ->
+  ?tcp:Renofs_transport.Tcp.stack ->
+  unit ->
+  t
+(** Build the filesystem and bind port 2049 on the given stacks; call
+    {!start} to begin serving. *)
+
+val start : t -> unit
+
+val fs : t -> Renofs_vfs.Fs.t
+(** Direct access to the backing store, e.g. for preloading file trees. *)
+
+val udp_stack : t -> Renofs_transport.Udp.stack
+(** The stack the server answers on; {!Mountd.start} binds its port
+    here. *)
+
+val root_fhandle : t -> Nfs_proto.fhandle
+val node : t -> Renofs_net.Node.t
+
+val counters : t -> Renofs_engine.Stats.Counter.t
+(** RPCs served, keyed by procedure name. *)
+
+val service_times : t -> (string * float * int) list
+(** nfsstat-style view: (procedure, mean service seconds, count), the
+    in-server execution time excluding network and queueing. *)
+
+val rpcs_served : t -> int
+val duplicates_dropped : t -> int
+
+val crash_and_reboot : t -> downtime:float -> unit
+(** The statelessness demonstration of Section 1: kill the server for
+    [downtime] seconds and bring it back with every volatile structure
+    gone — buffer cache, name cache, duplicate-request cache and lease
+    table — while the synchronously-written filesystem survives.  While
+    down, requests are silently dropped (clients' RPC retransmission is
+    the whole recovery story).  After reboot the server observes an
+    NQNFS-style grace period of one lease duration before granting new
+    leases, so leases issued before the crash cannot be contradicted.
+    Call from a process. *)
+
+val is_up : t -> bool

@@ -1,0 +1,1 @@
+lib/engine/cpu.ml: Float Proc Queue Sim

@@ -1,0 +1,1 @@
+lib/engine/iostat.ml: Cpu Float List Proc Sim Stats

@@ -1,0 +1,1 @@
+lib/engine/iostat.mli: Cpu Sim

@@ -1,0 +1,76 @@
+type priority = Interrupt | Normal
+
+type job = { work : float; finished : (unit -> unit) option }
+
+type t = {
+  sim : Sim.t;
+  mips : float;
+  intr_q : job Queue.t;
+  norm_q : job Queue.t;
+  mutable serving : bool;
+  mutable completed : float; (* busy seconds fully served *)
+  mutable cur_start : float;
+  mutable cur_len : float;
+}
+
+let create sim ~mips =
+  if mips <= 0.0 then invalid_arg "Cpu.create: mips must be positive";
+  {
+    sim;
+    mips;
+    intr_q = Queue.create ();
+    norm_q = Queue.create ();
+    serving = false;
+    completed = 0.0;
+    cur_start = 0.0;
+    cur_len = 0.0;
+  }
+
+let mips t = t.mips
+let seconds_of_instructions t instructions = instructions /. (t.mips *. 1e6)
+
+let rec serve t =
+  let job =
+    match Queue.take_opt t.intr_q with
+    | Some j -> Some j
+    | None -> Queue.take_opt t.norm_q
+  in
+  match job with
+  | None -> t.serving <- false
+  | Some job ->
+      t.serving <- true;
+      t.cur_start <- Sim.now t.sim;
+      t.cur_len <- job.work;
+      Sim.after t.sim job.work (fun () ->
+          t.completed <- t.completed +. job.work;
+          t.cur_len <- 0.0;
+          (match job.finished with Some f -> f () | None -> ());
+          serve t)
+
+let enqueue t priority job =
+  let q = match priority with Interrupt -> t.intr_q | Normal -> t.norm_q in
+  Queue.add job q;
+  if not t.serving then serve t
+
+let consume ?(priority = Normal) t seconds =
+  if seconds < 0.0 then invalid_arg "Cpu.consume: negative work";
+  if seconds = 0.0 then ()
+  else
+    Proc.suspend (fun resume ->
+        enqueue t priority { work = seconds; finished = Some resume })
+
+let charge ?(priority = Normal) t seconds =
+  if seconds < 0.0 then invalid_arg "Cpu.charge: negative work";
+  if seconds > 0.0 then enqueue t priority { work = seconds; finished = None }
+
+let busy_time t =
+  let in_service =
+    if t.cur_len > 0.0 then
+      Float.min t.cur_len (Sim.now t.sim -. t.cur_start)
+    else 0.0
+  in
+  t.completed +. in_service
+
+let utilization t ~since_time ~since_busy =
+  let elapsed = Sim.now t.sim -. since_time in
+  if elapsed <= 0.0 then 0.0 else (busy_time t -. since_busy) /. elapsed

@@ -1,0 +1,21 @@
+(** Periodic CPU-utilization sampling, in the spirit of the paper's
+    appendix: iostat(1) on the MicroVAXII misread utilization because
+    clock interrupts were masked during peripheral interrupts, so the
+    kernels were patched with an idle-loop counter.  Our {!Cpu} keeps
+    exact busy time, and this sampler turns it into the utilization
+    series an experimenter would watch. *)
+
+type t
+
+val start : Sim.t -> Cpu.t -> ?interval:float -> unit -> t
+(** Sample every [interval] seconds (default 1.0) until {!stop}. *)
+
+val stop : t -> unit
+
+val samples : t -> (float * float) list
+(** (time, utilization over the preceding interval) pairs. *)
+
+val mean_utilization : t -> float
+(** Busy fraction over the whole sampled span; 0 if nothing sampled. *)
+
+val peak_utilization : t -> float

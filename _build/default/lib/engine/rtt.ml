@@ -1,0 +1,33 @@
+type t = {
+  k : float;
+  min_rto : float;
+  max_rto : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable inited : bool;
+}
+
+let create ?(k = 4.0) ?(min_rto = 0.1) ?(max_rto = 60.0) () =
+  { k; min_rto; max_rto; srtt = 0.0; rttvar = 0.0; inited = false }
+
+let observe t sample =
+  if not t.inited then begin
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.0;
+    t.inited <- true
+  end
+  else begin
+    let err = sample -. t.srtt in
+    t.srtt <- t.srtt +. (err /. 8.0);
+    t.rttvar <- t.rttvar +. ((abs_float err -. t.rttvar) /. 4.0)
+  end
+
+let initialized t = t.inited
+let srtt t = t.srtt
+let deviation t = t.rttvar
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let rto t ~default =
+  if not t.inited then default
+  else clamp t.min_rto t.max_rto (t.srtt +. (t.k *. t.rttvar))

@@ -1,0 +1,29 @@
+(** Jacobson/Karels round-trip-time estimation.
+
+    Maintains the smoothed mean [A] and mean deviation [D] of observed
+    RTTs and derives a retransmission timeout [A + k*D].  The paper uses
+    [k = 2] for small NFS RPCs (Getattr, Lookup) and — after finding the
+    retry rate 2–4x too high — [k = 4] for big RPCs (Read, Write,
+    Readdir), matching TCP's [srtt + 4*rttvar]. *)
+
+type t
+
+val create : ?k:float -> ?min_rto:float -> ?max_rto:float -> unit -> t
+(** Defaults: [k = 4.0], [min_rto = 0.1] s, [max_rto = 60.0] s. *)
+
+val observe : t -> float -> unit
+(** Feed one RTT sample (seconds).  The first sample initialises
+    [A = sample], [D = sample /. 2]; later samples use gains 1/8 and 1/4. *)
+
+val initialized : t -> bool
+(** [false] until the first sample. *)
+
+val srtt : t -> float
+(** Smoothed RTT [A]; [0.0] before the first sample. *)
+
+val deviation : t -> float
+(** Smoothed mean deviation [D]. *)
+
+val rto : t -> default:float -> float
+(** [A + k*D] clamped to [\[min_rto, max_rto\]], or [default] before the
+    first sample (the mount-time constant). *)

@@ -1,0 +1,125 @@
+type event = {
+  time : float;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type timer = event
+
+(* A simple binary min-heap on (time, seq).  Cancelled events stay in the
+   heap and are skipped when popped; this keeps cancellation O(1). *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let dummy = { time = 0.0; seq = -1; fn = ignore; cancelled = true }
+
+let create () =
+  { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0; processed = 0 }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t.heap.(i) t.heap.(parent) then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(parent);
+        t.heap.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest <> i then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(!smallest);
+        t.heap.(!smallest) <- tmp;
+        down !smallest
+      end
+    in
+    down 0;
+    Some top
+  end
+
+let schedule t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %g is before now %g" time t.clock);
+  let ev = { time; seq = t.next_seq; fn; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev;
+  ev
+
+let at t time fn = ignore (schedule t time fn)
+let after t delay fn = ignore (schedule t (t.clock +. delay) fn)
+let timer_after t delay fn = schedule t (t.clock +. delay) fn
+let cancel ev = ev.cancelled <- true
+let pending ev = not ev.cancelled
+
+let step t =
+  let rec next () =
+    match pop t with
+    | None -> false
+    | Some ev when ev.cancelled -> next ()
+    | Some ev ->
+        t.clock <- ev.time;
+        ev.cancelled <- true;
+        t.processed <- t.processed + 1;
+        ev.fn ();
+        true
+  in
+  next ()
+
+let rec skip_cancelled t =
+  if t.size > 0 && t.heap.(0).cancelled then begin
+    ignore (pop t);
+    skip_cancelled t
+  end
+
+let run ?until t =
+  let continue () =
+    skip_cancelled t;
+    match until with
+    | None -> t.size > 0
+    | Some limit ->
+        if t.size > 0 && t.heap.(0).time <= limit then true
+        else begin
+          if t.clock < limit then t.clock <- limit;
+          false
+        end
+  in
+  while continue () do
+    ignore (step t)
+  done
+
+let events_processed t = t.processed

@@ -1,0 +1,44 @@
+(** Discrete-event simulation core.
+
+    A [Sim.t] owns a virtual clock and a queue of pending events ordered by
+    [(time, sequence)].  All simulated activity — process wakeups, packet
+    deliveries, timer expiries — is driven by this queue, which makes every
+    run deterministic for a given seed. *)
+
+type t
+
+val create : unit -> t
+(** A fresh simulator with the clock at [0.0]. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** [at sim time fn] runs [fn] at absolute virtual [time].  Scheduling in
+    the past raises [Invalid_argument]. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** [after sim delay fn] runs [fn] at [now sim +. delay]. *)
+
+type timer
+(** A cancellable handle for a scheduled event. *)
+
+val timer_after : t -> float -> (unit -> unit) -> timer
+(** Like {!after} but returns a handle that {!cancel} can revoke. *)
+
+val cancel : timer -> unit
+(** Revoke a timer; a no-op if it already fired or was cancelled. *)
+
+val pending : timer -> bool
+(** [true] until the timer fires or is cancelled. *)
+
+val step : t -> bool
+(** Run the single earliest event.  [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [~until], stop (leaving later events
+    queued) once the next event is strictly past [until] and set the clock
+    to [until]. *)
+
+val events_processed : t -> int
+(** Total events executed so far; useful for bounding tests. *)

@@ -1,0 +1,1 @@
+lib/mbuf/mbuf.mli:

@@ -1,0 +1,260 @@
+let mlen = 112
+let mclbytes = 2048
+
+(* Allocate a cluster rather than chaining small mbufs once this many
+   bytes remain to be stored (MINCLSIZE in 4.3BSD). *)
+let mincl_size = 208
+
+module Counters = struct
+  type t = {
+    mutable bytes_copied : int;
+    mutable smalls_allocated : int;
+    mutable clusters_allocated : int;
+  }
+
+  let create () = { bytes_copied = 0; smalls_allocated = 0; clusters_allocated = 0 }
+
+  let reset t =
+    t.bytes_copied <- 0;
+    t.smalls_allocated <- 0;
+    t.clusters_allocated <- 0
+end
+
+type mbuf = {
+  data : Bytes.t;
+  mutable off : int;
+  mutable len : int;
+  cluster : bool;
+  writable : bool; (* false for views produced by [split] *)
+}
+
+type t = { mutable rev : mbuf list; mutable total : int }
+(* [rev] holds the mbufs in reverse order so append is O(1). *)
+
+let empty () = { rev = []; total = 0 }
+let length t = t.total
+let num_mbufs t = List.length t.rev
+let num_clusters t = List.length (List.filter (fun m -> m.cluster) t.rev)
+
+let cluster_bytes t =
+  List.fold_left (fun acc m -> if m.cluster then acc + m.len else acc) 0 t.rev
+
+let note_copy ctr n =
+  match ctr with
+  | None -> ()
+  | Some (c : Counters.t) -> c.bytes_copied <- c.bytes_copied + n
+
+let alloc ctr want_cluster =
+  let cluster = want_cluster in
+  (match ctr with
+  | None -> ()
+  | Some (c : Counters.t) ->
+      if cluster then c.clusters_allocated <- c.clusters_allocated + 1
+      else c.smalls_allocated <- c.smalls_allocated + 1);
+  {
+    data = Bytes.create (if cluster then mclbytes else mlen);
+    off = 0;
+    len = 0;
+    cluster;
+    writable = true;
+  }
+
+let tail_room m =
+  if not m.writable then 0 else Bytes.length m.data - (m.off + m.len)
+
+let add_bytes ?ctr t src ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Mbuf.add_bytes: range out of bounds";
+  note_copy ctr len;
+  let rec go off len =
+    if len > 0 then begin
+      let m =
+        match t.rev with
+        | m :: _ when tail_room m > 0 -> m
+        | _ ->
+            let m = alloc ctr (len >= mincl_size) in
+            t.rev <- m :: t.rev;
+            m
+      in
+      let n = min len (tail_room m) in
+      Bytes.blit src off m.data (m.off + m.len) n;
+      m.len <- m.len + n;
+      t.total <- t.total + n;
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let add_string ?ctr t s =
+  add_bytes ?ctr t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let scratch4 = Bytes.create 4
+
+let add_u32 ?ctr t v =
+  Bytes.set_int32_be scratch4 0 v;
+  add_bytes ?ctr t scratch4 ~off:0 ~len:4
+
+let of_bytes ?ctr b =
+  let t = empty () in
+  add_bytes ?ctr t b ~off:0 ~len:(Bytes.length b);
+  t
+
+let of_string ?ctr s =
+  let t = empty () in
+  add_string ?ctr t s;
+  t
+
+let iter_mbufs t f = List.iter f (List.rev t.rev)
+
+let to_bytes ?ctr t =
+  let out = Bytes.create t.total in
+  let pos = ref 0 in
+  iter_mbufs t (fun m ->
+      Bytes.blit m.data m.off out !pos m.len;
+      pos := !pos + m.len);
+  note_copy ctr t.total;
+  out
+
+let append_chain a b =
+  a.rev <- b.rev @ a.rev;
+  a.total <- a.total + b.total;
+  b.rev <- [];
+  b.total <- 0
+
+let split t n =
+  if n < 0 || n > t.total then invalid_arg "Mbuf.split: index out of bounds";
+  let front = empty () and back = empty () in
+  let take chain m =
+    chain.rev <- m :: chain.rev;
+    chain.total <- chain.total + m.len
+  in
+  let left = ref n in
+  iter_mbufs t (fun m ->
+      if !left >= m.len then begin
+        take front m;
+        left := !left - m.len
+      end
+      else if !left = 0 then take back m
+      else begin
+        (* Straddling mbuf: share the underlying storage as two views. *)
+        let head =
+          { data = m.data; off = m.off; len = !left; cluster = m.cluster; writable = false }
+        and tail =
+          {
+            data = m.data;
+            off = m.off + !left;
+            len = m.len - !left;
+            cluster = m.cluster;
+            writable = false;
+          }
+        in
+        take front head;
+        take back tail;
+        left := 0
+      end);
+  (front, back)
+
+let sub_copy ?ctr t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.total then
+    invalid_arg "Mbuf.sub_copy: range out of bounds";
+  let out = empty () in
+  let skip = ref pos and want = ref len in
+  iter_mbufs t (fun m ->
+      if !want > 0 then begin
+        let drop = min !skip m.len in
+        skip := !skip - drop;
+        let avail = m.len - drop in
+        if avail > 0 then begin
+          let n = min avail !want in
+          add_bytes ?ctr out m.data ~off:(m.off + drop) ~len:n;
+          want := !want - n
+        end
+      end);
+  out
+
+let checksum t =
+  (* Internet checksum: ones-complement sum of 16-bit big-endian words. *)
+  let sum = ref 0 in
+  let carry_fold s = (s land 0xFFFF) + (s lsr 16) in
+  let high = ref None in
+  iter_mbufs t (fun m ->
+      for i = 0 to m.len - 1 do
+        let b = Char.code (Bytes.get m.data (m.off + i)) in
+        match !high with
+        | None -> high := Some b
+        | Some h ->
+            sum := carry_fold (!sum + ((h lsl 8) lor b));
+            high := None
+      done);
+  (match !high with
+  | Some h -> sum := carry_fold (!sum + (h lsl 8))
+  | None -> ());
+  lnot !sum land 0xFFFF
+
+module Cursor = struct
+  exception Underrun
+
+  type cursor = {
+    mutable mbufs : mbuf list; (* in order, head is current *)
+    mutable pos : int; (* offset within head's payload *)
+    mutable left : int;
+  }
+
+  type t = cursor
+
+  let create chain =
+    { mbufs = List.rev chain.rev; pos = 0; left = chain.total }
+
+  let remaining c = c.left
+
+  let read_into c dst off len =
+    if len > c.left then raise Underrun;
+    let off = ref off and want = ref len in
+    while !want > 0 do
+      match c.mbufs with
+      | [] -> raise Underrun
+      | m :: rest ->
+          let avail = m.len - c.pos in
+          if avail = 0 then begin
+            c.mbufs <- rest;
+            c.pos <- 0
+          end
+          else begin
+            let n = min avail !want in
+            Bytes.blit m.data (m.off + c.pos) dst !off n;
+            c.pos <- c.pos + n;
+            off := !off + n;
+            want := !want - n
+          end
+    done;
+    c.left <- c.left - len
+
+  let bytes c n =
+    let out = Bytes.create n in
+    read_into c out 0 n;
+    out
+
+  let u32 c =
+    let b = bytes c 4 in
+    Bytes.get_int32_be b 0
+
+  let skip c n =
+    if n > c.left then raise Underrun;
+    let want = ref n in
+    while !want > 0 do
+      match c.mbufs with
+      | [] -> raise Underrun
+      | m :: rest ->
+          let avail = m.len - c.pos in
+          if avail = 0 then begin
+            c.mbufs <- rest;
+            c.pos <- 0
+          end
+          else begin
+            let k = min avail !want in
+            c.pos <- c.pos + k;
+            want := !want - k
+          end
+    done;
+    c.left <- c.left - n
+end

@@ -1,0 +1,91 @@
+(** Berkeley-style mbuf chains carrying real bytes.
+
+    The 4.3BSD Reno NFS builds RPC requests and replies directly in mbuf
+    data areas ([nfsm_build] / [nfsm_disect]) to avoid intermediate
+    buffers.  We model the same structure: a chain of small mbufs
+    ({!mlen} usable bytes each) and page clusters ({!mclbytes} bytes),
+    with zero-copy {!split} (cluster sharing, as fragmentation does in the
+    kernel) and explicit accounting of every memory-to-memory copy — the
+    quantity Section 3 of the paper works to minimise. *)
+
+val mlen : int
+(** Usable bytes in a small mbuf (112, as in 4.3BSD). *)
+
+val mclbytes : int
+(** Bytes in a cluster mbuf (2048). *)
+
+(** Per-host allocation and copy counters.  Pass the owning host's
+    counters to the operations that copy; the host charges CPU time for
+    [bytes_copied] at its memory-copy bandwidth. *)
+module Counters : sig
+  type t = {
+    mutable bytes_copied : int;
+    mutable smalls_allocated : int;
+    mutable clusters_allocated : int;
+  }
+
+  val create : unit -> t
+  val reset : t -> unit
+end
+
+type t
+(** A mutable chain of mbufs. *)
+
+val empty : unit -> t
+val length : t -> int
+(** Total payload bytes in the chain. *)
+
+val num_mbufs : t -> int
+val num_clusters : t -> int
+
+val cluster_bytes : t -> int
+(** Payload bytes held in cluster mbufs; the remainder lives in small
+    mbufs.  The NIC model maps clusters but must copy small-mbuf bytes. *)
+
+val add_bytes : ?ctr:Counters.t -> t -> bytes -> off:int -> len:int -> unit
+(** Append by copying, filling the tail mbuf then allocating new ones
+    (clusters once the remainder is large, like [MINCLSIZE]). *)
+
+val add_string : ?ctr:Counters.t -> t -> string -> unit
+
+val add_u32 : ?ctr:Counters.t -> t -> int32 -> unit
+(** Append a big-endian 32-bit word (the XDR unit). *)
+
+val of_string : ?ctr:Counters.t -> string -> t
+val of_bytes : ?ctr:Counters.t -> bytes -> t
+
+val to_bytes : ?ctr:Counters.t -> t -> bytes
+(** Linearise by copying; mainly for tests and checksums. *)
+
+val append_chain : t -> t -> unit
+(** [append_chain a b] moves [b]'s mbufs to the tail of [a] without
+    copying; [b] becomes empty. *)
+
+val split : t -> int -> t * t
+(** [split t n] divides the payload at byte [n] without copying: mbufs
+    that straddle the boundary are shared as views (cluster reference
+    sharing).  Raises [Invalid_argument] if [n] exceeds {!length}. *)
+
+val sub_copy : ?ctr:Counters.t -> t -> pos:int -> len:int -> t
+(** Copy out a byte range as a fresh chain. *)
+
+val checksum : t -> int
+(** 16-bit ones-complement sum over the payload (Internet checksum,
+    zero-padded to even length); exercised per-packet by the network
+    layer since the checksum routine was one of the paper's residual CPU
+    bottlenecks. *)
+
+(** Sequential reader over a chain ([nfsm_disect] analogue). *)
+module Cursor : sig
+  type chain := t
+  type t
+
+  exception Underrun
+  (** Raised when reading past the end of the chain. *)
+
+  val create : chain -> t
+  val remaining : t -> int
+  val u32 : t -> int32
+  val bytes : t -> int -> bytes
+  val skip : t -> int -> unit
+end

@@ -1,0 +1,1 @@
+lib/net/ipfrag.ml: Hashtbl List Packet Renofs_engine Renofs_mbuf

@@ -1,0 +1,1 @@
+lib/net/ipfrag.mli: Packet Renofs_engine

@@ -1,0 +1,1 @@
+lib/net/node.ml: Hashtbl Ipfrag Link List Nic Packet Queue Renofs_engine Renofs_mbuf

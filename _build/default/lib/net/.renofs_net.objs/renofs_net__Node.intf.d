@@ -1,0 +1,1 @@
+lib/net/node.mli: Link Nic Packet Renofs_engine Renofs_mbuf

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Link List Nic Node Printf Renofs_engine Traffic

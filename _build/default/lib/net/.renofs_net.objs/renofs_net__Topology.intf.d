@@ -1,0 +1,1 @@
+lib/net/topology.mli: Link Nic Node Renofs_engine

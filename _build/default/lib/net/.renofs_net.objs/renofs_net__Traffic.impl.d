@@ -1,0 +1,1 @@
+lib/net/traffic.ml: Array Bytes Node Packet Renofs_engine Renofs_mbuf

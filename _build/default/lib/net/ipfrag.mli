@@ -1,0 +1,22 @@
+(** IP datagram reassembly at the destination host.
+
+    Fragments are collected per [(src, ip_id)]; a datagram is delivered
+    only when every byte of it has arrived.  Partial assemblies are
+    discarded after a timeout — so one lost fragment wastes the delivery
+    and buffering of all its siblings, the cost [Kent87b] warns about. *)
+
+type t
+
+val create : Renofs_engine.Sim.t -> ?timeout:float -> unit -> t
+(** [timeout] defaults to 15 s, 4.3BSD's reassembly time-to-live. *)
+
+val insert : t -> Packet.t -> Packet.t option
+(** Add one fragment.  Returns the whole datagram (as an unfragmented
+    packet) once complete.  Unfragmented packets pass straight through.
+    Duplicate coverage is ignored. *)
+
+val pending : t -> int
+(** Partial assemblies currently held. *)
+
+val timeouts : t -> int
+(** Assemblies abandoned so far. *)

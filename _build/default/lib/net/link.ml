@@ -1,0 +1,74 @@
+module Sim = Renofs_engine.Sim
+module Rng = Renofs_engine.Rng
+
+type stats = {
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+  mutable queue_drops : int;
+  mutable error_drops : int;
+}
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  bandwidth_bps : float;
+  delay : float;
+  queue_limit : int;
+  loss : float;
+  rng : Rng.t;
+  deliver : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  mutable transmitting : bool;
+  stats : stats;
+  mutable busy : float;
+}
+
+let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ~rng ~deliver () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
+  {
+    sim;
+    name;
+    bandwidth_bps;
+    delay;
+    queue_limit;
+    loss;
+    rng;
+    deliver;
+    queue = Queue.create ();
+    transmitting = false;
+    stats = { packets_sent = 0; bytes_sent = 0; queue_drops = 0; error_drops = 0 };
+    busy = 0.0;
+  }
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.transmitting <- false
+  | Some pkt ->
+      t.transmitting <- true;
+      let bytes = Packet.wire_size pkt in
+      let tx_time = float_of_int (bytes * 8) /. t.bandwidth_bps in
+      t.busy <- t.busy +. tx_time;
+      Sim.after t.sim tx_time (fun () ->
+          t.stats.packets_sent <- t.stats.packets_sent + 1;
+          t.stats.bytes_sent <- t.stats.bytes_sent + bytes;
+          if t.loss > 0.0 && Rng.chance t.rng t.loss then
+            t.stats.error_drops <- t.stats.error_drops + 1
+          else
+            Sim.after t.sim t.delay (fun () -> t.deliver pkt);
+          start_next t)
+
+let send t pkt =
+  if Queue.length t.queue >= t.queue_limit then
+    t.stats.queue_drops <- t.stats.queue_drops + 1
+  else begin
+    Queue.add pkt t.queue;
+    if not t.transmitting then start_next t
+  end
+
+let name t = t.name
+let queue_length t = Queue.length t.queue
+let stats t = t.stats
+
+let utilization t =
+  let now = Sim.now t.sim in
+  if now <= 0.0 then 0.0 else t.busy /. now

@@ -1,0 +1,42 @@
+(** Unidirectional links with serialization, propagation delay, a
+    drop-tail output queue and optional random loss.
+
+    One link direction transmits a single packet at a time at its
+    bandwidth; a full queue drops arriving packets (the congestion signal
+    everything in Section 4 reacts to). *)
+
+type stats = {
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+  mutable queue_drops : int;
+  mutable error_drops : int;
+}
+
+type t
+
+val create :
+  Renofs_engine.Sim.t ->
+  name:string ->
+  bandwidth_bps:float ->
+  delay:float ->
+  queue_limit:int ->
+  ?loss:float ->
+  rng:Renofs_engine.Rng.t ->
+  deliver:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [loss] is a per-packet random corruption probability applied at the
+    receiving end (default 0). *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue for transmission; silently dropped (and counted) if the queue
+    holds [queue_limit] packets. *)
+
+val name : t -> string
+val queue_length : t -> int
+(** Packets waiting, excluding the one in transmission. *)
+
+val stats : t -> stats
+
+val utilization : t -> float
+(** Fraction of time spent transmitting since creation. *)

@@ -1,0 +1,63 @@
+type buffer_strategy = Copy_to_board | Map_clusters
+
+type profile = {
+  strategy : buffer_strategy;
+  tx_interrupts : bool;
+  per_packet_tx : float;
+  per_packet_rx : float;
+  tx_intr_cost : float;
+  copy_bandwidth : float;
+  page_map_cost : float;
+  checksum_bandwidth : float;
+}
+
+(* Constants are calibrated to a 0.9 MIPS MicroVAXII with a DEQNA: memory
+   copy a little over 1 MB/s, checksum about 1.6 MB/s, several hundred
+   instructions of driver work per packet. *)
+let deqna_stock =
+  {
+    strategy = Copy_to_board;
+    tx_interrupts = true;
+    per_packet_tx = 0.45e-3;
+    per_packet_rx = 0.55e-3;
+    tx_intr_cost = 0.30e-3;
+    copy_bandwidth = 1.2e6;
+    page_map_cost = 0.12e-3;
+    checksum_bandwidth = 1.6e6;
+  }
+
+let deqna_tuned =
+  {
+    deqna_stock with
+    strategy = Map_clusters;
+    tx_interrupts = false;
+    per_packet_tx = 0.35e-3 (* register variables + unrolled loops *);
+  }
+
+let fast_station =
+  {
+    strategy = Map_clusters;
+    tx_interrupts = false;
+    per_packet_tx = 0.05e-3;
+    per_packet_rx = 0.06e-3;
+    tx_intr_cost = 0.03e-3;
+    copy_bandwidth = 30.0e6;
+    page_map_cost = 0.02e-3;
+    checksum_bandwidth = 40.0e6;
+  }
+
+let tx_cost p ~data_bytes ~clusters ~small_bytes =
+  let move =
+    match p.strategy with
+    | Copy_to_board -> float_of_int data_bytes /. p.copy_bandwidth
+    | Map_clusters ->
+        (float_of_int clusters *. p.page_map_cost)
+        +. (float_of_int small_bytes /. p.copy_bandwidth)
+  in
+  let intr = if p.tx_interrupts then p.tx_intr_cost else 0.0 in
+  p.per_packet_tx +. move +. intr
+
+let rx_cost p ~data_bytes =
+  p.per_packet_rx +. (float_of_int data_bytes /. p.copy_bandwidth)
+
+let checksum_cost p ~bytes = float_of_int bytes /. p.checksum_bandwidth

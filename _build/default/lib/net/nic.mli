@@ -1,0 +1,50 @@
+(** Network-interface CPU cost model (Section 3 of the paper).
+
+    The paper found over a third of server CPU going to low-level network
+    interface handling, dominated by copying mbuf data into the board's
+    transmit buffers.  Two tunings were applied: mapping mbuf clusters
+    into the transmit ring by page-table swaps instead of copying, and
+    disabling transmit-complete interrupts.  A profile captures those
+    knobs plus the underlying machine constants, and converts a packet
+    into seconds of CPU work for the host's {!Renofs_engine.Cpu}. *)
+
+type buffer_strategy =
+  | Copy_to_board  (** memcpy every byte into interface buffers *)
+  | Map_clusters
+      (** swap page-table entries for cluster mbufs; only small
+          (sub-cluster) mbufs are copied *)
+
+type profile = {
+  strategy : buffer_strategy;
+  tx_interrupts : bool;
+  per_packet_tx : float;  (** driver start cost per packet, seconds *)
+  per_packet_rx : float;  (** receive interrupt + demux per packet *)
+  tx_intr_cost : float;  (** transmit-complete interrupt, if enabled *)
+  copy_bandwidth : float;  (** memory-to-memory bytes/second *)
+  page_map_cost : float;  (** per-cluster PTE swap, seconds *)
+  checksum_bandwidth : float;  (** internet-checksum bytes/second *)
+}
+
+val deqna_stock : profile
+(** The unmodified driver: copy everything, take transmit interrupts. *)
+
+val deqna_tuned : profile
+(** After the paper's Section 3 changes: mapped clusters, no transmit
+    interrupts, slightly cheaper (unrolled) start routine. *)
+
+val fast_station : profile
+(** A DS3100-class interface for the Table 4 client: same structure,
+    roughly 15x the memory bandwidth. *)
+
+val tx_cost : profile -> data_bytes:int -> clusters:int -> small_bytes:int -> float
+(** CPU seconds to hand one packet to the interface.  [data_bytes] is the
+    total payload, split as [clusters] cluster mbufs plus [small_bytes]
+    bytes living in small mbufs (headers etc.), which are always
+    copied. *)
+
+val rx_cost : profile -> data_bytes:int -> float
+(** CPU seconds to take one packet off the interface (interrupt + copy
+    into mbufs). *)
+
+val checksum_cost : profile -> bytes:int -> float
+(** CPU seconds to checksum a datagram's payload. *)

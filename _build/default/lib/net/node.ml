@@ -1,0 +1,209 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Rng = Renofs_engine.Rng
+module Mbuf = Renofs_mbuf.Mbuf
+
+type datagram = {
+  proto : Packet.proto;
+  src : int;
+  src_port : int;
+  dst_port : int;
+  payload : Mbuf.t;
+}
+
+type stats = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable packets_forwarded : int;
+  mutable no_route_drops : int;
+  mutable no_handler_drops : int;
+}
+
+type iface = { mtu : int; link : Link.t; peer : int }
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  name : string;
+  cpu : Cpu.t;
+  mutable nic : Nic.profile;
+  rng : Rng.t;
+  forward_cost : float;
+  mutable ifaces : iface list; (* in attachment order *)
+  routes : (int, iface) Hashtbl.t;
+  reasm : Ipfrag.t;
+  mutable udp_handler : (datagram -> unit) option;
+  mutable tcp_handler : (datagram -> unit) option;
+  copy_ctr : Mbuf.Counters.t;
+  stats : stats;
+  mutable next_ip_id : int;
+}
+
+let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
+  {
+    sim;
+    id;
+    name;
+    cpu = Cpu.create sim ~mips;
+    nic;
+    rng;
+    forward_cost;
+    ifaces = [];
+    routes = Hashtbl.create 16;
+    reasm = Ipfrag.create sim ();
+    udp_handler = None;
+    tcp_handler = None;
+    copy_ctr = Mbuf.Counters.create ();
+    stats =
+      {
+        datagrams_sent = 0;
+        datagrams_received = 0;
+        packets_forwarded = 0;
+        no_route_drops = 0;
+        no_handler_drops = 0;
+      };
+    next_ip_id = id * 100_000;
+  }
+
+let id t = t.id
+let name t = t.name
+let sim t = t.sim
+let cpu t = t.cpu
+let rng t = t.rng
+let nic t = t.nic
+let set_nic t profile = t.nic <- profile
+let copy_counters t = t.copy_ctr
+let stats t = t.stats
+let reassembly_timeouts t = Ipfrag.timeouts t.reasm
+let links t = List.rev_map (fun i -> i.link) t.ifaces |> List.rev
+
+let handler_for t = function
+  | Packet.Udp -> t.udp_handler
+  | Packet.Tcp -> t.tcp_handler
+
+let set_proto_handler t proto h =
+  match proto with
+  | Packet.Udp -> t.udp_handler <- Some h
+  | Packet.Tcp -> t.tcp_handler <- Some h
+
+let route t dst = Hashtbl.find_opt t.routes dst
+
+(* Deliver a locally-addressed packet: interrupt-level per-packet work,
+   reassembly, checksum of completed datagrams, protocol dispatch. *)
+let deliver_local t (pkt : Packet.t) =
+  Proc.spawn t.sim (fun () ->
+      Cpu.consume ~priority:Cpu.Interrupt t.cpu
+        (Nic.rx_cost t.nic ~data_bytes:(Packet.data_len pkt));
+      match Ipfrag.insert t.reasm pkt with
+      | None -> ()
+      | Some whole -> (
+          Cpu.consume t.cpu (Nic.checksum_cost t.nic ~bytes:(Packet.data_len whole));
+          t.stats.datagrams_received <- t.stats.datagrams_received + 1;
+          match handler_for t whole.Packet.proto with
+          | None -> t.stats.no_handler_drops <- t.stats.no_handler_drops + 1
+          | Some h ->
+              h
+                {
+                  proto = whole.Packet.proto;
+                  src = whole.Packet.src;
+                  src_port = whole.Packet.src_port;
+                  dst_port = whole.Packet.dst_port;
+                  payload = whole.Packet.payload;
+                }))
+
+let forward t (pkt : Packet.t) =
+  Proc.spawn t.sim (fun () ->
+      Cpu.consume ~priority:Cpu.Interrupt t.cpu t.forward_cost;
+      match route t pkt.Packet.dst with
+      | None -> t.stats.no_route_drops <- t.stats.no_route_drops + 1
+      | Some iface ->
+          t.stats.packets_forwarded <- t.stats.packets_forwarded + 1;
+          List.iter (Link.send iface.link) (Packet.fragment pkt ~mtu:iface.mtu))
+
+let receive t pkt =
+  if pkt.Packet.dst = t.id then deliver_local t pkt else forward t pkt
+
+let connect a b ~name ~bandwidth_bps ~delay ~mtu ~queue_limit ?(loss = 0.0) () =
+  let ab =
+    Link.create a.sim
+      ~name:(name ^ ":" ^ a.name ^ ">" ^ b.name)
+      ~bandwidth_bps ~delay ~queue_limit ~loss ~rng:(Rng.split a.rng)
+      ~deliver:(fun pkt -> receive b pkt)
+      ()
+  in
+  let ba =
+    Link.create a.sim
+      ~name:(name ^ ":" ^ b.name ^ ">" ^ a.name)
+      ~bandwidth_bps ~delay ~queue_limit ~loss ~rng:(Rng.split b.rng)
+      ~deliver:(fun pkt -> receive a pkt)
+      ()
+  in
+  a.ifaces <- a.ifaces @ [ { mtu; link = ab; peer = b.id } ];
+  b.ifaces <- b.ifaces @ [ { mtu; link = ba; peer = a.id } ];
+  (ab, ba)
+
+let auto_routes nodes =
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace by_id n.id n) nodes;
+  let bfs src =
+    (* Shortest-hop tree rooted at [src]; record each node's first hop. *)
+    let first_hop = Hashtbl.create 16 in
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited src.id ();
+    let q = Queue.create () in
+    List.iter
+      (fun iface ->
+        if not (Hashtbl.mem visited iface.peer) then begin
+          Hashtbl.replace visited iface.peer ();
+          Hashtbl.replace first_hop iface.peer iface;
+          Queue.add (iface.peer, iface) q
+        end)
+      src.ifaces;
+    while not (Queue.is_empty q) do
+      let node_id, hop = Queue.take q in
+      match Hashtbl.find_opt by_id node_id with
+      | None -> ()
+      | Some node ->
+          List.iter
+            (fun iface ->
+              if not (Hashtbl.mem visited iface.peer) then begin
+                Hashtbl.replace visited iface.peer ();
+                Hashtbl.replace first_hop iface.peer hop;
+                Queue.add (iface.peer, hop) q
+              end)
+            node.ifaces
+    done;
+    Hashtbl.iter (fun dst iface -> Hashtbl.replace src.routes dst iface) first_hop
+  in
+  List.iter bfs nodes
+
+let send_datagram t ~proto ~dst ~src_port ~dst_port payload =
+  match route t dst with
+  | None -> t.stats.no_route_drops <- t.stats.no_route_drops + 1
+  | Some iface ->
+      t.next_ip_id <- t.next_ip_id + 1;
+      let dgram =
+        Packet.make_datagram ~proto ~src:t.id ~dst ~src_port ~dst_port
+          ~ip_id:t.next_ip_id payload
+      in
+      let bytes = Packet.data_len dgram in
+      Cpu.consume t.cpu (Nic.checksum_cost t.nic ~bytes);
+      let frags = Packet.fragment dgram ~mtu:iface.mtu in
+      List.iter
+        (fun pkt ->
+          let data_bytes = Packet.data_len pkt in
+          let clusters = Mbuf.num_clusters pkt.Packet.payload in
+          let cluster_bytes = Mbuf.cluster_bytes pkt.Packet.payload in
+          let small_bytes = data_bytes - cluster_bytes in
+          (match t.nic.Nic.strategy with
+          | Nic.Copy_to_board ->
+              t.copy_ctr.Mbuf.Counters.bytes_copied <-
+                t.copy_ctr.Mbuf.Counters.bytes_copied + data_bytes
+          | Nic.Map_clusters ->
+              t.copy_ctr.Mbuf.Counters.bytes_copied <-
+                t.copy_ctr.Mbuf.Counters.bytes_copied + small_bytes);
+          Cpu.consume t.cpu (Nic.tx_cost t.nic ~data_bytes ~clusters ~small_bytes);
+          Link.send iface.link pkt)
+        frags;
+      t.stats.datagrams_sent <- t.stats.datagrams_sent + 1

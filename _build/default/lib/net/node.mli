@@ -1,0 +1,91 @@
+(** Hosts and routers.
+
+    A node owns a CPU, a NIC cost profile, interfaces onto links, a
+    static routing table and an IP reassembly buffer.  Sending charges
+    the calling process for checksum and per-packet interface work;
+    receiving charges interrupt-priority CPU before the datagram reaches
+    the transport handler — so a saturated server CPU shows up as RTT,
+    exactly as in the paper's graphs. *)
+
+type t
+
+(** A reassembled transport datagram handed to a protocol handler. *)
+type datagram = {
+  proto : Packet.proto;
+  src : int;
+  src_port : int;
+  dst_port : int;
+  payload : Renofs_mbuf.Mbuf.t;
+}
+
+type stats = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable packets_forwarded : int;
+  mutable no_route_drops : int;
+  mutable no_handler_drops : int;
+}
+
+val create :
+  Renofs_engine.Sim.t ->
+  id:int ->
+  name:string ->
+  mips:float ->
+  nic:Nic.profile ->
+  rng:Renofs_engine.Rng.t ->
+  ?forward_cost:float ->
+  unit ->
+  t
+(** [forward_cost] is CPU seconds per forwarded packet (default 0.3 ms);
+    only routers exercise it. *)
+
+val id : t -> int
+val name : t -> string
+val sim : t -> Renofs_engine.Sim.t
+val cpu : t -> Renofs_engine.Cpu.t
+val rng : t -> Renofs_engine.Rng.t
+val nic : t -> Nic.profile
+
+val set_nic : t -> Nic.profile -> unit
+(** Swap NIC profiles (the Section 3 stock-vs-tuned experiment). *)
+
+val copy_counters : t -> Renofs_mbuf.Mbuf.Counters.t
+(** This host's mbuf copy/allocation accounting. *)
+
+val stats : t -> stats
+val reassembly_timeouts : t -> int
+
+val connect :
+  t ->
+  t ->
+  name:string ->
+  bandwidth_bps:float ->
+  delay:float ->
+  mtu:int ->
+  queue_limit:int ->
+  ?loss:float ->
+  unit ->
+  Link.t * Link.t
+(** Join two nodes with a full-duplex link; returns the [(a_to_b, b_to_a)]
+    directions for inspection. *)
+
+val links : t -> Link.t list
+(** Outgoing link directions attached so far. *)
+
+val auto_routes : t list -> unit
+(** Fill every node's routing table with shortest-hop next hops (BFS);
+    call once after all {!connect}s. *)
+
+val set_proto_handler : t -> Packet.proto -> (datagram -> unit) -> unit
+(** Install the UDP or TCP input function. *)
+
+val send_datagram :
+  t ->
+  proto:Packet.proto ->
+  dst:int ->
+  src_port:int ->
+  dst_port:int ->
+  Renofs_mbuf.Mbuf.t ->
+  unit
+(** Route, checksum, fragment and transmit one transport datagram.
+    Must run inside a process (it consumes CPU).  Consumes the chain. *)

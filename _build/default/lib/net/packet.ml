@@ -1,0 +1,70 @@
+module Mbuf = Renofs_mbuf.Mbuf
+
+type proto = Udp | Tcp
+
+type t = {
+  proto : proto;
+  src : int;
+  dst : int;
+  src_port : int;
+  dst_port : int;
+  ip_id : int;
+  frag_off : int;
+  more : bool;
+  total_data : int;
+  payload : Mbuf.t;
+}
+
+let ip_header_bytes = 20
+(* UDP's 8-byte header is virtual (ports travel as metadata); TCP needs
+   sequence/ack/flag fields the metadata does not carry, so the TCP layer
+   writes a real 20-byte header into the payload and we must not count it
+   again here. *)
+let proto_header_bytes = function Udp -> 8 | Tcp -> 0
+let data_len p = Mbuf.length p.payload
+
+let wire_size p =
+  let transport = if p.frag_off = 0 then proto_header_bytes p.proto else 0 in
+  ip_header_bytes + transport + data_len p
+
+let is_fragmented p = p.more || p.frag_off > 0
+
+let make_datagram ~proto ~src ~dst ~src_port ~dst_port ~ip_id payload =
+  {
+    proto;
+    src;
+    dst;
+    src_port;
+    dst_port;
+    ip_id;
+    frag_off = 0;
+    more = false;
+    total_data = Mbuf.length payload;
+    payload;
+  }
+
+let fragment p ~mtu =
+  if wire_size p <= mtu then [ p ]
+  else begin
+    let room off =
+      let transport = if off = 0 then proto_header_bytes p.proto else 0 in
+      mtu - ip_header_bytes - transport
+    in
+    let rec go off chain acc =
+      let remaining = Mbuf.length chain in
+      if remaining <= room off then
+        (* Final piece; preserve [more] when re-fragmenting a middle
+           fragment of a larger datagram. *)
+        let last = { p with frag_off = off; payload = chain } in
+        List.rev (last :: acc)
+      else begin
+        (* Non-final fragments carry an 8-aligned number of data bytes. *)
+        let take = room off land lnot 7 in
+        if take <= 0 then invalid_arg "Packet.fragment: mtu too small";
+        let head, rest = Mbuf.split chain take in
+        let piece = { p with frag_off = off; more = true; payload = head } in
+        go (off + take) rest (piece :: acc)
+      end
+    in
+    go p.frag_off p.payload []
+  end

@@ -1,0 +1,59 @@
+(** Wire packets: IP fragments of transport datagrams.
+
+    A transport datagram (one UDP RPC message, or one TCP segment) larger
+    than the outgoing link's MTU is carried as several fragments sharing
+    an [ip_id].  Losing any one fragment loses the whole datagram — the
+    "fragmentation considered harmful" failure mode [Kent87b] that drives
+    the paper's transport experiments.  Transport headers are modelled as
+    per-datagram virtual bytes counted in the first fragment's wire size;
+    [payload] carries only data bytes. *)
+
+type proto = Udp | Tcp
+
+type t = {
+  proto : proto;
+  src : int;  (** source host id *)
+  dst : int;  (** destination host id *)
+  src_port : int;
+  dst_port : int;
+  ip_id : int;  (** datagram identity for reassembly *)
+  frag_off : int;  (** byte offset of [payload] within the datagram data *)
+  more : bool;  (** more fragments follow *)
+  total_data : int;  (** data length of the whole datagram *)
+  payload : Renofs_mbuf.Mbuf.t;
+}
+
+val ip_header_bytes : int
+(** 20. *)
+
+val proto_header_bytes : proto -> int
+(** Virtual header bytes counted in the first fragment's wire size: 8 for
+    UDP.  0 for TCP, which writes a real 20-byte header into its
+    payload (it needs sequence/ack fields that metadata does not carry). *)
+
+val data_len : t -> int
+val wire_size : t -> int
+(** Bytes on the wire: IP header + (first fragment only) transport header
+    + data. *)
+
+val is_fragmented : t -> bool
+(** True if this packet is one piece of a multi-fragment datagram. *)
+
+val make_datagram :
+  proto:proto ->
+  src:int ->
+  dst:int ->
+  src_port:int ->
+  dst_port:int ->
+  ip_id:int ->
+  Renofs_mbuf.Mbuf.t ->
+  t
+(** An unfragmented datagram-as-single-packet (fragment it with
+    {!fragment} before transmission if needed). *)
+
+val fragment : t -> mtu:int -> t list
+(** Split (or further split — routers re-fragment fragments) so every
+    piece fits [mtu].  Non-final pieces carry a multiple of 8 data bytes,
+    as IP requires.  The input packet's payload chain is consumed.
+    Raises [Invalid_argument] if [mtu] cannot fit even one aligned data
+    unit. *)

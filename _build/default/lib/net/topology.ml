@@ -1,0 +1,166 @@
+module Sim = Renofs_engine.Sim
+module Rng = Renofs_engine.Rng
+
+type params = {
+  seed : int;
+  client_mips : float;
+  server_mips : float;
+  client_nic : Nic.profile;
+  server_nic : Nic.profile;
+  cross_traffic : bool;
+  link_loss : float;
+}
+
+let default_params =
+  {
+    seed = 1;
+    client_mips = 0.9;
+    server_mips = 0.9;
+    client_nic = Nic.deqna_tuned;
+    server_nic = Nic.deqna_tuned;
+    cross_traffic = true;
+    link_loss = 0.001;
+  }
+
+type t = {
+  sim : Sim.t;
+  client : Node.t;
+  server : Node.t;
+  routers : Node.t list;
+  all : Node.t list;
+  bottleneck : Link.t option;
+}
+
+let client_id t = Node.id t.client
+let server_id t = Node.id t.server
+
+(* Link-class constants. *)
+let ethernet = (10.0e6, 0.1e-3, 1500, 50)
+let token_ring = (80.0e6, 0.5e-3, 4464, 30)
+let slow_serial = (56.0e3, 5.0e-3, 1006, 10)
+
+let connect_class a b ~name ~loss (bandwidth_bps, delay, mtu, queue_limit) =
+  Node.connect a b ~name ~bandwidth_bps ~delay ~mtu ~queue_limit ~loss ()
+
+let make_host sim rng ~id ~name ~mips ~nic =
+  Node.create sim ~id ~name ~mips ~nic ~rng:(Rng.split rng) ()
+
+let make_router sim rng ~id ~name =
+  (* Dedicated routing hardware: modest CPU fully devoted to forwarding. *)
+  Node.create sim ~id ~name ~mips:2.0 ~nic:Nic.deqna_tuned ~rng:(Rng.split rng)
+    ~forward_cost:0.3e-3 ()
+
+let lan sim ?(params = default_params) () =
+  let rng = Rng.create params.seed in
+  let client =
+    make_host sim rng ~id:1 ~name:"client" ~mips:params.client_mips
+      ~nic:params.client_nic
+  and server =
+    make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
+      ~nic:params.server_nic
+  in
+  let _ = connect_class client server ~name:"eth0" ~loss:0.0 ethernet in
+  let all = [ client; server ] in
+  Node.auto_routes all;
+  { sim; client; server; routers = []; all; bottleneck = None }
+
+let campus sim ?(params = default_params) () =
+  let rng = Rng.create params.seed in
+  let client =
+    make_host sim rng ~id:1 ~name:"client" ~mips:params.client_mips
+      ~nic:params.client_nic
+  and server =
+    make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
+      ~nic:params.server_nic
+  in
+  let r1 = make_router sim rng ~id:10 ~name:"router1"
+  and r2 = make_router sim rng ~id:11 ~name:"router2" in
+  let _ = connect_class client r1 ~name:"eth1" ~loss:0.0 ethernet in
+  let _ring_out, ring_back =
+    connect_class r1 r2 ~name:"ring" ~loss:params.link_loss token_ring
+  in
+  let _ = connect_class r2 server ~name:"eth2" ~loss:0.0 ethernet in
+  let all = [ client; server; r1; r2 ] in
+  Node.auto_routes all;
+  if params.cross_traffic then begin
+    Traffic.sink r1;
+    Traffic.sink r2;
+    Traffic.start ~src:r1 ~dst:r2 Traffic.campus_backbone;
+    Traffic.start ~src:r2 ~dst:r1 Traffic.campus_backbone
+  end;
+  { sim; client; server; routers = [ r1; r2 ]; all; bottleneck = Some ring_back }
+
+let wide_area sim ?(params = default_params) () =
+  let rng = Rng.create params.seed in
+  let client =
+    make_host sim rng ~id:1 ~name:"client" ~mips:params.client_mips
+      ~nic:params.client_nic
+  and server =
+    make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
+      ~nic:params.server_nic
+  in
+  let r1 = make_router sim rng ~id:10 ~name:"router1"
+  and r2 = make_router sim rng ~id:11 ~name:"router2"
+  and r3 = make_router sim rng ~id:12 ~name:"router3" in
+  let _ = connect_class client r1 ~name:"eth1" ~loss:0.0 ethernet in
+  let _ = connect_class r1 r2 ~name:"ring" ~loss:params.link_loss token_ring in
+  let serial_out, _serial_back =
+    connect_class r2 r3 ~name:"serial56k" ~loss:params.link_loss slow_serial
+  in
+  let _ = connect_class r3 server ~name:"eth2" ~loss:0.0 ethernet in
+  let all = [ client; server; r1; r2; r3 ] in
+  Node.auto_routes all;
+  if params.cross_traffic then begin
+    (* After hours the 56K line itself carried almost no other load
+       (paper, Section 4); the campus ring still did. *)
+    Traffic.sink r1;
+    Traffic.sink r2;
+    Traffic.start ~src:r1 ~dst:r2 Traffic.campus_backbone;
+    Traffic.start ~src:r2 ~dst:r1 Traffic.campus_backbone
+  end;
+  {
+    sim;
+    client;
+    server;
+    routers = [ r1; r2; r3 ];
+    all;
+    bottleneck = Some serial_out;
+  }
+
+let multi_client sim ~clients ?(params = default_params) () =
+  if clients < 1 then invalid_arg "Topology.multi_client: need at least one client";
+  let rng = Rng.create params.seed in
+  let server =
+    make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
+      ~nic:params.server_nic
+  in
+  let client_nodes =
+    List.init clients (fun i ->
+        let c =
+          make_host sim rng ~id:(100 + i)
+            ~name:(Printf.sprintf "client%d" i)
+            ~mips:params.client_mips ~nic:params.client_nic
+        in
+        let _ =
+          connect_class c server ~name:(Printf.sprintf "eth%d" i) ~loss:0.0 ethernet
+        in
+        c)
+  in
+  let all = server :: client_nodes in
+  Node.auto_routes all;
+  ( {
+      sim;
+      client = List.hd client_nodes;
+      server;
+      routers = [];
+      all;
+      bottleneck = None;
+    },
+    client_nodes )
+
+let by_name name sim ?params () =
+  match name with
+  | "lan" -> lan sim ?params ()
+  | "campus" -> campus sim ?params ()
+  | "wan" -> wide_area sim ?params ()
+  | other -> invalid_arg ("Topology.by_name: unknown topology " ^ other)

@@ -1,0 +1,51 @@
+(** The paper's three client/server internetwork configurations.
+
+    1. {!lan}: both machines on the same lightly-loaded Ethernet.
+    2. {!campus}: two Ethernets joined by an 80 Mbit/s token ring and two
+       IP routers, with bursty backbone cross-traffic.
+    3. {!wide_area}: as {!campus} plus a 56 Kbit/s point-to-point link
+       and a third router.
+
+    Hosts default to 0.9 MIPS MicroVAXIIs with tuned DEQNA profiles. *)
+
+type params = {
+  seed : int;
+  client_mips : float;
+  server_mips : float;
+  client_nic : Nic.profile;
+  server_nic : Nic.profile;
+  cross_traffic : bool;  (** competing load on shared segments *)
+  link_loss : float;  (** random per-packet loss on backbone links *)
+}
+
+val default_params : params
+(** seed 1, 0.9 MIPS hosts, tuned DEQNAs, cross-traffic on, 0.1% backbone
+    loss. *)
+
+type t = {
+  sim : Renofs_engine.Sim.t;
+  client : Node.t;
+  server : Node.t;
+  routers : Node.t list;
+  all : Node.t list;
+  bottleneck : Link.t option;
+      (** the link most likely to congest (client-bound direction), when
+          there is one: the token ring or the 56K line *)
+}
+
+val lan : Renofs_engine.Sim.t -> ?params:params -> unit -> t
+val campus : Renofs_engine.Sim.t -> ?params:params -> unit -> t
+val wide_area : Renofs_engine.Sim.t -> ?params:params -> unit -> t
+
+val by_name : string -> Renofs_engine.Sim.t -> ?params:params -> unit -> t
+(** "lan", "campus" or "wan".  Raises [Invalid_argument] otherwise. *)
+
+val multi_client :
+  Renofs_engine.Sim.t -> clients:int -> ?params:params -> unit -> t * Node.t list
+(** A server with [clients] client hosts, each on its own Ethernet drop
+    (star topology): the server-characterization setup of [Keith90].
+    The returned [t.client] is the first client; the list has them
+    all. *)
+
+val client_id : t -> int
+val server_id : t -> int

@@ -1,0 +1,64 @@
+module Proc = Renofs_engine.Proc
+module Rng = Renofs_engine.Rng
+module Mbuf = Renofs_mbuf.Mbuf
+
+type profile = {
+  on_rate : float;
+  on_mean : float;
+  off_mean : float;
+  sizes : (int * float) array;
+}
+
+let office_lan =
+  {
+    on_rate = 120.0;
+    on_mean = 0.4;
+    off_mean = 1.2;
+    sizes = [| (90, 0.6); (300, 0.2); (1400, 0.2) |];
+  }
+
+let campus_backbone =
+  {
+    on_rate = 2800.0;
+    on_mean = 0.06;
+    off_mean = 0.5;
+    sizes = [| (560, 0.3); (1400, 0.5); (4300, 0.2) |];
+  }
+
+let discard_port = 9
+
+let pick_size rng sizes =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 sizes in
+  let x = Rng.float rng total in
+  let rec go i acc =
+    let size, w = sizes.(i) in
+    if x < acc +. w || i = Array.length sizes - 1 then size else go (i + 1) (acc +. w)
+  in
+  go 0 0.0
+
+let start ~src ~dst profile =
+  let sim = Node.sim src in
+  let rng = Rng.split (Node.rng src) in
+  Proc.spawn sim (fun () ->
+      let rec burst_cycle () =
+        Proc.sleep sim (Rng.exponential rng profile.off_mean);
+        let burst_end =
+          Renofs_engine.Sim.now sim +. Rng.exponential rng profile.on_mean
+        in
+        let rec pump () =
+          if Renofs_engine.Sim.now sim < burst_end then begin
+            let size = pick_size rng profile.sizes in
+            let payload = Mbuf.of_bytes (Bytes.create size) in
+            Node.send_datagram src ~proto:Packet.Udp ~dst:(Node.id dst)
+              ~src_port:discard_port ~dst_port:discard_port payload;
+            Proc.sleep sim (Rng.exponential rng (1.0 /. profile.on_rate));
+            pump ()
+          end
+        in
+        pump ();
+        burst_cycle ()
+      in
+      burst_cycle ())
+
+let sink node =
+  Node.set_proto_handler node Packet.Udp (fun _ -> ())

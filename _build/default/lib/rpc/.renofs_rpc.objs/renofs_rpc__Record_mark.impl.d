@@ -1,0 +1,1 @@
+lib/rpc/record_mark.ml: Bytes Int32 List Renofs_mbuf

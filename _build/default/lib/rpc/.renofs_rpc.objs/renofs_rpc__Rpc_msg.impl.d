@@ -1,0 +1,1 @@
+lib/rpc/rpc_msg.ml: Printf Renofs_mbuf Renofs_xdr

@@ -1,0 +1,30 @@
+(** RPC record marking for stream transports (RFC 1057 §10).
+
+    Each RPC message on a TCP connection is preceded by a 4-byte marker:
+    the top bit flags the last fragment of a record and the low 31 bits
+    give the fragment length.  The Reno implementation inserts these
+    marks so that request/reply boundaries survive the byte stream. *)
+
+val frame :
+  ?ctr:Renofs_mbuf.Mbuf.Counters.t -> Renofs_mbuf.Mbuf.t -> Renofs_mbuf.Mbuf.t
+(** Wrap one message as a single-fragment record (marker prepended); the
+    argument chain is spliced in without copying and becomes empty. *)
+
+(** Reassembles records from arbitrarily-chunked stream data. *)
+module Reader : sig
+  type t
+
+  exception Corrupt of string
+  (** Raised by {!pop} when a marker declares a zero/oversized fragment. *)
+
+  val create : unit -> t
+
+  val push : t -> Renofs_mbuf.Mbuf.t -> unit
+  (** Feed the next chunk of received stream bytes (chain is consumed). *)
+
+  val pop : t -> Renofs_mbuf.Mbuf.t option
+  (** Next complete record, if any ([None] while a record is partial). *)
+
+  val buffered : t -> int
+  (** Bytes held waiting for record completion. *)
+end

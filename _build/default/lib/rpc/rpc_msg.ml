@@ -1,0 +1,164 @@
+module Mbuf = Renofs_mbuf.Mbuf
+module Xdr = Renofs_xdr.Xdr
+
+type auth =
+  | Auth_null
+  | Auth_unix of { stamp : int; machine : string; uid : int; gid : int }
+
+type call_header = {
+  xid : int32;
+  prog : int;
+  vers : int;
+  proc : int;
+  cred : auth;
+}
+
+type reject_reason = Rpc_mismatch | Auth_error
+
+type accept_status =
+  | Success
+  | Prog_unavail
+  | Prog_mismatch of { low : int; high : int }
+  | Proc_unavail
+  | Garbage_args
+  | System_err
+
+type reply_status = Accepted of accept_status | Denied of reject_reason
+
+exception Bad_message of string
+
+let rpc_version = 2
+let msg_call = 0l
+let msg_reply = 1l
+
+let encode_auth enc = function
+  | Auth_null ->
+      Xdr.Enc.enum enc 0;
+      Xdr.Enc.int enc 0 (* zero-length body *)
+  | Auth_unix { stamp; machine; uid; gid } ->
+      Xdr.Enc.enum enc 1;
+      (* Body is itself length-prefixed opaque; build it inline. *)
+      let body = Xdr.Enc.create () in
+      Xdr.Enc.int body stamp;
+      Xdr.Enc.string body machine;
+      Xdr.Enc.int body uid;
+      Xdr.Enc.int body gid;
+      Xdr.Enc.int body 0;
+      (* empty gids array *)
+      let chain = Xdr.Enc.chain body in
+      Xdr.Enc.int enc (Mbuf.length chain);
+      Xdr.Enc.append_chain enc chain
+
+let decode_auth dec =
+  match Xdr.Dec.enum dec with
+  | 0 ->
+      let len = Xdr.Dec.int dec in
+      if len <> 0 then raise (Bad_message "AUTH_NULL with non-empty body");
+      Auth_null
+  | 1 ->
+      let _len = Xdr.Dec.int dec in
+      let stamp = Xdr.Dec.int dec in
+      let machine = Xdr.Dec.string dec ~max:255 in
+      let uid = Xdr.Dec.int dec in
+      let gid = Xdr.Dec.int dec in
+      let ngids = Xdr.Dec.int dec in
+      if ngids > 16 then raise (Bad_message "too many gids");
+      for _ = 1 to ngids do
+        ignore (Xdr.Dec.int dec)
+      done;
+      Auth_unix { stamp; machine; uid; gid }
+  | n -> raise (Bad_message (Printf.sprintf "unsupported auth flavor %d" n))
+
+let encode_call ?ctr hdr =
+  let enc = Xdr.Enc.create ?ctr () in
+  Xdr.Enc.u32 enc hdr.xid;
+  Xdr.Enc.u32 enc msg_call;
+  Xdr.Enc.int enc rpc_version;
+  Xdr.Enc.int enc hdr.prog;
+  Xdr.Enc.int enc hdr.vers;
+  Xdr.Enc.int enc hdr.proc;
+  encode_auth enc hdr.cred;
+  encode_auth enc Auth_null;
+  (* verifier *)
+  enc
+
+let decode_call chain =
+  let dec = Xdr.Dec.create chain in
+  let xid = Xdr.Dec.u32 dec in
+  if Xdr.Dec.u32 dec <> msg_call then raise (Bad_message "not a call");
+  if Xdr.Dec.int dec <> rpc_version then raise (Bad_message "bad rpc version");
+  let prog = Xdr.Dec.int dec in
+  let vers = Xdr.Dec.int dec in
+  let proc = Xdr.Dec.int dec in
+  let cred = decode_auth dec in
+  let _verf = decode_auth dec in
+  ({ xid; prog; vers; proc; cred }, dec)
+
+let encode_reply ?ctr ~xid status =
+  let enc = Xdr.Enc.create ?ctr () in
+  Xdr.Enc.u32 enc xid;
+  Xdr.Enc.u32 enc msg_reply;
+  (match status with
+  | Accepted acc -> (
+      Xdr.Enc.enum enc 0;
+      encode_auth enc Auth_null;
+      match acc with
+      | Success -> Xdr.Enc.enum enc 0
+      | Prog_unavail -> Xdr.Enc.enum enc 1
+      | Prog_mismatch { low; high } ->
+          Xdr.Enc.enum enc 2;
+          Xdr.Enc.int enc low;
+          Xdr.Enc.int enc high
+      | Proc_unavail -> Xdr.Enc.enum enc 3
+      | Garbage_args -> Xdr.Enc.enum enc 4
+      | System_err -> Xdr.Enc.enum enc 5)
+  | Denied reason -> (
+      Xdr.Enc.enum enc 1;
+      match reason with
+      | Rpc_mismatch ->
+          Xdr.Enc.enum enc 0;
+          Xdr.Enc.int enc rpc_version;
+          Xdr.Enc.int enc rpc_version
+      | Auth_error ->
+          Xdr.Enc.enum enc 1;
+          Xdr.Enc.enum enc 1 (* AUTH_BADCRED *)));
+  enc
+
+let decode_reply chain =
+  let dec = Xdr.Dec.create chain in
+  let xid = Xdr.Dec.u32 dec in
+  if Xdr.Dec.u32 dec <> msg_reply then raise (Bad_message "not a reply");
+  let status =
+    match Xdr.Dec.enum dec with
+    | 0 -> (
+        let _verf = decode_auth dec in
+        match Xdr.Dec.enum dec with
+        | 0 -> Accepted Success
+        | 1 -> Accepted Prog_unavail
+        | 2 ->
+            let low = Xdr.Dec.int dec in
+            let high = Xdr.Dec.int dec in
+            Accepted (Prog_mismatch { low; high })
+        | 3 -> Accepted Proc_unavail
+        | 4 -> Accepted Garbage_args
+        | 5 -> Accepted System_err
+        | n -> raise (Bad_message (Printf.sprintf "bad accept_stat %d" n)))
+    | 1 -> (
+        match Xdr.Dec.enum dec with
+        | 0 ->
+            let _low = Xdr.Dec.int dec in
+            let _high = Xdr.Dec.int dec in
+            Denied Rpc_mismatch
+        | 1 ->
+            let _why = Xdr.Dec.enum dec in
+            Denied Auth_error
+        | n -> raise (Bad_message (Printf.sprintf "bad reject_stat %d" n)))
+    | n -> raise (Bad_message (Printf.sprintf "bad reply_stat %d" n))
+  in
+  (xid, status, dec)
+
+let peek_xid chain =
+  if Mbuf.length chain < 4 then None
+  else
+    let dec = Xdr.Dec.create chain in
+    Some (Xdr.Dec.u32 dec)

@@ -1,0 +1,52 @@
+(** Sun RPC message layer (RFC 1057 subset).
+
+    Call and reply headers are encoded straight into mbuf chains; the
+    procedure arguments/results are appended by the caller using the
+    returned encoder, exactly as the Reno kernel composes whole RPCs in
+    mbufs. *)
+
+type auth =
+  | Auth_null
+  | Auth_unix of { stamp : int; machine : string; uid : int; gid : int }
+
+type call_header = {
+  xid : int32;
+  prog : int;
+  vers : int;
+  proc : int;
+  cred : auth;
+}
+
+type reject_reason = Rpc_mismatch | Auth_error
+
+type accept_status =
+  | Success
+  | Prog_unavail
+  | Prog_mismatch of { low : int; high : int }
+  | Proc_unavail
+  | Garbage_args
+  | System_err
+
+type reply_status = Accepted of accept_status | Denied of reject_reason
+
+exception Bad_message of string
+
+val encode_call :
+  ?ctr:Renofs_mbuf.Mbuf.Counters.t -> call_header -> Renofs_xdr.Xdr.Enc.t
+(** Header encoded; continue with the procedure arguments. *)
+
+val decode_call : Renofs_mbuf.Mbuf.t -> call_header * Renofs_xdr.Xdr.Dec.t
+(** Raises {!Bad_message} (or [Xdr.Decode_error]) on garbage. *)
+
+val encode_reply :
+  ?ctr:Renofs_mbuf.Mbuf.Counters.t ->
+  xid:int32 ->
+  reply_status ->
+  Renofs_xdr.Xdr.Enc.t
+(** On [Accepted Success], continue with the procedure results. *)
+
+val decode_reply :
+  Renofs_mbuf.Mbuf.t -> int32 * reply_status * Renofs_xdr.Xdr.Dec.t
+
+val peek_xid : Renofs_mbuf.Mbuf.t -> int32 option
+(** Cheap look at the transaction id of any RPC message (first word). *)

@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Bytes Char Float Hashtbl Int32 List Printf Renofs_engine Renofs_mbuf Renofs_net

@@ -1,0 +1,1 @@
+lib/transport/tcp.mli: Renofs_mbuf Renofs_net

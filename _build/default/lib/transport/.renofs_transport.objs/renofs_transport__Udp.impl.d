@@ -1,0 +1,1 @@
+lib/transport/udp.ml: Hashtbl Printf Queue Renofs_engine Renofs_mbuf Renofs_net

@@ -1,0 +1,1 @@
+lib/transport/udp.mli: Renofs_mbuf Renofs_net

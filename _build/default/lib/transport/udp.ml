@@ -1,0 +1,124 @@
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Mbuf = Renofs_mbuf.Mbuf
+module Node = Renofs_net.Node
+module Packet = Renofs_net.Packet
+
+type datagram = { src : int; src_port : int; payload : Mbuf.t }
+
+type socket = {
+  stack : stack;
+  port : int;
+  recv_buffer : int;
+  queue : datagram Queue.t;
+  mutable queued_bytes : int;
+  mutable waiters : (unit -> unit) list;
+  mutable drops : int;
+  mutable closed : bool;
+}
+
+and stack = {
+  node : Node.t;
+  sock_cost : float;
+  sockets : (int, socket) Hashtbl.t;
+  mutable next_ephemeral : int;
+}
+
+(* 0.2 ms of socket-layer work on a 0.9 MIPS machine = 180 instructions'
+   worth; scale with CPU speed via instruction count. *)
+let default_sock_instructions = 180.0
+
+let install ?sock_cost node =
+  let cost =
+    match sock_cost with
+    | Some c -> c
+    | None -> Cpu.seconds_of_instructions (Node.cpu node) default_sock_instructions
+  in
+  let stack =
+    { node; sock_cost = cost; sockets = Hashtbl.create 16; next_ephemeral = 40000 }
+  in
+  Node.set_proto_handler node Packet.Udp (fun (dg : Node.datagram) ->
+      (* Runs inside the node's receive process: charging CPU here models
+         socket-layer input processing. *)
+      Cpu.consume (Node.cpu node) stack.sock_cost;
+      match Hashtbl.find_opt stack.sockets dg.Node.dst_port with
+      | None -> () (* port unreachable; silently dropped *)
+      | Some sock ->
+          let size = Mbuf.length dg.Node.payload in
+          if sock.queued_bytes + size > sock.recv_buffer then
+            sock.drops <- sock.drops + 1
+          else begin
+            Queue.add
+              {
+                src = dg.Node.src;
+                src_port = dg.Node.src_port;
+                payload = dg.Node.payload;
+              }
+              sock.queue;
+            sock.queued_bytes <- sock.queued_bytes + size;
+            match sock.waiters with
+            | [] -> ()
+            | resume :: rest ->
+                sock.waiters <- rest;
+                Renofs_engine.Sim.after (Node.sim node) 0.0 resume
+          end);
+  stack
+
+let node t = t.node
+
+let default_recv_buffer = 34816
+
+let bind ?(recv_buffer = default_recv_buffer) stack ~port =
+  if Hashtbl.mem stack.sockets port then
+    invalid_arg (Printf.sprintf "Udp.bind: port %d in use" port);
+  let sock =
+    {
+      stack;
+      port;
+      recv_buffer;
+      queue = Queue.create ();
+      queued_bytes = 0;
+      waiters = [];
+      drops = 0;
+      closed = false;
+    }
+  in
+  Hashtbl.replace stack.sockets port sock;
+  sock
+
+let bind_ephemeral ?recv_buffer stack =
+  let rec pick () =
+    let p = stack.next_ephemeral in
+    stack.next_ephemeral <- stack.next_ephemeral + 1;
+    if Hashtbl.mem stack.sockets p then pick () else p
+  in
+  bind ?recv_buffer stack ~port:(pick ())
+
+let port sock = sock.port
+
+let sendto sock ~dst ~dst_port payload =
+  if sock.closed then invalid_arg "Udp.sendto: socket closed";
+  Cpu.consume (Node.cpu sock.stack.node) sock.stack.sock_cost;
+  Node.send_datagram sock.stack.node ~proto:Packet.Udp ~dst ~src_port:sock.port
+    ~dst_port payload
+
+let try_recv sock =
+  match Queue.take_opt sock.queue with
+  | None -> None
+  | Some dg ->
+      sock.queued_bytes <- sock.queued_bytes - Mbuf.length dg.payload;
+      Some dg
+
+let rec recv sock =
+  match try_recv sock with
+  | Some dg -> dg
+  | None ->
+      Proc.suspend (fun resume -> sock.waiters <- sock.waiters @ [ resume ]);
+      recv sock
+
+let pending sock = Queue.length sock.queue
+let drops sock = sock.drops
+
+let close sock =
+  sock.closed <- true;
+  Hashtbl.remove sock.stack.sockets sock.port

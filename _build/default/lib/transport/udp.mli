@@ -1,0 +1,46 @@
+(** UDP datagram sockets over the simulated IP layer.
+
+    Sockets have bounded receive buffers, as 4.3BSD's do: a server whose
+    nfsds cannot keep up drops requests at the socket, which is one of
+    the overload behaviours the transport experiments react to. *)
+
+type stack
+(** Per-node UDP demultiplexer. *)
+
+type socket
+
+(** One received datagram. *)
+type datagram = {
+  src : int;
+  src_port : int;
+  payload : Renofs_mbuf.Mbuf.t;
+}
+
+val install : ?sock_cost:float -> Renofs_net.Node.t -> stack
+(** Claim the node's UDP input.  [sock_cost] is CPU seconds of socket-
+    layer processing charged per datagram in each direction (default
+    0.2 ms at MicroVAXII scale: scaled by the node's MIPS). *)
+
+val node : stack -> Renofs_net.Node.t
+
+val bind : ?recv_buffer:int -> stack -> port:int -> socket
+(** Raises [Invalid_argument] if the port is taken.  [recv_buffer] is the
+    receive-queue capacity in payload bytes (default 34816 bytes, 4.3BSD's
+    ~4 x 8.5 KB). *)
+
+val bind_ephemeral : ?recv_buffer:int -> stack -> socket
+val port : socket -> int
+
+val sendto : socket -> dst:int -> dst_port:int -> Renofs_mbuf.Mbuf.t -> unit
+(** Transmit one datagram (process context; consumes CPU). *)
+
+val recv : socket -> datagram
+(** Block until a datagram arrives. *)
+
+val try_recv : socket -> datagram option
+val pending : socket -> int
+
+val drops : socket -> int
+(** Datagrams discarded because the receive buffer was full. *)
+
+val close : socket -> unit

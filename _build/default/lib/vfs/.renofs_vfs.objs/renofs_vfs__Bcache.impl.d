@@ -1,0 +1,1 @@
+lib/vfs/bcache.ml: Hashtbl List Renofs_engine

@@ -1,0 +1,1 @@
+lib/vfs/bcache.mli: Renofs_engine

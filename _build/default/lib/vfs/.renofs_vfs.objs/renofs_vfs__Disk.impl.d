@@ -1,0 +1,1 @@
+lib/vfs/disk.ml: Renofs_engine

@@ -1,0 +1,1 @@
+lib/vfs/disk.mli: Renofs_engine

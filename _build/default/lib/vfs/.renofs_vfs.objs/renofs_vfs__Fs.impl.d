@@ -1,0 +1,1 @@
+lib/vfs/fs.ml: Bcache Bytes Disk Hashtbl List Namecache Option Printf Renofs_engine String

@@ -1,0 +1,1 @@
+lib/vfs/fs.mli: Bcache Disk Namecache Renofs_engine

@@ -1,0 +1,1 @@
+lib/vfs/namecache.ml: Hashtbl List Queue String

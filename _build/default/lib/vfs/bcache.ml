@@ -1,0 +1,87 @@
+module Cpu = Renofs_engine.Cpu
+
+type search_mode = Vnode_chained | Global_scan
+
+type stats = { mutable hits : int; mutable misses : int }
+
+type t = {
+  cpu : Cpu.t;
+  capacity : int;
+  search : search_mode;
+  table : (int * int, int) Hashtbl.t; (* key -> lru stamp *)
+  mutable clock : int;
+  stats : stats;
+}
+
+(* Search costs in instructions: a hash probe down the vnode chain vs a
+   walk over the resident buffer headers. *)
+let chained_instructions = 60.0
+let scan_instructions_per_buffer = 12.0
+
+let create _sim cpu ~blocks ~search () =
+  if blocks <= 0 then invalid_arg "Bcache.create: blocks must be positive";
+  {
+    cpu;
+    capacity = blocks;
+    search;
+    table = Hashtbl.create blocks;
+    clock = 0;
+    stats = { hits = 0; misses = 0 };
+  }
+
+let search_mode t = t.search
+
+let search_cost t =
+  match t.search with
+  | Vnode_chained -> Cpu.seconds_of_instructions t.cpu chained_instructions
+  | Global_scan ->
+      let examined = float_of_int (Hashtbl.length t.table) in
+      Cpu.seconds_of_instructions t.cpu
+        (chained_instructions +. (scan_instructions_per_buffer *. examined))
+
+let lookup t ~ino ~blk =
+  Cpu.consume t.cpu (search_cost t);
+  match Hashtbl.find_opt t.table (ino, blk) with
+  | Some _ ->
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.table (ino, blk) t.clock;
+      t.stats.hits <- t.stats.hits + 1;
+      true
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      false
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key stamp acc ->
+        match acc with
+        | Some (_, best) when best <= stamp -> acc
+        | _ -> Some (key, stamp))
+      t.table None
+  in
+  match victim with Some (key, _) -> Hashtbl.remove t.table key | None -> ()
+
+let insert t ~ino ~blk =
+  if not (Hashtbl.mem t.table (ino, blk)) then begin
+    while Hashtbl.length t.table >= t.capacity do
+      evict_lru t
+    done;
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.table (ino, blk) t.clock
+  end
+  else begin
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.table (ino, blk) t.clock
+  end
+
+let invalidate_ino t ino =
+  let doomed =
+    Hashtbl.fold
+      (fun ((i, _) as key) _ acc -> if i = ino then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed
+
+let resident t = Hashtbl.length t.table
+let stats t = t.stats

@@ -1,0 +1,47 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+
+type t = {
+  sim : Sim.t;
+  avg_seek : float;
+  avg_rotation : float;
+  transfer_rate : float;
+  lock : Proc.Semaphore.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable busy : float;
+}
+
+let create sim ?(avg_seek = 0.030) ?(avg_rotation = 0.0083)
+    ?(transfer_rate = 0.6e6) () =
+  {
+    sim;
+    avg_seek;
+    avg_rotation;
+    transfer_rate;
+    lock = Proc.Semaphore.create sim 1;
+    reads = 0;
+    writes = 0;
+    busy = 0.0;
+  }
+
+let io t ~bytes =
+  let service =
+    t.avg_seek +. t.avg_rotation +. (float_of_int bytes /. t.transfer_rate)
+  in
+  Proc.Semaphore.acquire t.lock;
+  t.busy <- t.busy +. service;
+  Proc.sleep t.sim service;
+  Proc.Semaphore.release t.lock
+
+let read t ~bytes =
+  t.reads <- t.reads + 1;
+  io t ~bytes
+
+let write t ~bytes =
+  t.writes <- t.writes + 1;
+  io t ~bytes
+
+let reads t = t.reads
+let writes t = t.writes
+let busy_time t = t.busy

@@ -1,0 +1,28 @@
+(** A simple seek + rotation + transfer disk model (RD53-class by
+    default), serving one request at a time.
+
+    NFSv2 servers must push every write RPC to stable storage before
+    replying — "every write RPC requires 1-3 disk writes on the server"
+    (paper, Section 5) — so disk latency is load-bearing for the write
+    policy experiments (Table 5). *)
+
+type t
+
+val create :
+  Renofs_engine.Sim.t ->
+  ?avg_seek:float ->
+  ?avg_rotation:float ->
+  ?transfer_rate:float ->
+  unit ->
+  t
+(** Defaults model an RD53: 30 ms average seek, 8.3 ms rotational delay
+    (3600 rpm), 0.6 MB/s transfer. *)
+
+val read : t -> bytes:int -> unit
+(** Block the calling process for one read I/O of [bytes]. *)
+
+val write : t -> bytes:int -> unit
+
+val reads : t -> int
+val writes : t -> int
+val busy_time : t -> float

@@ -1,0 +1,606 @@
+module Sim = Renofs_engine.Sim
+module Cpu = Renofs_engine.Cpu
+
+type kind = Reg | Dir | Lnk
+
+type attrs = {
+  kind : kind;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  ino : int;
+  atime : float;
+  mtime : float;
+  ctime : float;
+}
+
+type err =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Enotempty
+  | Estale
+  | Einval
+  | Efbig
+
+exception Err of err
+
+type config = {
+  bcache_blocks : int;
+  bcache_search : Bcache.search_mode;
+  name_cache : bool;
+  block_size : int;
+  sync_data : bool;
+  sync_meta : bool;
+}
+
+let reno_config =
+  {
+    bcache_blocks = 256;
+    bcache_search = Bcache.Vnode_chained;
+    name_cache = true;
+    block_size = 8192;
+    sync_data = true;
+    sync_meta = true;
+  }
+
+let reference_port_config =
+  { reno_config with bcache_search = Bcache.Global_scan; name_cache = false }
+
+(* FFS on a local disk: synchronous metadata, delayed data. *)
+let local_config = { reno_config with sync_data = false }
+
+type file_data = { mutable bytes : Bytes.t; mutable len : int }
+
+type dirents = {
+  names : (string, int) Hashtbl.t;
+  mutable order : string list; (* newest first *)
+}
+
+type body = File of file_data | Directory of dirents | Symlink of string
+
+type vnode = {
+  v_ino : int;
+  mutable body : body;
+  mutable mode : int;
+  mutable nlink : int;
+  mutable uid : int;
+  mutable gid : int;
+  mutable atime : float;
+  mutable mtime : float;
+  mutable ctime : float;
+  mutable parent : int; (* directory containing this node; for dirs, ".." *)
+}
+
+type fsstat = { total_blocks : int; free_blocks : int; block_size : int }
+
+type t = {
+  sim : Sim.t;
+  cpu : Cpu.t;
+  disk : Disk.t;
+  config : config;
+  inodes : (int, vnode) Hashtbl.t;
+  mutable next_ino : int;
+  namecache : Namecache.t option;
+  bcache : Bcache.t;
+}
+
+let max_file_size = 64 * 1024 * 1024
+
+(* Operation CPU costs, in instructions. *)
+let base_op_instr = 90.0
+let getattr_instr = 110.0
+let dirent_instr = 16.0
+let inode_alloc_instr = 300.0
+
+(* How many directory entries we treat as living in one cached block. *)
+let dirents_per_block = 128
+
+let charge t instr = Cpu.consume t.cpu (Cpu.seconds_of_instructions t.cpu instr)
+
+let root_ino = 2
+
+let create sim cpu disk config =
+  let t =
+    {
+      sim;
+      cpu;
+      disk;
+      config;
+      inodes = Hashtbl.create 512;
+      next_ino = root_ino + 1;
+      namecache = (if config.name_cache then Some (Namecache.create ()) else None);
+      bcache = Bcache.create sim cpu ~blocks:config.bcache_blocks ~search:config.bcache_search ();
+    }
+  in
+  let now = Sim.now sim in
+  let root =
+    {
+      v_ino = root_ino;
+      body = Directory { names = Hashtbl.create 16; order = [] };
+      (* Exported scratch filesystems are world-writable at the top. *)
+      mode = 0o777;
+      nlink = 2;
+      uid = 0;
+      gid = 0;
+      atime = now;
+      mtime = now;
+      ctime = now;
+      parent = root_ino;
+    }
+  in
+  Hashtbl.replace t.inodes root_ino root;
+  t
+
+let root t = Hashtbl.find t.inodes root_ino
+let ino v = v.v_ino
+
+let vnode_by_ino t i =
+  match Hashtbl.find_opt t.inodes i with
+  | Some v -> v
+  | None -> raise (Err Estale)
+
+let kind_of v =
+  match v.body with File _ -> Reg | Directory _ -> Dir | Symlink _ -> Lnk
+
+let size_of v =
+  match v.body with
+  | File f -> f.len
+  | Directory d -> Hashtbl.length d.names * 64
+  | Symlink s -> String.length s
+
+let attrs_of v =
+  {
+    kind = kind_of v;
+    mode = v.mode;
+    nlink = v.nlink;
+    uid = v.uid;
+    gid = v.gid;
+    size = size_of v;
+    ino = v.v_ino;
+    atime = v.atime;
+    mtime = v.mtime;
+    ctime = v.ctime;
+  }
+
+let dir_of v =
+  match v.body with Directory d -> d | File _ | Symlink _ -> raise (Err Enotdir)
+
+let file_of v =
+  match v.body with
+  | File f -> f
+  | Directory _ -> raise (Err Eisdir)
+  | Symlink _ -> raise (Err Einval)
+
+(* Touch a directory block range through the buffer cache, paying disk
+   reads for misses. *)
+let touch_dir_blocks t dir_v ~upto_entry =
+  let blocks = (upto_entry / dirents_per_block) + 1 in
+  for blk = 0 to blocks - 1 do
+    if not (Bcache.lookup t.bcache ~ino:dir_v.v_ino ~blk) then begin
+      Disk.read t.disk ~bytes:t.config.block_size;
+      Bcache.insert t.bcache ~ino:dir_v.v_ino ~blk
+    end
+  done
+
+(* Write a directory's metadata: the directory data block plus the inode;
+   synchronous when the configuration demands it. *)
+let flush_dir_update t dir_v =
+  Bcache.insert t.bcache ~ino:dir_v.v_ino ~blk:0;
+  if t.config.sync_meta then begin
+    Disk.write t.disk ~bytes:t.config.block_size;
+    Disk.write t.disk ~bytes:512 (* inode *)
+  end
+
+let getattr t v =
+  charge t getattr_instr;
+  attrs_of v
+
+let now t = Sim.now t.sim
+
+let setattr t v ?mode ?uid ?gid ?size ?mtime () =
+  charge t (base_op_instr +. 80.0);
+  (match mode with Some m -> v.mode <- m | None -> ());
+  (match uid with Some u -> v.uid <- u | None -> ());
+  (match gid with Some g -> v.gid <- g | None -> ());
+  (match size with
+  | Some s -> (
+      match v.body with
+      | File f ->
+          if s > max_file_size then raise (Err Efbig);
+          if s <= f.len then f.len <- s
+          else begin
+            if s > Bytes.length f.bytes then begin
+              let grown = Bytes.make s '\000' in
+              Bytes.blit f.bytes 0 grown 0 f.len;
+              f.bytes <- grown
+            end
+            else Bytes.fill f.bytes f.len (s - f.len) '\000';
+            f.len <- s
+          end;
+          v.mtime <- now t
+      | Directory _ | Symlink _ -> raise (Err Einval))
+  | None -> ());
+  (match mtime with Some m -> v.mtime <- m | None -> ());
+  v.ctime <- now t;
+  if t.config.sync_meta then Disk.write t.disk ~bytes:512;
+  attrs_of v
+
+(* Position of [name] in directory insertion order (oldest first), used
+   to model how far a linear scan must walk. *)
+let scan_position d name =
+  let oldest_first = List.rev d.order in
+  let rec go i = function
+    | [] -> None
+    | n :: rest -> if String.equal n name then Some i else go (i + 1) rest
+  in
+  go 0 oldest_first
+
+let lookup t dirv name =
+  charge t base_op_instr;
+  let d = dir_of dirv in
+  if String.equal name "." then dirv
+  else if String.equal name ".." then vnode_by_ino t dirv.parent
+  else begin
+    let from_cache =
+      match t.namecache with
+      | Some nc -> (
+          match Namecache.lookup nc ~dir:dirv.v_ino name with
+          | Some i -> Hashtbl.find_opt t.inodes i
+          | None -> None)
+      | None -> None
+    in
+    match from_cache with
+    | Some v -> v
+    | None -> (
+        (* Linear directory scan through the buffer cache. *)
+        let total = Hashtbl.length d.names in
+        let pos = scan_position d name in
+        let examined = match pos with Some p -> p + 1 | None -> total in
+        charge t (dirent_instr *. float_of_int examined);
+        touch_dir_blocks t dirv ~upto_entry:(max 0 (examined - 1));
+        match Hashtbl.find_opt d.names name with
+        | None -> raise (Err Enoent)
+        | Some i ->
+            let v = vnode_by_ino t i in
+            (match t.namecache with
+            | Some nc -> Namecache.enter nc ~dir:dirv.v_ino name i
+            | None -> ());
+            v)
+  end
+
+let blocks_in_range t ~off ~len =
+  if len = 0 then []
+  else begin
+    let first = off / t.config.block_size in
+    let last = (off + len - 1) / t.config.block_size in
+    List.init (last - first + 1) (fun i -> first + i)
+  end
+
+let read t v ~off ~len =
+  charge t base_op_instr;
+  if off < 0 || len < 0 then raise (Err Einval);
+  let f = file_of v in
+  let len = if off >= f.len then 0 else min len (f.len - off) in
+  List.iter
+    (fun blk ->
+      if not (Bcache.lookup t.bcache ~ino:v.v_ino ~blk) then begin
+        Disk.read t.disk ~bytes:t.config.block_size;
+        Bcache.insert t.bcache ~ino:v.v_ino ~blk
+      end)
+    (blocks_in_range t ~off ~len);
+  v.atime <- now t;
+  Bytes.sub f.bytes off len
+
+let ensure_capacity f total =
+  if total > Bytes.length f.bytes then begin
+    let cap = max total (max 1024 (2 * Bytes.length f.bytes)) in
+    let grown = Bytes.make cap '\000' in
+    Bytes.blit f.bytes 0 grown 0 f.len;
+    f.bytes <- grown
+  end
+
+let write t v ~off data =
+  charge t (base_op_instr +. 60.0);
+  if off < 0 then raise (Err Einval);
+  let f = file_of v in
+  let len = Bytes.length data in
+  let total = off + len in
+  if total > max_file_size then raise (Err Efbig);
+  let old_blocks = (f.len + t.config.block_size - 1) / t.config.block_size in
+  ensure_capacity f total;
+  if off > f.len then Bytes.fill f.bytes f.len (off - f.len) '\000';
+  Bytes.blit data 0 f.bytes off len;
+  if total > f.len then f.len <- total;
+  let touched = blocks_in_range t ~off ~len in
+  List.iter
+    (fun blk ->
+      ignore (Bcache.lookup t.bcache ~ino:v.v_ino ~blk);
+      Bcache.insert t.bcache ~ino:v.v_ino ~blk)
+    touched;
+  v.mtime <- now t;
+  v.ctime <- v.mtime;
+  if t.config.sync_data then begin
+    (* Data block(s), the inode, and one indirect block when the file
+       has grown past the direct blocks: the paper's 1-3 disk writes. *)
+    List.iter (fun _ -> Disk.write t.disk ~bytes:t.config.block_size) touched;
+    Disk.write t.disk ~bytes:512;
+    let new_blocks = (f.len + t.config.block_size - 1) / t.config.block_size in
+    if new_blocks > old_blocks && new_blocks > 12 then
+      Disk.write t.disk ~bytes:512
+  end
+
+let alloc_vnode t ~body ~mode ?(uid = 0) ?(gid = 0) ~parent () =
+  let i = t.next_ino in
+  t.next_ino <- t.next_ino + 1;
+  let ts = now t in
+  let v =
+    {
+      v_ino = i;
+      body;
+      mode;
+      nlink = 1;
+      uid;
+      gid;
+      atime = ts;
+      mtime = ts;
+      ctime = ts;
+      parent;
+    }
+  in
+  Hashtbl.replace t.inodes i v;
+  v
+
+let add_entry t dirv name ino_ =
+  let d = dir_of dirv in
+  Hashtbl.replace d.names name ino_;
+  d.order <- name :: d.order;
+  dirv.mtime <- now t;
+  dirv.ctime <- dirv.mtime;
+  (match t.namecache with
+  | Some nc -> Namecache.enter nc ~dir:dirv.v_ino name ino_
+  | None -> ());
+  flush_dir_update t dirv
+
+(* Operating through a vnode whose inode is gone (e.g. a directory
+   removed behind the caller's back) is the stale-handle case. *)
+let ensure_live t v =
+  if not (Hashtbl.mem t.inodes v.v_ino) then raise (Err Estale)
+
+let check_absent t dirv name =
+  ensure_live t dirv;
+  let d = dir_of dirv in
+  if String.length name = 0 || String.contains name '/' then raise (Err Einval);
+  if Hashtbl.mem d.names name then raise (Err Eexist)
+
+let create_file t ~dir name ~mode ?uid ?gid () =
+  charge t (base_op_instr +. inode_alloc_instr);
+  check_absent t dir name;
+  let v =
+    alloc_vnode t ~body:(File { bytes = Bytes.create 0; len = 0 }) ~mode ?uid ?gid
+      ~parent:dir.v_ino ()
+  in
+  if t.config.sync_meta then Disk.write t.disk ~bytes:512 (* new inode *);
+  add_entry t dir name v.v_ino;
+  v
+
+let mkdir t ~dir name ~mode ?uid ?gid () =
+  charge t (base_op_instr +. inode_alloc_instr);
+  check_absent t dir name;
+  let v =
+    alloc_vnode t
+      ~body:(Directory { names = Hashtbl.create 8; order = [] })
+      ~mode ?uid ?gid ~parent:dir.v_ino ()
+  in
+  v.nlink <- 2;
+  dir.nlink <- dir.nlink + 1;
+  if t.config.sync_meta then Disk.write t.disk ~bytes:512;
+  add_entry t dir name v.v_ino;
+  v
+
+let symlink t ~dir name ~target ?uid ?gid () =
+  charge t (base_op_instr +. inode_alloc_instr);
+  check_absent t dir name;
+  let v =
+    alloc_vnode t ~body:(Symlink target) ~mode:0o777 ?uid ?gid ~parent:dir.v_ino ()
+  in
+  if t.config.sync_meta then Disk.write t.disk ~bytes:512;
+  add_entry t dir name v.v_ino
+
+let readlink t v =
+  charge t base_op_instr;
+  match v.body with
+  | Symlink s -> s
+  | File _ | Directory _ -> raise (Err Einval)
+
+let find_entry t dirv name =
+  ensure_live t dirv;
+  let d = dir_of dirv in
+  match Hashtbl.find_opt d.names name with
+  | Some i -> i
+  | None -> raise (Err Enoent)
+
+let drop_entry t dirv name =
+  let d = dir_of dirv in
+  Hashtbl.remove d.names name;
+  d.order <- List.filter (fun n -> not (String.equal n name)) d.order;
+  (match t.namecache with
+  | Some nc -> Namecache.remove nc ~dir:dirv.v_ino name
+  | None -> ());
+  dirv.mtime <- now t;
+  dirv.ctime <- dirv.mtime;
+  flush_dir_update t dirv
+
+let forget t v =
+  Hashtbl.remove t.inodes v.v_ino;
+  Bcache.invalidate_ino t.bcache v.v_ino;
+  match t.namecache with
+  | Some nc -> Namecache.invalidate_dir nc v.v_ino
+  | None -> ()
+
+let remove t ~dir name =
+  charge t (base_op_instr +. 120.0);
+  let i = find_entry t dir name in
+  let v = vnode_by_ino t i in
+  (match v.body with Directory _ -> raise (Err Eisdir) | File _ | Symlink _ -> ());
+  drop_entry t dir name;
+  v.nlink <- v.nlink - 1;
+  if v.nlink <= 0 then forget t v
+  else if t.config.sync_meta then Disk.write t.disk ~bytes:512
+
+let rmdir t ~dir name =
+  charge t (base_op_instr +. 120.0);
+  let i = find_entry t dir name in
+  let v = vnode_by_ino t i in
+  let d = dir_of v in
+  if Hashtbl.length d.names > 0 then raise (Err Enotempty);
+  drop_entry t dir name;
+  dir.nlink <- dir.nlink - 1;
+  forget t v
+
+let rename t ~src_dir name ~dst_dir new_name =
+  charge t (base_op_instr +. 200.0);
+  ensure_live t dst_dir;
+  let i = find_entry t src_dir name in
+  let moved = vnode_by_ino t i in
+  let is_dir v = match v.body with Directory _ -> true | File _ | Symlink _ -> false in
+  (* Remove a displaced destination first, as rename(2) does. *)
+  (let d = dir_of dst_dir in
+   match Hashtbl.find_opt d.names new_name with
+   | Some j when j <> i ->
+       let victim = vnode_by_ino t j in
+       (match victim.body with
+       | Directory dd when Hashtbl.length dd.names > 0 -> raise (Err Enotempty)
+       | _ -> ());
+       drop_entry t dst_dir new_name;
+       if is_dir victim then begin
+         (* An empty directory victim: its parent loses the ".." link
+            and the directory itself is gone. *)
+         dst_dir.nlink <- dst_dir.nlink - 1;
+         forget t victim
+       end
+       else begin
+         victim.nlink <- victim.nlink - 1;
+         if victim.nlink <= 0 then forget t victim
+       end
+   | _ -> ());
+  drop_entry t src_dir name;
+  add_entry t dst_dir new_name i;
+  (* A directory changing parents carries its ".." link with it. *)
+  if is_dir moved && src_dir.v_ino <> dst_dir.v_ino then begin
+    src_dir.nlink <- src_dir.nlink - 1;
+    dst_dir.nlink <- dst_dir.nlink + 1
+  end;
+  moved.parent <- dst_dir.v_ino;
+  moved.ctime <- now t
+
+let link t ~src ~dir name =
+  charge t (base_op_instr +. 120.0);
+  ensure_live t src;
+  (match src.body with Directory _ -> raise (Err Eisdir) | File _ | Symlink _ -> ());
+  check_absent t dir name;
+  src.nlink <- src.nlink + 1;
+  src.ctime <- now t;
+  add_entry t dir name src.v_ino
+
+let readdir t v ~cookie ~count =
+  charge t base_op_instr;
+  let d = dir_of v in
+  if cookie < 0 || count <= 0 then raise (Err Einval);
+  let all = List.rev d.order in
+  let total = List.length all in
+  touch_dir_blocks t v ~upto_entry:(max 0 (min (cookie + count) total - 1));
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+  let rec take n l =
+    if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r
+  in
+  let page = take count (drop cookie all) in
+  charge t (dirent_instr *. float_of_int (List.length page));
+  let entries =
+    List.map (fun n -> (n, Hashtbl.find d.names n)) page
+  in
+  (entries, cookie + List.length page >= total)
+
+let statfs t =
+  charge t base_op_instr;
+  let used =
+    Hashtbl.fold
+      (fun _ v acc ->
+        acc + ((size_of v + t.config.block_size - 1) / t.config.block_size))
+      t.inodes 0
+  in
+  {
+    total_blocks = 65536;
+    free_blocks = max 0 (65536 - used);
+    block_size = t.config.block_size;
+  }
+
+let namecache t = t.namecache
+let bcache t = t.bcache
+let disk t = t.disk
+
+let fsck t =
+  let problems = ref [] in
+  let complain fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  (* Count references from directory entries. *)
+  let refs = Hashtbl.create 64 in
+  let bump i = Hashtbl.replace refs i (1 + Option.value ~default:0 (Hashtbl.find_opt refs i)) in
+  Hashtbl.iter
+    (fun ino_ v ->
+      match v.body with
+      | Directory d ->
+          Hashtbl.iter
+            (fun name target ->
+              match Hashtbl.find_opt t.inodes target with
+              | None -> complain "entry %d/%s points at dead inode %d" ino_ name target
+              | Some child -> (
+                  bump target;
+                  match child.body with
+                  | Directory _ when child.parent <> ino_ ->
+                      complain "directory %d has parent %d but lives in %d" target
+                        child.parent ino_
+                  | _ -> ()))
+            d.names;
+          (* The order list and the name table must agree. *)
+          if List.length d.order <> Hashtbl.length d.names then
+            complain "directory %d order/table mismatch (%d vs %d)" ino_
+              (List.length d.order) (Hashtbl.length d.names);
+          List.iter
+            (fun n ->
+              if not (Hashtbl.mem d.names n) then
+                complain "directory %d order lists ghost entry %s" ino_ n)
+            d.order
+      | File _ | Symlink _ -> ())
+    t.inodes;
+  (* Link counts. *)
+  Hashtbl.iter
+    (fun ino_ v ->
+      let entry_refs = Option.value ~default:0 (Hashtbl.find_opt refs ino_) in
+      match v.body with
+      | File _ | Symlink _ ->
+          if ino_ <> root_ino && entry_refs = 0 then
+            complain "inode %d is orphaned (no directory entry)" ino_;
+          if v.nlink <> entry_refs then
+            complain "inode %d nlink %d but %d directory references" ino_ v.nlink
+              entry_refs
+      | Directory d ->
+          (* nlink = 2 (self + entry) + one per child directory. *)
+          let subdirs =
+            Hashtbl.fold
+              (fun _ child acc ->
+                match Hashtbl.find_opt t.inodes child with
+                | Some c when (match c.body with Directory _ -> true | _ -> false) ->
+                    acc + 1
+                | _ -> acc)
+              d.names 0
+          in
+          let expected = 2 + subdirs in
+          if v.nlink <> expected then
+            complain "directory %d nlink %d, expected %d" ino_ v.nlink expected;
+          if ino_ <> root_ino && entry_refs <> 1 then
+            complain "directory %d has %d entries pointing at it" ino_ entry_refs)
+    t.inodes;
+  List.rev !problems

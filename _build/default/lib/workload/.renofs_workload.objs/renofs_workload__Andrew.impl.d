@@ -1,0 +1,1 @@
+lib/workload/andrew.ml: Array Bytes Char Hashtbl List Printf Renofs_core Renofs_engine Renofs_net String

@@ -1,0 +1,1 @@
+lib/workload/andrew.mli: Renofs_core

@@ -1,0 +1,1 @@
+lib/workload/ascii_plot.ml: Array Buffer Experiments Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/workload/create_delete.ml: Bytes Printf Renofs_core Renofs_engine Renofs_vfs

@@ -1,0 +1,1 @@
+lib/workload/create_delete.mli: Renofs_core Renofs_engine Renofs_vfs

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Andrew Create_delete Fileset Format List Nhfsstone Option Printf Renofs_core Renofs_engine Renofs_mbuf Renofs_net Renofs_transport Renofs_vfs String

@@ -1,0 +1,1 @@
+lib/workload/fileset.ml: Bytes Char Hashtbl List Printf Renofs_core Renofs_vfs String

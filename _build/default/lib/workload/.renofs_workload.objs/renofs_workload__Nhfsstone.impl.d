@@ -1,0 +1,1 @@
+lib/workload/nhfsstone.ml: Array Bytes Fileset Hashtbl List Renofs_core Renofs_engine String

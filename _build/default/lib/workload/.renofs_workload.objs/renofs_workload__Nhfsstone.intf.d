@@ -1,0 +1,1 @@
+lib/workload/nhfsstone.mli: Fileset Renofs_core

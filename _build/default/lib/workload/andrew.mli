@@ -1,0 +1,33 @@
+(** The Modified Andrew Benchmark [Ousterhout90], as used for Tables
+    2-4.
+
+    Five phases over a synthetic source tree: (I) create the directory
+    hierarchy, (II) copy every source file into it, (III) stat every
+    file (recursive ls -l), (IV) read every file (grep), (V) compile —
+    read each .c file and the headers it includes, burn compile CPU,
+    write the .o.  On a MicroVAXII phase V is dominated by client CPU,
+    which is why the paper reports it separately and why the RPC counts
+    (Table 3) are more interesting than the times. *)
+
+type config = {
+  source_files : int;  (** .c files in the tree *)
+  header_files : int;
+  subdirs : int;
+  compile_instructions_per_byte : float;
+      (** CPU cost of compiling one source byte (drives phase V) *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  phase_times : float array;  (** seconds, phases I-V *)
+  time_i_iv : float;  (** phases I-IV summed — the paper's first column *)
+  time_v : float;
+  rpc_counts : (string * int) list;  (** per procedure, Table 3 *)
+  total_rpcs : int;
+}
+
+val run : Renofs_core.Nfs_client.t -> ?config:config -> unit -> result
+(** Run all five phases against a fresh area of the mount.  Must run
+    inside a process.  RPC counts are deltas over the run. *)

@@ -1,0 +1,87 @@
+let markers = [| '*'; '+'; 'o'; 'x'; '#' |]
+
+let render ?(width = 56) ?(height = 14) ~x_label ~y_label ~x ~series () =
+  ignore y_label;
+  let n = List.fold_left (fun acc (_, ys) -> min acc (List.length ys)) (List.length x) series in
+  let xs = Array.of_list (List.filteri (fun i _ -> i < n) x) in
+  if n = 0 || Array.length xs = 0 then "(no data)\n"
+  else begin
+    let x_min = xs.(0) and x_max = xs.(Array.length xs - 1) in
+    let y_max =
+      List.fold_left
+        (fun acc (_, ys) ->
+          List.fold_left Float.max acc (List.filteri (fun i _ -> i < n) ys))
+        1e-9 series
+    in
+    let grid = Array.make_matrix height width ' ' in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let place xv yv marker =
+      let col =
+        int_of_float ((xv -. x_min) /. x_span *. float_of_int (width - 1))
+      in
+      let row =
+        height - 1 - int_of_float (yv /. y_max *. float_of_int (height - 1))
+      in
+      let col = max 0 (min (width - 1) col) in
+      let row = max 0 (min (height - 1) row) in
+      grid.(row).(col) <- (if grid.(row).(col) = ' ' then marker else '@')
+    in
+    List.iteri
+      (fun si (_, ys) ->
+        let marker = markers.(si mod Array.length markers) in
+        List.iteri (fun i yv -> if i < n then place xs.(i) yv marker) ys)
+      series;
+    let buf = Buffer.create ((height + 4) * (width + 12)) in
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 then Printf.sprintf "%8.1f |" y_max
+          else if row = height - 1 then Printf.sprintf "%8.1f |" 0.0
+          else "         |"
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("         +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "          %-8.1f%s%8.1f  (%s)\n" x_min
+         (String.make (max 1 (width - 18)) ' ')
+         x_max x_label);
+    Buffer.add_string buf "          legend: ";
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%c=%s  " markers.(si mod Array.length markers) name))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end
+
+let float_cell s = float_of_string_opt (String.trim s)
+
+let render_table (t : Experiments.table) =
+  match t.Experiments.rows with
+  | [] -> None
+  | rows ->
+      let parsed =
+        List.map (fun row -> List.map float_cell row) rows
+      in
+      if
+        List.for_all (fun row -> List.for_all Option.is_some row) parsed
+        && List.length (List.hd parsed) >= 2
+      then begin
+        let numeric = List.map (List.map Option.get) parsed in
+        let x = List.map List.hd numeric in
+        let cols = List.length (List.hd numeric) - 1 in
+        let series =
+          List.init cols (fun c ->
+              let name = List.nth t.Experiments.header (c + 1) in
+              (name, List.map (fun row -> List.nth row (c + 1)) numeric))
+        in
+        Some
+          (render
+             ~x_label:(List.hd t.Experiments.header)
+             ~y_label:"" ~x ~series ())
+      end
+      else None

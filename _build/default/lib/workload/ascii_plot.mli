@@ -1,0 +1,23 @@
+(** Terminal line charts for the regenerated figures.
+
+    The paper's graphs are RTT-vs-load curves; a table of numbers hides
+    the shape, so the bench harness renders each graph experiment as an
+    ASCII chart too. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  x:float list ->
+  series:(string * float list) list ->
+  unit ->
+  string
+(** A chart with one marker per series ([*], [+], [o], [x], [#]), a
+    zero-based y axis, and a legend.  Series shorter than [x] are
+    truncated to the common length. *)
+
+val render_table : Experiments.table -> string option
+(** Interpret an experiment table whose first column is numeric x and
+    remaining columns are numeric series; [None] when it is not that
+    shape (e.g. Tables 2-5). *)

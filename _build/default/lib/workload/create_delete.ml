@@ -1,0 +1,43 @@
+module Sim = Renofs_engine.Sim
+module Cpu = Renofs_engine.Cpu
+module Fs = Renofs_vfs.Fs
+module Nfs_client = Renofs_core.Nfs_client
+
+type config = { data_bytes : int; iterations : int }
+
+let chunked_write write total =
+  let rec loop off =
+    if off < total then begin
+      let n = min 8192 (total - off) in
+      write ~off (Bytes.make n 'd');
+      loop (off + n)
+    end
+  in
+  loop 0
+
+let run_nfs m config =
+  let sim = Nfs_client.sim m in
+  let t0 = Sim.now sim in
+  for i = 1 to config.iterations do
+    let name = Printf.sprintf "cd_%d" i in
+    let fd = Nfs_client.create m name in
+    if config.data_bytes > 0 then
+      chunked_write (fun ~off data -> Nfs_client.write m fd ~off data) config.data_bytes;
+    Nfs_client.close m fd;
+    Nfs_client.unlink m name
+  done;
+  (Sim.now sim -. t0) /. float_of_int config.iterations *. 1000.0
+
+let run_local sim cpu fs config =
+  let root = Fs.root fs in
+  let t0 = Sim.now sim in
+  for i = 1 to config.iterations do
+    let name = Printf.sprintf "cd_%d" i in
+    let v = Fs.create_file fs ~dir:root name ~mode:0o644 () in
+    if config.data_bytes > 0 then
+      chunked_write (fun ~off data -> Fs.write fs v ~off data) config.data_bytes;
+    (* A local close is free; the delete follows immediately. *)
+    Cpu.consume cpu (Cpu.seconds_of_instructions cpu 200.0);
+    Fs.remove fs ~dir:root name
+  done;
+  (Sim.now sim -. t0) /. float_of_int config.iterations *. 1000.0

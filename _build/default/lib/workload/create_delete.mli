@@ -1,0 +1,25 @@
+(** The Create-Delete benchmark [Ousterhout90] behind Table 5.
+
+    Each iteration creates a file, writes a given amount of data, closes
+    it and deletes it.  The close is where push-on-close bites: with
+    consistency enabled the close blocks until every write RPC has been
+    answered, while the noconsist mount's delayed data simply evaporates
+    at the delete. *)
+
+type config = {
+  data_bytes : int;  (** 0, 10 KB or 100 KB in the paper *)
+  iterations : int;
+}
+
+val run_nfs : Renofs_core.Nfs_client.t -> config -> float
+(** Mean milliseconds per iteration over the mount.  Runs inside a
+    process. *)
+
+val run_local :
+  Renofs_engine.Sim.t ->
+  Renofs_engine.Cpu.t ->
+  Renofs_vfs.Fs.t ->
+  config ->
+  float
+(** The local-filesystem baseline: same iteration against a
+    {!Renofs_vfs.Fs} directly (use {!Renofs_vfs.Fs.local_config}). *)

@@ -1,0 +1,731 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Stats = Renofs_engine.Stats
+module Net = Renofs_net
+module Node = Renofs_net.Node
+module Nic = Renofs_net.Nic
+module Topology = Renofs_net.Topology
+module Udp = Renofs_transport.Udp
+module Tcp = Renofs_transport.Tcp
+module Fs = Renofs_vfs.Fs
+module Disk = Renofs_vfs.Disk
+module Nfs_server = Renofs_core.Nfs_server
+module Nfs_client = Renofs_core.Nfs_client
+module Client_transport = Renofs_core.Client_transport
+
+type scale = Quick | Full
+
+type table = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+let print_table fmt t =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi (fun i cell -> max (List.nth acc i) (String.length cell)) row)
+      (List.map String.length t.header)
+      t.rows
+  in
+  let print_row row =
+    Format.fprintf fmt "| %s |@."
+      (String.concat " | "
+         (List.mapi
+            (fun i cell -> cell ^ String.make (List.nth widths i - String.length cell) ' ')
+            row))
+  in
+  Format.fprintf fmt "== %s: %s ==@." t.id t.title;
+  print_row t.header;
+  Format.fprintf fmt "|%s|@."
+    (String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter print_row t.rows;
+  Format.fprintf fmt "@."
+
+let ms v = Printf.sprintf "%.1f" (v *. 1000.0)
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+
+(* ------------------------------------------------------------------ *)
+(* World plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type world = {
+  sim : Sim.t;
+  topo : Topology.t;
+  server : Nfs_server.t;
+  client_udp : Udp.stack;
+  client_tcp : Tcp.stack;
+}
+
+let make_world ?(params = Topology.default_params)
+    ?(server_profile = Nfs_server.reno_profile) ~topology () =
+  let sim = Sim.create () in
+  let topo = Topology.by_name topology sim ~params () in
+  let sudp = Udp.install topo.Topology.server in
+  let stcp = Tcp.install topo.Topology.server in
+  let server =
+    Nfs_server.create topo.Topology.server ~profile:server_profile ~udp:sudp
+      ~tcp:stcp ()
+  in
+  Nfs_server.start server;
+  {
+    sim;
+    topo;
+    server;
+    client_udp = Udp.install topo.Topology.client;
+    client_tcp = Tcp.install topo.Topology.client;
+  }
+
+exception Driver_stuck of string
+
+(* Run [body] as a driver process; keep the simulator moving (cross
+   traffic never drains the event queue) until the driver finishes. *)
+let drive world body =
+  let result = ref None in
+  Proc.spawn world.sim (fun () -> result := Some (body ()));
+  let guard = ref 0 in
+  while !result = None do
+    incr guard;
+    if !guard > 100_000 then raise (Driver_stuck "experiment driver never finished");
+    Sim.run ~until:(Sim.now world.sim +. 100.0) world.sim
+  done;
+  Option.get !result
+
+let mss_for topology = if topology = "lan" then 1460 else 512
+
+let mount_opts_for ~transport ~topology =
+  let base =
+    match transport with
+    | `Udp_fixed -> Nfs_client.reno_mount
+    | `Udp_dynamic -> Nfs_client.reno_dynamic_mount
+    | `Tcp -> Nfs_client.reno_tcp_mount
+  in
+  { base with Nfs_client.mss = mss_for topology }
+
+let mount_in world opts =
+  Nfs_client.mount ~udp:world.client_udp ~tcp:world.client_tcp
+    ~server:(Topology.server_id world.topo)
+    ~root:(Nfs_server.root_fhandle world.server)
+    opts
+
+let transports = [ ("udp-fixed", `Udp_fixed); ("udp-dyn", `Udp_dynamic); ("tcp", `Tcp) ]
+
+let standard_fileset =
+  Fileset.generate ~dirs:20 ~files_per_dir:20 ~file_size:16384 ~long_names:true
+
+(* ------------------------------------------------------------------ *)
+(* Nhfsstone sweeps (Graphs 1-5, 8, 9; Tables 1; Graph 6)             *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_loads = function Quick -> [ 5.0; 10.0; 20.0; 30.0 ] | Full -> [ 5.0; 10.0; 15.0; 20.0; 25.0; 30.0; 40.0 ]
+let sweep_duration = function Quick -> 20.0 | Full -> 120.0
+
+let one_nhfsstone_run ?(server_profile = Nfs_server.reno_profile)
+    ?(params = Topology.default_params) ?(warmup = 8.0) ?(children = 4) ~topology
+    ~mount_opts ~mix ~rate ~duration ~seed () =
+  let world = make_world ~params ~server_profile ~topology () in
+  drive world (fun () ->
+      Fileset.preload_server world.server standard_fileset;
+      let m = mount_in world mount_opts in
+      if warmup > 0.0 then
+        ignore
+          (Nhfsstone.run m standard_fileset
+             { Nhfsstone.rate; duration = warmup; children; mix; seed = seed + 1 });
+      Nhfsstone.run m standard_fileset
+        { Nhfsstone.rate; duration; children; mix; seed })
+
+let transport_sweep ~id ~title ~topology ~mix ~scale =
+  let loads = sweep_loads scale and duration = sweep_duration scale in
+  let rows =
+    List.map
+      (fun load ->
+        f1 load
+        :: List.map
+             (fun (_, transport) ->
+               let r =
+                 one_nhfsstone_run ~topology
+                   ~mount_opts:(mount_opts_for ~transport ~topology)
+                   ~mix ~rate:load ~duration ~seed:42 ()
+               in
+               ms r.Nhfsstone.mean_op_latency)
+             transports)
+      loads
+  in
+  {
+    id;
+    title;
+    header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") transports;
+    rows;
+  }
+
+let graph1 ?(scale = Quick) () =
+  transport_sweep ~id:"graph1" ~title:"Ave RTT vs load, lookup mix, same LAN"
+    ~topology:"lan" ~mix:Nhfsstone.lookup_mix ~scale
+
+let graph2 ?(scale = Quick) () =
+  transport_sweep ~id:"graph2" ~title:"Ave RTT vs load, 50/50 read/lookup, same LAN"
+    ~topology:"lan" ~mix:Nhfsstone.read_lookup_mix ~scale
+
+let graph3 ?(scale = Quick) () =
+  transport_sweep ~id:"graph3"
+    ~title:"Ave RTT vs load, lookup mix, token ring + 2 routers" ~topology:"campus"
+    ~mix:Nhfsstone.lookup_mix ~scale
+
+let graph4 ?(scale = Quick) () =
+  transport_sweep ~id:"graph4"
+    ~title:"Ave RTT vs load, read/lookup mix, token ring + 2 routers"
+    ~topology:"campus" ~mix:Nhfsstone.read_lookup_mix ~scale
+
+let graph5 ?(scale = Quick) () =
+  (* The 56K line saturates near 18 lookup/s; the interesting region is
+     the approach to it. *)
+  let scale_loads =
+    match scale with
+    | Quick -> [ 4.0; 10.0; 16.0 ]
+    | Full -> [ 4.0; 8.0; 12.0; 14.0; 16.0; 18.0 ]
+  in
+  let duration = sweep_duration scale in
+  let rows =
+    List.map
+      (fun load ->
+        f1 load
+        :: List.map
+             (fun (_, transport) ->
+               let r =
+                 one_nhfsstone_run ~topology:"wan"
+                   ~mount_opts:(mount_opts_for ~transport ~topology:"wan")
+                   ~mix:Nhfsstone.lookup_mix ~rate:load ~duration ~seed:42 ()
+               in
+               ms r.Nhfsstone.mean_op_latency)
+             transports)
+      scale_loads
+  in
+  {
+    id = "graph5";
+    title = "Ave RTT vs load, lookup mix, 56Kbps link + 3 routers";
+    header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") transports;
+    rows;
+  }
+
+let table1 ?(scale = Quick) () =
+  (* The fixed-RTO pathology on the 56K line builds up over repeated
+     backoff cycles, so even Quick scale needs a couple of minutes of
+     virtual time per cell. *)
+  let duration = match scale with Quick -> 120.0 | Full -> 180.0 in
+  let configs =
+    (* The 56K row runs enough closed-loop children to saturate the
+       line, as offered load did in the paper. *)
+    [
+      ("same LAN", "lan", 24.0, 4);
+      ("token ring", "campus", 20.0, 4);
+      ("56Kbps", "wan", 8.0, 8);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, topology, rate, children) ->
+        label
+        :: List.map
+             (fun (_, transport) ->
+               let r =
+                 one_nhfsstone_run ~topology ~children
+                   ~mount_opts:(mount_opts_for ~transport ~topology)
+                   ~mix:Nhfsstone.read_lookup_mix ~rate ~duration ~seed:97 ()
+               in
+               f2 r.Nhfsstone.read_rate)
+             transports)
+      configs
+  in
+  {
+    id = "table1";
+    title = "Achieved read rate (reads/sec) by transport and interconnect";
+    header = "interconnect" :: List.map (fun (n, _) -> n) transports;
+    rows;
+  }
+
+let graph6 ?(scale = Quick) () =
+  let loads = sweep_loads scale and duration = sweep_duration scale in
+  let cpu_per_rpc transport rate =
+    let world = make_world ~topology:"lan" () in
+    drive world (fun () ->
+        Fileset.preload_server world.server standard_fileset;
+        let m = mount_in world (mount_opts_for ~transport ~topology:"lan") in
+        let cpu = Node.cpu world.topo.Topology.server in
+        let busy0 = Cpu.busy_time cpu and served0 = Nfs_server.rpcs_served world.server in
+        let _ =
+          Nhfsstone.run m standard_fileset
+            {
+              Nhfsstone.rate;
+              duration;
+              children = 4;
+              mix = Nhfsstone.read_lookup_mix;
+              seed = 13;
+            }
+        in
+        let served = Nfs_server.rpcs_served world.server - served0 in
+        if served = 0 then 0.0
+        else (Cpu.busy_time cpu -. busy0) /. float_of_int served)
+  in
+  let rows =
+    List.map
+      (fun load ->
+        [
+          f1 load;
+          ms (cpu_per_rpc `Udp_fixed load);
+          ms (cpu_per_rpc `Tcp load);
+        ])
+      loads
+  in
+  {
+    id = "graph6";
+    title = "Server CPU overhead per RPC, UDP vs TCP, read mix";
+    header = [ "load(rpc/s)"; "udp CPU(ms/rpc)"; "tcp CPU(ms/rpc)" ];
+    rows;
+  }
+
+let graph7 ?(scale = Quick) () =
+  let duration = match scale with Quick -> 60.0 | Full -> 300.0 in
+  let world = make_world ~topology:"campus" () in
+  let rtts, rtos =
+    drive world (fun () ->
+        Fileset.preload_server world.server standard_fileset;
+        let m = mount_in world (mount_opts_for ~transport:`Udp_dynamic ~topology:"campus") in
+        Client_transport.enable_read_trace (Nfs_client.transport m);
+        let _ =
+          Nhfsstone.run m standard_fileset
+            {
+              Nhfsstone.rate = 12.0;
+              duration;
+              children = 4;
+              mix = Nhfsstone.read_lookup_mix;
+              seed = 7;
+            }
+        in
+        let x = Nfs_client.transport m in
+        (Client_transport.read_rtt_trace x, Client_transport.read_rto_trace x))
+  in
+  let keep_every n l = List.filteri (fun i _ -> i mod n = 0) l in
+  let stride = max 1 (List.length rtts / 60) in
+  let rows =
+    List.map2
+      (fun (t, rtt) (_, rto) -> [ f2 t; ms rtt; ms rto ])
+      (keep_every stride rtts) (keep_every stride rtos)
+  in
+  {
+    id = "graph7";
+    title = "Trace of read RPC RTT and dynamic RTO = A+4D";
+    header = [ "time(s)"; "rtt(ms)"; "rto(ms)" ];
+    rows;
+  }
+
+let server_comparison ~id ~title ~mix ~scale =
+  let loads = sweep_loads scale and duration = sweep_duration scale in
+  let profiles =
+    [
+      ("reno", Nfs_server.reno_profile);
+      ( "reno-nonc",
+        {
+          Nfs_server.reno_profile with
+          Nfs_server.fs_config =
+            { Fs.reno_config with Fs.name_cache = false };
+        } );
+      ("ultrix", Nfs_server.reference_port_profile);
+    ]
+  in
+  let rows =
+    List.map
+      (fun load ->
+        f1 load
+        :: List.map
+             (fun (_, profile) ->
+               let r =
+                 one_nhfsstone_run ~server_profile:profile ~topology:"lan"
+                   ~mount_opts:(mount_opts_for ~transport:`Udp_fixed ~topology:"lan")
+                   ~mix ~rate:load ~duration ~seed:23 ()
+               in
+               ms r.Nhfsstone.mean_op_latency)
+             profiles)
+      loads
+  in
+  {
+    id;
+    title;
+    header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") profiles;
+    rows;
+  }
+
+let graph8 ?(scale = Quick) () =
+  server_comparison ~id:"graph8"
+    ~title:"Lookup mix: Reno vs Reno-without-server-name-cache vs reference port"
+    ~mix:Nhfsstone.lookup_mix ~scale
+
+let graph9 ?(scale = Quick) () =
+  server_comparison ~id:"graph9"
+    ~title:"Read/lookup mix: Reno vs Reno-without-server-name-cache vs reference port"
+    ~mix:Nhfsstone.read_lookup_mix ~scale
+
+(* ------------------------------------------------------------------ *)
+(* Modified Andrew Benchmark (Tables 2-4)                             *)
+(* ------------------------------------------------------------------ *)
+
+let andrew_config = function
+  | Quick ->
+      {
+        Andrew.default_config with
+        Andrew.source_files = 20;
+        header_files = 8;
+        compile_instructions_per_byte = 400.0;
+      }
+  | Full -> Andrew.default_config
+
+let run_andrew ~scale ~client_opts ~server_profile ~client_mips ~client_nic () =
+  let params =
+    { Topology.default_params with Topology.client_mips; client_nic }
+  in
+  let world = make_world ~params ~server_profile ~topology:"lan" () in
+  drive world (fun () ->
+      let m = mount_in world client_opts in
+      Andrew.run m ~config:(andrew_config scale) ())
+
+let microvax_rows scale =
+  [
+    ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
+    ("Reno-TCP", { Nfs_client.reno_tcp_mount with Nfs_client.mss = 1460 }, Nfs_server.reno_profile);
+    ("Reno-nopush", Nfs_client.reno_nopush_mount, Nfs_server.reno_profile);
+    ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
+  ]
+  |> List.map (fun (name, opts, profile) ->
+         ( name,
+           run_andrew ~scale ~client_opts:opts ~server_profile:profile
+             ~client_mips:0.9 ~client_nic:Nic.deqna_tuned () ))
+
+let table2 ?(scale = Quick) () =
+  let rows =
+    List.map
+      (fun (name, (r : Andrew.result)) ->
+        [ name; f1 r.Andrew.time_i_iv; f1 r.Andrew.time_v ])
+      (microvax_rows scale)
+  in
+  {
+    id = "table2";
+    title = "Modified Andrew Benchmark, MicroVAXII client (seconds)";
+    header = [ "OS/Phase"; "I-IV"; "V" ];
+    rows;
+  }
+
+let table3 ?(scale = Quick) () =
+  let runs =
+    [
+      ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
+      ("Reno-noconsist", Nfs_client.noconsist_mount, Nfs_server.reno_profile);
+      ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
+    ]
+    |> List.map (fun (name, opts, profile) ->
+           ( name,
+             run_andrew ~scale ~client_opts:opts ~server_profile:profile
+               ~client_mips:0.9 ~client_nic:Nic.deqna_tuned () ))
+  in
+  let interesting = [ "getattr"; "setattr"; "read"; "write"; "lookup"; "readdir" ] in
+  let count (r : Andrew.result) name =
+    try List.assoc name r.Andrew.rpc_counts with Not_found -> 0
+  in
+  let other (r : Andrew.result) =
+    List.fold_left
+      (fun acc (n, c) -> if List.mem n interesting then acc else acc + c)
+      0 r.Andrew.rpc_counts
+  in
+  let rows =
+    List.map
+      (fun proc ->
+        String.capitalize_ascii proc
+        :: List.map (fun (_, r) -> string_of_int (count r proc)) runs)
+      interesting
+    @ [
+        "Other" :: List.map (fun (_, r) -> string_of_int (other r)) runs;
+        "Total" :: List.map (fun (_, r) -> string_of_int r.Andrew.total_rpcs) runs;
+      ]
+  in
+  {
+    id = "table3";
+    title = "Modified Andrew Benchmark RPC counts, MicroVAXII client";
+    header = "RPC" :: List.map fst runs;
+    rows;
+  }
+
+let table4 ?(scale = Quick) () =
+  let rows =
+    [
+      ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
+      ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
+    ]
+    |> List.map (fun (name, opts, profile) ->
+           let r =
+             run_andrew ~scale ~client_opts:opts ~server_profile:profile
+               ~client_mips:14.0 ~client_nic:Nic.fast_station ()
+           in
+           [ name; f1 r.Andrew.time_i_iv; f1 r.Andrew.time_v ])
+  in
+  {
+    id = "table4";
+    title = "Modified Andrew Benchmark, DS3100 client (seconds)";
+    header = [ "OS/Phase"; "I-IV"; "V" ];
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Create-Delete (Table 5)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table5 ?(scale = Quick) () =
+  let iterations = match scale with Quick -> 5 | Full -> 20 in
+  let sizes = [ ("No data", 0); ("10Kbytes", 10240); ("100Kbytes", 102400) ] in
+  let local_cell bytes =
+    let sim = Sim.create () in
+    let cpu = Cpu.create sim ~mips:0.9 in
+    let disk = Disk.create sim () in
+    let fs = Fs.create sim cpu disk Fs.local_config in
+    let result = ref None in
+    Proc.spawn sim (fun () ->
+        result :=
+          Some
+            (Create_delete.run_local sim cpu fs
+               { Create_delete.data_bytes = bytes; iterations }));
+    Sim.run sim;
+    Option.get !result
+  in
+  let nfs_cell opts bytes =
+    let world = make_world ~topology:"lan" () in
+    drive world (fun () ->
+        let m = mount_in world opts in
+        Create_delete.run_nfs m { Create_delete.data_bytes = bytes; iterations })
+  in
+  let configs =
+    [
+      ("Local", `Local);
+      ("write thru", `Nfs { Nfs_client.reno_mount with Nfs_client.write_policy = Nfs_client.Write_through });
+      ("async,4biod", `Nfs { Nfs_client.reno_mount with Nfs_client.write_policy = Nfs_client.Async; num_biods = 4 });
+      ("async,16biod", `Nfs { Nfs_client.reno_mount with Nfs_client.write_policy = Nfs_client.Async; num_biods = 16 });
+      ("delay wrt.", `Nfs Nfs_client.reno_mount);
+      ("no consist", `Nfs Nfs_client.noconsist_mount);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, kind) ->
+        label
+        :: List.map
+             (fun (_, bytes) ->
+               match kind with
+               | `Local -> f1 (local_cell bytes)
+               | `Nfs opts -> f1 (nfs_cell opts bytes))
+             sizes)
+      configs
+  in
+  {
+    id = "table5";
+    title = "Create-Delete benchmark (msec per iteration), MicroVAXII";
+    header = "Config" :: List.map fst sizes;
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 3: NIC tuning                                              *)
+(* ------------------------------------------------------------------ *)
+
+let section3 ?(scale = Quick) () =
+  let duration = sweep_duration scale *. 2.0 in
+  let run nic =
+    let params = { Topology.default_params with Topology.server_nic = nic } in
+    let world = make_world ~params ~topology:"lan" () in
+    drive world (fun () ->
+        Fileset.preload_server world.server standard_fileset;
+        let m = mount_in world (mount_opts_for ~transport:`Udp_fixed ~topology:"lan") in
+        let cpu = Node.cpu world.topo.Topology.server in
+        let ctr = Node.copy_counters world.topo.Topology.server in
+        let busy0 = Cpu.busy_time cpu
+        and served0 = Nfs_server.rpcs_served world.server
+        and copied0 = ctr.Renofs_mbuf.Mbuf.Counters.bytes_copied in
+        let _ =
+          Nhfsstone.run m standard_fileset
+            {
+              Nhfsstone.rate = 20.0;
+              duration;
+              children = 4;
+              mix = Nhfsstone.read_lookup_mix;
+              seed = 5;
+            }
+        in
+        let served = Nfs_server.rpcs_served world.server - served0 in
+        let busy = Cpu.busy_time cpu -. busy0 in
+        let copied = ctr.Renofs_mbuf.Mbuf.Counters.bytes_copied - copied0 in
+        ( (if served = 0 then 0.0 else busy /. float_of_int served),
+          if served = 0 then 0 else copied / served ))
+  in
+  let stock_cpu, stock_copy = run Nic.deqna_stock in
+  let tuned_cpu, tuned_copy = run Nic.deqna_tuned in
+  let reduction =
+    if stock_cpu > 0.0 then (stock_cpu -. tuned_cpu) /. stock_cpu *. 100.0 else 0.0
+  in
+  {
+    id = "section3";
+    title = "Server CPU with stock vs tuned network interface handling";
+    header = [ "driver"; "CPU(ms/rpc)"; "bytes copied/rpc" ];
+    rows =
+      [
+        [ "stock (copy + tx intr)"; ms stock_cpu; string_of_int stock_copy ];
+        [ "tuned (map, no tx intr)"; ms tuned_cpu; string_of_int tuned_copy ];
+        [ "reduction"; Printf.sprintf "%.0f%%" reduction; "-" ];
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Extension ablation: the lease consistency protocol                 *)
+(* ------------------------------------------------------------------ *)
+
+let leases ?(scale = Quick) () =
+  (* The paper's conclusion — "a cache consistency protocol would reduce
+     the number of write RPCs by at least half" — checked against the
+     NQNFS-style lease extension: MAB RPC economy plus Create-Delete
+     latency, with noconsist as the unsafe optimistic bound. *)
+  let cfg = andrew_config scale in
+  let iterations = match scale with Quick -> 5 | Full -> 15 in
+  let row (name, opts) =
+    let world = make_world ~topology:"lan" () in
+    let mab =
+      drive world (fun () ->
+          let m = mount_in world opts in
+          Andrew.run m ~config:cfg ())
+    in
+    let cd =
+      let world = make_world ~topology:"lan" () in
+      drive world (fun () ->
+          let m = mount_in world opts in
+          Create_delete.run_nfs m { Create_delete.data_bytes = 102400; iterations })
+    in
+    let c n = try List.assoc n mab.Andrew.rpc_counts with Not_found -> 0 in
+    [
+      name;
+      string_of_int (c "write");
+      string_of_int (c "read");
+      string_of_int (c "getattr" + c "getlease");
+      f1 cd;
+    ]
+  in
+  {
+    id = "leases";
+    title = "Lease consistency ablation: MAB RPCs and Create-Delete 100K";
+    header = [ "client"; "MAB writes"; "MAB reads"; "MAB getattr+lease"; "CD-100K (ms)" ];
+    rows =
+      List.map row
+        [
+          ("Reno (push-on-close)", Nfs_client.reno_mount);
+          ("Leases (consistent)", Nfs_client.lease_mount);
+          ("noconsist (unsafe bound)", Nfs_client.noconsist_mount);
+        ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Extension: server characterization under many clients [Keith90]    *)
+(* ------------------------------------------------------------------ *)
+
+let scaling ?(scale = Quick) () =
+  let duration = match scale with Quick -> 25.0 | Full -> 120.0 in
+  let per_client_rate = 12.0 in
+  let row n =
+    let sim = Sim.create () in
+    let topo, clients = Topology.multi_client sim ~clients:n () in
+    let sudp = Udp.install topo.Topology.server in
+    let stcp = Tcp.install topo.Topology.server in
+    let server =
+      Nfs_server.create topo.Topology.server ~profile:Nfs_server.reno_profile
+        ~udp:sudp ~tcp:stcp ()
+    in
+    Nfs_server.start server;
+    let finished = ref 0 in
+    let achieved = ref 0.0 and latency = ref 0.0 in
+    let ready = Proc.Ivar.create sim in
+    let iostat = ref None in
+    Proc.spawn sim (fun () ->
+        Fileset.preload_server server standard_fileset;
+        (* Measure server CPU only over the loaded phase. *)
+        iostat := Some (Renofs_engine.Iostat.start sim (Node.cpu topo.Topology.server) ());
+        Proc.Ivar.fill ready ());
+    List.iteri
+      (fun i client ->
+        let cudp = Udp.install client in
+        let ctcp = Tcp.install client in
+        Proc.spawn sim (fun () ->
+            Proc.Ivar.read ready;
+            let m =
+              Nfs_client.mount ~udp:cudp ~tcp:ctcp
+                ~server:(Topology.server_id topo)
+                ~root:(Nfs_server.root_fhandle server)
+                Nfs_client.reno_mount
+            in
+            let r =
+              Nhfsstone.run m standard_fileset
+                {
+                  Nhfsstone.rate = per_client_rate;
+                  duration;
+                  children = 3;
+                  mix = Nhfsstone.read_lookup_mix;
+                  seed = 31 + i;
+                }
+            in
+            achieved := !achieved +. r.Nhfsstone.achieved;
+            latency := !latency +. r.Nhfsstone.mean_op_latency;
+            incr finished))
+      clients;
+    let guard = ref 0 in
+    while !finished < n do
+      incr guard;
+      if !guard > 100_000 then raise (Driver_stuck "scaling row");
+      Sim.run ~until:(Sim.now sim +. 50.0) sim
+    done;
+    let util =
+      match !iostat with
+      | Some io ->
+          Renofs_engine.Iostat.stop io;
+          Renofs_engine.Iostat.mean_utilization io
+      | None -> 0.0
+    in
+    [
+      string_of_int n;
+      f1 (float_of_int n *. per_client_rate);
+      f1 !achieved;
+      ms (!latency /. float_of_int n);
+      Printf.sprintf "%.0f%%" (util *. 100.0);
+    ]
+  in
+  let counts = match scale with Quick -> [ 1; 2; 4 ] | Full -> [ 1; 2; 4; 6; 8 ] in
+  {
+    id = "scaling";
+    title = "Server characterization: aggregate throughput vs client count";
+    header = [ "clients"; "offered (op/s)"; "achieved (op/s)"; "mean latency (ms)"; "server CPU" ];
+    rows = List.map row counts;
+  }
+
+let all =
+  [
+    ("graph1", graph1);
+    ("graph2", graph2);
+    ("graph3", graph3);
+    ("graph4", graph4);
+    ("graph5", graph5);
+    ("graph6", graph6);
+    ("graph7", graph7);
+    ("graph8", graph8);
+    ("graph9", graph9);
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("section3", section3);
+    ("leases", leases);
+    ("scaling", scaling);
+  ]

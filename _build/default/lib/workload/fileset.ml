@@ -1,0 +1,41 @@
+module Fs = Renofs_vfs.Fs
+module Nfs_server = Renofs_core.Nfs_server
+
+type t = { dirs : string list; files : string list; file_size : int }
+
+let dir_name i = Printf.sprintf "d%02d" i
+
+let file_name ~long_names d f =
+  if long_names then
+    (* 38 characters: past the 31-character name-cache limit. *)
+    Printf.sprintf "nhfsstone_long_file_name_%02d_%02d_xxxxx" d f
+  else Printf.sprintf "f%02d_%02d" d f
+
+let generate ~dirs ~files_per_dir ~file_size ~long_names =
+  let dir_list = List.init dirs dir_name in
+  let files =
+    List.concat
+      (List.init dirs (fun d ->
+           List.init files_per_dir (fun f ->
+               dir_name d ^ "/" ^ file_name ~long_names d f)))
+  in
+  { dirs = dir_list; files; file_size }
+
+let content ~path ~size =
+  let seedc = Hashtbl.hash path land 0xFF in
+  Bytes.init size (fun i -> Char.chr ((seedc + (i * 31)) mod 256))
+
+let preload_server server t =
+  let fs = Nfs_server.fs server in
+  let root = Fs.root fs in
+  List.iter (fun d -> ignore (Fs.mkdir fs ~dir:root d ~mode:0o755 ())) t.dirs;
+  List.iter
+    (fun path ->
+      match String.split_on_char '/' path with
+      | [ d; name ] ->
+          let dirv = Fs.lookup fs root d in
+          let v = Fs.create_file fs ~dir:dirv name ~mode:0o644 () in
+          if t.file_size > 0 then
+            Fs.write fs v ~off:0 (content ~path ~size:t.file_size)
+      | _ -> invalid_arg "Fileset.preload_server: unexpected path shape")
+    t.files

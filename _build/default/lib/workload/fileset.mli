@@ -1,0 +1,29 @@
+(** Test-subtree construction and preloading.
+
+    The paper's appendix notes two Nhfsstone caveats this module
+    implements: file names can be made long enough (> 31 characters) to
+    defeat both client and server name caches, and the subtree must be
+    preloaded with non-empty files before each run so reads do not hit
+    empty files and bias the results. *)
+
+type t = {
+  dirs : string list;  (** directory paths, relative to the root *)
+  files : string list;  (** file paths *)
+  file_size : int;
+}
+
+val generate :
+  dirs:int -> files_per_dir:int -> file_size:int -> long_names:bool -> t
+(** Deterministic layout: [dirs] directories of [files_per_dir] files.
+    With [long_names], file names exceed the 31-character name-cache
+    limit (the Nhfsstone trick). *)
+
+val preload_server : Renofs_core.Nfs_server.t -> t -> unit
+(** Create the tree directly in the server's backing store, bypassing
+    the wire (and temporarily bypassing the per-block disk costs would
+    be wrong — this runs through the normal Fs path, so call it before
+    starting measurement).  Must run inside a process. *)
+
+val content : path:string -> size:int -> bytes
+(** The deterministic content every preloaded file holds; lets tests
+    verify reads end-to-end. *)

@@ -1,0 +1,134 @@
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Rng = Renofs_engine.Rng
+module Stats = Renofs_engine.Stats
+module Nfs_client = Renofs_core.Nfs_client
+module Client_transport = Renofs_core.Client_transport
+
+type op = Op_lookup | Op_read | Op_getattr | Op_write | Op_readdir
+
+type mix = (op * float) list
+
+let lookup_mix = [ (Op_lookup, 1.0) ]
+let read_lookup_mix = [ (Op_read, 0.5); (Op_lookup, 0.5) ]
+
+(* Nhfsstone's stock mix, restricted to the operations we generate and
+   renormalised (writes at the 8% default the paper quotes).  Because
+   the mix writes, the subtree changes during a run — hence the
+   appendix's caveat that it must be preloaded before each test. *)
+let default_mix =
+  [
+    (Op_lookup, 0.425);
+    (Op_read, 0.275);
+    (Op_getattr, 0.1625);
+    (Op_write, 0.1);
+    (Op_readdir, 0.0375);
+  ]
+
+type config = {
+  rate : float;
+  duration : float;
+  children : int;
+  mix : mix;
+  seed : int;
+}
+
+type result = {
+  offered : float;
+  achieved : float;
+  ops_completed : int;
+  mean_rtt : float;
+  rtt_by_proc : (string * float * int) list;
+  retransmits : int;
+  read_rate : float;
+  mean_op_latency : float;
+}
+
+let pick_op rng mix =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+  let x = Rng.float rng total in
+  let rec go acc = function
+    | [] -> Op_lookup
+    | (op, w) :: rest -> if x < acc +. w then op else go (acc +. w) rest
+  in
+  go 0.0 mix
+
+let run mount fileset config =
+  let sim = Nfs_client.sim mount in
+  let files = Array.of_list fileset.Fileset.files in
+  if Array.length files = 0 then invalid_arg "Nhfsstone.run: empty fileset";
+  let completed = ref 0 and reads_done = ref 0 in
+  let op_latency = Stats.Welford.create () in
+  (* Shared open-file table, filled lazily. *)
+  let fds = Hashtbl.create 64 in
+  let fd_of path =
+    match Hashtbl.find_opt fds path with
+    | Some fd -> fd
+    | None ->
+        let fd = Nfs_client.open_ mount path in
+        Hashtbl.replace fds path fd;
+        fd
+  in
+  let xport = Nfs_client.transport mount in
+  let before = Client_transport.summary xport in
+  let one_op rng =
+    let path = files.(Rng.int rng (Array.length files)) in
+    let t0 = Sim.now sim in
+    let op = pick_op rng config.mix in
+    (try
+       match op with
+       | Op_lookup | Op_getattr -> ignore (Nfs_client.stat mount path)
+       | Op_read ->
+           let fd = fd_of path in
+           let max_blk = max 1 (fileset.Fileset.file_size / 8192) in
+           let off = Rng.int rng max_blk * 8192 in
+           ignore (Nfs_client.read mount fd ~off ~len:8192);
+           incr reads_done
+       | Op_write ->
+           let fd = fd_of path in
+           Nfs_client.write mount fd ~off:0 (Bytes.make 8192 'w');
+           Nfs_client.fsync mount fd
+       | Op_readdir -> (
+           match String.index_opt path '/' with
+           | Some i -> ignore (Nfs_client.readdir mount (String.sub path 0 i))
+           | None -> ())
+     with Nfs_client.Nfs_error _ | Client_transport.Rpc_error _ -> ());
+    incr completed;
+    Stats.Welford.add op_latency (Sim.now sim -. t0)
+  in
+  let children = max 1 config.children in
+  let stop_at = Sim.now sim +. config.duration in
+  let child_rate = config.rate /. float_of_int children in
+  let finished = ref 0 in
+  let all_done = Proc.Ivar.create sim in
+  for i = 1 to children do
+    let crng = Rng.create (config.seed + (i * 7919)) in
+    Proc.spawn sim (fun () ->
+        let rec loop () =
+          if Sim.now sim < stop_at then begin
+            Proc.sleep sim (Rng.exponential crng (1.0 /. child_rate));
+            if Sim.now sim < stop_at then one_op crng;
+            loop ()
+          end
+        in
+        loop ();
+        incr finished;
+        if !finished = children then Proc.Ivar.fill all_done ())
+  done;
+  Proc.Ivar.read all_done;
+  let after = Client_transport.summary xport in
+  let rtts =
+    Client_transport.rtt_by_proc xport
+    |> List.map (fun (name, w) -> (name, Stats.Welford.mean w, Stats.Welford.count w))
+  in
+  {
+    offered = config.rate;
+    achieved = float_of_int !completed /. config.duration;
+    ops_completed = !completed;
+    mean_rtt = after.Client_transport.mean_rtt;
+    rtt_by_proc = rtts;
+    retransmits =
+      after.Client_transport.retransmits - before.Client_transport.retransmits;
+    read_rate = float_of_int !reads_done /. config.duration;
+    mean_op_latency = Stats.Welford.mean op_latency;
+  }

@@ -1,0 +1,49 @@
+(** An Nhfsstone-style NFS load generator [Legato89].
+
+    Offers a target RPC rate against a mounted filesystem with a given
+    operation mix, from several concurrent child processes, and reports
+    the achieved rate plus round-trip statistics.  As in the paper's
+    Section 4 experiments, the mixes used for the transport comparison
+    avoid operations that modify the subtree, so runs are repeatable
+    without reloading. *)
+
+type op = Op_lookup | Op_read | Op_getattr | Op_write | Op_readdir
+
+type mix = (op * float) list
+(** Weighted operation mixture. *)
+
+val lookup_mix : mix
+(** 100% lookup — Graphs 1, 3 and 5. *)
+
+val read_lookup_mix : mix
+(** 50/50 read/lookup — Graphs 2 and 4. *)
+
+val default_mix : mix
+(** Nhfsstone's stock mixture (lookup-dominant, 8% writes), for
+    workloads beyond the paper's two; writes modify the subtree, so
+    preload before every run as the appendix prescribes. *)
+
+type config = {
+  rate : float;  (** offered ops/second *)
+  duration : float;  (** measurement interval, seconds *)
+  children : int;  (** concurrent generator processes *)
+  mix : mix;
+  seed : int;
+}
+
+type result = {
+  offered : float;
+  achieved : float;  (** completed ops/second *)
+  ops_completed : int;
+  mean_rtt : float;  (** mean RPC round-trip over the run, seconds *)
+  rtt_by_proc : (string * float * int) list;
+      (** (procedure, mean RTT, samples) *)
+  retransmits : int;
+  read_rate : float;  (** completed read ops/second *)
+  mean_op_latency : float;  (** syscall-level latency, seconds *)
+}
+
+val run : Renofs_core.Nfs_client.t -> Fileset.t -> config -> result
+(** Drive the load from inside a process; returns after [duration] of
+    virtual time (plus drain).  RPC statistics are deltas over the run
+    as long as the mount is fresh. *)

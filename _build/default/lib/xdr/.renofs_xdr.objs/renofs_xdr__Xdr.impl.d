@@ -1,0 +1,1 @@
+lib/xdr/xdr.ml: Bytes Int32 Int64 Renofs_mbuf

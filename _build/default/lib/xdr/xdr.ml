@@ -1,0 +1,84 @@
+module Mbuf = Renofs_mbuf.Mbuf
+
+exception Decode_error of string
+
+let pad_len n = (4 - (n land 3)) land 3
+let zeros = Bytes.make 4 '\000'
+
+module Enc = struct
+  type t = { chain : Mbuf.t; ctr : Mbuf.Counters.t option }
+
+  let create ?ctr () = { chain = Mbuf.empty (); ctr }
+  let chain t = t.chain
+  let u32 t v = Mbuf.add_u32 ?ctr:t.ctr t.chain v
+
+  let int t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Xdr.Enc.int: out of range";
+    u32 t (Int32.of_int (v land 0xFFFFFFFF))
+
+  let bool t b = u32 t (if b then 1l else 0l)
+  let enum t v = int t v
+
+  let u64 t v =
+    u32 t (Int64.to_int32 (Int64.shift_right_logical v 32));
+    u32 t (Int64.to_int32 v)
+
+  let opaque_fixed t b =
+    Mbuf.add_bytes ?ctr:t.ctr t.chain b ~off:0 ~len:(Bytes.length b);
+    let pad = pad_len (Bytes.length b) in
+    if pad > 0 then Mbuf.add_bytes ?ctr:t.ctr t.chain zeros ~off:0 ~len:pad
+
+  let opaque t b =
+    int t (Bytes.length b);
+    opaque_fixed t b
+
+  let string t s = opaque t (Bytes.of_string s)
+  let append_chain t other = Mbuf.append_chain t.chain other
+end
+
+module Dec = struct
+  type t = Mbuf.Cursor.t
+
+  let create chain = Mbuf.Cursor.create chain
+  let remaining = Mbuf.Cursor.remaining
+
+  let u32 t =
+    try Mbuf.Cursor.u32 t
+    with Mbuf.Cursor.Underrun -> raise (Decode_error "truncated u32")
+
+  let int t =
+    let v = u32 t in
+    Int32.to_int v land 0xFFFFFFFF
+
+  let bool t =
+    match u32 t with
+    | 0l -> false
+    | 1l -> true
+    | _ -> raise (Decode_error "bad bool")
+
+  let enum t = int t
+
+  let u64 t =
+    let hi = u32 t and lo = u32 t in
+    let hi64 = Int64.shift_left (Int64.of_int32 hi) 32 in
+    let lo64 = Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL in
+    Int64.logor hi64 lo64
+
+  let opaque_fixed t n =
+    if n < 0 then raise (Decode_error "negative opaque length");
+    let body =
+      try Mbuf.Cursor.bytes t n
+      with Mbuf.Cursor.Underrun -> raise (Decode_error "truncated opaque")
+    in
+    let pad = pad_len n in
+    (try Mbuf.Cursor.skip t pad
+     with Mbuf.Cursor.Underrun -> raise (Decode_error "truncated padding"));
+    body
+
+  let opaque t ~max =
+    let n = int t in
+    if n > max then raise (Decode_error "opaque too long");
+    opaque_fixed t n
+
+  let string t ~max = Bytes.to_string (opaque t ~max)
+end

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Client_transport Nfs_client Nfs_proto Nfs_server Renofs_core Renofs_engine Renofs_net Renofs_transport

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Cpu Iostat List Proc Renofs_engine Rng Rtt Sim Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Char Gen Hashtbl List Nfs_client Nfs_proto Nfs_server Printf QCheck QCheck_alcotest Renofs_core Renofs_engine Renofs_net Renofs_transport

@@ -1,0 +1,1 @@
+test/test_leases.ml: Alcotest Bytes List Nfs_client Nfs_proto Nfs_server Renofs_core Renofs_engine Renofs_net Renofs_transport Renofs_vfs Renofs_workload

@@ -1,0 +1,1 @@
+test/test_mbuf.ml: Alcotest Buffer Bytes Char Gen List Mbuf Printf QCheck QCheck_alcotest Renofs_mbuf String

@@ -1,0 +1,1 @@
+test/test_mountd.ml: Alcotest Bytes List Mount_proto Mountd Nfs_client Nfs_server Renofs_core Renofs_engine Renofs_net Renofs_transport Renofs_vfs Renofs_xdr String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Ipfrag Link List Nic Node Packet QCheck QCheck_alcotest Renofs_engine Renofs_mbuf Renofs_net Topology

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Gen List Nfs_proto Printf QCheck QCheck_alcotest Renofs_core Renofs_mbuf Renofs_xdr

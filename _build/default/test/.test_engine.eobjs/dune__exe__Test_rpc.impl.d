@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes Gen Int32 List QCheck QCheck_alcotest Record_mark Renofs_mbuf Renofs_rpc Renofs_xdr Rpc_msg

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Buffer Bytes Char Hashtbl List QCheck QCheck_alcotest Renofs_engine Renofs_mbuf Renofs_net Renofs_transport String Tcp Udp

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bcache Bytes Char Disk Fs Gen List Namecache Printf QCheck QCheck_alcotest Renofs_engine Renofs_vfs String

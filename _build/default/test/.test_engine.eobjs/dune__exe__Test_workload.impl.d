@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Andrew Array Create_delete Experiments Fileset List Nhfsstone Printf Renofs_core Renofs_engine Renofs_net Renofs_transport Renofs_vfs Renofs_workload String

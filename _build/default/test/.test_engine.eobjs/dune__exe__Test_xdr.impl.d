@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Bytes Int32 Int64 List Printf QCheck QCheck_alcotest Renofs_mbuf Renofs_xdr String Xdr

@@ -1,0 +1,182 @@
+open Renofs_mbuf
+
+let bytes_gen = QCheck.Gen.(map Bytes.of_string (string_size (int_bound 9000)))
+let arb_bytes = QCheck.make ~print:(fun b -> Printf.sprintf "<%d bytes>" (Bytes.length b)) bytes_gen
+
+let test_empty () =
+  let c = Mbuf.empty () in
+  Alcotest.(check int) "length" 0 (Mbuf.length c);
+  Alcotest.(check int) "mbufs" 0 (Mbuf.num_mbufs c);
+  Alcotest.(check bytes) "to_bytes" Bytes.empty (Mbuf.to_bytes c)
+
+let test_small_append_stays_small () =
+  let c = Mbuf.of_string "hello" in
+  Alcotest.(check int) "one small mbuf" 1 (Mbuf.num_mbufs c);
+  Alcotest.(check int) "no clusters" 0 (Mbuf.num_clusters c)
+
+let test_large_append_uses_clusters () =
+  let c = Mbuf.of_bytes (Bytes.make 8192 'x') in
+  Alcotest.(check bool) "clusters used" true (Mbuf.num_clusters c >= 4);
+  Alcotest.(check int) "length" 8192 (Mbuf.length c)
+
+let test_counters_track_copies () =
+  let ctr = Mbuf.Counters.create () in
+  let c = Mbuf.empty () in
+  Mbuf.add_string ~ctr c (String.make 5000 'y');
+  Alcotest.(check int) "copied bytes" 5000 ctr.Mbuf.Counters.bytes_copied;
+  Alcotest.(check bool) "clusters counted" true (ctr.Mbuf.Counters.clusters_allocated > 0);
+  let _ = Mbuf.to_bytes ~ctr c in
+  Alcotest.(check int) "linearise copies again" 10000 ctr.Mbuf.Counters.bytes_copied;
+  Mbuf.Counters.reset ctr;
+  Alcotest.(check int) "reset" 0 ctr.Mbuf.Counters.bytes_copied
+
+let test_add_u32 () =
+  let c = Mbuf.empty () in
+  Mbuf.add_u32 c 0xDEADBEEFl;
+  let b = Mbuf.to_bytes c in
+  Alcotest.(check int32) "big endian" 0xDEADBEEFl (Bytes.get_int32_be b 0)
+
+let test_append_chain_moves () =
+  let a = Mbuf.of_string "abc" and b = Mbuf.of_string "def" in
+  Mbuf.append_chain a b;
+  Alcotest.(check string) "joined" "abcdef" (Bytes.to_string (Mbuf.to_bytes a));
+  Alcotest.(check int) "b drained" 0 (Mbuf.length b)
+
+let test_split_boundaries () =
+  let payload = String.init 5000 (fun i -> Char.chr (i mod 256)) in
+  List.iter
+    (fun n ->
+      let c = Mbuf.of_string payload in
+      let front, back = Mbuf.split c n in
+      Alcotest.(check int) "front length" n (Mbuf.length front);
+      Alcotest.(check int) "back length" (5000 - n) (Mbuf.length back);
+      let joined =
+        Bytes.to_string (Mbuf.to_bytes front) ^ Bytes.to_string (Mbuf.to_bytes back)
+      in
+      Alcotest.(check string) "content preserved" payload joined)
+    [ 0; 1; 111; 112; 2048; 2049; 4999; 5000 ]
+
+let test_split_out_of_bounds () =
+  let c = Mbuf.of_string "abc" in
+  Alcotest.check_raises "past end" (Invalid_argument "Mbuf.split: index out of bounds")
+    (fun () -> ignore (Mbuf.split c 4))
+
+let test_sub_copy () =
+  let c = Mbuf.of_string "0123456789" in
+  let part = Mbuf.sub_copy c ~pos:3 ~len:4 in
+  Alcotest.(check string) "middle" "3456" (Bytes.to_string (Mbuf.to_bytes part));
+  (* original untouched *)
+  Alcotest.(check int) "original intact" 10 (Mbuf.length c)
+
+let test_checksum_known () =
+  (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2, cksum 220d *)
+  let c = Mbuf.of_bytes (Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7") in
+  Alcotest.(check int) "rfc1071" 0x220D (Mbuf.checksum c)
+
+let test_checksum_odd_length () =
+  let even = Mbuf.of_bytes (Bytes.of_string "\xab\x00") in
+  let odd = Mbuf.of_bytes (Bytes.of_string "\xab") in
+  Alcotest.(check int) "odd zero-padded" (Mbuf.checksum even) (Mbuf.checksum odd)
+
+let test_cursor_sequential () =
+  let c = Mbuf.empty () in
+  Mbuf.add_u32 c 7l;
+  Mbuf.add_string c "abcd";
+  Mbuf.add_u32 c 9l;
+  let cur = Mbuf.Cursor.create c in
+  Alcotest.(check int) "remaining" 12 (Mbuf.Cursor.remaining cur);
+  Alcotest.(check int32) "first" 7l (Mbuf.Cursor.u32 cur);
+  Alcotest.(check string) "middle" "abcd" (Bytes.to_string (Mbuf.Cursor.bytes cur 4));
+  Alcotest.(check int32) "last" 9l (Mbuf.Cursor.u32 cur);
+  Alcotest.(check int) "drained" 0 (Mbuf.Cursor.remaining cur)
+
+let test_cursor_underrun () =
+  let c = Mbuf.of_string "ab" in
+  let cur = Mbuf.Cursor.create c in
+  Alcotest.check_raises "underrun" Mbuf.Cursor.Underrun (fun () ->
+      ignore (Mbuf.Cursor.u32 cur))
+
+let test_cursor_skip () =
+  let c = Mbuf.of_string (String.make 3000 'a' ^ "Z") in
+  let cur = Mbuf.Cursor.create c in
+  Mbuf.Cursor.skip cur 3000;
+  Alcotest.(check string) "after skip" "Z" (Bytes.to_string (Mbuf.Cursor.bytes cur 1))
+
+(* Property tests *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_bytes/to_bytes roundtrip" ~count:200 arb_bytes (fun b ->
+      Bytes.equal (Mbuf.to_bytes (Mbuf.of_bytes b)) b)
+
+let prop_split_rejoin =
+  QCheck.Test.make ~name:"split preserves bytes" ~count:200
+    QCheck.(pair arb_bytes (int_bound 10000))
+    (fun (b, k) ->
+      let n = Bytes.length b in
+      let at = if n = 0 then 0 else k mod (n + 1) in
+      let front, back = Mbuf.split (Mbuf.of_bytes b) at in
+      let joined =
+        Bytes.cat (Mbuf.to_bytes front) (Mbuf.to_bytes back)
+      in
+      Bytes.equal joined b && Mbuf.length front = at)
+
+let prop_cursor_chunks =
+  QCheck.Test.make ~name:"cursor chunked reads equal linear bytes" ~count:200
+    QCheck.(pair arb_bytes (list_of_size Gen.(int_range 1 20) (int_range 1 500)))
+    (fun (b, chunks) ->
+      let cur = Mbuf.Cursor.create (Mbuf.of_bytes b) in
+      let buf = Buffer.create (Bytes.length b) in
+      let ok = ref true in
+      (try
+         List.iter
+           (fun n ->
+             let n = min n (Mbuf.Cursor.remaining cur) in
+             Buffer.add_bytes buf (Mbuf.Cursor.bytes cur n))
+           chunks;
+         Buffer.add_bytes buf (Mbuf.Cursor.bytes cur (Mbuf.Cursor.remaining cur))
+       with Mbuf.Cursor.Underrun -> ok := false);
+      !ok && String.equal (Buffer.contents buf) (Bytes.to_string b))
+
+let prop_checksum_split_invariant =
+  QCheck.Test.make ~name:"checksum invariant under split+rejoin" ~count:100
+    QCheck.(pair arb_bytes small_nat)
+    (fun (b, k) ->
+      let n = Bytes.length b in
+      let at = if n = 0 then 0 else k mod (n + 1) in
+      let whole = Mbuf.checksum (Mbuf.of_bytes b) in
+      let front, back = Mbuf.split (Mbuf.of_bytes b) at in
+      let rejoined = Mbuf.empty () in
+      Mbuf.append_chain rejoined front;
+      Mbuf.append_chain rejoined back;
+      Mbuf.checksum rejoined = whole)
+
+let () =
+  Alcotest.run "mbuf"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "small stays small" `Quick test_small_append_stays_small;
+          Alcotest.test_case "large uses clusters" `Quick test_large_append_uses_clusters;
+          Alcotest.test_case "copy counters" `Quick test_counters_track_copies;
+          Alcotest.test_case "add_u32 big endian" `Quick test_add_u32;
+          Alcotest.test_case "append_chain moves" `Quick test_append_chain_moves;
+          Alcotest.test_case "split boundaries" `Quick test_split_boundaries;
+          Alcotest.test_case "split out of bounds" `Quick test_split_out_of_bounds;
+          Alcotest.test_case "sub_copy" `Quick test_sub_copy;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "rfc1071 vector" `Quick test_checksum_known;
+          Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+        ] );
+      ( "cursor",
+        [
+          Alcotest.test_case "sequential reads" `Quick test_cursor_sequential;
+          Alcotest.test_case "underrun" `Quick test_cursor_underrun;
+          Alcotest.test_case "skip across mbufs" `Quick test_cursor_skip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_split_rejoin; prop_cursor_chunks; prop_checksum_split_invariant ] );
+    ]

@@ -1,0 +1,409 @@
+open Renofs_net
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Rng = Renofs_engine.Rng
+module Cpu = Renofs_engine.Cpu
+module Mbuf = Renofs_mbuf.Mbuf
+
+let mk_payload n = Mbuf.of_bytes (Bytes.init n (fun i -> Char.chr (i mod 256)))
+
+let mk_datagram ?(proto = Packet.Udp) n =
+  Packet.make_datagram ~proto ~src:1 ~dst:2 ~src_port:1000 ~dst_port:2049
+    ~ip_id:7 (mk_payload n)
+
+(* ------------------------------------------------------------------ *)
+(* Packet fragmentation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_fragmentation_when_small () =
+  let p = mk_datagram 100 in
+  let frags = Packet.fragment p ~mtu:1500 in
+  Alcotest.(check int) "single" 1 (List.length frags);
+  Alcotest.(check bool) "not fragmented" false (Packet.is_fragmented (List.hd frags))
+
+let test_8k_over_ethernet_is_6_fragments () =
+  (* The paper: an 8 Kbyte RPC is 6 IP fragments on an Ethernet. *)
+  let p = mk_datagram 8192 in
+  let frags = Packet.fragment p ~mtu:1500 in
+  Alcotest.(check int) "six fragments" 6 (List.length frags);
+  List.iter
+    (fun f -> Alcotest.(check bool) "fits mtu" true (Packet.wire_size f <= 1500))
+    frags;
+  let total = List.fold_left (fun acc f -> acc + Packet.data_len f) 0 frags in
+  Alcotest.(check int) "all data" 8192 total
+
+let test_fragment_offsets_aligned () =
+  let p = mk_datagram 8192 in
+  let frags = Packet.fragment p ~mtu:1500 in
+  List.iter
+    (fun f ->
+      if f.Packet.more then
+        Alcotest.(check int) "aligned data" 0 (Packet.data_len f mod 8))
+    frags
+
+let test_refragmentation () =
+  (* Router re-fragments a middle fragment onto a smaller-MTU link. *)
+  let p = mk_datagram 8192 in
+  let frags = Packet.fragment p ~mtu:4464 in
+  Alcotest.(check bool) "multiple" true (List.length frags >= 2);
+  (* A non-final fragment: all pieces of its re-fragmentation must keep
+     the more-fragments flag, including the last. *)
+  let middle = List.hd frags in
+  Alcotest.(check bool) "middle has more" true middle.Packet.more;
+  let refrags = Packet.fragment middle ~mtu:1006 in
+  Alcotest.(check bool) "split further" true (List.length refrags >= 2);
+  (* Every non-final piece keeps [more]; the final piece of a middle
+     fragment must also keep [more] set. *)
+  List.iter
+    (fun f -> Alcotest.(check bool) "more preserved" true f.Packet.more)
+    refrags
+
+let test_fragment_mtu_too_small () =
+  let p = mk_datagram 5000 in
+  Alcotest.check_raises "tiny mtu" (Invalid_argument "Packet.fragment: mtu too small")
+    (fun () -> ignore (Packet.fragment p ~mtu:24))
+
+(* ------------------------------------------------------------------ *)
+(* Reassembly                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_reassembly_in_order () =
+  let sim = Sim.create () in
+  let reasm = Ipfrag.create sim () in
+  let p = mk_datagram 8192 in
+  let original = Mbuf.to_bytes (Mbuf.sub_copy p.Packet.payload ~pos:0 ~len:8192) in
+  let frags = Packet.fragment p ~mtu:1500 in
+  let results = List.filter_map (Ipfrag.insert reasm) frags in
+  match results with
+  | [ whole ] ->
+      Alcotest.(check int) "length" 8192 (Packet.data_len whole);
+      Alcotest.(check bytes) "content" original (Mbuf.to_bytes whole.Packet.payload);
+      Alcotest.(check int) "table empty" 0 (Ipfrag.pending reasm)
+  | _ -> Alcotest.fail "expected exactly one completed datagram"
+
+let test_reassembly_out_of_order () =
+  let sim = Sim.create () in
+  let reasm = Ipfrag.create sim () in
+  let p = mk_datagram 4000 in
+  let frags = Packet.fragment p ~mtu:1500 in
+  let shuffled = List.rev frags in
+  let results = List.filter_map (Ipfrag.insert reasm) shuffled in
+  Alcotest.(check int) "one datagram" 1 (List.length results);
+  Alcotest.(check int) "reassembled size" 4000 (Packet.data_len (List.hd results))
+
+let test_reassembly_missing_fragment_times_out () =
+  let sim = Sim.create () in
+  let reasm = Ipfrag.create sim ~timeout:5.0 () in
+  let p = mk_datagram 8192 in
+  let frags = Packet.fragment p ~mtu:1500 in
+  (* Drop the second fragment. *)
+  let delivered = List.filteri (fun i _ -> i <> 1) frags in
+  let results = List.filter_map (Ipfrag.insert reasm) delivered in
+  Alcotest.(check int) "never completes" 0 (List.length results);
+  Alcotest.(check int) "partial held" 1 (Ipfrag.pending reasm);
+  Sim.run sim;
+  Alcotest.(check int) "timed out" 1 (Ipfrag.timeouts reasm);
+  Alcotest.(check int) "table empty" 0 (Ipfrag.pending reasm)
+
+let test_reassembly_duplicate_fragments () =
+  let sim = Sim.create () in
+  let reasm = Ipfrag.create sim () in
+  let p = mk_datagram 3000 in
+  let frags = Packet.fragment p ~mtu:1500 in
+  let doubled = frags @ [ List.hd frags ] in
+  (* Feed first fragment twice then the rest. *)
+  let results = List.filter_map (Ipfrag.insert reasm) doubled in
+  Alcotest.(check int) "one datagram, dup ignored" 1 (List.length results)
+
+let test_reassembly_interleaved_datagrams () =
+  let sim = Sim.create () in
+  let reasm = Ipfrag.create sim () in
+  let p1 = mk_datagram 3000 in
+  let p2 =
+    Packet.make_datagram ~proto:Packet.Udp ~src:1 ~dst:2 ~src_port:1 ~dst_port:2
+      ~ip_id:8 (mk_payload 3000)
+  in
+  let f1 = Packet.fragment p1 ~mtu:1500 and f2 = Packet.fragment p2 ~mtu:1500 in
+  let interleaved = List.concat (List.map2 (fun a b -> [ a; b ]) f1 f2) in
+  let results = List.filter_map (Ipfrag.insert reasm) interleaved in
+  Alcotest.(check int) "both complete" 2 (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* Links                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_link_serialization_delay () =
+  let sim = Sim.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create sim ~name:"l" ~bandwidth_bps:8000.0 ~delay:0.5 ~queue_limit:10
+      ~rng:(Rng.create 1)
+      ~deliver:(fun p -> arrivals := (Sim.now sim, Packet.data_len p) :: !arrivals)
+      ()
+  in
+  (* 100-byte UDP datagram = 128 wire bytes = 1024 bits at 8000 bps
+     = 0.128 s tx + 0.5 s propagation. *)
+  Link.send link (mk_datagram 100);
+  Sim.run sim;
+  match !arrivals with
+  | [ (t, 100) ] ->
+      Alcotest.(check (float 1e-6)) "arrival time" 0.628 t
+  | _ -> Alcotest.fail "expected one arrival"
+
+let test_link_fifo_backlog () =
+  let sim = Sim.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create sim ~name:"l" ~bandwidth_bps:8000.0 ~delay:0.0 ~queue_limit:10
+      ~rng:(Rng.create 1)
+      ~deliver:(fun _ -> arrivals := Sim.now sim :: !arrivals)
+      ()
+  in
+  Link.send link (mk_datagram 100);
+  Link.send link (mk_datagram 100);
+  Sim.run sim;
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+      Alcotest.(check (float 1e-6)) "first" 0.128 t1;
+      Alcotest.(check (float 1e-6)) "second serialized after" 0.256 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_link_queue_drops () =
+  let sim = Sim.create () in
+  let delivered = ref 0 in
+  let link =
+    Link.create sim ~name:"l" ~bandwidth_bps:1000.0 ~delay:0.0 ~queue_limit:3
+      ~rng:(Rng.create 1)
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  for _ = 1 to 10 do
+    Link.send link (mk_datagram 100)
+  done;
+  Sim.run sim;
+  (* One in transmission + 3 queued accepted = 4 delivered, 6 dropped. *)
+  Alcotest.(check int) "delivered" 4 !delivered;
+  Alcotest.(check int) "drops counted" 6 (Link.stats link).Link.queue_drops
+
+let test_link_random_loss () =
+  let sim = Sim.create () in
+  let delivered = ref 0 in
+  let link =
+    Link.create sim ~name:"l" ~bandwidth_bps:1e9 ~delay:0.0 ~queue_limit:1000
+      ~loss:0.5 ~rng:(Rng.create 42)
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  for _ = 1 to 1000 do
+    Link.send link (mk_datagram 10);
+    Sim.run sim
+  done;
+  let drops = (Link.stats link).Link.error_drops in
+  Alcotest.(check int) "all accounted" 1000 (!delivered + drops);
+  Alcotest.(check bool) "roughly half lost" true (drops > 400 && drops < 600)
+
+(* ------------------------------------------------------------------ *)
+(* Nodes and routing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lan_datagram_delivery () =
+  let sim = Sim.create () in
+  let topo = Topology.lan sim () in
+  let received = ref None in
+  Node.set_proto_handler topo.Topology.server Packet.Udp (fun dg ->
+      received := Some (dg.Node.src, Mbuf.length dg.Node.payload));
+  Proc.spawn sim (fun () ->
+      Node.send_datagram topo.Topology.client ~proto:Packet.Udp
+        ~dst:(Node.id topo.Topology.server) ~src_port:1000 ~dst_port:2049
+        (mk_payload 8192));
+  Sim.run sim;
+  match !received with
+  | Some (src, len) ->
+      Alcotest.(check int) "from client" (Node.id topo.Topology.client) src;
+      Alcotest.(check int) "full datagram" 8192 len
+  | None -> Alcotest.fail "datagram not delivered"
+
+let test_campus_forwarding () =
+  let sim = Sim.create () in
+  let params = { Topology.default_params with cross_traffic = false; link_loss = 0.0 } in
+  let topo = Topology.campus sim ~params () in
+  let received = ref 0 in
+  Node.set_proto_handler topo.Topology.server Packet.Udp (fun dg ->
+      received := Mbuf.length dg.Node.payload);
+  Proc.spawn sim (fun () ->
+      Node.send_datagram topo.Topology.client ~proto:Packet.Udp
+        ~dst:(Node.id topo.Topology.server) ~src_port:1000 ~dst_port:2049
+        (mk_payload 8192));
+  Sim.run sim;
+  Alcotest.(check int) "delivered across routers" 8192 !received;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "router forwarded" true ((Node.stats r).Node.packets_forwarded > 0))
+    topo.Topology.routers
+
+let test_wan_forwarding_and_refragmentation () =
+  let sim = Sim.create () in
+  let params = { Topology.default_params with cross_traffic = false; link_loss = 0.0 } in
+  let topo = Topology.wide_area sim ~params () in
+  let received = ref 0 in
+  Node.set_proto_handler topo.Topology.server Packet.Udp (fun dg ->
+      received := Mbuf.length dg.Node.payload);
+  Proc.spawn sim (fun () ->
+      Node.send_datagram topo.Topology.client ~proto:Packet.Udp
+        ~dst:(Node.id topo.Topology.server) ~src_port:1000 ~dst_port:2049
+        (mk_payload 8192));
+  Sim.run sim;
+  Alcotest.(check int) "delivered across 3 routers + 56K" 8192 !received;
+  (* The serial link should carry more, smaller packets than the ring. *)
+  match topo.Topology.bottleneck with
+  | Some serial ->
+      Alcotest.(check bool) "many fragments over serial" true
+        ((Link.stats serial).Link.packets_sent >= 9)
+  | None -> Alcotest.fail "wan should expose a bottleneck"
+
+let test_no_route_drop () =
+  let sim = Sim.create () in
+  let topo = Topology.lan sim () in
+  Proc.spawn sim (fun () ->
+      Node.send_datagram topo.Topology.client ~proto:Packet.Udp ~dst:99
+        ~src_port:1 ~dst_port:2 (mk_payload 10));
+  Sim.run sim;
+  Alcotest.(check int) "counted" 1 (Node.stats topo.Topology.client).Node.no_route_drops
+
+let test_send_consumes_cpu () =
+  let sim = Sim.create () in
+  let topo = Topology.lan sim () in
+  Proc.spawn sim (fun () ->
+      Node.send_datagram topo.Topology.client ~proto:Packet.Udp
+        ~dst:(Node.id topo.Topology.server) ~src_port:1 ~dst_port:2
+        (mk_payload 8192));
+  Sim.run sim;
+  let client_busy = Cpu.busy_time (Node.cpu topo.Topology.client) in
+  let server_busy = Cpu.busy_time (Node.cpu topo.Topology.server) in
+  Alcotest.(check bool) "client paid to send" true (client_busy > 0.001);
+  Alcotest.(check bool) "server paid to receive" true (server_busy > 0.001)
+
+let test_nic_stock_copies_more_than_tuned () =
+  let stock = Nic.deqna_stock and tuned = Nic.deqna_tuned in
+  let tx p = Nic.tx_cost p ~data_bytes:1480 ~clusters:1 ~small_bytes:40 in
+  Alcotest.(check bool) "tuned cheaper" true (tx tuned < tx stock);
+  (* Stock pays bytes/copy_bw; tuned pays one PTE swap + 40 bytes. *)
+  Alcotest.(check bool) "substantially cheaper" true (tx tuned < tx stock /. 1.5)
+
+let test_nic_copy_accounting () =
+  let sim = Sim.create () in
+  let params =
+    {
+      Topology.default_params with
+      client_nic = Nic.deqna_stock;
+      server_nic = Nic.deqna_stock;
+    }
+  in
+  let topo = Topology.lan sim ~params () in
+  Proc.spawn sim (fun () ->
+      Node.send_datagram topo.Topology.client ~proto:Packet.Udp
+        ~dst:(Node.id topo.Topology.server) ~src_port:1 ~dst_port:2
+        (mk_payload 8192));
+  Sim.run sim;
+  let copied =
+    (Node.copy_counters topo.Topology.client).Mbuf.Counters.bytes_copied
+  in
+  Alcotest.(check bool) "stock NIC copies all 8K" true (copied >= 8192);
+  (* Now tuned: cluster bytes are mapped, not copied. *)
+  let sim2 = Sim.create () in
+  let topo2 = Topology.lan sim2 () in
+  Proc.spawn sim2 (fun () ->
+      Node.send_datagram topo2.Topology.client ~proto:Packet.Udp
+        ~dst:(Node.id topo2.Topology.server) ~src_port:1 ~dst_port:2
+        (mk_payload 8192));
+  Sim.run sim2;
+  let copied2 =
+    (Node.copy_counters topo2.Topology.client).Mbuf.Counters.bytes_copied
+  in
+  Alcotest.(check bool) "tuned NIC copies much less" true (copied2 < copied / 4)
+
+let test_cross_traffic_loads_ring () =
+  let sim = Sim.create () in
+  let topo = Topology.campus sim () in
+  Sim.run ~until:30.0 sim;
+  match topo.Topology.bottleneck with
+  | Some ring ->
+      Alcotest.(check bool) "background packets flowed" true
+        ((Link.stats ring).Link.packets_sent > 100)
+  | None -> Alcotest.fail "campus should expose the ring"
+
+(* Properties *)
+
+let prop_fragment_reassemble =
+  QCheck.Test.make ~name:"fragment/reassemble identity across mtus" ~count:100
+    QCheck.(pair (int_range 1 20000) (int_range 64 9000))
+    (fun (size, mtu) ->
+      let sim = Sim.create () in
+      let reasm = Ipfrag.create sim () in
+      let p = mk_datagram size in
+      let original = Mbuf.to_bytes (Mbuf.sub_copy p.Packet.payload ~pos:0 ~len:size) in
+      let frags = Packet.fragment p ~mtu in
+      match List.filter_map (Ipfrag.insert reasm) frags with
+      | [ whole ] -> Bytes.equal (Mbuf.to_bytes whole.Packet.payload) original
+      | _ -> false)
+
+let prop_fragment_two_stage =
+  QCheck.Test.make ~name:"two-stage fragmentation reassembles" ~count:100
+    QCheck.(triple (int_range 1 16384) (int_range 600 4500) (int_range 300 1500))
+    (fun (size, mtu1, mtu2) ->
+      let sim = Sim.create () in
+      let reasm = Ipfrag.create sim () in
+      let p = mk_datagram size in
+      let original = Mbuf.to_bytes (Mbuf.sub_copy p.Packet.payload ~pos:0 ~len:size) in
+      let stage1 = Packet.fragment p ~mtu:mtu1 in
+      let stage2 = List.concat_map (fun f -> Packet.fragment f ~mtu:mtu2) stage1 in
+      match List.filter_map (Ipfrag.insert reasm) stage2 with
+      | [ whole ] -> Bytes.equal (Mbuf.to_bytes whole.Packet.payload) original
+      | _ -> false)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "fragmentation",
+        [
+          Alcotest.test_case "small passes through" `Quick test_no_fragmentation_when_small;
+          Alcotest.test_case "8K = 6 ethernet fragments" `Quick
+            test_8k_over_ethernet_is_6_fragments;
+          Alcotest.test_case "offsets aligned" `Quick test_fragment_offsets_aligned;
+          Alcotest.test_case "router re-fragmentation" `Quick test_refragmentation;
+          Alcotest.test_case "mtu too small" `Quick test_fragment_mtu_too_small;
+        ] );
+      ( "reassembly",
+        [
+          Alcotest.test_case "in order" `Quick test_reassembly_in_order;
+          Alcotest.test_case "out of order" `Quick test_reassembly_out_of_order;
+          Alcotest.test_case "missing fragment times out" `Quick
+            test_reassembly_missing_fragment_times_out;
+          Alcotest.test_case "duplicates ignored" `Quick test_reassembly_duplicate_fragments;
+          Alcotest.test_case "interleaved datagrams" `Quick
+            test_reassembly_interleaved_datagrams;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "serialization + delay" `Quick test_link_serialization_delay;
+          Alcotest.test_case "fifo backlog" `Quick test_link_fifo_backlog;
+          Alcotest.test_case "queue drops" `Quick test_link_queue_drops;
+          Alcotest.test_case "random loss" `Quick test_link_random_loss;
+        ] );
+      ( "nodes",
+        [
+          Alcotest.test_case "lan delivery" `Quick test_lan_datagram_delivery;
+          Alcotest.test_case "campus forwarding" `Quick test_campus_forwarding;
+          Alcotest.test_case "wan re-fragmentation" `Quick
+            test_wan_forwarding_and_refragmentation;
+          Alcotest.test_case "no route drop" `Quick test_no_route_drop;
+          Alcotest.test_case "send consumes cpu" `Quick test_send_consumes_cpu;
+          Alcotest.test_case "nic stock vs tuned cost" `Quick
+            test_nic_stock_copies_more_than_tuned;
+          Alcotest.test_case "nic copy accounting" `Quick test_nic_copy_accounting;
+          Alcotest.test_case "cross traffic flows" `Quick test_cross_traffic_loads_ring;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fragment_reassemble; prop_fragment_two_stage ] );
+    ]

@@ -1,0 +1,207 @@
+open Renofs_rpc
+module Mbuf = Renofs_mbuf.Mbuf
+module Xdr = Renofs_xdr.Xdr
+
+let sample_cred =
+  Rpc_msg.Auth_unix { stamp = 17; machine = "client1"; uid = 100; gid = 20 }
+
+let sample_call proc =
+  { Rpc_msg.xid = 0x1234l; prog = 100003; vers = 2; proc; cred = sample_cred }
+
+let test_call_roundtrip () =
+  let enc = Rpc_msg.encode_call (sample_call 6) in
+  Xdr.Enc.int enc 8192;
+  (* pretend argument *)
+  let hdr, dec = Rpc_msg.decode_call (Xdr.Enc.chain enc) in
+  Alcotest.(check int32) "xid" 0x1234l hdr.Rpc_msg.xid;
+  Alcotest.(check int) "prog" 100003 hdr.Rpc_msg.prog;
+  Alcotest.(check int) "vers" 2 hdr.Rpc_msg.vers;
+  Alcotest.(check int) "proc" 6 hdr.Rpc_msg.proc;
+  (match hdr.Rpc_msg.cred with
+  | Rpc_msg.Auth_unix { machine; uid; gid; _ } ->
+      Alcotest.(check string) "machine" "client1" machine;
+      Alcotest.(check int) "uid" 100 uid;
+      Alcotest.(check int) "gid" 20 gid
+  | Rpc_msg.Auth_null -> Alcotest.fail "expected AUTH_UNIX");
+  Alcotest.(check int) "args follow" 8192 (Xdr.Dec.int dec)
+
+let test_call_auth_null () =
+  let hdr = { (sample_call 1) with Rpc_msg.cred = Rpc_msg.Auth_null } in
+  let enc = Rpc_msg.encode_call hdr in
+  let got, _ = Rpc_msg.decode_call (Xdr.Enc.chain enc) in
+  Alcotest.(check bool) "auth null" true (got.Rpc_msg.cred = Rpc_msg.Auth_null)
+
+let test_reply_success () =
+  let enc = Rpc_msg.encode_reply ~xid:7l (Rpc_msg.Accepted Rpc_msg.Success) in
+  Xdr.Enc.int enc 0;
+  (* NFS_OK status as result *)
+  let xid, status, dec = Rpc_msg.decode_reply (Xdr.Enc.chain enc) in
+  Alcotest.(check int32) "xid" 7l xid;
+  (match status with
+  | Rpc_msg.Accepted Rpc_msg.Success -> ()
+  | _ -> Alcotest.fail "expected success");
+  Alcotest.(check int) "results follow" 0 (Xdr.Dec.int dec)
+
+let test_reply_errors () =
+  let cases =
+    [
+      Rpc_msg.Accepted Rpc_msg.Prog_unavail;
+      Rpc_msg.Accepted (Rpc_msg.Prog_mismatch { low = 2; high = 2 });
+      Rpc_msg.Accepted Rpc_msg.Proc_unavail;
+      Rpc_msg.Accepted Rpc_msg.Garbage_args;
+      Rpc_msg.Accepted Rpc_msg.System_err;
+      Rpc_msg.Denied Rpc_msg.Rpc_mismatch;
+      Rpc_msg.Denied Rpc_msg.Auth_error;
+    ]
+  in
+  List.iter
+    (fun status ->
+      let enc = Rpc_msg.encode_reply ~xid:9l status in
+      let _, got, _ = Rpc_msg.decode_reply (Xdr.Enc.chain enc) in
+      Alcotest.(check bool) "status roundtrip" true (got = status))
+    cases
+
+let test_call_is_not_reply () =
+  let enc = Rpc_msg.encode_call (sample_call 1) in
+  Alcotest.check_raises "call rejected as reply" (Rpc_msg.Bad_message "not a reply")
+    (fun () -> ignore (Rpc_msg.decode_reply (Xdr.Enc.chain enc)))
+
+let test_peek_xid () =
+  let enc = Rpc_msg.encode_call (sample_call 4) in
+  Alcotest.(check (option int32)) "peek" (Some 0x1234l)
+    (Rpc_msg.peek_xid (Xdr.Enc.chain enc));
+  Alcotest.(check (option int32)) "short chain" None (Rpc_msg.peek_xid (Mbuf.empty ()))
+
+let test_garbage_rejected () =
+  let chain = Mbuf.of_string "this is not an rpc message at all.." in
+  match Rpc_msg.decode_call chain with
+  | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) -> ()
+  | _ -> Alcotest.fail "garbage accepted"
+
+(* Record marking *)
+
+let test_frame_shape () =
+  let body = Mbuf.of_string "abcd" in
+  let framed = Record_mark.frame body in
+  Alcotest.(check int) "marker + body" 8 (Mbuf.length framed);
+  let b = Mbuf.to_bytes framed in
+  let word = Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFFFFFF in
+  Alcotest.(check bool) "last flag" true (word land 0x80000000 <> 0);
+  Alcotest.(check int) "length" 4 (word land 0x7FFFFFFF)
+
+let test_reader_single_record () =
+  let r = Record_mark.Reader.create () in
+  Record_mark.Reader.push r (Record_mark.frame (Mbuf.of_string "hello"));
+  (match Record_mark.Reader.pop r with
+  | Some rec_ -> Alcotest.(check string) "record" "hello" (Bytes.to_string (Mbuf.to_bytes rec_))
+  | None -> Alcotest.fail "no record");
+  Alcotest.(check bool) "drained" true (Record_mark.Reader.pop r = None)
+
+let test_reader_partial_then_complete () =
+  let r = Record_mark.Reader.create () in
+  let framed = Record_mark.frame (Mbuf.of_string "0123456789") in
+  let first, second = Mbuf.split framed 6 in
+  Record_mark.Reader.push r first;
+  Alcotest.(check bool) "incomplete" true (Record_mark.Reader.pop r = None);
+  Record_mark.Reader.push r second;
+  match Record_mark.Reader.pop r with
+  | Some rec_ ->
+      Alcotest.(check string) "assembled" "0123456789"
+        (Bytes.to_string (Mbuf.to_bytes rec_))
+  | None -> Alcotest.fail "no record after completion"
+
+let test_reader_back_to_back () =
+  let r = Record_mark.Reader.create () in
+  let joined = Record_mark.frame (Mbuf.of_string "first") in
+  Mbuf.append_chain joined (Record_mark.frame (Mbuf.of_string "second!"));
+  Record_mark.Reader.push r joined;
+  let pop_str () =
+    match Record_mark.Reader.pop r with
+    | Some c -> Bytes.to_string (Mbuf.to_bytes c)
+    | None -> Alcotest.fail "expected record"
+  in
+  Alcotest.(check string) "first" "first" (pop_str ());
+  Alcotest.(check string) "second" "second!" (pop_str ());
+  Alcotest.(check bool) "no extra" true (Record_mark.Reader.pop r = None)
+
+let prop_reader_chunking =
+  QCheck.Test.make ~name:"record reader handles arbitrary chunking" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) (string_of_size Gen.(int_range 1 2000)))
+        (list_of_size Gen.(int_range 1 30) (int_range 1 700)))
+    (fun (messages, chunk_sizes) ->
+      (* Frame all messages into one stream, then feed it in odd chunks. *)
+      let stream = Mbuf.empty () in
+      List.iter
+        (fun m -> Mbuf.append_chain stream (Record_mark.frame (Mbuf.of_string m)))
+        messages;
+      let reader = Record_mark.Reader.create () in
+      let received = ref [] in
+      let drain () =
+        let rec go () =
+          match Record_mark.Reader.pop reader with
+          | Some r ->
+              received := Bytes.to_string (Mbuf.to_bytes r) :: !received;
+              go ()
+          | None -> ()
+        in
+        go ()
+      in
+      let rec feed stream sizes =
+        if Mbuf.length stream > 0 then begin
+          let n, rest_sizes =
+            match sizes with
+            | s :: rest -> (min s (Mbuf.length stream), rest)
+            | [] -> (Mbuf.length stream, [])
+          in
+          let chunk, rest = Mbuf.split stream n in
+          Record_mark.Reader.push reader chunk;
+          drain ();
+          feed rest rest_sizes
+        end
+      in
+      feed stream chunk_sizes;
+      List.rev !received = messages)
+
+let prop_rpc_call_roundtrip =
+  QCheck.Test.make ~name:"rpc call header roundtrip" ~count:200
+    QCheck.(quad (map Int32.of_int int) (int_bound 20) (int_bound 1000) (string_of_size (Gen.int_bound 30)))
+    (fun (xid, proc, uid, machine) ->
+      let hdr =
+        {
+          Rpc_msg.xid;
+          prog = 100003;
+          vers = 2;
+          proc;
+          cred = Rpc_msg.Auth_unix { stamp = 1; machine; uid; gid = uid + 1 };
+        }
+      in
+      let enc = Rpc_msg.encode_call hdr in
+      let got, dec = Rpc_msg.decode_call (Xdr.Enc.chain enc) in
+      got = hdr && Xdr.Dec.remaining dec = 0)
+
+let () =
+  Alcotest.run "rpc"
+    [
+      ( "messages",
+        [
+          Alcotest.test_case "call roundtrip" `Quick test_call_roundtrip;
+          Alcotest.test_case "auth null" `Quick test_call_auth_null;
+          Alcotest.test_case "reply success" `Quick test_reply_success;
+          Alcotest.test_case "reply errors" `Quick test_reply_errors;
+          Alcotest.test_case "call is not reply" `Quick test_call_is_not_reply;
+          Alcotest.test_case "peek xid" `Quick test_peek_xid;
+          Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+        ] );
+      ( "record-marking",
+        [
+          Alcotest.test_case "frame shape" `Quick test_frame_shape;
+          Alcotest.test_case "single record" `Quick test_reader_single_record;
+          Alcotest.test_case "partial then complete" `Quick test_reader_partial_then_complete;
+          Alcotest.test_case "back to back" `Quick test_reader_back_to_back;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_reader_chunking; prop_rpc_call_roundtrip ] );
+    ]

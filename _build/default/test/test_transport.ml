@@ -1,0 +1,415 @@
+open Renofs_transport
+module Net = Renofs_net
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Mbuf = Renofs_mbuf.Mbuf
+
+let quiet_params =
+  { Net.Topology.default_params with cross_traffic = false; link_loss = 0.0 }
+
+let pattern n = Bytes.init n (fun i -> Char.chr ((i * 7) mod 256))
+
+(* ------------------------------------------------------------------ *)
+(* UDP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_udp_roundtrip () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Udp.install topo.Net.Topology.client
+  and ss = Udp.install topo.Net.Topology.server in
+  let server_sock = Udp.bind ss ~port:2049 in
+  let echoed = ref None in
+  Proc.spawn sim (fun () ->
+      let dg = Udp.recv server_sock in
+      Udp.sendto server_sock ~dst:dg.Udp.src ~dst_port:dg.Udp.src_port
+        (Mbuf.of_string "pong"));
+  Proc.spawn sim (fun () ->
+      let sock = Udp.bind_ephemeral cs in
+      Udp.sendto sock ~dst:(Net.Topology.server_id topo) ~dst_port:2049
+        (Mbuf.of_string "ping");
+      let reply = Udp.recv sock in
+      echoed := Some (Bytes.to_string (Mbuf.to_bytes reply.Udp.payload)));
+  Sim.run sim;
+  Alcotest.(check (option string)) "echo" (Some "pong") !echoed
+
+let test_udp_8k_over_wan () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.wide_area sim ~params:quiet_params () in
+  let cs = Udp.install topo.Net.Topology.client
+  and ss = Udp.install topo.Net.Topology.server in
+  let server_sock = Udp.bind ss ~port:2049 in
+  let got = ref 0 and t_arrive = ref 0.0 in
+  Proc.spawn sim (fun () ->
+      let dg = Udp.recv server_sock in
+      got := Mbuf.length dg.Udp.payload;
+      t_arrive := Sim.now sim);
+  Proc.spawn sim (fun () ->
+      let sock = Udp.bind_ephemeral cs in
+      Udp.sendto sock ~dst:(Net.Topology.server_id topo) ~dst_port:2049
+        (Mbuf.of_bytes (pattern 8192)));
+  Sim.run sim;
+  Alcotest.(check int) "delivered" 8192 !got;
+  (* 8 KB over a 56 Kbit/s link needs over a second of serialization. *)
+  Alcotest.(check bool) "took over a second" true (!t_arrive > 1.0)
+
+let test_udp_unknown_port_dropped () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Udp.install topo.Net.Topology.client
+  and ss = Udp.install topo.Net.Topology.server in
+  let bound = Udp.bind ss ~port:2049 in
+  Proc.spawn sim (fun () ->
+      let sock = Udp.bind_ephemeral cs in
+      Udp.sendto sock ~dst:(Net.Topology.server_id topo) ~dst_port:999
+        (Mbuf.of_string "void"));
+  Sim.run sim;
+  Alcotest.(check int) "nothing queued" 0 (Udp.pending bound)
+
+let test_udp_receive_buffer_overflow () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Udp.install topo.Net.Topology.client
+  and ss = Udp.install topo.Net.Topology.server in
+  (* Tiny buffer: fits just one 8K datagram. *)
+  let server_sock = Udp.bind ~recv_buffer:9000 ss ~port:2049 in
+  Proc.spawn sim (fun () ->
+      let sock = Udp.bind_ephemeral cs in
+      for _ = 1 to 5 do
+        Udp.sendto sock ~dst:(Net.Topology.server_id topo) ~dst_port:2049
+          (Mbuf.of_bytes (pattern 8192))
+      done);
+  Sim.run sim;
+  Alcotest.(check int) "one queued" 1 (Udp.pending server_sock);
+  Alcotest.(check int) "four dropped at socket" 4 (Udp.drops server_sock)
+
+let test_udp_port_conflict () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let ss = Udp.install topo.Net.Topology.server in
+  let _ = Udp.bind ss ~port:2049 in
+  Alcotest.check_raises "conflict" (Invalid_argument "Udp.bind: port 2049 in use")
+    (fun () -> ignore (Udp.bind ss ~port:2049))
+
+(* ------------------------------------------------------------------ *)
+(* TCP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let echo_server stack ~port =
+  Tcp.listen stack ~port (fun conn ->
+      let rec loop () =
+        match Tcp.recv conn ~max:65536 with
+        | chunk ->
+            Tcp.send conn chunk;
+            loop ()
+        | exception Tcp.Connection_closed -> ()
+      in
+      loop ())
+
+let run_echo ?(mss = 1460) ~topo ~bytes () =
+  let sim = topo.Net.Topology.sim in
+  let cs = Tcp.install topo.Net.Topology.client
+  and ss = Tcp.install topo.Net.Topology.server in
+  echo_server ss ~port:2049;
+  let sent = pattern bytes in
+  let received = Buffer.create bytes in
+  let conn_stats = ref None in
+  Proc.spawn sim (fun () ->
+      let conn = Tcp.connect ~mss cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+      Proc.spawn sim (fun () ->
+          Tcp.send conn (Mbuf.of_bytes (Bytes.copy sent)));
+      let rec drain () =
+        if Buffer.length received < bytes then begin
+          let chunk = Tcp.recv conn ~max:65536 in
+          Buffer.add_bytes received (Mbuf.to_bytes chunk);
+          drain ()
+        end
+      in
+      drain ();
+      conn_stats := Some (Tcp.stats conn));
+  Sim.run sim;
+  Alcotest.(check int) "all bytes echoed" bytes (Buffer.length received);
+  Alcotest.(check bytes) "content intact" sent (Buffer.to_bytes received);
+  match !conn_stats with Some s -> s | None -> Alcotest.fail "no stats"
+
+let test_tcp_lan_echo () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let stats = run_echo ~topo ~bytes:100_000 () in
+  Alcotest.(check int) "no timeouts on clean lan" 0 stats.Tcp.retransmit_timeouts;
+  Alcotest.(check bool) "rtt estimated" true (stats.Tcp.srtt > 0.0)
+
+let test_tcp_campus_echo () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.campus sim ~params:quiet_params () in
+  let stats = run_echo ~mss:512 ~topo ~bytes:60_000 () in
+  Alcotest.(check bool) "segments flowed" true (stats.Tcp.segs_sent > 100)
+
+let test_tcp_wan_echo () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.wide_area sim ~params:quiet_params () in
+  let _stats = run_echo ~mss:512 ~topo ~bytes:20_000 () in
+  ()
+
+let test_tcp_lossy_link_recovers () =
+  let sim = Sim.create () in
+  let params = { quiet_params with link_loss = 0.05 } in
+  let topo = Net.Topology.campus sim ~params () in
+  let stats = run_echo ~mss:512 ~topo ~bytes:60_000 () in
+  Alcotest.(check bool) "recovered via retransmission" true
+    (stats.Tcp.retransmit_timeouts + stats.Tcp.fast_retransmits > 0)
+
+let test_tcp_slow_start_growth () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Tcp.install topo.Net.Topology.client
+  and ss = Tcp.install topo.Net.Topology.server in
+  (* A sink server that reads forever. *)
+  Tcp.listen ss ~port:2049 (fun conn ->
+      let rec loop () =
+        match Tcp.recv conn ~max:65536 with
+        | _ -> loop ()
+        | exception Tcp.Connection_closed -> ()
+      in
+      loop ());
+  let final_cwnd = ref 0.0 in
+  Proc.spawn sim (fun () ->
+      let conn = Tcp.connect ~mss:1460 cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+      Tcp.send conn (Mbuf.of_bytes (pattern 64_000));
+      final_cwnd := (Tcp.stats conn).Tcp.cwnd);
+  Sim.run sim;
+  Alcotest.(check bool) "cwnd grew beyond 1 segment" true (!final_cwnd > 2.0 *. 1460.0)
+
+let test_tcp_connect_timeout () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Tcp.install topo.Net.Topology.client in
+  let _ss = Tcp.install topo.Net.Topology.server in
+  let outcome = ref "" in
+  Proc.spawn sim (fun () ->
+      match Tcp.connect cs ~dst:(Net.Topology.server_id topo) ~dst_port:7777 with
+      | _ -> outcome := "connected"
+      | exception Tcp.Connect_timeout -> outcome := "timeout");
+  Sim.run sim;
+  Alcotest.(check string) "gave up" "timeout" !outcome
+
+let test_tcp_concurrent_senders_serialized () =
+  (* Two processes interleaving sends on one connection must not corrupt
+     the stream: total byte count is preserved (the NFS client relies on
+     per-record locking above this, but the socket layer must at least
+     keep the byte stream intact). *)
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Tcp.install topo.Net.Topology.client
+  and ss = Tcp.install topo.Net.Topology.server in
+  let total = ref 0 in
+  Tcp.listen ss ~port:2049 (fun conn ->
+      let rec loop () =
+        match Tcp.recv conn ~max:65536 with
+        | chunk ->
+            total := !total + Mbuf.length chunk;
+            loop ()
+        | exception Tcp.Connection_closed -> ()
+      in
+      loop ());
+  Proc.spawn sim (fun () ->
+      let conn = Tcp.connect ~mss:1460 cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+      for _ = 1 to 4 do
+        Proc.spawn sim (fun () -> Tcp.send conn (Mbuf.of_bytes (pattern 20_000)))
+      done);
+  Sim.run ~until:120.0 sim;
+  Alcotest.(check int) "all bytes through" 80_000 !total
+
+let test_tcp_close_delivers_eof () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Tcp.install topo.Net.Topology.client
+  and ss = Tcp.install topo.Net.Topology.server in
+  let server_saw = ref [] in
+  Tcp.listen ss ~port:2049 (fun conn ->
+      let rec loop () =
+        match Tcp.recv conn ~max:65536 with
+        | chunk ->
+            server_saw := Bytes.to_string (Mbuf.to_bytes chunk) :: !server_saw;
+            loop ()
+        | exception Tcp.Connection_closed -> server_saw := "EOF" :: !server_saw
+      in
+      loop ());
+  Proc.spawn sim (fun () ->
+      let conn = Tcp.connect cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+      Tcp.send conn (Mbuf.of_string "last words");
+      Tcp.close conn);
+  Sim.run ~until:300.0 sim;
+  match List.rev !server_saw with
+  | [ "last words"; "EOF" ] -> ()
+  | other ->
+      Alcotest.failf "unexpected sequence: %s" (String.concat "," other)
+
+let test_tcp_zero_window_persist () =
+  (* A receiver that refuses to read closes its window; the sender must
+     stall, probe, and finish once the receiver drains. *)
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Tcp.install topo.Net.Topology.client
+  and ss = Tcp.install topo.Net.Topology.server in
+  let got = Buffer.create 65536 in
+  Tcp.listen ss ~port:2049 (fun conn ->
+      (* Ignore the data for 30 seconds, then drain everything. *)
+      Proc.sleep sim 30.0;
+      let rec loop () =
+        match Tcp.recv conn ~max:65536 with
+        | chunk ->
+            Buffer.add_bytes got (Mbuf.to_bytes chunk);
+            loop ()
+        | exception Tcp.Connection_closed -> ()
+      in
+      loop ());
+  let body = pattern 40_000 in
+  Proc.spawn sim (fun () ->
+      let conn = Tcp.connect ~mss:1460 cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+      Tcp.send conn (Mbuf.of_bytes (Bytes.copy body));
+      Tcp.close conn);
+  Sim.run ~until:600.0 sim;
+  Alcotest.(check int) "all bytes after stall" 40_000 (Buffer.length got);
+  Alcotest.(check bytes) "intact" body (Buffer.to_bytes got)
+
+let test_tcp_interleaved_connections () =
+  (* Several simultaneous connections between the same two hosts must
+     demultiplex cleanly. *)
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let cs = Tcp.install topo.Net.Topology.client
+  and ss = Tcp.install topo.Net.Topology.server in
+  let sums = Hashtbl.create 4 in
+  Tcp.listen ss ~port:2049 (fun conn ->
+      let rec loop acc =
+        match Tcp.recv conn ~max:65536 with
+        | chunk -> loop (acc + Mbuf.length chunk)
+        | exception Tcp.Connection_closed ->
+            Hashtbl.replace sums (Tcp.peer_port conn) acc
+      in
+      loop 0);
+  for i = 1 to 4 do
+    Proc.spawn sim (fun () ->
+        let conn = Tcp.connect ~mss:512 cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+        Tcp.send conn (Mbuf.of_bytes (pattern (i * 10_000)));
+        Tcp.close conn)
+  done;
+  Sim.run ~until:600.0 sim;
+  let totals = Hashtbl.fold (fun _ v acc -> v :: acc) sums [] |> List.sort compare in
+  Alcotest.(check (list int)) "per-connection byte counts"
+    [ 10_000; 20_000; 30_000; 40_000 ] totals
+
+let test_tcp_cpu_premium_over_udp () =
+  (* Graph 6's premise: moving the same bytes by TCP costs the server
+     more CPU than by UDP. *)
+  let run_udp () =
+    let sim = Sim.create () in
+    let topo = Net.Topology.lan sim () in
+    let cs = Udp.install topo.Net.Topology.client
+    and ss = Udp.install topo.Net.Topology.server in
+    let server_sock = Udp.bind ss ~port:2049 in
+    Proc.spawn sim (fun () ->
+        for _ = 1 to 20 do
+          ignore (Udp.recv server_sock)
+        done);
+    Proc.spawn sim (fun () ->
+        let sock = Udp.bind_ephemeral cs in
+        for _ = 1 to 20 do
+          Udp.sendto sock ~dst:(Net.Topology.server_id topo) ~dst_port:2049
+            (Mbuf.of_bytes (pattern 8192));
+          Proc.sleep sim 0.2
+        done);
+    Sim.run sim;
+    Renofs_engine.Cpu.busy_time (Net.Node.cpu topo.Net.Topology.server)
+  in
+  let run_tcp () =
+    let sim = Sim.create () in
+    let topo = Net.Topology.lan sim () in
+    let cs = Tcp.install topo.Net.Topology.client
+    and ss = Tcp.install topo.Net.Topology.server in
+    let got = ref 0 in
+    Tcp.listen ss ~port:2049 (fun conn ->
+        let rec loop () =
+          match Tcp.recv conn ~max:65536 with
+          | chunk ->
+              got := !got + Mbuf.length chunk;
+              loop ()
+          | exception Tcp.Connection_closed -> ()
+        in
+        loop ());
+    Proc.spawn sim (fun () ->
+        let conn = Tcp.connect ~mss:1460 cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+        for _ = 1 to 20 do
+          Tcp.send conn (Mbuf.of_bytes (pattern 8192));
+          Proc.sleep sim 0.2
+        done);
+    Sim.run ~until:60.0 sim;
+    Renofs_engine.Cpu.busy_time (Net.Node.cpu topo.Net.Topology.server)
+  in
+  let udp_busy = run_udp () and tcp_busy = run_tcp () in
+  Alcotest.(check bool) "tcp costs more" true (tcp_busy > udp_busy);
+  Alcotest.(check bool) "but not absurdly more" true (tcp_busy < udp_busy *. 2.5)
+
+let prop_tcp_transfer_integrity =
+  QCheck.Test.make ~name:"tcp preserves arbitrary streams across lossy paths" ~count:15
+    QCheck.(pair (int_range 1 40_000) (int_range 0 3))
+    (fun (bytes, loss_level) ->
+      let sim = Sim.create () in
+      let params =
+        {
+          quiet_params with
+          link_loss = float_of_int loss_level *. 0.02;
+          seed = bytes;
+        }
+      in
+      let topo = Net.Topology.campus sim ~params () in
+      let cs = Tcp.install topo.Net.Topology.client
+      and ss = Tcp.install topo.Net.Topology.server in
+      let received = Buffer.create bytes in
+      Tcp.listen ss ~port:2049 (fun conn ->
+          let rec loop () =
+            match Tcp.recv conn ~max:65536 with
+            | chunk ->
+                Buffer.add_bytes received (Mbuf.to_bytes chunk);
+                loop ()
+            | exception Tcp.Connection_closed -> ()
+          in
+          loop ());
+      let sent = pattern bytes in
+      Proc.spawn sim (fun () ->
+          let conn = Tcp.connect ~mss:512 cs ~dst:(Net.Topology.server_id topo) ~dst_port:2049 in
+          Tcp.send conn (Mbuf.of_bytes (Bytes.copy sent));
+          Tcp.close conn);
+      Sim.run ~until:600.0 sim;
+      Bytes.equal (Buffer.to_bytes received) sent)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "udp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "8K over wan" `Quick test_udp_8k_over_wan;
+          Alcotest.test_case "unknown port dropped" `Quick test_udp_unknown_port_dropped;
+          Alcotest.test_case "recv buffer overflow" `Quick test_udp_receive_buffer_overflow;
+          Alcotest.test_case "port conflict" `Quick test_udp_port_conflict;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "lan echo 100K" `Quick test_tcp_lan_echo;
+          Alcotest.test_case "campus echo" `Quick test_tcp_campus_echo;
+          Alcotest.test_case "wan echo" `Quick test_tcp_wan_echo;
+          Alcotest.test_case "lossy link recovers" `Quick test_tcp_lossy_link_recovers;
+          Alcotest.test_case "slow start growth" `Quick test_tcp_slow_start_growth;
+          Alcotest.test_case "connect timeout" `Quick test_tcp_connect_timeout;
+          Alcotest.test_case "concurrent senders" `Quick
+            test_tcp_concurrent_senders_serialized;
+          Alcotest.test_case "close delivers EOF" `Quick test_tcp_close_delivers_eof;
+          Alcotest.test_case "cpu premium vs udp" `Quick test_tcp_cpu_premium_over_udp;
+          Alcotest.test_case "zero-window persist" `Quick test_tcp_zero_window_persist;
+          Alcotest.test_case "interleaved connections" `Quick test_tcp_interleaved_connections;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_tcp_transfer_integrity ] );
+    ]

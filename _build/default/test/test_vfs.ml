@@ -1,0 +1,463 @@
+open Renofs_vfs
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+
+(* Run [body] as the only process of a fresh world and return its result. *)
+let in_world ?(config = Fs.reno_config) body =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:0.9 in
+  let disk = Disk.create sim () in
+  let fs = Fs.create sim cpu disk config in
+  let result = ref None in
+  Proc.spawn sim (fun () -> result := Some (body sim fs));
+  Sim.run sim;
+  match !result with Some r -> r | None -> Alcotest.fail "world did not finish"
+
+let check_err expected f =
+  match f () with
+  | exception Fs.Err e when e = expected -> ()
+  | exception Fs.Err _ -> Alcotest.fail "wrong error"
+  | _ -> Alcotest.fail "expected an error"
+
+(* ------------------------------------------------------------------ *)
+(* Disk                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_disk_latency () =
+  let sim = Sim.create () in
+  let disk = Disk.create sim () in
+  let t_done = ref 0.0 in
+  Proc.spawn sim (fun () ->
+      Disk.read disk ~bytes:8192;
+      t_done := Sim.now sim);
+  Sim.run sim;
+  (* 30 ms seek + 8.3 ms rotation + 8192/0.6MB/s = 13.6 ms transfer. *)
+  Alcotest.(check bool) "tens of ms" true (!t_done > 0.045 && !t_done < 0.06);
+  Alcotest.(check int) "counted" 1 (Disk.reads disk)
+
+let test_disk_serializes () =
+  let sim = Sim.create () in
+  let disk = Disk.create sim () in
+  let done_times = ref [] in
+  for _ = 1 to 3 do
+    Proc.spawn sim (fun () ->
+        Disk.write disk ~bytes:512;
+        done_times := Sim.now sim :: !done_times)
+  done;
+  Sim.run sim;
+  match List.sort compare !done_times with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "spread out" true (b > a +. 0.02 && c > b +. 0.02)
+  | _ -> Alcotest.fail "expected three completions"
+
+(* ------------------------------------------------------------------ *)
+(* Namecache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_namecache_basics () =
+  let nc = Namecache.create () in
+  Alcotest.(check (option int)) "miss" None (Namecache.lookup nc ~dir:2 "a");
+  Namecache.enter nc ~dir:2 "a" 10;
+  Alcotest.(check (option int)) "hit" (Some 10) (Namecache.lookup nc ~dir:2 "a");
+  Alcotest.(check (option int)) "other dir" None (Namecache.lookup nc ~dir:3 "a");
+  Namecache.remove nc ~dir:2 "a";
+  Alcotest.(check (option int)) "removed" None (Namecache.lookup nc ~dir:2 "a")
+
+let test_namecache_31_char_limit () =
+  let nc = Namecache.create () in
+  let long = String.make 32 'x' in
+  Namecache.enter nc ~dir:2 long 10;
+  Alcotest.(check (option int)) "not cached" None (Namecache.lookup nc ~dir:2 long);
+  Alcotest.(check int) "too_long counted" 1 (Namecache.stats nc).Namecache.too_long;
+  let exactly31 = String.make 31 'y' in
+  Namecache.enter nc ~dir:2 exactly31 11;
+  Alcotest.(check (option int)) "31 chars cached" (Some 11)
+    (Namecache.lookup nc ~dir:2 exactly31)
+
+let test_namecache_eviction () =
+  let nc = Namecache.create ~capacity:4 () in
+  for i = 1 to 8 do
+    Namecache.enter nc ~dir:2 (Printf.sprintf "f%d" i) i
+  done;
+  Alcotest.(check (option int)) "oldest evicted" None (Namecache.lookup nc ~dir:2 "f1");
+  Alcotest.(check (option int)) "newest kept" (Some 8) (Namecache.lookup nc ~dir:2 "f8")
+
+let test_namecache_invalidate_dir () =
+  let nc = Namecache.create () in
+  Namecache.enter nc ~dir:2 "a" 10;
+  Namecache.enter nc ~dir:3 "b" 11;
+  Namecache.invalidate_dir nc 2;
+  Alcotest.(check (option int)) "dir 2 gone" None (Namecache.lookup nc ~dir:2 "a");
+  Alcotest.(check (option int)) "dir 3 kept" (Some 11) (Namecache.lookup nc ~dir:3 "b")
+
+(* ------------------------------------------------------------------ *)
+(* Bcache                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bcache_hit_miss_lru () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:0.9 in
+  let bc = Bcache.create sim cpu ~blocks:2 ~search:Bcache.Vnode_chained () in
+  let outcome = ref [] in
+  Proc.spawn sim (fun () ->
+      outcome := Bcache.lookup bc ~ino:1 ~blk:0 :: !outcome;
+      Bcache.insert bc ~ino:1 ~blk:0;
+      Bcache.insert bc ~ino:1 ~blk:1;
+      outcome := Bcache.lookup bc ~ino:1 ~blk:0 :: !outcome;
+      (* Insert a third block: LRU victim is (1,1). *)
+      Bcache.insert bc ~ino:2 ~blk:0;
+      outcome := Bcache.lookup bc ~ino:1 ~blk:1 :: !outcome);
+  Sim.run sim;
+  Alcotest.(check (list bool)) "miss, hit, evicted" [ false; true; false ]
+    (List.rev !outcome);
+  Alcotest.(check int) "resident" 2 (Bcache.resident bc)
+
+let test_bcache_scan_costs_more () =
+  let run search =
+    let sim = Sim.create () in
+    let cpu = Cpu.create sim ~mips:0.9 in
+    let bc = Bcache.create sim cpu ~blocks:300 ~search () in
+    Proc.spawn sim (fun () ->
+        for i = 1 to 250 do
+          Bcache.insert bc ~ino:i ~blk:0
+        done;
+        for i = 1 to 250 do
+          ignore (Bcache.lookup bc ~ino:i ~blk:0)
+        done);
+    Sim.run sim;
+    Cpu.busy_time cpu
+  in
+  let chained = run Bcache.Vnode_chained and scan = run Bcache.Global_scan in
+  Alcotest.(check bool) "global scan much dearer" true (scan > chained *. 5.0)
+
+let test_bcache_invalidate_ino () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:1.0 in
+  let bc = Bcache.create sim cpu ~blocks:8 ~search:Bcache.Vnode_chained () in
+  Bcache.insert bc ~ino:1 ~blk:0;
+  Bcache.insert bc ~ino:1 ~blk:1;
+  Bcache.insert bc ~ino:2 ~blk:0;
+  Bcache.invalidate_ino bc 1;
+  Alcotest.(check int) "only ino 2 left" 1 (Bcache.resident bc)
+
+(* ------------------------------------------------------------------ *)
+(* Fs                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fs_create_lookup_read_write () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let f = Fs.create_file fs ~dir:root "hello.txt" ~mode:0o644 () in
+      Fs.write fs f ~off:0 (Bytes.of_string "hello, world");
+      let v = Fs.lookup fs root "hello.txt" in
+      Alcotest.(check int) "same inode" (Fs.ino f) (Fs.ino v);
+      let data = Fs.read fs v ~off:0 ~len:100 in
+      Alcotest.(check string) "content" "hello, world" (Bytes.to_string data);
+      let a = Fs.getattr fs v in
+      Alcotest.(check int) "size" 12 a.Fs.size;
+      Alcotest.(check bool) "regular" true (a.Fs.kind = Fs.Reg))
+
+let test_fs_sparse_write_and_overwrite () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let f = Fs.create_file fs ~dir:root "sparse" ~mode:0o644 () in
+      Fs.write fs f ~off:10000 (Bytes.of_string "end");
+      Alcotest.(check int) "size" 10003 (Fs.getattr fs f).Fs.size;
+      let hole = Fs.read fs f ~off:5000 ~len:4 in
+      Alcotest.(check string) "hole zero-filled" "\000\000\000\000" (Bytes.to_string hole);
+      Fs.write fs f ~off:0 (Bytes.of_string "begin");
+      let head = Fs.read fs f ~off:0 ~len:5 in
+      Alcotest.(check string) "overwrite" "begin" (Bytes.to_string head))
+
+let test_fs_read_past_eof () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let f = Fs.create_file fs ~dir:root "short" ~mode:0o644 () in
+      Fs.write fs f ~off:0 (Bytes.of_string "abc");
+      Alcotest.(check int) "short read" 2 (Bytes.length (Fs.read fs f ~off:1 ~len:100));
+      Alcotest.(check int) "empty at eof" 0 (Bytes.length (Fs.read fs f ~off:3 ~len:10)))
+
+let test_fs_errors () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      check_err Fs.Enoent (fun () -> Fs.lookup fs root "missing");
+      let f = Fs.create_file fs ~dir:root "f" ~mode:0o644 () in
+      check_err Fs.Eexist (fun () -> Fs.create_file fs ~dir:root "f" ~mode:0o644 ());
+      check_err Fs.Enotdir (fun () -> Fs.lookup fs f "x");
+      check_err Fs.Eisdir (fun () -> Fs.read fs root ~off:0 ~len:1);
+      let d = Fs.mkdir fs ~dir:root "d" ~mode:0o755 () in
+      let _ = Fs.create_file fs ~dir:d "inner" ~mode:0o644 () in
+      check_err Fs.Enotempty (fun () -> Fs.rmdir fs ~dir:root "d");
+      check_err Fs.Eisdir (fun () -> Fs.remove fs ~dir:root "d");
+      check_err Fs.Einval (fun () -> Fs.create_file fs ~dir:root "a/b" ~mode:0o644 ()))
+
+let test_fs_remove_and_stale () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let f = Fs.create_file fs ~dir:root "doomed" ~mode:0o644 () in
+      let i = Fs.ino f in
+      Fs.remove fs ~dir:root "doomed";
+      check_err Fs.Enoent (fun () -> Fs.lookup fs root "doomed");
+      check_err Fs.Estale (fun () -> Fs.vnode_by_ino fs i))
+
+let test_fs_hard_link () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let f = Fs.create_file fs ~dir:root "orig" ~mode:0o644 () in
+      Fs.write fs f ~off:0 (Bytes.of_string "shared");
+      Fs.link fs ~src:f ~dir:root "alias";
+      Alcotest.(check int) "nlink 2" 2 (Fs.getattr fs f).Fs.nlink;
+      Fs.remove fs ~dir:root "orig";
+      let v = Fs.lookup fs root "alias" in
+      Alcotest.(check string) "data survives" "shared"
+        (Bytes.to_string (Fs.read fs v ~off:0 ~len:10));
+      Alcotest.(check int) "nlink 1" 1 (Fs.getattr fs v).Fs.nlink)
+
+let test_fs_rename () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let d1 = Fs.mkdir fs ~dir:root "d1" ~mode:0o755 () in
+      let d2 = Fs.mkdir fs ~dir:root "d2" ~mode:0o755 () in
+      let f = Fs.create_file fs ~dir:d1 "a" ~mode:0o644 () in
+      Fs.write fs f ~off:0 (Bytes.of_string "payload");
+      Fs.rename fs ~src_dir:d1 "a" ~dst_dir:d2 "b";
+      check_err Fs.Enoent (fun () -> Fs.lookup fs d1 "a");
+      let v = Fs.lookup fs d2 "b" in
+      Alcotest.(check string) "moved intact" "payload"
+        (Bytes.to_string (Fs.read fs v ~off:0 ~len:10));
+      (* Rename over an existing file unlinks the victim. *)
+      let _ = Fs.create_file fs ~dir:d2 "c" ~mode:0o644 () in
+      Fs.rename fs ~src_dir:d2 "b" ~dst_dir:d2 "c";
+      let v2 = Fs.lookup fs d2 "c" in
+      Alcotest.(check int) "same inode" (Fs.ino v) (Fs.ino v2))
+
+let test_fs_symlink () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      Fs.symlink fs ~dir:root "ln" ~target:"/some/where" ();
+      let v = Fs.lookup fs root "ln" in
+      Alcotest.(check string) "target" "/some/where" (Fs.readlink fs v);
+      Alcotest.(check bool) "kind" true ((Fs.getattr fs v).Fs.kind = Fs.Lnk))
+
+let test_fs_readdir_paging () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      for i = 0 to 24 do
+        ignore (Fs.create_file fs ~dir:root (Printf.sprintf "f%02d" i) ~mode:0o644 ())
+      done;
+      let page1, eof1 = Fs.readdir fs root ~cookie:0 ~count:10 in
+      Alcotest.(check int) "page1" 10 (List.length page1);
+      Alcotest.(check bool) "not eof" false eof1;
+      let page2, _ = Fs.readdir fs root ~cookie:10 ~count:10 in
+      let page3, eof3 = Fs.readdir fs root ~cookie:20 ~count:10 in
+      Alcotest.(check int) "page3" 5 (List.length page3);
+      Alcotest.(check bool) "eof" true eof3;
+      let all = List.map fst (page1 @ page2 @ page3) in
+      Alcotest.(check int) "no dup" 25 (List.length (List.sort_uniq compare all)))
+
+let test_fs_dot_and_dotdot () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let d = Fs.mkdir fs ~dir:root "sub" ~mode:0o755 () in
+      Alcotest.(check int) "." (Fs.ino d) (Fs.ino (Fs.lookup fs d "."));
+      Alcotest.(check int) ".." (Fs.ino root) (Fs.ino (Fs.lookup fs d "..")))
+
+let test_fs_setattr_truncate () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let f = Fs.create_file fs ~dir:root "t" ~mode:0o644 () in
+      Fs.write fs f ~off:0 (Bytes.of_string "0123456789");
+      let a = Fs.setattr fs f ~size:4 () in
+      Alcotest.(check int) "truncated" 4 a.Fs.size;
+      Alcotest.(check string) "data cut" "0123"
+        (Bytes.to_string (Fs.read fs f ~off:0 ~len:100));
+      let a2 = Fs.setattr fs f ~size:8 () in
+      Alcotest.(check int) "extended" 8 a2.Fs.size;
+      Alcotest.(check string) "zero filled" "0123\000\000\000\000"
+        (Bytes.to_string (Fs.read fs f ~off:0 ~len:100)))
+
+let test_fs_sync_writes_hit_disk () =
+  let disk_writes config =
+    let sim = Sim.create () in
+    let cpu = Cpu.create sim ~mips:0.9 in
+    let disk = Disk.create sim () in
+    let fs = Fs.create sim cpu disk config in
+    Proc.spawn sim (fun () ->
+        let f = Fs.create_file fs ~dir:(Fs.root fs) "w" ~mode:0o644 () in
+        Fs.write fs f ~off:0 (Bytes.make 8192 'x'));
+    Sim.run sim;
+    Disk.writes disk
+  in
+  let sync = disk_writes Fs.reno_config in
+  let local = disk_writes Fs.local_config in
+  (* Both pay synchronous metadata for the create; only the NFS-server
+     configuration also pushes the data block and inode on write. *)
+  Alcotest.(check bool) "nfs server pays data writes" true (sync >= local + 2);
+  Alcotest.(check bool) "local still pays metadata" true (local >= 2)
+
+let test_fs_lookup_uses_name_cache () =
+  (* Second lookup of the same name must be cheaper with the cache. *)
+  let lookup_cost config =
+    let sim = Sim.create () in
+    let cpu = Cpu.create sim ~mips:0.9 in
+    let disk = Disk.create sim () in
+    let fs = Fs.create sim cpu disk config in
+    let cost = ref 0.0 in
+    Proc.spawn sim (fun () ->
+        let root = Fs.root fs in
+        (* Big directory so scans are expensive. *)
+        for i = 0 to 399 do
+          ignore (Fs.create_file fs ~dir:root (Printf.sprintf "file%03d" i) ~mode:0o644 ())
+        done;
+        ignore (Fs.lookup fs root "file399");
+        let before = Cpu.busy_time cpu in
+        for _ = 1 to 50 do
+          ignore (Fs.lookup fs root "file399")
+        done;
+        cost := Cpu.busy_time cpu -. before);
+    Sim.run sim;
+    !cost
+  in
+  let with_cache = lookup_cost Fs.reno_config in
+  let without = lookup_cost { Fs.reno_config with Fs.name_cache = false } in
+  Alcotest.(check bool) "cache accelerates lookups" true
+    (with_cache < without /. 3.0)
+
+let test_fs_statfs () =
+  in_world (fun _sim fs ->
+      let st = Fs.statfs fs in
+      Alcotest.(check int) "block size" 8192 st.Fs.block_size;
+      Alcotest.(check bool) "free blocks sane" true
+        (st.Fs.free_blocks > 0 && st.Fs.free_blocks <= st.Fs.total_blocks))
+
+let test_fsck_clean_after_operations () =
+  in_world (fun _sim fs ->
+      let root = Fs.root fs in
+      let d1 = Fs.mkdir fs ~dir:root "d1" ~mode:0o755 () in
+      let d2 = Fs.mkdir fs ~dir:d1 "d2" ~mode:0o755 () in
+      let f = Fs.create_file fs ~dir:d2 "f" ~mode:0o644 () in
+      Fs.write fs f ~off:0 (Bytes.make 100 'x');
+      Fs.link fs ~src:f ~dir:root "hard";
+      Fs.symlink fs ~dir:root "soft" ~target:"d1/d2/f" ();
+      Fs.rename fs ~src_dir:d2 "f" ~dst_dir:d1 "g";
+      Fs.remove fs ~dir:root "hard";
+      Alcotest.(check (list string)) "fsck clean" [] (Fs.fsck fs))
+
+(* Property: after arbitrary sequences of namespace operations the
+   filesystem invariants hold (fsck is clean). *)
+let prop_fsck_random_ops =
+  QCheck.Test.make ~name:"fsck clean after random namespace ops" ~count:60
+    QCheck.(list_of_size Gen.(int_range 5 40) (int_bound 999))
+    (fun seeds ->
+      in_world (fun _sim fs ->
+          let root = Fs.root fs in
+          let dirs = ref [ root ] in
+          let pick l n = List.nth l (n mod List.length l) in
+          List.iteri
+            (fun i seed ->
+              let dir = pick !dirs seed in
+              let name = Printf.sprintf "n%d" i in
+              (* A picked directory may have been removed already; the
+                 stale-handle error is the correct response then. *)
+              try
+                match seed mod 6 with
+                | 0 -> dirs := Fs.mkdir fs ~dir name ~mode:0o755 () :: !dirs
+                | 1 -> ignore (Fs.create_file fs ~dir name ~mode:0o644 ())
+                | 2 -> Fs.symlink fs ~dir name ~target:"anywhere" ()
+                | 3 -> (
+                    (* remove a random entry if possible *)
+                    match Fs.readdir fs dir ~cookie:0 ~count:100 with
+                    | (victim, ino_) :: _, _ -> (
+                        match (Fs.getattr fs (Fs.vnode_by_ino fs ino_)).Fs.kind with
+                        | Fs.Dir -> (
+                            try Fs.rmdir fs ~dir victim with Fs.Err _ -> ())
+                        | Fs.Reg | Fs.Lnk -> Fs.remove fs ~dir victim
+                        | exception Fs.Err _ -> ())
+                    | [], _ -> ())
+                | 4 -> (
+                    (* hard link to a random file *)
+                    match Fs.readdir fs dir ~cookie:0 ~count:100 with
+                    | (existing, ino_) :: _, _ -> (
+                        try
+                          let v = Fs.vnode_by_ino fs ino_ in
+                          if (Fs.getattr fs v).Fs.kind = Fs.Reg then
+                            Fs.link fs ~src:v ~dir (existing ^ "L")
+                        with Fs.Err _ -> ())
+                    | [], _ -> ())
+                | _ -> (
+                    (* rename something into the root *)
+                    match Fs.readdir fs dir ~cookie:0 ~count:100 with
+                    | (victim, _) :: _, _ -> (
+                        try Fs.rename fs ~src_dir:dir victim ~dst_dir:root (victim ^ "R")
+                        with Fs.Err _ -> ())
+                    | [], _ -> ())
+              with Fs.Err Fs.Estale -> ())
+            seeds;
+          Fs.fsck fs = []))
+
+(* Property: a random sequence of writes followed by reads behaves like a
+   reference byte array. *)
+let prop_write_read_model =
+  QCheck.Test.make ~name:"fs read/write matches flat-array model" ~count:60
+    QCheck.(
+      list_of_size Gen.(int_range 1 20)
+        (pair (int_range 0 30000) (int_range 1 2000)))
+    (fun ops ->
+      in_world (fun _sim fs ->
+          let f = Fs.create_file fs ~dir:(Fs.root fs) "model" ~mode:0o644 () in
+          let model = Bytes.make 40000 '\000' in
+          let model_len = ref 0 in
+          List.iteri
+            (fun i (off, len) ->
+              let data = Bytes.make len (Char.chr (65 + (i mod 26))) in
+              Fs.write fs f ~off data;
+              Bytes.blit data 0 model off len;
+              if off + len > !model_len then model_len := off + len)
+            ops;
+          let actual = Fs.read fs f ~off:0 ~len:!model_len in
+          Bytes.equal actual (Bytes.sub model 0 !model_len)))
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "latency" `Quick test_disk_latency;
+          Alcotest.test_case "serializes" `Quick test_disk_serializes;
+        ] );
+      ( "namecache",
+        [
+          Alcotest.test_case "basics" `Quick test_namecache_basics;
+          Alcotest.test_case "31-char limit" `Quick test_namecache_31_char_limit;
+          Alcotest.test_case "eviction" `Quick test_namecache_eviction;
+          Alcotest.test_case "invalidate dir" `Quick test_namecache_invalidate_dir;
+        ] );
+      ( "bcache",
+        [
+          Alcotest.test_case "hit/miss/lru" `Quick test_bcache_hit_miss_lru;
+          Alcotest.test_case "scan cost" `Quick test_bcache_scan_costs_more;
+          Alcotest.test_case "invalidate ino" `Quick test_bcache_invalidate_ino;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "create/lookup/io" `Quick test_fs_create_lookup_read_write;
+          Alcotest.test_case "sparse + overwrite" `Quick test_fs_sparse_write_and_overwrite;
+          Alcotest.test_case "read past eof" `Quick test_fs_read_past_eof;
+          Alcotest.test_case "errors" `Quick test_fs_errors;
+          Alcotest.test_case "remove + stale handle" `Quick test_fs_remove_and_stale;
+          Alcotest.test_case "hard link" `Quick test_fs_hard_link;
+          Alcotest.test_case "rename" `Quick test_fs_rename;
+          Alcotest.test_case "symlink" `Quick test_fs_symlink;
+          Alcotest.test_case "readdir paging" `Quick test_fs_readdir_paging;
+          Alcotest.test_case "dot and dotdot" `Quick test_fs_dot_and_dotdot;
+          Alcotest.test_case "setattr truncate" `Quick test_fs_setattr_truncate;
+          Alcotest.test_case "sync writes hit disk" `Quick test_fs_sync_writes_hit_disk;
+          Alcotest.test_case "name cache accelerates" `Quick test_fs_lookup_uses_name_cache;
+          Alcotest.test_case "statfs" `Quick test_fs_statfs;
+          Alcotest.test_case "fsck clean" `Quick test_fsck_clean_after_operations;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_write_read_model; prop_fsck_random_ops ] );
+    ]

@@ -1,0 +1,368 @@
+open Renofs_workload
+module Net = Renofs_net
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Cpu = Renofs_engine.Cpu
+module Udp = Renofs_transport.Udp
+module Tcp = Renofs_transport.Tcp
+module Fs = Renofs_vfs.Fs
+module Disk = Renofs_vfs.Disk
+module Nfs_server = Renofs_core.Nfs_server
+module Nfs_client = Renofs_core.Nfs_client
+
+let cell t ~row ~col =
+  match List.nth_opt t.Experiments.rows row with
+  | Some r -> List.nth r col
+  | None -> Alcotest.failf "table %s: no row %d" t.Experiments.id row
+
+let fcell t ~row ~col = float_of_string (cell t ~row ~col)
+
+(* ------------------------------------------------------------------ *)
+(* Fileset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fileset_generate () =
+  let fs = Fileset.generate ~dirs:3 ~files_per_dir:4 ~file_size:1000 ~long_names:false in
+  Alcotest.(check int) "dirs" 3 (List.length fs.Fileset.dirs);
+  Alcotest.(check int) "files" 12 (List.length fs.Fileset.files);
+  List.iter
+    (fun p ->
+      match String.split_on_char '/' p with
+      | [ _; name ] ->
+          Alcotest.(check bool) "short name" true (String.length name <= 31)
+      | _ -> Alcotest.fail "bad path shape")
+    fs.Fileset.files
+
+let test_fileset_long_names_defeat_cache () =
+  let fs = Fileset.generate ~dirs:1 ~files_per_dir:1 ~file_size:0 ~long_names:true in
+  List.iter
+    (fun p ->
+      match String.split_on_char '/' p with
+      | [ _; name ] ->
+          Alcotest.(check bool) "beyond 31 chars" true (String.length name > 31)
+      | _ -> Alcotest.fail "bad path shape")
+    fs.Fileset.files
+
+let test_fileset_preload () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let sudp = Udp.install topo.Net.Topology.server in
+  let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp () in
+  let fileset = Fileset.generate ~dirs:2 ~files_per_dir:3 ~file_size:5000 ~long_names:false in
+  let done_ = ref false in
+  Proc.spawn sim (fun () ->
+      Fileset.preload_server server fileset;
+      (* Verification must also run inside a process: Fs operations
+         block on the simulated disk. *)
+      let fs = Nfs_server.fs server in
+      List.iter
+        (fun path ->
+          match String.split_on_char '/' path with
+          | [ d; name ] ->
+              let dv = Fs.lookup fs (Fs.root fs) d in
+              let v = Fs.lookup fs dv name in
+              Alcotest.(check int) "size" 5000 (Fs.getattr fs v).Fs.size
+          | _ -> Alcotest.fail "path shape")
+        fileset.Fileset.files;
+      done_ := true);
+  Sim.run sim;
+  Alcotest.(check bool) "preload finished" true !done_
+
+(* ------------------------------------------------------------------ *)
+(* Nhfsstone                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_lan_mount opts body =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let sudp = Udp.install topo.Net.Topology.server in
+  let stcp = Tcp.install topo.Net.Topology.server in
+  let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in
+  Nfs_server.start server;
+  let cudp = Udp.install topo.Net.Topology.client in
+  let ctcp = Tcp.install topo.Net.Topology.client in
+  let result = ref None in
+  Proc.spawn sim (fun () ->
+      let fileset =
+        Fileset.generate ~dirs:4 ~files_per_dir:10 ~file_size:16384 ~long_names:true
+      in
+      Fileset.preload_server server fileset;
+      let m =
+        Nfs_client.mount ~udp:cudp ~tcp:ctcp
+          ~server:(Net.Topology.server_id topo)
+          ~root:(Nfs_server.root_fhandle server) opts
+      in
+      result := Some (body m fileset server));
+  Sim.run ~until:10_000.0 sim;
+  match !result with Some r -> r | None -> Alcotest.fail "run never finished"
+
+let test_nhfsstone_achieves_offered_rate () =
+  let r =
+    with_lan_mount Nfs_client.reno_mount (fun m fileset _ ->
+        Nhfsstone.run m fileset
+          {
+            Nhfsstone.rate = 10.0;
+            duration = 30.0;
+            children = 4;
+            mix = Nhfsstone.lookup_mix;
+            seed = 3;
+          })
+  in
+  Alcotest.(check bool) "achieved close to offered" true
+    (r.Nhfsstone.achieved > 8.0 && r.Nhfsstone.achieved < 12.0);
+  Alcotest.(check bool) "latency measured" true (r.Nhfsstone.mean_op_latency > 0.0);
+  Alcotest.(check int) "ops counted" r.Nhfsstone.ops_completed
+    (int_of_float (r.Nhfsstone.achieved *. 30.0))
+
+let test_nhfsstone_lookup_mix_generates_lookups () =
+  let counters =
+    with_lan_mount Nfs_client.reno_mount (fun m fileset _ ->
+        let _ =
+          Nhfsstone.run m fileset
+            {
+              Nhfsstone.rate = 10.0;
+              duration = 20.0;
+              children = 2;
+              mix = Nhfsstone.lookup_mix;
+              seed = 3;
+            }
+        in
+        Nfs_client.rpc_counters m)
+  in
+  let lookups = Renofs_engine.Stats.Counter.get counters "lookup" in
+  (* Long names defeat the client name cache, so nearly every op is a
+     real lookup RPC. *)
+  Alcotest.(check bool) "lookup RPCs flowed" true (lookups > 100)
+
+let test_nhfsstone_default_mix_writes () =
+  (* The stock mix includes writes: they must flow (the preloaded files
+     are world-readable but owned by uid 0, so the generator writes are
+     denied by permissions — nhfsstone runs as root for exactly this
+     reason). *)
+  let counters =
+    with_lan_mount { Nfs_client.reno_mount with Nfs_client.uid = 0; gid = 0 }
+      (fun m fileset _ ->
+        let _ =
+          Nhfsstone.run m fileset
+            {
+              Nhfsstone.rate = 10.0;
+              duration = 20.0;
+              children = 4;
+              mix = Nhfsstone.default_mix;
+              seed = 3;
+            }
+        in
+        Nfs_client.rpc_counters m)
+  in
+  let c name = Renofs_engine.Stats.Counter.get counters name in
+  Alcotest.(check bool) "writes flowed" true (c "write" > 0);
+  Alcotest.(check bool) "reads flowed" true (c "read" > 0);
+  Alcotest.(check bool) "lookups dominate" true (c "lookup" > c "write")
+
+let test_nhfsstone_read_mix_reads () =
+  let r =
+    with_lan_mount Nfs_client.reno_mount (fun m fileset _ ->
+        Nhfsstone.run m fileset
+          {
+            Nhfsstone.rate = 10.0;
+            duration = 20.0;
+            children = 4;
+            mix = Nhfsstone.read_lookup_mix;
+            seed = 3;
+          })
+  in
+  Alcotest.(check bool) "reads happened" true (r.Nhfsstone.read_rate > 2.0);
+  Alcotest.(check bool) "read rtts recorded" true
+    (List.exists (fun (n, _, c) -> n = "read" && c > 0) r.Nhfsstone.rtt_by_proc)
+
+(* ------------------------------------------------------------------ *)
+(* Andrew                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_andrew =
+  {
+    Andrew.default_config with
+    Andrew.source_files = 8;
+    header_files = 4;
+    compile_instructions_per_byte = 50.0;
+  }
+
+let run_andrew opts =
+  with_lan_mount opts (fun m _ _ -> Andrew.run m ~config:tiny_andrew ())
+
+let test_andrew_phases_and_counts () =
+  let r = run_andrew Nfs_client.reno_mount in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check bool) (Printf.sprintf "phase %d has time" i) true (t > 0.0))
+    r.Andrew.phase_times;
+  Alcotest.(check bool) "writes counted" true
+    (List.assoc "write" r.Andrew.rpc_counts > 0);
+  Alcotest.(check bool) "total positive" true (r.Andrew.total_rpcs > 50)
+
+let test_andrew_reno_vs_ultrix_lookups () =
+  let reno = run_andrew Nfs_client.reno_mount in
+  let ultrix = run_andrew Nfs_client.ultrix_mount in
+  let l r = List.assoc "lookup" r.Andrew.rpc_counts in
+  Alcotest.(check bool) "name cache cuts lookup RPCs at least in half" true
+    (l reno * 2 <= l ultrix)
+
+let test_andrew_noconsist_fewer_writes () =
+  let reno = run_andrew Nfs_client.reno_mount in
+  let nc = run_andrew Nfs_client.noconsist_mount in
+  let w r = List.assoc "write" r.Andrew.rpc_counts in
+  Alcotest.(check bool) "noconsist writes fewer" true (w nc < w reno)
+
+(* ------------------------------------------------------------------ *)
+(* Create-Delete                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_delete_policies () =
+  let nfs opts bytes =
+    with_lan_mount opts (fun m _ _ ->
+        Create_delete.run_nfs m { Create_delete.data_bytes = bytes; iterations = 4 })
+  in
+  let wt = nfs { Nfs_client.reno_mount with Nfs_client.write_policy = Nfs_client.Write_through } 102400 in
+  let nc = nfs Nfs_client.noconsist_mount 102400 in
+  Alcotest.(check bool) "noconsist much faster at 100K" true (nc < wt /. 2.0);
+  let no_data = nfs Nfs_client.reno_mount 0 in
+  Alcotest.(check bool) "no-data cheaper than 100K" true (no_data < wt)
+
+let test_create_delete_local_baseline () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:0.9 in
+  let disk = Disk.create sim () in
+  let fs = Fs.create sim cpu disk Fs.local_config in
+  let result = ref None in
+  Proc.spawn sim (fun () ->
+      result :=
+        Some (Create_delete.run_local sim cpu fs { Create_delete.data_bytes = 10240; iterations = 5 }));
+  Sim.run sim;
+  match !result with
+  | Some ms ->
+      (* Synchronous metadata only: order 100-300 ms on an RD53. *)
+      Alcotest.(check bool) "local in plausible range" true (ms > 50.0 && ms < 500.0)
+  | None -> Alcotest.fail "local run never finished"
+
+(* ------------------------------------------------------------------ *)
+(* Experiments: every runner produces a well-shaped table, and the     *)
+(* headline claims hold at Quick scale.                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_experiments_produce_tables () =
+  List.iter
+    (fun (id, f) ->
+      let t = f ?scale:(Some Experiments.Quick) () in
+      Alcotest.(check string) "id matches" id t.Experiments.id;
+      Alcotest.(check bool) (id ^ " has rows") true (List.length t.Experiments.rows > 0);
+      let cols = List.length t.Experiments.header in
+      List.iter
+        (fun row ->
+          Alcotest.(check int) (id ^ " row width") cols (List.length row))
+        t.Experiments.rows)
+    Experiments.all
+
+let test_graph6_tcp_costs_more () =
+  let t = Experiments.graph6 () in
+  List.iteri
+    (fun i _ ->
+      let udp = fcell t ~row:i ~col:1 and tcp = fcell t ~row:i ~col:2 in
+      Alcotest.(check bool) "tcp cpu above udp" true (tcp > udp))
+    t.Experiments.rows
+
+let test_graph8_reference_port_slower () =
+  let t = Experiments.graph8 () in
+  List.iteri
+    (fun i _ ->
+      let reno = fcell t ~row:i ~col:1 and ultrix = fcell t ~row:i ~col:3 in
+      Alcotest.(check bool) "reference port slower" true (ultrix > reno *. 1.3))
+    t.Experiments.rows
+
+let test_section3_reduction () =
+  let t = Experiments.section3 () in
+  let stock = fcell t ~row:0 ~col:1 and tuned = fcell t ~row:1 ~col:1 in
+  Alcotest.(check bool) "tuning reduces CPU" true (tuned < stock);
+  Alcotest.(check bool) "by a meaningful fraction" true ((stock -. tuned) /. stock > 0.05)
+
+let test_table5_noconsist_wins_big_files () =
+  let t = Experiments.table5 () in
+  (* rows: Local, write thru, async4, async16, delay, noconsist *)
+  let wt_100k = fcell t ~row:1 ~col:3 and nc_100k = fcell t ~row:5 ~col:3 in
+  Alcotest.(check bool) "noconsist >2x faster on 100K" true (nc_100k < wt_100k /. 2.0);
+  let local_0 = fcell t ~row:0 ~col:1 and wt_0 = fcell t ~row:1 ~col:1 in
+  Alcotest.(check bool) "local cheapest with no data" true (local_0 < wt_0)
+
+let test_table3_cache_claims () =
+  let t = Experiments.table3 () in
+  let find name col =
+    let row =
+      List.find (fun r -> List.hd r = name) t.Experiments.rows
+    in
+    int_of_string (List.nth row col)
+  in
+  (* columns: 1 = Reno, 2 = Reno-noconsist, 3 = Ultrix *)
+  Alcotest.(check bool) "ultrix lookups at least double" true
+    (find "Lookup" 3 >= 2 * find "Lookup" 1);
+  Alcotest.(check bool) "noconsist cuts writes" true (find "Write" 2 < find "Write" 1);
+  Alcotest.(check bool) "ultrix writes more" true (find "Write" 3 > find "Write" 1);
+  Alcotest.(check bool) "reno reads at least noconsist" true
+    (find "Read" 1 >= find "Read" 2)
+
+let test_table1_congestion_control_wins_on_56k () =
+  let t = Experiments.table1 () in
+  (* row 2 = 56Kbps; cols 1..3 = udp-fixed, udp-dyn, tcp *)
+  let fixed = fcell t ~row:2 ~col:1 and tcp = fcell t ~row:2 ~col:3 in
+  Alcotest.(check bool) "tcp reads faster than fixed-RTO UDP" true (tcp > fixed *. 1.3)
+
+let test_graph7_trace_tracks () =
+  let t = Experiments.graph7 () in
+  Alcotest.(check bool) "trace has points" true (List.length t.Experiments.rows > 5);
+  (* The RTO envelope should sit above the smoothed RTT most of the time. *)
+  let above =
+    List.filter
+      (fun row ->
+        float_of_string (List.nth row 2) >= float_of_string (List.nth row 1))
+      t.Experiments.rows
+  in
+  Alcotest.(check bool) "rto mostly above rtt" true
+    (2 * List.length above > List.length t.Experiments.rows)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "fileset",
+        [
+          Alcotest.test_case "generate" `Quick test_fileset_generate;
+          Alcotest.test_case "long names" `Quick test_fileset_long_names_defeat_cache;
+          Alcotest.test_case "preload" `Quick test_fileset_preload;
+        ] );
+      ( "nhfsstone",
+        [
+          Alcotest.test_case "achieves offered rate" `Quick test_nhfsstone_achieves_offered_rate;
+          Alcotest.test_case "lookup mix" `Quick test_nhfsstone_lookup_mix_generates_lookups;
+          Alcotest.test_case "read mix" `Quick test_nhfsstone_read_mix_reads;
+          Alcotest.test_case "default mix writes" `Quick test_nhfsstone_default_mix_writes;
+        ] );
+      ( "andrew",
+        [
+          Alcotest.test_case "phases and counts" `Quick test_andrew_phases_and_counts;
+          Alcotest.test_case "reno vs ultrix lookups" `Quick test_andrew_reno_vs_ultrix_lookups;
+          Alcotest.test_case "noconsist fewer writes" `Quick test_andrew_noconsist_fewer_writes;
+        ] );
+      ( "create-delete",
+        [
+          Alcotest.test_case "policies" `Quick test_create_delete_policies;
+          Alcotest.test_case "local baseline" `Quick test_create_delete_local_baseline;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "all tables well-shaped" `Slow test_all_experiments_produce_tables;
+          Alcotest.test_case "graph6 tcp premium" `Quick test_graph6_tcp_costs_more;
+          Alcotest.test_case "graph8 server gap" `Quick test_graph8_reference_port_slower;
+          Alcotest.test_case "section3 reduction" `Quick test_section3_reduction;
+          Alcotest.test_case "table5 noconsist" `Quick test_table5_noconsist_wins_big_files;
+          Alcotest.test_case "table3 cache claims" `Quick test_table3_cache_claims;
+          Alcotest.test_case "table1 56K transports" `Quick test_table1_congestion_control_wins_on_56k;
+          Alcotest.test_case "graph7 trace" `Quick test_graph7_trace_tracks;
+        ] );
+    ]
