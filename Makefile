@@ -1,0 +1,22 @@
+# Convenience wrapper around dune.  `make check` is the tier-1 gate:
+# everything must build, every test must pass, and the dune files must
+# be formatted (ocamlformat is not vendored, so @fmt covers dune files
+# only — see dune-project).
+
+.PHONY: all build test fmt check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+check: build test fmt
+
+clean:
+	dune clean

@@ -1,13 +1,16 @@
 (* nfsbench: regenerate the paper's tables and figures from the command
    line.
 
-     nfsbench list            show every experiment id
-     nfsbench run graph5      run one experiment (Quick scale)
-     nfsbench run table1 -f   run one experiment at Full scale
-     nfsbench all [-f]        run everything *)
+     nfsbench list                     show every experiment id
+     nfsbench run graph5               run one experiment (Quick scale)
+     nfsbench run table1 -f            run one experiment at Full scale
+     nfsbench run graph5 --report      append the nfsstat-style trace report
+     nfsbench run graph5 --trace t.jsonl   export the raw event trace
+     nfsbench all [-f]                 run everything *)
 
 open Cmdliner
 module E = Renofs_workload.Experiments
+module Trace = Renofs_trace.Trace
 
 let scale_of_full full = if full then E.Full else E.Quick
 
@@ -18,16 +21,41 @@ let print_with_chart id table =
       Format.printf "%s@." chart
   | _ -> ()
 
-let run_one id full =
+(* Fail before the sweep runs, not after: a mistyped --trace path
+   should not cost minutes of simulation. *)
+let check_writable path =
+  match open_out path with
+  | oc -> close_out oc; None
+  | exception Sys_error msg -> Some msg
+
+let run_one id full trace_path report =
+  match Option.bind trace_path check_writable with
+  | Some msg -> `Error (false, Printf.sprintf "cannot write trace: %s" msg)
+  | None -> (
   match List.assoc_opt id E.all with
   | Some f ->
-      print_with_chart id (f ?scale:(Some (scale_of_full full)) ());
+      let scale = Some (scale_of_full full) in
+      (if trace_path = None && not report then
+         print_with_chart id (f ?scale ())
+       else begin
+         (* Full-scale sweeps emit a few hundred thousand events; size
+            the ring so the early runs are not overwritten. *)
+         let tr = Trace.create ~capacity:(1 lsl 20) () in
+         print_with_chart id (E.with_trace tr (fun () -> f ?scale ()));
+         (match trace_path with
+         | Some path ->
+             Trace.export_jsonl tr path;
+             Format.printf "trace: %d events written to %s (%d overwritten)@."
+               (Trace.length tr) path (Trace.dropped tr)
+         | None -> ());
+         if report then Trace.Report.print Format.std_formatter (Trace.Report.build tr)
+       end);
       `Ok ()
   | None ->
       `Error
         ( false,
           Printf.sprintf "unknown experiment %S; try one of: %s" id
-            (String.concat ", " (List.map fst E.all)) )
+            (String.concat ", " (List.map fst E.all)) ))
 
 let run_all full =
   List.iter
@@ -42,6 +70,21 @@ let list_ids () =
 let full_flag =
   Arg.(value & flag & info [ "f"; "full" ] ~doc:"Run at full scale (longer sweeps).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record an RPC-lifecycle event trace and export it as JSONL.")
+
+let report_flag =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "Record an RPC-lifecycle event trace and print the nfsstat-style \
+           per-procedure table and latency breakdown after the experiment.")
+
 let id_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
        ~doc:"Experiment id, e.g. graph1 or table5.")
@@ -49,7 +92,7 @@ let id_arg =
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
-    Term.(ret (const run_one $ id_arg $ full_flag))
+    Term.(ret (const run_one $ id_arg $ full_flag $ trace_arg $ report_flag))
 
 let all_cmd =
   Cmd.v

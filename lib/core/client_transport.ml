@@ -10,6 +10,7 @@ module Record_mark = Renofs_rpc.Record_mark
 module Node = Renofs_net.Node
 module Udp = Renofs_transport.Udp
 module Tcp = Renofs_transport.Tcp
+module Trace = Renofs_trace.Trace
 module P = Nfs_proto
 
 exception Rpc_error of string
@@ -88,7 +89,12 @@ let charge t instructions =
   Cpu.consume (Node.cpu t.node) (Cpu.seconds_of_instructions (Node.cpu t.node) instructions)
 
 let fresh_estimators () =
-  let entry k = { e_rtt = Rtt.create ~k (); e_backoff = 1.0 } in
+  (* The BSD NFS retransmit timer runs off the 10 Hz slow-timeout
+     clock: an RTO below two ticks cannot fire.  The 200 ms floor also
+     keeps the timer above the RTT tail on slow links, where an RTO
+     that hugs the smoothed mean retransmits spuriously (nfsstat's
+     badxid) every time queueing stretches a round trip. *)
+  let entry k = { e_rtt = Rtt.create ~k ~min_rto:0.2 (); e_backoff = 1.0 } in
   {
     e_read = entry 4.0;
     e_write = entry 4.0;
@@ -131,9 +137,14 @@ let record_rtt t p rtt =
   (match t.mode with
   | Udp_dynamic est -> (
       match estimator_for est p.p_proc with
-      | Some e ->
+      | Some e -> (
           Rtt.observe e.e_rtt rtt;
-          e.e_backoff <- 1.0
+          e.e_backoff <- 1.0;
+          match Node.trace t.node with
+          | Some tr ->
+              Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+                (Trace.Rto_update { rto = Rtt.rto e.e_rtt ~default:t.timeo })
+          | None -> ())
       | None -> ())
   | Udp_fixed | Tcp_stream _ -> ());
   match t.trace with
@@ -190,12 +201,28 @@ and on_udp_timeout t p =
                not ten. *)
             if Sim.now t.sim -. t.last_cwnd_cut > 1.0 then begin
               t.cwnd <- Float.max 1.0 (t.cwnd /. 2.0);
-              t.last_cwnd_cut <- Sim.now t.sim
+              t.last_cwnd_cut <- Sim.now t.sim;
+              match Node.trace t.node with
+              | Some tr ->
+                  Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+                    (Trace.Cwnd_update { cwnd = t.cwnd })
+              | None -> ()
             end;
             (match estimator_for est p.p_proc with
             | Some e -> e.e_backoff <- Float.min (e.e_backoff *. 2.0) 16.0
             | None -> ())
         | Udp_fixed | Tcp_stream _ -> ());
+        (match Node.trace t.node with
+        | Some tr ->
+            Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+              (Trace.Rpc_retransmit
+                 {
+                   xid = p.p_xid;
+                   proc = p.p_proc;
+                   retry = p.retries;
+                   rto = rto_for t p;
+                 })
+        | None -> ());
         transmit_udp t p
   end
 
@@ -213,6 +240,17 @@ let complete t xid chain =
              paper's scheme with slow start removed. *)
           t.cwnd <- Float.min t.cwnd_max (t.cwnd +. (1.0 /. Float.max 1.0 t.cwnd))
       | Udp_fixed | Tcp_stream _ -> ());
+      (match Node.trace t.node with
+      | Some tr ->
+          let time = Sim.now t.sim in
+          let node = Node.id t.node in
+          Trace.record tr ~time ~node
+            (Trace.Rpc_reply { xid; proc = p.p_proc; rtt = time -. p.sent_at });
+          (match t.mode with
+          | Udp_dynamic _ ->
+              Trace.record tr ~time ~node (Trace.Cwnd_update { cwnd = t.cwnd })
+          | Udp_fixed | Tcp_stream _ -> ())
+      | None -> ());
       t.outstanding <- t.outstanding - 1;
       (match t.gate with
       | [] -> ()
@@ -279,6 +317,12 @@ and reconnect t st =
             (fun p ->
               p.retransmitted <- true;
               t.n_retransmits <- t.n_retransmits + 1;
+              (match Node.trace t.node with
+              | Some tr ->
+                  Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+                    (Trace.Rpc_retransmit
+                       { xid = p.p_xid; proc = p.p_proc; retry = p.retries; rto = 0.0 })
+              | None -> ());
               try Tcp.send conn (Record_mark.frame (request_copy p))
               with Tcp.Connection_closed -> ())
             pending
@@ -396,6 +440,11 @@ let call t call_v =
   t.outstanding <- t.outstanding + 1;
   t.n_calls <- t.n_calls + 1;
   Hashtbl.replace t.pending xid p;
+  (match Node.trace t.node with
+  | Some tr ->
+      Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+        (Trace.Rpc_send { xid; proc })
+  | None -> ());
   (match t.mode with
   | Udp_fixed | Udp_dynamic _ -> transmit_udp t p
   | Tcp_stream st -> (

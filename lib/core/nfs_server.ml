@@ -8,6 +8,7 @@ module Rpc_msg = Renofs_rpc.Rpc_msg
 module Record_mark = Renofs_rpc.Record_mark
 module Node = Renofs_net.Node
 module Nic = Renofs_net.Nic
+module Trace = Renofs_trace.Trace
 module Udp = Renofs_transport.Udp
 module Tcp = Renofs_transport.Tcp
 module Fs = Renofs_vfs.Fs
@@ -476,20 +477,42 @@ let dup_store t key reply =
          })
 
 (* Handle one RPC message; returns the reply chain, or [None] for
-   undecodable garbage (dropped, as a datagram server does). *)
-let handle_message t chain ~src ~src_port =
+   undecodable garbage (dropped, as a datagram server does).
+   [arrived_at] is when the request entered the socket queue (UDP only):
+   it turns into the [Srv_queue] wait-time trace event. *)
+let handle_message t ?arrived_at chain ~src ~src_port =
   if not t.up then None
   else begin
   charge t (t.profile.decode_instructions +. t.profile.xdr_layer_instructions);
   match Rpc_msg.decode_call chain with
   | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) -> None
   | hdr, dec -> (
+      (match Node.trace t.node with
+      | Some tr -> (
+          match arrived_at with
+          | Some at ->
+              let now = Sim.now (Node.sim t.node) in
+              Trace.record tr ~time:now ~node:(Node.id t.node)
+                (Trace.Srv_queue
+                   { xid = hdr.Rpc_msg.xid; proc = hdr.Rpc_msg.proc; wait = now -. at })
+          | None -> ())
+      | None -> ());
       let key = dup_key hdr ~src ~src_port in
       let verdict =
         if t.profile.duplicate_cache && not (P.is_idempotent hdr.Rpc_msg.proc) then
           dup_check t key
         else `Execute_untracked
       in
+      (match Node.trace t.node with
+      | Some tr -> (
+          let hit ev =
+            Trace.record tr ~time:(Sim.now (Node.sim t.node)) ~node:(Node.id t.node) ev
+          in
+          match verdict with
+          | `Drop | `Replay _ -> hit (Trace.Cache_hit { cache = "drc" })
+          | `Execute -> hit (Trace.Cache_miss { cache = "drc" })
+          | `Execute_untracked -> ())
+      | None -> ());
       match verdict with
       | `Drop ->
           t.dups <- t.dups + 1;
@@ -506,8 +529,20 @@ let handle_message t chain ~src ~src_port =
                 t.served <- t.served + 1;
                 let t0 = Sim.now (Node.sim t.node) in
                 let reply = execute t ~client:(src, src_port) ~cred:hdr.Rpc_msg.cred call in
-                note_service t (P.proc_name hdr.Rpc_msg.proc)
-                  (Sim.now (Node.sim t.node) -. t0);
+                let elapsed = Sim.now (Node.sim t.node) -. t0 in
+                note_service t (P.proc_name hdr.Rpc_msg.proc) elapsed;
+                (match Node.trace t.node with
+                | Some tr ->
+                    Trace.record tr
+                      ~time:(Sim.now (Node.sim t.node))
+                      ~node:(Node.id t.node)
+                      (Trace.Srv_service
+                         {
+                           xid = hdr.Rpc_msg.xid;
+                           proc = hdr.Rpc_msg.proc;
+                           service = elapsed;
+                         })
+                | None -> ());
                 Some reply
           in
           charge t (t.profile.encode_instructions +. t.profile.xdr_layer_instructions);
@@ -554,7 +589,8 @@ let start_udp t =
         let rec serve () =
           let dg = Udp.recv sock in
           (match
-             handle_message t dg.Udp.payload ~src:dg.Udp.src ~src_port:dg.Udp.src_port
+             handle_message t ~arrived_at:dg.Udp.arrived_at dg.Udp.payload
+               ~src:dg.Udp.src ~src_port:dg.Udp.src_port
            with
           | Some reply -> Udp.sendto sock ~dst:dg.Udp.src ~dst_port:dg.Udp.src_port reply
           | None -> ());

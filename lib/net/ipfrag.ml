@@ -12,10 +12,19 @@ type t = {
   timeout : float;
   table : (int * int, entry) Hashtbl.t; (* (src, ip_id) *)
   mutable timeout_count : int;
+  mutable on_timeout : src:int -> ip_id:int -> unit;
 }
 
 let create sim ?(timeout = 15.0) () =
-  { sim; timeout; table = Hashtbl.create 32; timeout_count = 0 }
+  {
+    sim;
+    timeout;
+    table = Hashtbl.create 32;
+    timeout_count = 0;
+    on_timeout = (fun ~src:_ ~ip_id:_ -> ());
+  }
+
+let set_on_timeout t f = t.on_timeout <- f
 
 let pending t = Hashtbl.length t.table
 let timeouts t = t.timeout_count
@@ -61,7 +70,8 @@ let insert t (pkt : Packet.t) =
           e.timer <-
             Sim.timer_after t.sim t.timeout (fun () ->
                 Hashtbl.remove t.table key;
-                t.timeout_count <- t.timeout_count + 1);
+                t.timeout_count <- t.timeout_count + 1;
+                t.on_timeout ~src:(fst key) ~ip_id:(snd key));
           Hashtbl.add t.table key e;
           e
     in

@@ -20,3 +20,8 @@ val pending : t -> int
 
 val timeouts : t -> int
 (** Assemblies abandoned so far. *)
+
+val set_on_timeout : t -> (src:int -> ip_id:int -> unit) -> unit
+(** Called whenever a partial assembly is abandoned — the "one lost
+    fragment wastes them all" event the tracing layer reports as
+    [Frag_lost]. *)

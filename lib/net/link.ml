@@ -1,5 +1,6 @@
 module Sim = Renofs_engine.Sim
 module Rng = Renofs_engine.Rng
+module Trace = Renofs_trace.Trace
 
 type stats = {
   mutable packets_sent : int;
@@ -21,9 +22,12 @@ type t = {
   mutable transmitting : bool;
   stats : stats;
   mutable busy : float;
+  owner : int; (* transmitting-side node id, -1 if unattached *)
+  mutable trace : Trace.t option;
 }
 
-let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ~rng ~deliver () =
+let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ?(owner = -1)
+    ~rng ~deliver () =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
   {
     sim;
@@ -38,7 +42,25 @@ let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ~rng ~deli
     transmitting = false;
     stats = { packets_sent = 0; bytes_sent = 0; queue_drops = 0; error_drops = 0 };
     busy = 0.0;
+    owner;
+    trace = None;
   }
+
+let set_trace t tr = t.trace <- tr
+
+(* Background cross-traffic is addressed to the discard service (port 9,
+   [Traffic.discard_port]); its per-packet events would swamp the ring
+   buffer and evict the RPC lifecycle the trace exists to capture, so
+   enqueue/deliver events skip it.  Drops are always recorded: they are
+   the congestion signal, whoever suffers them. *)
+let pkt_traced (pkt : Packet.t) = pkt.Packet.dst_port <> 9
+
+let trace_pkt t pkt ev_of =
+  match t.trace with
+  | Some tr when pkt_traced pkt ->
+      Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+        (ev_of (Packet.wire_size pkt))
+  | Some _ | None -> ()
 
 let rec start_next t =
   match Queue.take_opt t.queue with
@@ -51,17 +73,40 @@ let rec start_next t =
       Sim.after t.sim tx_time (fun () ->
           t.stats.packets_sent <- t.stats.packets_sent + 1;
           t.stats.bytes_sent <- t.stats.bytes_sent + bytes;
-          if t.loss > 0.0 && Rng.chance t.rng t.loss then
-            t.stats.error_drops <- t.stats.error_drops + 1
+          if t.loss > 0.0 && Rng.chance t.rng t.loss then begin
+            t.stats.error_drops <- t.stats.error_drops + 1;
+            match t.trace with
+            | Some tr ->
+                Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+                  (Trace.Pkt_drop
+                     { link = t.name; bytes; reason = Trace.Link_error })
+            | None -> ()
+          end
           else
-            Sim.after t.sim t.delay (fun () -> t.deliver pkt);
+            Sim.after t.sim t.delay (fun () ->
+                trace_pkt t pkt (fun bytes ->
+                    Trace.Pkt_deliver { link = t.name; bytes });
+                t.deliver pkt);
           start_next t)
 
 let send t pkt =
-  if Queue.length t.queue >= t.queue_limit then
-    t.stats.queue_drops <- t.stats.queue_drops + 1
+  if Queue.length t.queue >= t.queue_limit then begin
+    t.stats.queue_drops <- t.stats.queue_drops + 1;
+    match t.trace with
+    | Some tr ->
+        Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+          (Trace.Pkt_drop
+             {
+               link = t.name;
+               bytes = Packet.wire_size pkt;
+               reason = Trace.Queue_full;
+             })
+    | None -> ()
+  end
   else begin
     Queue.add pkt t.queue;
+    trace_pkt t pkt (fun bytes ->
+        Trace.Pkt_enqueue { link = t.name; bytes; qlen = Queue.length t.queue });
     if not t.transmitting then start_next t
   end
 

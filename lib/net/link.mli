@@ -21,12 +21,19 @@ val create :
   delay:float ->
   queue_limit:int ->
   ?loss:float ->
+  ?owner:int ->
   rng:Renofs_engine.Rng.t ->
   deliver:(Packet.t -> unit) ->
   unit ->
   t
 (** [loss] is a per-packet random corruption probability applied at the
-    receiving end (default 0). *)
+    receiving end (default 0).  [owner] is the transmitting node's id,
+    recorded on trace events (default -1). *)
+
+val set_trace : t -> Renofs_trace.Trace.t option -> unit
+(** Attach (or detach) a trace sink.  With a sink, the link records
+    [Pkt_enqueue] / [Pkt_deliver] for every packet except background
+    discard-port cross-traffic, and [Pkt_drop] for every drop. *)
 
 val send : t -> Packet.t -> unit
 (** Enqueue for transmission; silently dropped (and counted) if the queue

@@ -3,6 +3,7 @@ module Proc = Renofs_engine.Proc
 module Cpu = Renofs_engine.Cpu
 module Rng = Renofs_engine.Rng
 module Mbuf = Renofs_mbuf.Mbuf
+module Trace = Renofs_trace.Trace
 
 type datagram = {
   proto : Packet.proto;
@@ -38,6 +39,7 @@ type t = {
   copy_ctr : Mbuf.Counters.t;
   stats : stats;
   mutable next_ip_id : int;
+  mutable trace : Trace.t option;
 }
 
 let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
@@ -64,6 +66,7 @@ let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
         no_handler_drops = 0;
       };
     next_ip_id = id * 100_000;
+    trace = None;
   }
 
 let id t = t.id
@@ -75,6 +78,20 @@ let nic t = t.nic
 let set_nic t profile = t.nic <- profile
 let copy_counters t = t.copy_ctr
 let stats t = t.stats
+let trace t = t.trace
+
+(* Attaching a sink covers the host's own hooks, its reassembly buffer
+   (fragment-loss events) and every outgoing link direction attached so
+   far — so wiring a whole topology is one call per node. *)
+let set_trace t tr =
+  t.trace <- tr;
+  List.iter (fun i -> Link.set_trace i.link tr) t.ifaces;
+  Ipfrag.set_on_timeout t.reasm (fun ~src ~ip_id ->
+      match t.trace with
+      | Some sink ->
+          Trace.record sink ~time:(Sim.now t.sim) ~node:t.id
+            (Trace.Frag_lost { src; ip_id })
+      | None -> ())
 let reassembly_timeouts t = Ipfrag.timeouts t.reasm
 let links t = List.rev_map (fun i -> i.link) t.ifaces |> List.rev
 
@@ -128,17 +145,19 @@ let connect a b ~name ~bandwidth_bps ~delay ~mtu ~queue_limit ?(loss = 0.0) () =
   let ab =
     Link.create a.sim
       ~name:(name ^ ":" ^ a.name ^ ">" ^ b.name)
-      ~bandwidth_bps ~delay ~queue_limit ~loss ~rng:(Rng.split a.rng)
+      ~bandwidth_bps ~delay ~queue_limit ~loss ~owner:a.id ~rng:(Rng.split a.rng)
       ~deliver:(fun pkt -> receive b pkt)
       ()
   in
   let ba =
     Link.create a.sim
       ~name:(name ^ ":" ^ b.name ^ ">" ^ a.name)
-      ~bandwidth_bps ~delay ~queue_limit ~loss ~rng:(Rng.split b.rng)
+      ~bandwidth_bps ~delay ~queue_limit ~loss ~owner:b.id ~rng:(Rng.split b.rng)
       ~deliver:(fun pkt -> receive a pkt)
       ()
   in
+  (match a.trace with Some _ as tr -> Link.set_trace ab tr | None -> ());
+  (match b.trace with Some _ as tr -> Link.set_trace ba tr | None -> ());
   a.ifaces <- a.ifaces @ [ { mtu; link = ab; peer = b.id } ];
   b.ifaces <- b.ifaces @ [ { mtu; link = ba; peer = a.id } ];
   (ab, ba)

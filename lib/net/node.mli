@@ -55,6 +55,18 @@ val copy_counters : t -> Renofs_mbuf.Mbuf.Counters.t
 val stats : t -> stats
 val reassembly_timeouts : t -> int
 
+val set_trace : t -> Renofs_trace.Trace.t option -> unit
+(** Attach (or detach) a trace sink to this host: covers the host's own
+    events ([Frag_lost] from reassembly timeouts), every outgoing link
+    direction attached so far, and — because the transports and the NFS
+    client/server consult {!trace} — everything those layers record on
+    this host. *)
+
+val trace : t -> Renofs_trace.Trace.t option
+(** The attached sink, if any.  Upper layers (UDP, TCP, the NFS client
+    transport and server) read this on their hot paths; a [None] costs
+    one branch. *)
+
 val connect :
   t ->
   t ->

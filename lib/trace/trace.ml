@@ -1,0 +1,640 @@
+module Stats = Renofs_engine.Stats
+
+type drop_reason = Queue_full | Link_error | Sock_overflow
+
+type event =
+  | Rpc_send of { xid : int32; proc : int }
+  | Rpc_retransmit of { xid : int32; proc : int; retry : int; rto : float }
+  | Rpc_reply of { xid : int32; proc : int; rtt : float }
+  | Pkt_enqueue of { link : string; bytes : int; qlen : int }
+  | Pkt_drop of { link : string; bytes : int; reason : drop_reason }
+  | Pkt_deliver of { link : string; bytes : int }
+  | Frag_lost of { src : int; ip_id : int }
+  | Srv_queue of { xid : int32; proc : int; wait : float }
+  | Srv_service of { xid : int32; proc : int; service : float }
+  | Cwnd_update of { cwnd : float }
+  | Rto_update of { rto : float }
+  | Cache_hit of { cache : string }
+  | Cache_miss of { cache : string }
+  | Run_mark of { label : string }
+
+type record_ = { time : float; node : int; ev : event }
+
+type t = {
+  capacity : int;
+  buf : record_ array;
+  mutable next : int; (* next slot to overwrite *)
+  mutable total : int;
+  mutable on : bool;
+}
+
+let dummy = { time = 0.0; node = -1; ev = Run_mark { label = "" } }
+
+let create ?(capacity = 1 lsl 18) () =
+  if capacity <= 0 then invalid_arg "Trace.create: nonpositive capacity";
+  { capacity; buf = Array.make capacity dummy; next = 0; total = 0; on = true }
+
+let record t ~time ~node ev =
+  if t.on then begin
+    t.buf.(t.next) <- { time; node; ev };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let mark t ~time label = record t ~time ~node:(-1) (Run_mark { label })
+let set_enabled t on = t.on <- on
+let enabled t = t.on
+let length t = min t.total t.capacity
+let total t = t.total
+let dropped t = t.total - length t
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0
+
+let to_list t =
+  if t.total <= t.capacity then Array.to_list (Array.sub t.buf 0 t.total)
+  else
+    (* Oldest survivor sits at [next] (the slot about to be overwritten). *)
+    List.init t.capacity (fun i -> t.buf.((t.next + i) mod t.capacity))
+
+(* Same table as [Nfs_proto.proc_name]; duplicated because the trace
+   library sits below the protocol layer. *)
+let proc_name = function
+  | 0 -> "null"
+  | 1 -> "getattr"
+  | 2 -> "setattr"
+  | 3 -> "root"
+  | 4 -> "lookup"
+  | 5 -> "readlink"
+  | 6 -> "read"
+  | 7 -> "writecache"
+  | 8 -> "write"
+  | 9 -> "create"
+  | 10 -> "remove"
+  | 11 -> "rename"
+  | 12 -> "link"
+  | 13 -> "symlink"
+  | 14 -> "mkdir"
+  | 15 -> "rmdir"
+  | 16 -> "readdir"
+  | 17 -> "statfs"
+  | 18 -> "readdirlook"
+  | 19 -> "getlease"
+  | n -> Printf.sprintf "proc%d" n
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reason_name = function
+  | Queue_full -> "queue_full"
+  | Link_error -> "link_error"
+  | Sock_overflow -> "sock_overflow"
+
+let reason_of_name = function
+  | "queue_full" -> Queue_full
+  | "link_error" -> Link_error
+  | "sock_overflow" -> Sock_overflow
+  | s -> failwith ("Trace: unknown drop reason " ^ s)
+
+(* Shortest decimal representation that still round-trips. *)
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let line_of_record r =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"t\":%s,\"node\":%d,\"ev\":" (json_float r.time) r.node);
+  let field k v = Buffer.add_string b (Printf.sprintf ",%s:%s" (json_string k) v) in
+  let num k v = field k (json_float v) in
+  let int k v = field k (string_of_int v) in
+  let str k v = field k (json_string v) in
+  let tag name = Buffer.add_string b (json_string name) in
+  (match r.ev with
+  | Rpc_send { xid; proc } ->
+      tag "rpc_send";
+      int "xid" (Int32.to_int xid);
+      int "proc" proc
+  | Rpc_retransmit { xid; proc; retry; rto } ->
+      tag "rpc_retransmit";
+      int "xid" (Int32.to_int xid);
+      int "proc" proc;
+      int "retry" retry;
+      num "rto" rto
+  | Rpc_reply { xid; proc; rtt } ->
+      tag "rpc_reply";
+      int "xid" (Int32.to_int xid);
+      int "proc" proc;
+      num "rtt" rtt
+  | Pkt_enqueue { link; bytes; qlen } ->
+      tag "pkt_enqueue";
+      str "link" link;
+      int "bytes" bytes;
+      int "qlen" qlen
+  | Pkt_drop { link; bytes; reason } ->
+      tag "pkt_drop";
+      str "link" link;
+      int "bytes" bytes;
+      str "reason" (reason_name reason)
+  | Pkt_deliver { link; bytes } ->
+      tag "pkt_deliver";
+      str "link" link;
+      int "bytes" bytes
+  | Frag_lost { src; ip_id } ->
+      tag "frag_lost";
+      int "src" src;
+      int "ip_id" ip_id
+  | Srv_queue { xid; proc; wait } ->
+      tag "srv_queue";
+      int "xid" (Int32.to_int xid);
+      int "proc" proc;
+      num "wait" wait
+  | Srv_service { xid; proc; service } ->
+      tag "srv_service";
+      int "xid" (Int32.to_int xid);
+      int "proc" proc;
+      num "service" service
+  | Cwnd_update { cwnd } ->
+      tag "cwnd_update";
+      num "cwnd" cwnd
+  | Rto_update { rto } ->
+      tag "rto_update";
+      num "rto" rto
+  | Cache_hit { cache } ->
+      tag "cache_hit";
+      str "cache" cache
+  | Cache_miss { cache } ->
+      tag "cache_miss";
+      str "cache" cache
+  | Run_mark { label } ->
+      tag "run_mark";
+      str "label" label);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* A scanner for exactly the flat objects we emit: string or number
+   values, no nesting. *)
+let parse_fields line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Trace: bad JSONL (%s): %s" msg line) in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos >= n || line.[!pos] <> c then fail (Printf.sprintf "expected '%c'" c);
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "bad escape";
+            (match line.[!pos] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                if !pos + 4 >= n then fail "bad \\u escape";
+                let code = int_of_string ("0x" ^ String.sub line (!pos + 1) 4) in
+                Buffer.add_char b (Char.chr (code land 0xFF));
+                pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "unparseable number"
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !pos < n && line.[!pos] = '}' then incr pos
+  else begin
+    let rec members () =
+      let key = parse_string () in
+      expect ':';
+      skip_ws ();
+      let v =
+        if !pos < n && line.[!pos] = '"' then `Str (parse_string ())
+        else `Num (parse_number ())
+      in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      if !pos < n && line.[!pos] = ',' then begin
+        incr pos;
+        members ()
+      end
+      else expect '}'
+    in
+    members ()
+  end;
+  List.rev !fields
+
+let record_of_line line =
+  let fields = parse_fields line in
+  let find k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Trace: missing field %S: %s" k line)
+  in
+  let num k = match find k with `Num v -> v | `Str _ -> failwith ("Trace: field " ^ k ^ " is not a number") in
+  let str k = match find k with `Str s -> s | `Num _ -> failwith ("Trace: field " ^ k ^ " is not a string") in
+  let int k = int_of_float (num k) in
+  let xid () = Int32.of_int (int "xid") in
+  let ev =
+    match str "ev" with
+    | "rpc_send" -> Rpc_send { xid = xid (); proc = int "proc" }
+    | "rpc_retransmit" ->
+        Rpc_retransmit
+          { xid = xid (); proc = int "proc"; retry = int "retry"; rto = num "rto" }
+    | "rpc_reply" -> Rpc_reply { xid = xid (); proc = int "proc"; rtt = num "rtt" }
+    | "pkt_enqueue" ->
+        Pkt_enqueue { link = str "link"; bytes = int "bytes"; qlen = int "qlen" }
+    | "pkt_drop" ->
+        Pkt_drop
+          { link = str "link"; bytes = int "bytes";
+            reason = reason_of_name (str "reason") }
+    | "pkt_deliver" -> Pkt_deliver { link = str "link"; bytes = int "bytes" }
+    | "frag_lost" -> Frag_lost { src = int "src"; ip_id = int "ip_id" }
+    | "srv_queue" -> Srv_queue { xid = xid (); proc = int "proc"; wait = num "wait" }
+    | "srv_service" ->
+        Srv_service { xid = xid (); proc = int "proc"; service = num "service" }
+    | "cwnd_update" -> Cwnd_update { cwnd = num "cwnd" }
+    | "rto_update" -> Rto_update { rto = num "rto" }
+    | "cache_hit" -> Cache_hit { cache = str "cache" }
+    | "cache_miss" -> Cache_miss { cache = str "cache" }
+    | "run_mark" -> Run_mark { label = str "label" }
+    | tag -> failwith ("Trace: unknown event tag " ^ tag)
+  in
+  { time = num "t"; node = int "node"; ev }
+
+let export_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (line_of_record r);
+          output_char oc '\n')
+        (to_list t))
+
+let import_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if line = "" then acc else record_of_line line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  type span = {
+    sp_label : string;
+    sp_xid : int32;
+    sp_proc : int;
+    sp_start : float;
+    sp_retrans : int;
+    sp_rtx_wait : float;
+    sp_srv_wait : float;
+    sp_srv_service : float;
+    sp_total : float;
+  }
+
+  type partial = {
+    pt_proc : int;
+    pt_first : float;
+    mutable pt_last : float;
+    mutable pt_retrans : int;
+    mutable pt_wait : float;
+    mutable pt_service : float;
+  }
+
+  let spans_counted records =
+    let label = ref "" in
+    let pending : (int32, partial) Hashtbl.t = Hashtbl.create 256 in
+    let incomplete = ref 0 in
+    let out = ref [] in
+    List.iter
+      (fun r ->
+        match r.ev with
+        | Run_mark { label = l } ->
+            incomplete := !incomplete + Hashtbl.length pending;
+            Hashtbl.reset pending;
+            label := l
+        | Rpc_send { xid; proc } ->
+            if Hashtbl.mem pending xid then incr incomplete;
+            Hashtbl.replace pending xid
+              {
+                pt_proc = proc;
+                pt_first = r.time;
+                pt_last = r.time;
+                pt_retrans = 0;
+                pt_wait = 0.0;
+                pt_service = 0.0;
+              }
+        | Rpc_retransmit { xid; _ } -> (
+            match Hashtbl.find_opt pending xid with
+            | Some p ->
+                p.pt_last <- r.time;
+                p.pt_retrans <- p.pt_retrans + 1
+            | None -> ())
+        | Srv_queue { xid; wait; _ } -> (
+            match Hashtbl.find_opt pending xid with
+            | Some p -> p.pt_wait <- wait
+            | None -> ())
+        | Srv_service { xid; service; _ } -> (
+            match Hashtbl.find_opt pending xid with
+            | Some p -> p.pt_service <- service
+            | None -> ())
+        | Rpc_reply { xid; _ } -> (
+            match Hashtbl.find_opt pending xid with
+            | Some p ->
+                Hashtbl.remove pending xid;
+                let total = r.time -. p.pt_first in
+                out :=
+                  {
+                    sp_label = !label;
+                    sp_xid = xid;
+                    sp_proc = p.pt_proc;
+                    sp_start = p.pt_first;
+                    sp_retrans = p.pt_retrans;
+                    (* Capped at the total: a retransmission the original
+                       reply overtakes (nfsstat's badxid case) cannot
+                       have delayed the RPC longer than the RPC took. *)
+                    sp_rtx_wait = Float.min (p.pt_last -. p.pt_first) total;
+                    sp_srv_wait = p.pt_wait;
+                    sp_srv_service = p.pt_service;
+                    sp_total = total;
+                  }
+                  :: !out
+            | None -> ())
+        | Pkt_enqueue _ | Pkt_drop _ | Pkt_deliver _ | Frag_lost _
+        | Cwnd_update _ | Rto_update _ | Cache_hit _ | Cache_miss _ ->
+            ())
+      records;
+    (List.rev !out, !incomplete + Hashtbl.length pending)
+
+  let spans records = fst (spans_counted records)
+
+  let wire_time sp =
+    Float.max 0.0
+      (sp.sp_total -. sp.sp_rtx_wait -. sp.sp_srv_wait -. sp.sp_srv_service)
+
+  type proc_row = {
+    pr_name : string;
+    pr_calls : int;
+    pr_retrans : int;
+    pr_p50 : float;
+    pr_p95 : float;
+    pr_p99 : float;
+  }
+
+  type label_row = {
+    lr_label : string;
+    lr_calls : int;
+    lr_total : float;
+    lr_wire : float;
+    lr_queue : float;
+    lr_service : float;
+    lr_rtx_wait : float;
+  }
+
+  type report = {
+    by_proc : proc_row list;
+    by_label : label_row list;
+    complete : int;
+    incomplete : int;
+    events : int;
+    events_dropped : int;
+  }
+
+  (* 1 ms buckets spanning 20 s: comfortably past the deepest RTO
+     backoff the 56K experiments reach; slower RPCs land in the
+     overflow bucket and report their quantile as [infinity]. *)
+  let hist () = Stats.Hist.create ~bucket_width:1e-3 ~buckets:20_000
+
+  type label_acc = {
+    mutable la_calls : int;
+    mutable la_total : float;
+    mutable la_wire : float;
+    mutable la_queue : float;
+    mutable la_service : float;
+    mutable la_rtx : float;
+  }
+
+  let build t =
+    let records = to_list t in
+    let spans, incomplete = spans_counted records in
+    let procs : (int, int ref * int ref * Stats.Hist.t) Hashtbl.t =
+      Hashtbl.create 24
+    in
+    let labels : (string, label_acc) Hashtbl.t = Hashtbl.create 8 in
+    let label_order = ref [] in
+    List.iter
+      (fun sp ->
+        let calls, retrans, h =
+          match Hashtbl.find_opt procs sp.sp_proc with
+          | Some v -> v
+          | None ->
+              let v = (ref 0, ref 0, hist ()) in
+              Hashtbl.replace procs sp.sp_proc v;
+              v
+        in
+        incr calls;
+        retrans := !retrans + sp.sp_retrans;
+        Stats.Hist.add h sp.sp_total;
+        let acc =
+          match Hashtbl.find_opt labels sp.sp_label with
+          | Some a -> a
+          | None ->
+              let a =
+                {
+                  la_calls = 0;
+                  la_total = 0.0;
+                  la_wire = 0.0;
+                  la_queue = 0.0;
+                  la_service = 0.0;
+                  la_rtx = 0.0;
+                }
+              in
+              Hashtbl.replace labels sp.sp_label a;
+              label_order := sp.sp_label :: !label_order;
+              a
+        in
+        acc.la_calls <- acc.la_calls + 1;
+        acc.la_total <- acc.la_total +. sp.sp_total;
+        acc.la_wire <- acc.la_wire +. wire_time sp;
+        acc.la_queue <- acc.la_queue +. sp.sp_srv_wait;
+        acc.la_service <- acc.la_service +. sp.sp_srv_service;
+        acc.la_rtx <- acc.la_rtx +. sp.sp_rtx_wait)
+      spans;
+    let by_proc =
+      Hashtbl.fold (fun proc (c, r, h) acc -> (proc, !c, !r, h) :: acc) procs []
+      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+      |> List.map (fun (proc, calls, retrans, h) ->
+             {
+               pr_name = proc_name proc;
+               pr_calls = calls;
+               pr_retrans = retrans;
+               pr_p50 = Stats.Hist.quantile h 0.5;
+               pr_p95 = Stats.Hist.quantile h 0.95;
+               pr_p99 = Stats.Hist.quantile h 0.99;
+             })
+    in
+    let by_label =
+      List.rev !label_order
+      |> List.map (fun l ->
+             let a = Hashtbl.find labels l in
+             let n = float_of_int (max 1 a.la_calls) in
+             {
+               lr_label = (if l = "" then "(unlabelled)" else l);
+               lr_calls = a.la_calls;
+               lr_total = a.la_total /. n;
+               lr_wire = a.la_wire /. n;
+               lr_queue = a.la_queue /. n;
+               lr_service = a.la_service /. n;
+               lr_rtx_wait = a.la_rtx /. n;
+             })
+    in
+    {
+      by_proc;
+      by_label;
+      complete = List.length spans;
+      incomplete;
+      events = List.length records;
+      events_dropped = dropped t;
+    }
+
+  let ms v =
+    if v = infinity then "inf" else Printf.sprintf "%.1f" (v *. 1000.0)
+
+  let print_table fmt ~header rows =
+    let widths =
+      List.fold_left
+        (fun acc row ->
+          List.map2 (fun w cell -> max w (String.length cell)) acc row)
+        (List.map String.length header)
+        rows
+    in
+    let line row =
+      Format.fprintf fmt "| %s |@."
+        (String.concat " | "
+           (List.map2
+              (fun w cell -> cell ^ String.make (w - String.length cell) ' ')
+              widths row))
+    in
+    line header;
+    Format.fprintf fmt "|%s|@."
+      (String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths));
+    List.iter line rows
+
+  let print fmt r =
+    Format.fprintf fmt "== rpc statistics by procedure (nfsstat) ==@.";
+    let total_calls = List.fold_left (fun a p -> a + p.pr_calls) 0 r.by_proc in
+    let total_retrans = List.fold_left (fun a p -> a + p.pr_retrans) 0 r.by_proc in
+    let pct part whole =
+      if whole = 0 then "0.0"
+      else Printf.sprintf "%.1f" (100.0 *. float_of_int part /. float_of_int whole)
+    in
+    print_table fmt
+      ~header:[ "proc"; "calls"; "retrans"; "retrans%"; "p50(ms)"; "p95(ms)"; "p99(ms)" ]
+      (List.map
+         (fun p ->
+           [
+             p.pr_name;
+             string_of_int p.pr_calls;
+             string_of_int p.pr_retrans;
+             pct p.pr_retrans p.pr_calls;
+             ms p.pr_p50;
+             ms p.pr_p95;
+             ms p.pr_p99;
+           ])
+         r.by_proc
+      @ [
+          [
+            "total";
+            string_of_int total_calls;
+            string_of_int total_retrans;
+            pct total_retrans total_calls;
+            "-";
+            "-";
+            "-";
+          ];
+        ]);
+    Format.fprintf fmt "@.== latency breakdown by run (mean ms per RPC) ==@.";
+    print_table fmt
+      ~header:[ "run"; "rpcs"; "total"; "wire"; "srv-queue"; "service"; "rtx-wait" ]
+      (List.map
+         (fun l ->
+           [
+             l.lr_label;
+             string_of_int l.lr_calls;
+             ms l.lr_total;
+             ms l.lr_wire;
+             ms l.lr_queue;
+             ms l.lr_service;
+             ms l.lr_rtx_wait;
+           ])
+         r.by_label);
+    Format.fprintf fmt
+      "@.%d spans joined, %d unanswered; %d events held (%d overwritten)@."
+      r.complete r.incomplete r.events r.events_dropped
+end

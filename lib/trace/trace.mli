@@ -1,0 +1,162 @@
+(** RPC-lifecycle tracing and metrics.
+
+    A {!t} is an append-only ring buffer of timestamped, typed events,
+    attached to the hosts and links of a simulation.  Every hook in the
+    stack is behind an [option] check, so a run without a sink pays one
+    branch per hook and allocates nothing.
+
+    The event taxonomy follows the layers the paper attributes time to:
+    the client RPC layer ({!Rpc_send} / {!Rpc_retransmit} / {!Rpc_reply},
+    with {!Cwnd_update} / {!Rto_update} from the congestion-controlled
+    transports), the wire ({!Pkt_enqueue} / {!Pkt_drop} / {!Pkt_deliver}
+    per link direction, {!Frag_lost} for abandoned IP reassemblies), and
+    the server ({!Srv_queue} socket-queue wait, {!Srv_service} execution
+    time, {!Cache_hit} / {!Cache_miss} for the duplicate-request cache).
+
+    {!Report} joins a trace's events by xid into per-RPC spans and
+    derives an nfsstat-style per-procedure table plus a latency
+    breakdown (wire / server queue / service / retransmit wait). *)
+
+type drop_reason =
+  | Queue_full  (** drop-tail router/link output queue overflow *)
+  | Link_error  (** random per-packet corruption on the wire *)
+  | Sock_overflow  (** receiving socket buffer full *)
+
+type event =
+  | Rpc_send of { xid : int32; proc : int }
+  | Rpc_retransmit of { xid : int32; proc : int; retry : int; rto : float }
+  | Rpc_reply of { xid : int32; proc : int; rtt : float }
+  | Pkt_enqueue of { link : string; bytes : int; qlen : int }
+  | Pkt_drop of { link : string; bytes : int; reason : drop_reason }
+  | Pkt_deliver of { link : string; bytes : int }
+  | Frag_lost of { src : int; ip_id : int }
+  | Srv_queue of { xid : int32; proc : int; wait : float }
+  | Srv_service of { xid : int32; proc : int; service : float }
+  | Cwnd_update of { cwnd : float }
+  | Rto_update of { rto : float }
+  | Cache_hit of { cache : string }
+  | Cache_miss of { cache : string }
+  | Run_mark of { label : string }
+      (** Starts a new trace segment: sim clocks and xid spaces reset
+          between experiment worlds, so joins never cross a mark. *)
+
+type record_ = { time : float; node : int; ev : event }
+(** [node] is the host id the event was observed on, or [-1] when the
+    observer has no host identity (marks, link directions without an
+    owner). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A ring buffer holding the last [capacity] records (default 2^18).
+    Older records are overwritten, and counted in {!dropped}. *)
+
+val record : t -> time:float -> node:int -> event -> unit
+(** Append one record (no-op while disabled, see {!set_enabled}). *)
+
+val mark : t -> time:float -> string -> unit
+(** [mark t ~time label] records a {!Run_mark}. *)
+
+val set_enabled : t -> bool -> unit
+(** Gate recording without detaching the sink — e.g. off during a
+    warmup phase.  Sinks start enabled. *)
+
+val enabled : t -> bool
+
+val length : t -> int
+(** Records currently held (at most the capacity). *)
+
+val total : t -> int
+(** Records ever offered while enabled. *)
+
+val dropped : t -> int
+(** [total - length]: records overwritten by ring wraparound. *)
+
+val clear : t -> unit
+val to_list : t -> record_ list
+(** Surviving records, oldest first. *)
+
+val proc_name : int -> string
+(** NFSv2 procedure names (plus this repo's extensions), matching
+    [Nfs_proto.proc_name]; kept here so the trace library stays below
+    the protocol layer in the dependency order. *)
+
+(** {2 JSONL export / import}
+
+    One flat JSON object per line, e.g.
+    [{"t":1.25,"node":3,"ev":"rpc_send","xid":17,"proc":4}].  Import
+    accepts exactly what export produces (field order is free, floats
+    round-trip). *)
+
+val line_of_record : record_ -> string
+val record_of_line : string -> record_
+(** Raises [Failure] on malformed input. *)
+
+val export_jsonl : t -> string -> unit
+(** Write surviving records to a file, one per line. *)
+
+val import_jsonl : string -> record_ list
+
+(** {2 Analysis} *)
+
+module Report : sig
+  type span = {
+    sp_label : string;  (** enclosing {!Run_mark} label, [""] if none *)
+    sp_xid : int32;
+    sp_proc : int;
+    sp_start : float;  (** first transmission *)
+    sp_retrans : int;
+    sp_rtx_wait : float;
+        (** first transmission to last retransmission, capped at
+            [sp_total]: a retransmission the original reply overtakes
+            (nfsstat's badxid case) cannot have delayed the RPC longer
+            than the RPC took *)
+    sp_srv_wait : float;  (** server socket-queue wait *)
+    sp_srv_service : float;  (** server execution time *)
+    sp_total : float;  (** first transmission to reply *)
+  }
+
+  val spans : record_ list -> span list
+  (** Join events by xid within each mark-delimited segment; a span
+      completes on its {!Rpc_reply}.  Unanswered sends are dropped
+      (counted by {!build} as incomplete). *)
+
+  val wire_time : span -> float
+  (** What is left of [sp_total] after queue wait, service time and
+      retransmit wait: transmission, propagation, router queueing and
+      host protocol processing. *)
+
+  type proc_row = {
+    pr_name : string;
+    pr_calls : int;
+    pr_retrans : int;
+    pr_p50 : float;
+    pr_p95 : float;
+    pr_p99 : float;  (** latency quantiles in seconds *)
+  }
+
+  type label_row = {
+    lr_label : string;
+    lr_calls : int;
+    lr_total : float;
+    lr_wire : float;
+    lr_queue : float;
+    lr_service : float;
+    lr_rtx_wait : float;  (** mean seconds per RPC *)
+  }
+
+  type report = {
+    by_proc : proc_row list;
+    by_label : label_row list;
+    complete : int;
+    incomplete : int;
+    events : int;
+    events_dropped : int;
+  }
+
+  val build : t -> report
+
+  val print : Format.formatter -> report -> unit
+  (** The nfsstat-style per-procedure table followed by the per-label
+      latency breakdown. *)
+end

@@ -5,6 +5,7 @@ module Rtt = Renofs_engine.Rtt
 module Mbuf = Renofs_mbuf.Mbuf
 module Node = Renofs_net.Node
 module Packet = Renofs_net.Packet
+module Trace = Renofs_trace.Trace
 
 exception Connection_closed
 exception Connect_timeout
@@ -144,6 +145,18 @@ let data_in_flight c = max 0 (c.snd_nxt - c.snd_una - fin_in_flight c)
 
 let rto_of c = Rtt.rto c.rtt ~default:3.0 *. c.rto_backoff
 
+(* Record the congestion-control state after it changes (timeout, fast
+   retransmit, window growth): one [Cwnd_update] plus one [Rto_update]
+   per congestion event when a sink is attached, nothing otherwise. *)
+let trace_cc c =
+  match Node.trace c.stack.node with
+  | Some tr ->
+      let time = Sim.now (Node.sim c.stack.node) in
+      let node = Node.id c.stack.node in
+      Trace.record tr ~time ~node (Trace.Cwnd_update { cwnd = c.cwnd });
+      Trace.record tr ~time ~node (Trace.Rto_update { rto = rto_of c })
+  | None -> ()
+
 let send_segment c ~seq ~flags ~data =
   (* Every segment carries the current ack: piggybacking satisfies any
      pending delayed ACK. *)
@@ -233,6 +246,7 @@ and on_rexmt_timeout c =
         c.timed_seq <- None;
         c.dup_acks <- 0;
         c.in_recovery <- false;
+        trace_cc c;
         (* Go-back-N from the last acknowledged byte. *)
         c.snd_nxt <- c.snd_una;
         c.fin_sent <- false;
@@ -325,6 +339,7 @@ let process_ack c (h : header) ~had_data =
       c.cwnd <-
         c.cwnd +. (float_of_int (c.mss * c.mss) /. c.cwnd);
     c.cwnd <- Float.min c.cwnd 65536.0;
+    trace_cc c;
     c.dup_acks <- 0;
     if c.snd_una = c.snd_nxt then begin
       cancel_timer c.rexmt;
@@ -345,7 +360,8 @@ let process_ack c (h : header) ~had_data =
         Float.max (flight /. 2.0) (2.0 *. float_of_int c.mss);
       retransmit_head c;
       c.cwnd <- c.ssthresh +. (3.0 *. float_of_int c.mss);
-      c.in_recovery <- true
+      c.in_recovery <- true;
+      trace_cc c
     end
     else if c.dup_acks > 3 then begin
       c.cwnd <- c.cwnd +. float_of_int c.mss;

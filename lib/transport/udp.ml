@@ -3,8 +3,9 @@ module Cpu = Renofs_engine.Cpu
 module Mbuf = Renofs_mbuf.Mbuf
 module Node = Renofs_net.Node
 module Packet = Renofs_net.Packet
+module Trace = Renofs_trace.Trace
 
-type datagram = { src : int; src_port : int; payload : Mbuf.t }
+type datagram = { src : int; src_port : int; payload : Mbuf.t; arrived_at : float }
 
 type socket = {
   stack : stack;
@@ -45,14 +46,28 @@ let install ?sock_cost node =
       | None -> () (* port unreachable; silently dropped *)
       | Some sock ->
           let size = Mbuf.length dg.Node.payload in
-          if sock.queued_bytes + size > sock.recv_buffer then
-            sock.drops <- sock.drops + 1
+          if sock.queued_bytes + size > sock.recv_buffer then begin
+            sock.drops <- sock.drops + 1;
+            match Node.trace node with
+            | Some tr ->
+                Trace.record tr
+                  ~time:(Renofs_engine.Sim.now (Node.sim node))
+                  ~node:(Node.id node)
+                  (Trace.Pkt_drop
+                     {
+                       link = Printf.sprintf "udp:%d" sock.port;
+                       bytes = size;
+                       reason = Trace.Sock_overflow;
+                     })
+            | None -> ()
+          end
           else begin
             Queue.add
               {
                 src = dg.Node.src;
                 src_port = dg.Node.src_port;
                 payload = dg.Node.payload;
+                arrived_at = Renofs_engine.Sim.now (Node.sim node);
               }
               sock.queue;
             sock.queued_bytes <- sock.queued_bytes + size;

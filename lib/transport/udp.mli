@@ -9,11 +9,14 @@ type stack
 
 type socket
 
-(** One received datagram. *)
+(** One received datagram.  [arrived_at] is the sim time it entered the
+    socket queue: receivers subtract it from now to measure queue wait
+    (the [Srv_queue] trace event). *)
 type datagram = {
   src : int;
   src_port : int;
   payload : Renofs_mbuf.Mbuf.t;
+  arrived_at : float;
 }
 
 val install : ?sock_cost:float -> Renofs_net.Node.t -> stack

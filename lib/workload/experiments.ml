@@ -13,6 +13,7 @@ module Disk = Renofs_vfs.Disk
 module Nfs_server = Renofs_core.Nfs_server
 module Nfs_client = Renofs_core.Nfs_client
 module Client_transport = Renofs_core.Client_transport
+module Trace = Renofs_trace.Trace
 
 type scale = Quick | Full
 
@@ -61,10 +62,31 @@ type world = {
   client_tcp : Tcp.stack;
 }
 
+(* The sink every world built while [with_trace] is active attaches to.
+   Experiments create fresh worlds per cell, so attachment has to happen
+   inside the runners; a ref avoids threading an argument through all of
+   them. *)
+let current_trace : Trace.t option ref = ref None
+
+let with_trace tr f =
+  current_trace := Some tr;
+  Fun.protect ~finally:(fun () -> current_trace := None) f
+
+(* Attach the active sink to every node, and open a new mark-delimited
+   segment: each world has its own sim clock and xid space, so the
+   report must not join across worlds. *)
+let attach_trace sim topo label =
+  match !current_trace with
+  | None -> ()
+  | Some tr ->
+      List.iter (fun n -> Node.set_trace n (Some tr)) topo.Topology.all;
+      Trace.mark tr ~time:(Sim.now sim) label
+
 let make_world ?(params = Topology.default_params)
-    ?(server_profile = Nfs_server.reno_profile) ~topology () =
+    ?(server_profile = Nfs_server.reno_profile) ?run_label ~topology () =
   let sim = Sim.create () in
   let topo = Topology.by_name topology sim ~params () in
+  attach_trace sim topo (Option.value run_label ~default:topology);
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server =
@@ -125,16 +147,20 @@ let sweep_loads = function Quick -> [ 5.0; 10.0; 20.0; 30.0 ] | Full -> [ 5.0; 1
 let sweep_duration = function Quick -> 20.0 | Full -> 120.0
 
 let one_nhfsstone_run ?(server_profile = Nfs_server.reno_profile)
-    ?(params = Topology.default_params) ?(warmup = 8.0) ?(children = 4) ~topology
-    ~mount_opts ~mix ~rate ~duration ~seed () =
-  let world = make_world ~params ~server_profile ~topology () in
+    ?(params = Topology.default_params) ?(warmup = 8.0) ?(children = 4) ?label
+    ~topology ~mount_opts ~mix ~rate ~duration ~seed () =
+  let world = make_world ~params ~server_profile ?run_label:label ~topology () in
   drive world (fun () ->
+      (* Preload and warmup are not part of the measured run: gate the
+         sink so the report sees steady state only. *)
+      (match !current_trace with Some tr -> Trace.set_enabled tr false | None -> ());
       Fileset.preload_server world.server standard_fileset;
       let m = mount_in world mount_opts in
       if warmup > 0.0 then
         ignore
           (Nhfsstone.run m standard_fileset
              { Nhfsstone.rate; duration = warmup; children; mix; seed = seed + 1 });
+      (match !current_trace with Some tr -> Trace.set_enabled tr true | None -> ());
       Nhfsstone.run m standard_fileset
         { Nhfsstone.rate; duration; children; mix; seed })
 
@@ -145,9 +171,9 @@ let transport_sweep ~id ~title ~topology ~mix ~scale =
       (fun load ->
         f1 load
         :: List.map
-             (fun (_, transport) ->
+             (fun (name, transport) ->
                let r =
-                 one_nhfsstone_run ~topology
+                 one_nhfsstone_run ~label:name ~topology
                    ~mount_opts:(mount_opts_for ~transport ~topology)
                    ~mix ~rate:load ~duration ~seed:42 ()
                in
@@ -185,7 +211,7 @@ let graph5 ?(scale = Quick) () =
      the approach to it. *)
   let scale_loads =
     match scale with
-    | Quick -> [ 4.0; 10.0; 16.0 ]
+    | Quick -> [ 4.0; 10.0; 18.0 ]
     | Full -> [ 4.0; 8.0; 12.0; 14.0; 16.0; 18.0 ]
   in
   let duration = sweep_duration scale in
@@ -194,9 +220,9 @@ let graph5 ?(scale = Quick) () =
       (fun load ->
         f1 load
         :: List.map
-             (fun (_, transport) ->
+             (fun (name, transport) ->
                let r =
-                 one_nhfsstone_run ~topology:"wan"
+                 one_nhfsstone_run ~label:name ~topology:"wan"
                    ~mount_opts:(mount_opts_for ~transport ~topology:"wan")
                    ~mix:Nhfsstone.lookup_mix ~rate:load ~duration ~seed:42 ()
                in
@@ -230,9 +256,9 @@ let table1 ?(scale = Quick) () =
       (fun (label, topology, rate, children) ->
         label
         :: List.map
-             (fun (_, transport) ->
+             (fun (name, transport) ->
                let r =
-                 one_nhfsstone_run ~topology ~children
+                 one_nhfsstone_run ~label:name ~topology ~children
                    ~mount_opts:(mount_opts_for ~transport ~topology)
                    ~mix:Nhfsstone.read_lookup_mix ~rate ~duration ~seed:97 ()
                in
@@ -341,9 +367,10 @@ let server_comparison ~id ~title ~mix ~scale =
       (fun load ->
         f1 load
         :: List.map
-             (fun (_, profile) ->
+             (fun (name, profile) ->
                let r =
-                 one_nhfsstone_run ~server_profile:profile ~topology:"lan"
+                 one_nhfsstone_run ~label:name ~server_profile:profile
+                   ~topology:"lan"
                    ~mount_opts:(mount_opts_for ~transport:`Udp_fixed ~topology:"lan")
                    ~mix ~rate:load ~duration ~seed:23 ()
                in
@@ -638,6 +665,7 @@ let scaling ?(scale = Quick) () =
   let row n =
     let sim = Sim.create () in
     let topo, clients = Topology.multi_client sim ~clients:n () in
+    attach_trace sim topo (Printf.sprintf "scaling-%d" n);
     let sudp = Udp.install topo.Topology.server in
     let stcp = Tcp.install topo.Topology.server in
     let server =

@@ -17,6 +17,14 @@ type table = {
 
 val print_table : Format.formatter -> table -> unit
 
+val with_trace : Renofs_trace.Trace.t -> (unit -> 'a) -> 'a
+(** [with_trace tr f] runs [f] with [tr] attached to every world any
+    experiment builds: each world opens a new {!Renofs_trace.Trace}
+    mark-delimited segment labelled with its transport/profile/topology
+    name, and warmup phases are gated out with
+    [Renofs_trace.Trace.set_enabled].  The sink is detached (for future
+    worlds) when [f] returns. *)
+
 val graph1 : ?scale:scale -> unit -> table
 (** RTT vs offered load, 100% lookup mix, same-LAN topology, three
     transports. *)

@@ -237,6 +237,32 @@ let test_hist_overflow () =
   Stats.Hist.add h 100.0;
   check_float "overflow quantile" infinity (Stats.Hist.quantile h 1.0)
 
+let test_hist_quantile_bounds () =
+  let h = Stats.Hist.create ~bucket_width:10.0 ~buckets:10 in
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Hist.quantile: empty") (fun () ->
+      ignore (Stats.Hist.quantile h 0.5));
+  (* One sample in the fourth bucket: every quantile is its bound. *)
+  Stats.Hist.add h 35.0;
+  check_float "q=0 on one sample" 40.0 (Stats.Hist.quantile h 0.0);
+  check_float "q=1 on one sample" 40.0 (Stats.Hist.quantile h 1.0);
+  for i = 0 to 99 do
+    Stats.Hist.add h (float_of_int i)
+  done;
+  check_float "q=0 is the first nonempty bound" 10.0 (Stats.Hist.quantile h 0.0);
+  check_float "q=1 is the last nonempty bound" 100.0 (Stats.Hist.quantile h 1.0);
+  Alcotest.check_raises "q below range rejected"
+    (Invalid_argument "Hist.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.Hist.quantile h (-0.01)));
+  Alcotest.check_raises "q above range rejected"
+    (Invalid_argument "Hist.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.Hist.quantile h 1.01));
+  (* A sample past the covered range keeps finite quantiles for the
+     covered mass but reports the tail as unbounded. *)
+  Stats.Hist.add h 1e9;
+  check_float "median still finite" 50.0 (Stats.Hist.quantile h 0.5);
+  check_float "overflowed tail" infinity (Stats.Hist.quantile h 1.0)
+
 let test_series () =
   let s = Stats.Series.create ~name:"rtt" () in
   Stats.Series.add s 1.0 0.1;
@@ -257,6 +283,18 @@ let test_counter () =
   Alcotest.(check int) "total" 5 (Stats.Counter.total c);
   Alcotest.(check (list (pair string int)))
     "sorted" [ ("lookup", 3); ("read", 2) ] (Stats.Counter.to_list c)
+
+let test_counter_reset () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "read";
+  Stats.Counter.incr ~by:7 c "write";
+  Stats.Counter.reset c;
+  Alcotest.(check int) "total cleared" 0 (Stats.Counter.total c);
+  Alcotest.(check int) "key cleared" 0 (Stats.Counter.get c "read");
+  Alcotest.(check (list (pair string int))) "empty" [] (Stats.Counter.to_list c);
+  (* Usable again after a reset. *)
+  Stats.Counter.incr c "read";
+  Alcotest.(check int) "recounts" 1 (Stats.Counter.get c "read")
 
 (* ------------------------------------------------------------------ *)
 (* Rtt                                                                *)
@@ -418,8 +456,10 @@ let () =
           Alcotest.test_case "welford known values" `Quick test_welford_known;
           Alcotest.test_case "hist quantile" `Quick test_hist_quantile;
           Alcotest.test_case "hist overflow" `Quick test_hist_overflow;
+          Alcotest.test_case "hist quantile bounds" `Quick test_hist_quantile_bounds;
           Alcotest.test_case "series" `Quick test_series;
           Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter reset" `Quick test_counter_reset;
         ] );
       ( "rtt",
         [
