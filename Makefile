@@ -1,9 +1,12 @@
 # Convenience wrapper around dune.  `make check` is the tier-1 gate:
-# everything must build, every test must pass, and the dune files must
-# be formatted (ocamlformat is not vendored, so @fmt covers dune files
-# only — see dune-project).
+# everything must build, every test must pass, the dune files must be
+# formatted (ocamlformat is not vendored, so @fmt covers dune files
+# only — see dune-project), and the nfsbench CLI must survive a smoke
+# run: list the registry, run one experiment across 2 domains with
+# JSON output, and validate that output against the renofs-bench/1
+# schema.
 
-.PHONY: all build test fmt check clean
+.PHONY: all build test fmt smoke check clean
 
 all: build
 
@@ -16,7 +19,12 @@ test:
 fmt:
 	dune build @fmt
 
-check: build test fmt
+smoke: build
+	dune exec bin/nfsbench.exe -- list
+	dune exec bin/nfsbench.exe -- run graph1 --jobs 2 --json /tmp/renofs-smoke.json
+	dune exec bin/nfsbench.exe -- validate-json /tmp/renofs-smoke.json
+
+check: build test fmt smoke
 
 clean:
 	dune clean

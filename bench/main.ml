@@ -5,7 +5,9 @@
    1. Regenerate every table and figure from the paper and print it —
       the rows/series a reader would compare against the original.
       Scale defaults to Quick; set RENOFS_BENCH_SCALE=full for the long
-      sweeps recorded in EXPERIMENTS.md.
+      sweeps recorded in EXPERIMENTS.md.  RENOFS_BENCH_JOBS=N runs the
+      experiment cells across N domains (default: recommended domain
+      count); the output is identical either way.
 
    2. A Bechamel suite with one Test.make per paper artifact (how much
       wall time one Quick regeneration costs) plus microbenchmarks of
@@ -27,25 +29,37 @@ let scale =
   | Some ("full" | "FULL") -> E.Full
   | _ -> E.Quick
 
+let jobs =
+  match Option.bind (Sys.getenv_opt "RENOFS_BENCH_JOBS") int_of_string_opt with
+  | Some j when j >= 1 -> j
+  | _ -> Renofs_workload.Sweep.default_jobs ()
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate every artifact                                   *)
 (* ------------------------------------------------------------------ *)
 
 let regenerate () =
-  Format.printf "=== Regenerating all paper artifacts (%s scale) ===@.@."
-    (match scale with E.Quick -> "quick" | E.Full -> "full");
+  Format.printf "=== Regenerating all paper artifacts (%s scale, %d jobs) ===@.@."
+    (match scale with E.Quick -> "quick" | E.Full -> "full")
+    jobs;
+  let t0 = Unix.gettimeofday () in
+  (* One pooled sweep across every experiment's cells, so domains stay
+     busy even while the short experiments drain. *)
+  let results = E.run_specs ~jobs (List.map (fun (_, mk) -> mk scale) E.specs) in
   List.iter
-    (fun (id, f) ->
-      let t0 = Unix.gettimeofday () in
-      let table = f ?scale:(Some scale) () in
+    (fun r ->
+      let table = E.render r in
       E.print_table Format.std_formatter table;
-      (match Renofs_workload.Ascii_plot.render_table table with
-      | Some chart when String.length id >= 5 && String.sub id 0 5 = "graph" ->
+      match Renofs_workload.Ascii_plot.render_table table with
+      | Some chart
+        when String.length table.E.id >= 5 && String.sub table.E.id 0 5 = "graph"
+        ->
           Format.printf "%s@." chart
-      | _ -> ());
-      Format.printf "(%s regenerated in %.1fs wall)@.@." id
-        (Unix.gettimeofday () -. t0))
-    E.all
+      | _ -> ())
+    results;
+  Format.printf "(all %d artifacts regenerated in %.1fs wall)@.@."
+    (List.length results)
+    (Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: bechamel                                                    *)

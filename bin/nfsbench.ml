@@ -4,71 +4,134 @@
      nfsbench list                     show every experiment id
      nfsbench run graph5               run one experiment (Quick scale)
      nfsbench run table1 -f            run one experiment at Full scale
+     nfsbench run graph1 --jobs 4      run its cells across 4 domains
+     nfsbench run graph1 --json g.json write typed results as JSON
      nfsbench run graph5 --report      append the nfsstat-style trace report
      nfsbench run graph5 --trace t.jsonl   export the raw event trace
-     nfsbench all [-f]                 run everything *)
+     nfsbench all [-f] [--jobs N] [--json FILE]   run everything
+     nfsbench validate-json FILE       check a --json file against the schema
+
+   Results are assembled by cell index, never completion order, so any
+   --jobs value produces byte-identical tables and JSON. *)
 
 open Cmdliner
 module E = Renofs_workload.Experiments
+module Sweep = Renofs_workload.Sweep
+module Bench_json = Renofs_workload.Bench_json
 module Trace = Renofs_trace.Trace
 
 let scale_of_full full = if full then E.Full else E.Quick
 
-let print_with_chart id table =
+let print_with_chart table =
   E.print_table Format.std_formatter table;
   match Renofs_workload.Ascii_plot.render_table table with
-  | Some chart when String.length id >= 5 && String.sub id 0 5 = "graph" ->
+  | Some chart
+    when String.length table.E.id >= 5 && String.sub table.E.id 0 5 = "graph" ->
       Format.printf "%s@." chart
   | _ -> ()
 
-(* Fail before the sweep runs, not after: a mistyped --trace path
-   should not cost minutes of simulation. *)
+(* Fail before the sweep runs, not after: a mistyped --trace or --json
+   path should not cost minutes of simulation. *)
 let check_writable path =
   match open_out path with
   | oc -> close_out oc; None
   | exception Sys_error msg -> Some msg
 
-let run_one id full trace_path report =
-  match Option.bind trace_path check_writable with
-  | Some msg -> `Error (false, Printf.sprintf "cannot write trace: %s" msg)
-  | None -> (
-  match List.assoc_opt id E.all with
-  | Some f ->
-      let scale = Some (scale_of_full full) in
-      (if trace_path = None && not report then
-         print_with_chart id (f ?scale ())
-       else begin
-         (* Full-scale sweeps emit a few hundred thousand events; size
-            the ring so the early runs are not overwritten. *)
-         let tr = Trace.create ~capacity:(1 lsl 20) () in
-         print_with_chart id (E.with_trace tr (fun () -> f ?scale ()));
-         (match trace_path with
-         | Some path ->
-             Trace.export_jsonl tr path;
-             Format.printf "trace: %d events written to %s (%d overwritten)@."
-               (Trace.length tr) path (Trace.dropped tr)
-         | None -> ());
-         if report then Trace.Report.print Format.std_formatter (Trace.Report.build tr)
-       end);
-      `Ok ()
-  | None ->
-      `Error
-        ( false,
-          Printf.sprintf "unknown experiment %S; try one of: %s" id
-            (String.concat ", " (List.map fst E.all)) ))
+let check_outputs paths =
+  List.find_map
+    (fun (what, path) ->
+      Option.map
+        (fun msg -> Printf.sprintf "cannot write %s: %s" what msg)
+        (Option.bind path check_writable))
+    paths
 
-let run_all full =
-  List.iter
-    (fun (id, f) ->
-      Format.printf "running %s...@." id;
-      print_with_chart id (f ?scale:(Some (scale_of_full full)) ()))
-    E.all
+let effective_jobs = function Some j -> max 1 j | None -> Sweep.default_jobs ()
+
+let run_one id full jobs trace_path report json_path =
+  match check_outputs [ ("trace", trace_path); ("json", json_path) ] with
+  | Some msg -> `Error (false, msg)
+  | None -> (
+      let scale = scale_of_full full in
+      match E.spec ~scale id with
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; try one of: %s" id
+                (String.concat ", " (List.map fst E.specs)) )
+      | Some spec ->
+          let jobs = effective_jobs jobs in
+          let tr =
+            if trace_path <> None || report then
+              (* Full-scale sweeps emit a few hundred thousand events;
+                 size the ring so the early runs are not overwritten. *)
+              Some (Trace.create ~capacity:(1 lsl 20) ())
+            else None
+          in
+          let results = E.run_spec ~jobs ?trace:tr spec in
+          print_with_chart (E.render results);
+          (match json_path with
+          | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
+          | None -> ());
+          (match (tr, trace_path) with
+          | Some tr, Some path ->
+              Trace.export_jsonl tr path;
+              Format.printf "trace: %d events written to %s (%d overwritten)@."
+                (Trace.length tr) path (Trace.dropped tr)
+          | _ -> ());
+          (match tr with
+          | Some tr when report ->
+              Trace.Report.print Format.std_formatter (Trace.Report.build tr)
+          | _ -> ());
+          `Ok ())
+
+let run_all full jobs json_path =
+  match check_outputs [ ("json", json_path) ] with
+  | Some msg -> `Error (false, msg)
+  | None ->
+      let scale = scale_of_full full in
+      let jobs = effective_jobs jobs in
+      Format.printf "running %d experiments (%s scale, %d jobs)...@."
+        (List.length E.specs)
+        (match scale with E.Quick -> "quick" | E.Full -> "full")
+        jobs;
+      (* One pooled sweep across every experiment's cells: short
+         experiments overlap long ones instead of serialising. *)
+      let results = E.run_specs ~jobs (List.map (fun (_, mk) -> mk scale) E.specs) in
+      List.iter (fun r -> print_with_chart (E.render r)) results;
+      (match json_path with
+      | Some path -> Bench_json.write_file ~scale ~jobs ~path results
+      | None -> ());
+      `Ok ()
 
 let list_ids () =
-  List.iter (fun (id, _) -> print_endline id) E.all
+  List.iter (fun (id, _) -> print_endline id) E.specs
+
+let validate_json path =
+  match Bench_json.validate_file path with
+  | Ok () ->
+      Format.printf "%s: valid %s@." path "renofs-bench/1";
+      `Ok ()
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
 
 let full_flag =
   Arg.(value & flag & info [ "f"; "full" ] ~doc:"Run at full scale (longer sweeps).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Execute experiment cells across $(docv) domains (default: the \
+           machine's recommended domain count). Results are deterministic \
+           regardless of $(docv).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write typed results as JSON (schema renofs-bench/1) to $(docv).")
 
 let trace_arg =
   Arg.(
@@ -89,18 +152,31 @@ let id_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
        ~doc:"Experiment id, e.g. graph1 or table5.")
 
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+       ~doc:"A file produced by --json.")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
-    Term.(ret (const run_one $ id_arg $ full_flag $ trace_arg $ report_flag))
+    Term.(
+      ret
+        (const run_one $ id_arg $ full_flag $ jobs_arg $ trace_arg $ report_flag
+       $ json_arg))
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run_all $ full_flag)
+    Term.(ret (const run_all $ full_flag $ jobs_arg $ json_arg))
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiment ids") Term.(const list_ids $ const ())
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate-json"
+       ~doc:"Validate a --json output file against the renofs-bench/1 schema")
+    Term.(ret (const validate_json $ file_arg))
 
 let main =
   Cmd.group
@@ -108,6 +184,6 @@ let main =
        ~doc:
          "Reproduce the experiments of 'Lessons Learned Tuning the 4.3BSD Reno \
           Implementation of the NFS Protocol' (Macklem, USENIX 1991)")
-    [ run_cmd; all_cmd; list_cmd ]
+    [ run_cmd; all_cmd; list_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -123,3 +123,10 @@ let run ?until t =
   done
 
 let events_processed t = t.processed
+
+let pending_events t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).cancelled then incr n
+  done;
+  !n

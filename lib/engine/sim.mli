@@ -42,3 +42,7 @@ val run : ?until:float -> t -> unit
 
 val events_processed : t -> int
 (** Total events executed so far; useful for bounding tests. *)
+
+val pending_events : t -> int
+(** Events currently queued and not cancelled.  O(queue size); meant for
+    diagnostics (e.g. stuck-driver reports), not hot paths. *)

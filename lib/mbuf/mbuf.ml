@@ -88,11 +88,13 @@ let add_bytes ?ctr t src ~off ~len =
 let add_string ?ctr t s =
   add_bytes ?ctr t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
 
-let scratch4 = Bytes.create 4
-
+(* The 4-byte staging buffer must be per call: a module-level scratch
+   is written concurrently when experiment cells encode on several
+   domains, and corrupts the word. *)
 let add_u32 ?ctr t v =
-  Bytes.set_int32_be scratch4 0 v;
-  add_bytes ?ctr t scratch4 ~off:0 ~len:4
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 v;
+  add_bytes ?ctr t b ~off:0 ~len:4
 
 let of_bytes ?ctr b =
   let t = empty () in

@@ -58,6 +58,13 @@ let to_list t =
     (* Oldest survivor sits at [next] (the slot about to be overwritten). *)
     List.init t.capacity (fun i -> t.buf.((t.next + i) mod t.capacity))
 
+let capacity t = t.capacity
+
+let merge ~into src =
+  List.iter
+    (fun { time; node; ev } -> record into ~time ~node ev)
+    (to_list src)
+
 (* Same table as [Nfs_proto.proc_name]; duplicated because the trace
    library sits below the protocol layer. *)
 let proc_name = function

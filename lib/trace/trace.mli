@@ -76,6 +76,16 @@ val clear : t -> unit
 val to_list : t -> record_ list
 (** Surviving records, oldest first. *)
 
+val capacity : t -> int
+(** The ring size this sink was created with. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] appends [src]'s surviving records, oldest first,
+    to [into] ([into]'s enabled gate applies).  Experiment runners give
+    each parallel cell a private sink and merge them back in cell order,
+    so the combined stream is identical to a serial run: segments stay
+    mark-delimited and never interleave. *)
+
 val proc_name : int -> string
 (** NFSv2 procedure names (plus this repo's extensions), matching
     [Nfs_proto.proc_name]; kept here so the trace library stays below

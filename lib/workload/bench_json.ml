@@ -1,0 +1,298 @@
+module E = Experiments
+
+let schema_version = "renofs-bench/1"
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Shortest decimal that round-trips, so files stay readable and
+   serial/parallel runs compare byte for byte. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s15 = Printf.sprintf "%.15g" v in
+    if float_of_string s15 = v then s15
+    else
+      let s16 = Printf.sprintf "%.16g" v in
+      if float_of_string s16 = v then s16 else Printf.sprintf "%.17g" v
+
+let value_json = function
+  | E.Text s -> Printf.sprintf {|{"type":"text","value":"%s"}|} (escape s)
+  | E.Int (v, u) ->
+      Printf.sprintf {|{"type":"int","value":%d,"unit":"%s"}|} v (E.unit_name u)
+  | E.Float (v, u, prec) ->
+      Printf.sprintf {|{"type":"float","value":%s,"unit":"%s","prec":%d}|}
+        (float_str v) (E.unit_name u) prec
+
+let results_json (r : E.results) =
+  let header = List.map (fun h -> "\"" ^ escape h ^ "\"") r.E.r_header in
+  let rows =
+    List.map
+      (fun row -> "      [" ^ String.concat "," (List.map value_json row) ^ "]")
+      r.E.r_rows
+  in
+  Printf.sprintf
+    "    {\"id\":\"%s\",\n\
+    \     \"title\":\"%s\",\n\
+    \     \"header\":[%s],\n\
+    \     \"rows\":[\n%s\n    ]}"
+    (escape r.E.r_id) (escape r.E.r_title)
+    (String.concat "," header)
+    (String.concat ",\n" rows)
+
+let emit ~scale ~jobs results =
+  Printf.sprintf
+    "{\"schema\":\"%s\",\n\
+    \ \"scale\":\"%s\",\n\
+    \ \"jobs\":%d,\n\
+    \ \"experiments\":[\n%s\n]}\n"
+    schema_version
+    (match scale with E.Quick -> "quick" | E.Full -> "full")
+    jobs
+    (String.concat ",\n" (List.map results_json results))
+
+let write_file ~scale ~jobs ~path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (emit ~scale ~jobs results))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char b '"'; advance ()
+           | '\\' -> Buffer.add_char b '\\'; advance ()
+           | '/' -> Buffer.add_char b '/'; advance ()
+           | 'n' -> Buffer.add_char b '\n'; advance ()
+           | 't' -> Buffer.add_char b '\t'; advance ()
+           | 'r' -> Buffer.add_char b '\r'; advance ()
+           | 'b' -> Buffer.add_char b '\b'; advance ()
+           | 'f' -> Buffer.add_char b '\012'; advance ()
+           | 'u' ->
+               if !pos + 4 >= n then fail "truncated \\u escape";
+               let hex = String.sub s (!pos + 1) 4 in
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> fail "bad \\u escape"
+               in
+               (* ASCII round-trips; anything higher degrades to '?'
+                  (the emitter never produces it). *)
+               Buffer.add_char b (if code < 128 then Char.chr code else '?');
+               pos := !pos + 5
+           | _ -> fail "unknown escape");
+          go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elements [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse s = try Ok (parse_exn s) with Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let known_units = [ "ms"; "s"; "per_s"; "percent"; "bytes"; "count" ]
+
+let validate_exn doc =
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+  let field obj name =
+    match List.assoc_opt name obj with
+    | Some v -> v
+    | None -> fail "missing field %S" name
+  in
+  let str ctx = function Str s -> s | _ -> fail "%s: expected string" ctx in
+  let num ctx = function Num v -> v | _ -> fail "%s: expected number" ctx in
+  let arr ctx = function Arr l -> l | _ -> fail "%s: expected array" ctx in
+  let obj ctx = function Obj o -> o | _ -> fail "%s: expected object" ctx in
+  let top = obj "document" doc in
+  let version = str "schema" (field top "schema") in
+  if version <> schema_version then
+    fail "schema %S, expected %S" version schema_version;
+  (match str "scale" (field top "scale") with
+  | "quick" | "full" -> ()
+  | other -> fail "scale %S is not quick|full" other);
+  let jobs = num "jobs" (field top "jobs") in
+  if jobs < 1.0 || not (Float.is_integer jobs) then fail "jobs must be a positive integer";
+  let experiments = arr "experiments" (field top "experiments") in
+  if experiments = [] then fail "experiments array is empty";
+  List.iter
+    (fun e ->
+      let e = obj "experiment" e in
+      let id = str "id" (field e "id") in
+      ignore (str "title" (field e "title"));
+      let header = List.map (str (id ^ ".header")) (arr (id ^ ".header") (field e "header")) in
+      let cols = List.length header in
+      if cols = 0 then fail "%s: empty header" id;
+      let rows = arr (id ^ ".rows") (field e "rows") in
+      if rows = [] then fail "%s: no rows" id;
+      List.iteri
+        (fun i row ->
+          let row = arr (Printf.sprintf "%s.rows[%d]" id i) row in
+          if List.length row <> cols then
+            fail "%s.rows[%d]: %d cells for %d header columns" id i
+              (List.length row) cols;
+          List.iter
+            (fun cell ->
+              let ctx = Printf.sprintf "%s.rows[%d]" id i in
+              let cell = obj ctx cell in
+              let check_unit () =
+                let u = str (ctx ^ ".unit") (field cell "unit") in
+                if not (List.mem u known_units) then fail "%s: unknown unit %S" ctx u
+              in
+              match str (ctx ^ ".type") (field cell "type") with
+              | "text" -> ignore (str ctx (field cell "value"))
+              | "int" ->
+                  let v = num ctx (field cell "value") in
+                  if not (Float.is_integer v) then fail "%s: int cell holds %g" ctx v;
+                  check_unit ()
+              | "float" ->
+                  ignore (num ctx (field cell "value"));
+                  ignore (num (ctx ^ ".prec") (field cell "prec"));
+                  check_unit ()
+              | other -> fail "%s: unknown cell type %S" ctx other)
+            row)
+        rows)
+    experiments
+
+let validate s =
+  match parse s with
+  | Error msg -> Error ("parse error: " ^ msg)
+  | Ok doc -> ( try Ok (validate_exn doc) with Bad msg -> Error msg)
+
+let validate_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> validate content
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,52 @@
+(** Structured JSON output for experiment results ([nfsbench --json]).
+
+    The document schema, version ["renofs-bench/1"]:
+
+    {v
+    { "schema": "renofs-bench/1",
+      "scale": "quick" | "full",
+      "jobs": <int>,
+      "experiments": [
+        { "id": "graph1",
+          "title": "...",
+          "header": ["load(rpc/s)", ...],
+          "rows": [
+            [ {"type":"float","value":5.0,"unit":"per_s","prec":1},
+              {"type":"int","value":42,"unit":"count"},
+              {"type":"text","value":"same LAN"}, ... ], ... ] } ] }
+    v}
+
+    Every row has exactly as many cells as the header has columns;
+    [unit] is one of {!Experiments.unit_name}'s outputs.  Emission is
+    deterministic (fields in the order above, floats printed with the
+    shortest round-tripping decimal), so serial and parallel runs of
+    the same experiments produce byte-identical files. *)
+
+val emit : scale:Experiments.scale -> jobs:int -> Experiments.results list -> string
+(** The whole document, newline-terminated. *)
+
+val write_file :
+  scale:Experiments.scale -> jobs:int -> path:string -> Experiments.results list -> unit
+
+(** {2 Minimal JSON reader, for validation and tests}
+
+    Accepts standard JSON (objects, arrays, strings with the common
+    escapes, numbers, booleans, null); enough to round-trip what
+    {!emit} produces. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+
+val validate : string -> (unit, string) result
+(** Check a document against the schema above: required fields, row
+    rectangularity, known cell types and units.  [Ok ()] means a
+    conforming "renofs-bench/1" file. *)
+
+val validate_file : string -> (unit, string) result

@@ -17,6 +17,55 @@ module Trace = Renofs_trace.Trace
 
 type scale = Quick | Full
 
+(* ------------------------------------------------------------------ *)
+(* Typed measurement values                                           *)
+(* ------------------------------------------------------------------ *)
+
+type unit_of_measure = Ms | Sec | Per_sec | Percent | Bytes | Count
+
+type value =
+  | Text of string
+  | Int of int * unit_of_measure
+  | Float of float * unit_of_measure * int
+
+let unit_name = function
+  | Ms -> "ms"
+  | Sec -> "s"
+  | Per_sec -> "per_s"
+  | Percent -> "percent"
+  | Bytes -> "bytes"
+  | Count -> "count"
+
+let render_value = function
+  | Text s -> s
+  | Int (v, _) -> string_of_int v
+  | Float (v, Percent, prec) -> Printf.sprintf "%.*f%%" prec v
+  | Float (v, _, prec) -> Printf.sprintf "%.*f" prec v
+
+(* Constructors: the float is stored in its display unit, so rendering
+   never rescales (and serial/parallel runs can be compared bit for
+   bit). *)
+let ms v = Float (v *. 1000.0, Ms, 1) (* measured in seconds *)
+let msr v = Float (v, Ms, 1) (* already in milliseconds *)
+let sec1 v = Float (v, Sec, 1)
+let sec2 v = Float (v, Sec, 2)
+let rate1 v = Float (v, Per_sec, 1)
+let rate2 v = Float (v, Per_sec, 2)
+let pct0 v = Float (v *. 100.0, Percent, 0) (* measured as a fraction *)
+let pct_raw v = Float (v, Percent, 0) (* already in percent *)
+let count n = Int (n, Count)
+let byte_count n = Int (n, Bytes)
+let txt s = Text s
+
+let float_of_value = function
+  | Float (v, _, _) -> v
+  | Int (v, _) -> float_of_int v
+  | Text s -> float_of_string s
+
+(* ------------------------------------------------------------------ *)
+(* Rendered tables                                                    *)
+(* ------------------------------------------------------------------ *)
+
 type table = {
   id : string;
   title : string;
@@ -46,9 +95,116 @@ let print_table fmt t =
   List.iter print_row t.rows;
   Format.fprintf fmt "@."
 
-let ms v = Printf.sprintf "%.1f" (v *. 1000.0)
-let f1 v = Printf.sprintf "%.1f" v
-let f2 v = Printf.sprintf "%.2f" v
+(* ------------------------------------------------------------------ *)
+(* Cells and specs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { trace : Trace.t option }
+
+type cell = { cell_label : string; cell_run : ctx -> value list }
+
+type spec = {
+  sp_id : string;
+  sp_title : string;
+  sp_header : string list;
+  sp_cells : cell list;
+  sp_assemble : value list list -> value list list;
+}
+
+type results = {
+  r_id : string;
+  r_title : string;
+  r_header : string list;
+  r_rows : value list list;
+}
+
+let render r =
+  {
+    id = r.r_id;
+    title = r.r_title;
+    header = r.r_header;
+    rows = List.map (List.map render_value) r.r_rows;
+  }
+
+(* [chunk n xs] splits [xs] into consecutive groups of [n]. *)
+let chunk n xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = 1 then go (List.rev (x :: cur) :: acc) [] n rest
+        else go acc (x :: cur) (k - 1) rest
+  in
+  if n <= 0 then invalid_arg "chunk" else go [] [] n xs
+
+(* The sink [with_trace] installs for the calling domain.  Cells never
+   read it — the runner captures it once and hands every cell a private
+   sink through its [ctx] — so tracing stays race-free under
+   [--jobs > 1]. *)
+let dls_trace : Trace.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_trace tr f =
+  let old = Domain.DLS.get dls_trace in
+  Domain.DLS.set dls_trace (Some tr);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_trace old) f
+
+let effective_trace = function
+  | Some _ as t -> t
+  | None -> Domain.DLS.get dls_trace
+
+(* Each cell records into its own sink; the sinks are merged into the
+   main one in cell order after the sweep, so the combined stream is
+   identical to a serial run (segments stay mark-delimited). *)
+let run_cells ?jobs ~trace cells =
+  match trace with
+  | None ->
+      Sweep.run ?jobs
+        (List.map
+           (fun c -> Sweep.cell ~label:c.cell_label (fun () -> c.cell_run { trace = None }))
+           cells)
+  | Some main ->
+      let cap = Trace.capacity main in
+      let sinks = List.map (fun _ -> Trace.create ~capacity:cap ()) cells in
+      let outs =
+        Sweep.run ?jobs
+          (List.map2
+             (fun c sink ->
+               Sweep.cell ~label:c.cell_label (fun () -> c.cell_run { trace = Some sink }))
+             cells sinks)
+      in
+      List.iter (fun sink -> Trace.merge ~into:main sink) sinks;
+      outs
+
+let run_spec ?jobs ?trace spec =
+  let trace = effective_trace trace in
+  let outs = run_cells ?jobs ~trace spec.sp_cells in
+  {
+    r_id = spec.sp_id;
+    r_title = spec.sp_title;
+    r_header = spec.sp_header;
+    r_rows = spec.sp_assemble outs;
+  }
+
+let run_specs ?jobs ?trace specs =
+  (* One shared pool across every spec: single-cell experiments overlap
+     with their neighbours instead of serialising the tail. *)
+  let trace = effective_trace trace in
+  let outs = run_cells ?jobs ~trace (List.concat_map (fun s -> s.sp_cells) specs) in
+  let rec split specs outs =
+    match specs with
+    | [] -> []
+    | s :: rest ->
+        let k = List.length s.sp_cells in
+        let mine = List.filteri (fun i _ -> i < k) outs in
+        let theirs = List.filteri (fun i _ -> i >= k) outs in
+        {
+          r_id = s.sp_id;
+          r_title = s.sp_title;
+          r_header = s.sp_header;
+          r_rows = s.sp_assemble mine;
+        }
+        :: split rest theirs
+  in
+  split specs outs
 
 (* ------------------------------------------------------------------ *)
 (* World plumbing                                                     *)
@@ -62,31 +218,21 @@ type world = {
   client_tcp : Tcp.stack;
 }
 
-(* The sink every world built while [with_trace] is active attaches to.
-   Experiments create fresh worlds per cell, so attachment has to happen
-   inside the runners; a ref avoids threading an argument through all of
-   them. *)
-let current_trace : Trace.t option ref = ref None
-
-let with_trace tr f =
-  current_trace := Some tr;
-  Fun.protect ~finally:(fun () -> current_trace := None) f
-
-(* Attach the active sink to every node, and open a new mark-delimited
+(* Attach the cell's sink to every node, and open a new mark-delimited
    segment: each world has its own sim clock and xid space, so the
    report must not join across worlds. *)
-let attach_trace sim topo label =
-  match !current_trace with
+let attach_trace ctx sim topo label =
+  match ctx.trace with
   | None -> ()
   | Some tr ->
       List.iter (fun n -> Node.set_trace n (Some tr)) topo.Topology.all;
       Trace.mark tr ~time:(Sim.now sim) label
 
 let make_world ?(params = Topology.default_params)
-    ?(server_profile = Nfs_server.reno_profile) ?run_label ~topology () =
+    ?(server_profile = Nfs_server.reno_profile) ?run_label ~ctx ~topology () =
   let sim = Sim.create () in
   let topo = Topology.by_name topology sim ~params () in
-  attach_trace sim topo (Option.value run_label ~default:topology);
+  attach_trace ctx sim topo (Option.value run_label ~default:topology);
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server =
@@ -104,15 +250,22 @@ let make_world ?(params = Topology.default_params)
 
 exception Driver_stuck of string
 
+let stuck_message ~label ~windows sim =
+  Printf.sprintf
+    "%s: driver never finished after %d advance windows (sim time %.1f s, %d \
+     events pending, %d processed)"
+    label windows (Sim.now sim) (Sim.pending_events sim) (Sim.events_processed sim)
+
 (* Run [body] as a driver process; keep the simulator moving (cross
    traffic never drains the event queue) until the driver finishes. *)
-let drive world body =
+let drive ?(label = "experiment") world body =
   let result = ref None in
   Proc.spawn world.sim (fun () -> result := Some (body ()));
   let guard = ref 0 in
   while !result = None do
     incr guard;
-    if !guard > 100_000 then raise (Driver_stuck "experiment driver never finished");
+    if !guard > 100_000 then
+      raise (Driver_stuck (stuck_message ~label ~windows:!guard world.sim));
     Sim.run ~until:(Sim.now world.sim +. 100.0) world.sim
   done;
   Option.get !result
@@ -148,96 +301,90 @@ let sweep_duration = function Quick -> 20.0 | Full -> 120.0
 
 let one_nhfsstone_run ?(server_profile = Nfs_server.reno_profile)
     ?(params = Topology.default_params) ?(warmup = 8.0) ?(children = 4) ?label
-    ~topology ~mount_opts ~mix ~rate ~duration ~seed () =
-  let world = make_world ~params ~server_profile ?run_label:label ~topology () in
-  drive world (fun () ->
+    ~ctx ~topology ~mount_opts ~mix ~rate ~duration ~seed () =
+  let world = make_world ~params ~server_profile ?run_label:label ~ctx ~topology () in
+  drive ?label world (fun () ->
       (* Preload and warmup are not part of the measured run: gate the
          sink so the report sees steady state only. *)
-      (match !current_trace with Some tr -> Trace.set_enabled tr false | None -> ());
+      (match ctx.trace with Some tr -> Trace.set_enabled tr false | None -> ());
       Fileset.preload_server world.server standard_fileset;
       let m = mount_in world mount_opts in
       if warmup > 0.0 then
         ignore
           (Nhfsstone.run m standard_fileset
              { Nhfsstone.rate; duration = warmup; children; mix; seed = seed + 1 });
-      (match !current_trace with Some tr -> Trace.set_enabled tr true | None -> ());
+      (match ctx.trace with Some tr -> Trace.set_enabled tr true | None -> ());
       Nhfsstone.run m standard_fileset
         { Nhfsstone.rate; duration; children; mix; seed })
 
-let transport_sweep ~id ~title ~topology ~mix ~scale =
-  let loads = sweep_loads scale and duration = sweep_duration scale in
-  let rows =
-    List.map
+(* One cell per (load x transport) point; rows are reassembled from the
+   flat cell list, one transport group per load. *)
+let transport_sweep ~id ~title ~topology ~mix ?loads ~scale () =
+  let loads = match loads with Some l -> l | None -> sweep_loads scale in
+  let duration = sweep_duration scale in
+  let cells =
+    List.concat_map
       (fun load ->
-        f1 load
-        :: List.map
-             (fun (name, transport) ->
-               let r =
-                 one_nhfsstone_run ~label:name ~topology
-                   ~mount_opts:(mount_opts_for ~transport ~topology)
-                   ~mix ~rate:load ~duration ~seed:42 ()
-               in
-               ms r.Nhfsstone.mean_op_latency)
-             transports)
+        List.map
+          (fun (name, transport) ->
+            {
+              cell_label = Printf.sprintf "%s/load%g/%s" id load name;
+              cell_run =
+                (fun ctx ->
+                  let r =
+                    one_nhfsstone_run ~ctx ~label:name ~topology
+                      ~mount_opts:(mount_opts_for ~transport ~topology)
+                      ~mix ~rate:load ~duration ~seed:42 ()
+                  in
+                  [ ms r.Nhfsstone.mean_op_latency ]);
+            })
+          transports)
       loads
   in
   {
-    id;
-    title;
-    header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") transports;
-    rows;
+    sp_id = id;
+    sp_title = title;
+    sp_header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") transports;
+    sp_cells = cells;
+    sp_assemble =
+      (fun outs ->
+        List.map2
+          (fun load per_transport -> rate1 load :: List.concat per_transport)
+          loads
+          (chunk (List.length transports) outs));
   }
 
-let graph1 ?(scale = Quick) () =
+let graph1_spec scale =
   transport_sweep ~id:"graph1" ~title:"Ave RTT vs load, lookup mix, same LAN"
-    ~topology:"lan" ~mix:Nhfsstone.lookup_mix ~scale
+    ~topology:"lan" ~mix:Nhfsstone.lookup_mix ~scale ()
 
-let graph2 ?(scale = Quick) () =
+let graph2_spec scale =
   transport_sweep ~id:"graph2" ~title:"Ave RTT vs load, 50/50 read/lookup, same LAN"
-    ~topology:"lan" ~mix:Nhfsstone.read_lookup_mix ~scale
+    ~topology:"lan" ~mix:Nhfsstone.read_lookup_mix ~scale ()
 
-let graph3 ?(scale = Quick) () =
+let graph3_spec scale =
   transport_sweep ~id:"graph3"
     ~title:"Ave RTT vs load, lookup mix, token ring + 2 routers" ~topology:"campus"
-    ~mix:Nhfsstone.lookup_mix ~scale
+    ~mix:Nhfsstone.lookup_mix ~scale ()
 
-let graph4 ?(scale = Quick) () =
+let graph4_spec scale =
   transport_sweep ~id:"graph4"
     ~title:"Ave RTT vs load, read/lookup mix, token ring + 2 routers"
-    ~topology:"campus" ~mix:Nhfsstone.read_lookup_mix ~scale
+    ~topology:"campus" ~mix:Nhfsstone.read_lookup_mix ~scale ()
 
-let graph5 ?(scale = Quick) () =
+let graph5_spec scale =
   (* The 56K line saturates near 18 lookup/s; the interesting region is
      the approach to it. *)
-  let scale_loads =
+  let loads =
     match scale with
     | Quick -> [ 4.0; 10.0; 18.0 ]
     | Full -> [ 4.0; 8.0; 12.0; 14.0; 16.0; 18.0 ]
   in
-  let duration = sweep_duration scale in
-  let rows =
-    List.map
-      (fun load ->
-        f1 load
-        :: List.map
-             (fun (name, transport) ->
-               let r =
-                 one_nhfsstone_run ~label:name ~topology:"wan"
-                   ~mount_opts:(mount_opts_for ~transport ~topology:"wan")
-                   ~mix:Nhfsstone.lookup_mix ~rate:load ~duration ~seed:42 ()
-               in
-               ms r.Nhfsstone.mean_op_latency)
-             transports)
-      scale_loads
-  in
-  {
-    id = "graph5";
-    title = "Ave RTT vs load, lookup mix, 56Kbps link + 3 routers";
-    header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") transports;
-    rows;
-  }
+  transport_sweep ~id:"graph5"
+    ~title:"Ave RTT vs load, lookup mix, 56Kbps link + 3 routers" ~topology:"wan"
+    ~mix:Nhfsstone.lookup_mix ~loads ~scale ()
 
-let table1 ?(scale = Quick) () =
+let table1_spec scale =
   (* The fixed-RTO pathology on the 56K line builds up over repeated
      backoff cycles, so even Quick scale needs a couple of minutes of
      virtual time per cell. *)
@@ -251,101 +398,128 @@ let table1 ?(scale = Quick) () =
       ("56Kbps", "wan", 8.0, 8);
     ]
   in
-  let rows =
-    List.map
-      (fun (label, topology, rate, children) ->
-        label
-        :: List.map
-             (fun (name, transport) ->
-               let r =
-                 one_nhfsstone_run ~label:name ~topology ~children
-                   ~mount_opts:(mount_opts_for ~transport ~topology)
-                   ~mix:Nhfsstone.read_lookup_mix ~rate ~duration ~seed:97 ()
-               in
-               f2 r.Nhfsstone.read_rate)
-             transports)
+  let cells =
+    List.concat_map
+      (fun (row_label, topology, rate, children) ->
+        List.map
+          (fun (name, transport) ->
+            {
+              cell_label = Printf.sprintf "table1/%s/%s" row_label name;
+              cell_run =
+                (fun ctx ->
+                  let r =
+                    one_nhfsstone_run ~ctx ~label:name ~topology ~children
+                      ~mount_opts:(mount_opts_for ~transport ~topology)
+                      ~mix:Nhfsstone.read_lookup_mix ~rate ~duration ~seed:97 ()
+                  in
+                  [ rate2 r.Nhfsstone.read_rate ]);
+            })
+          transports)
       configs
   in
   {
-    id = "table1";
-    title = "Achieved read rate (reads/sec) by transport and interconnect";
-    header = "interconnect" :: List.map (fun (n, _) -> n) transports;
-    rows;
+    sp_id = "table1";
+    sp_title = "Achieved read rate (reads/sec) by transport and interconnect";
+    sp_header = "interconnect" :: List.map (fun (n, _) -> n) transports;
+    sp_cells = cells;
+    sp_assemble =
+      (fun outs ->
+        List.map2
+          (fun (row_label, _, _, _) per_transport ->
+            txt row_label :: List.concat per_transport)
+          configs
+          (chunk (List.length transports) outs));
   }
 
-let graph6 ?(scale = Quick) () =
+let graph6_spec scale =
   let loads = sweep_loads scale and duration = sweep_duration scale in
-  let cpu_per_rpc transport rate =
-    let world = make_world ~topology:"lan" () in
-    drive world (fun () ->
-        Fileset.preload_server world.server standard_fileset;
-        let m = mount_in world (mount_opts_for ~transport ~topology:"lan") in
-        let cpu = Node.cpu world.topo.Topology.server in
-        let busy0 = Cpu.busy_time cpu and served0 = Nfs_server.rpcs_served world.server in
-        let _ =
-          Nhfsstone.run m standard_fileset
-            {
-              Nhfsstone.rate;
-              duration;
-              children = 4;
-              mix = Nhfsstone.read_lookup_mix;
-              seed = 13;
-            }
-        in
-        let served = Nfs_server.rpcs_served world.server - served0 in
-        if served = 0 then 0.0
-        else (Cpu.busy_time cpu -. busy0) /. float_of_int served)
-  in
-  let rows =
-    List.map
-      (fun load ->
-        [
-          f1 load;
-          ms (cpu_per_rpc `Udp_fixed load);
-          ms (cpu_per_rpc `Tcp load);
-        ])
-      loads
+  let cpu_cell name transport load =
+    {
+      cell_label = Printf.sprintf "graph6/load%g/%s" load name;
+      cell_run =
+        (fun ctx ->
+          let world = make_world ~ctx ~topology:"lan" () in
+          let per_rpc =
+            drive ~label:(Printf.sprintf "graph6/%s" name) world (fun () ->
+                Fileset.preload_server world.server standard_fileset;
+                let m = mount_in world (mount_opts_for ~transport ~topology:"lan") in
+                let cpu = Node.cpu world.topo.Topology.server in
+                let busy0 = Cpu.busy_time cpu
+                and served0 = Nfs_server.rpcs_served world.server in
+                let _ =
+                  Nhfsstone.run m standard_fileset
+                    {
+                      Nhfsstone.rate = load;
+                      duration;
+                      children = 4;
+                      mix = Nhfsstone.read_lookup_mix;
+                      seed = 13;
+                    }
+                in
+                let served = Nfs_server.rpcs_served world.server - served0 in
+                if served = 0 then 0.0
+                else (Cpu.busy_time cpu -. busy0) /. float_of_int served)
+          in
+          [ ms per_rpc ]);
+    }
   in
   {
-    id = "graph6";
-    title = "Server CPU overhead per RPC, UDP vs TCP, read mix";
-    header = [ "load(rpc/s)"; "udp CPU(ms/rpc)"; "tcp CPU(ms/rpc)" ];
-    rows;
+    sp_id = "graph6";
+    sp_title = "Server CPU overhead per RPC, UDP vs TCP, read mix";
+    sp_header = [ "load(rpc/s)"; "udp CPU(ms/rpc)"; "tcp CPU(ms/rpc)" ];
+    sp_cells =
+      List.concat_map
+        (fun load -> [ cpu_cell "udp" `Udp_fixed load; cpu_cell "tcp" `Tcp load ])
+        loads;
+    sp_assemble =
+      (fun outs ->
+        List.map2
+          (fun load pair -> rate1 load :: List.concat pair)
+          loads (chunk 2 outs));
   }
 
-let graph7 ?(scale = Quick) () =
+let graph7_spec scale =
   let duration = match scale with Quick -> 60.0 | Full -> 300.0 in
-  let world = make_world ~topology:"campus" () in
-  let rtts, rtos =
-    drive world (fun () ->
-        Fileset.preload_server world.server standard_fileset;
-        let m = mount_in world (mount_opts_for ~transport:`Udp_dynamic ~topology:"campus") in
-        Client_transport.enable_read_trace (Nfs_client.transport m);
-        let _ =
-          Nhfsstone.run m standard_fileset
-            {
-              Nhfsstone.rate = 12.0;
-              duration;
-              children = 4;
-              mix = Nhfsstone.read_lookup_mix;
-              seed = 7;
-            }
-        in
-        let x = Nfs_client.transport m in
-        (Client_transport.read_rtt_trace x, Client_transport.read_rto_trace x))
-  in
-  let keep_every n l = List.filteri (fun i _ -> i mod n = 0) l in
-  let stride = max 1 (List.length rtts / 60) in
-  let rows =
-    List.map2
-      (fun (t, rtt) (_, rto) -> [ f2 t; ms rtt; ms rto ])
-      (keep_every stride rtts) (keep_every stride rtos)
+  let cell =
+    {
+      cell_label = "graph7/trace";
+      cell_run =
+        (fun ctx ->
+          let world = make_world ~ctx ~topology:"campus" () in
+          let rtts, rtos =
+            drive ~label:"graph7" world (fun () ->
+                Fileset.preload_server world.server standard_fileset;
+                let m =
+                  mount_in world (mount_opts_for ~transport:`Udp_dynamic ~topology:"campus")
+                in
+                Client_transport.enable_read_trace (Nfs_client.transport m);
+                let _ =
+                  Nhfsstone.run m standard_fileset
+                    {
+                      Nhfsstone.rate = 12.0;
+                      duration;
+                      children = 4;
+                      mix = Nhfsstone.read_lookup_mix;
+                      seed = 7;
+                    }
+                in
+                let x = Nfs_client.transport m in
+                (Client_transport.read_rtt_trace x, Client_transport.read_rto_trace x))
+          in
+          let keep_every n l = List.filteri (fun i _ -> i mod n = 0) l in
+          let stride = max 1 (List.length rtts / 60) in
+          List.concat
+            (List.map2
+               (fun (t, rtt) (_, rto) -> [ sec2 t; ms rtt; ms rto ])
+               (keep_every stride rtts) (keep_every stride rtos)));
+    }
   in
   {
-    id = "graph7";
-    title = "Trace of read RPC RTT and dynamic RTO = A+4D";
-    header = [ "time(s)"; "rtt(ms)"; "rto(ms)" ];
-    rows;
+    sp_id = "graph7";
+    sp_title = "Trace of read RPC RTT and dynamic RTO = A+4D";
+    sp_header = [ "time(s)"; "rtt(ms)"; "rto(ms)" ];
+    sp_cells = [ cell ];
+    sp_assemble = (fun outs -> chunk 3 (List.concat outs));
   }
 
 let server_comparison ~id ~title ~mix ~scale =
@@ -362,35 +536,45 @@ let server_comparison ~id ~title ~mix ~scale =
       ("ultrix", Nfs_server.reference_port_profile);
     ]
   in
-  let rows =
-    List.map
+  let cells =
+    List.concat_map
       (fun load ->
-        f1 load
-        :: List.map
-             (fun (name, profile) ->
-               let r =
-                 one_nhfsstone_run ~label:name ~server_profile:profile
-                   ~topology:"lan"
-                   ~mount_opts:(mount_opts_for ~transport:`Udp_fixed ~topology:"lan")
-                   ~mix ~rate:load ~duration ~seed:23 ()
-               in
-               ms r.Nhfsstone.mean_op_latency)
-             profiles)
+        List.map
+          (fun (name, profile) ->
+            {
+              cell_label = Printf.sprintf "%s/load%g/%s" id load name;
+              cell_run =
+                (fun ctx ->
+                  let r =
+                    one_nhfsstone_run ~ctx ~label:name ~server_profile:profile
+                      ~topology:"lan"
+                      ~mount_opts:(mount_opts_for ~transport:`Udp_fixed ~topology:"lan")
+                      ~mix ~rate:load ~duration ~seed:23 ()
+                  in
+                  [ ms r.Nhfsstone.mean_op_latency ]);
+            })
+          profiles)
       loads
   in
   {
-    id;
-    title;
-    header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") profiles;
-    rows;
+    sp_id = id;
+    sp_title = title;
+    sp_header = "load(rpc/s)" :: List.map (fun (n, _) -> n ^ " RTT(ms)") profiles;
+    sp_cells = cells;
+    sp_assemble =
+      (fun outs ->
+        List.map2
+          (fun load per_profile -> rate1 load :: List.concat per_profile)
+          loads
+          (chunk (List.length profiles) outs));
   }
 
-let graph8 ?(scale = Quick) () =
+let graph8_spec scale =
   server_comparison ~id:"graph8"
     ~title:"Lookup mix: Reno vs Reno-without-server-name-cache vs reference port"
     ~mix:Nhfsstone.lookup_mix ~scale
 
-let graph9 ?(scale = Quick) () =
+let graph9_spec scale =
   server_comparison ~id:"graph9"
     ~title:"Read/lookup mix: Reno vs Reno-without-server-name-cache vs reference port"
     ~mix:Nhfsstone.read_lookup_mix ~scale
@@ -409,108 +593,140 @@ let andrew_config = function
       }
   | Full -> Andrew.default_config
 
-let run_andrew ~scale ~client_opts ~server_profile ~client_mips ~client_nic () =
+let run_andrew ~ctx ~label ~scale ~client_opts ~server_profile ~client_mips
+    ~client_nic () =
   let params =
     { Topology.default_params with Topology.client_mips; client_nic }
   in
-  let world = make_world ~params ~server_profile ~topology:"lan" () in
-  drive world (fun () ->
+  let world = make_world ~params ~server_profile ~run_label:label ~ctx ~topology:"lan" () in
+  drive ~label world (fun () ->
       let m = mount_in world client_opts in
       Andrew.run m ~config:(andrew_config scale) ())
 
-let microvax_rows scale =
-  [
-    ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
-    ("Reno-TCP", { Nfs_client.reno_tcp_mount with Nfs_client.mss = 1460 }, Nfs_server.reno_profile);
-    ("Reno-nopush", Nfs_client.reno_nopush_mount, Nfs_server.reno_profile);
-    ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
-  ]
-  |> List.map (fun (name, opts, profile) ->
-         ( name,
-           run_andrew ~scale ~client_opts:opts ~server_profile:profile
-             ~client_mips:0.9 ~client_nic:Nic.deqna_tuned () ))
-
-let table2 ?(scale = Quick) () =
-  let rows =
-    List.map
-      (fun (name, (r : Andrew.result)) ->
-        [ name; f1 r.Andrew.time_i_iv; f1 r.Andrew.time_v ])
-      (microvax_rows scale)
+let table2_spec scale =
+  let runs =
+    [
+      ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
+      ("Reno-TCP", { Nfs_client.reno_tcp_mount with Nfs_client.mss = 1460 }, Nfs_server.reno_profile);
+      ("Reno-nopush", Nfs_client.reno_nopush_mount, Nfs_server.reno_profile);
+      ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
+    ]
   in
   {
-    id = "table2";
-    title = "Modified Andrew Benchmark, MicroVAXII client (seconds)";
-    header = [ "OS/Phase"; "I-IV"; "V" ];
-    rows;
+    sp_id = "table2";
+    sp_title = "Modified Andrew Benchmark, MicroVAXII client (seconds)";
+    sp_header = [ "OS/Phase"; "I-IV"; "V" ];
+    sp_cells =
+      List.map
+        (fun (name, opts, profile) ->
+          {
+            cell_label = "table2/" ^ name;
+            cell_run =
+              (fun ctx ->
+                let r =
+                  run_andrew ~ctx ~label:name ~scale ~client_opts:opts
+                    ~server_profile:profile ~client_mips:0.9
+                    ~client_nic:Nic.deqna_tuned ()
+                in
+                [ sec1 r.Andrew.time_i_iv; sec1 r.Andrew.time_v ]);
+          })
+        runs;
+    sp_assemble =
+      (fun outs ->
+        List.map2 (fun (name, _, _) out -> txt name :: out) runs outs);
   }
 
-let table3 ?(scale = Quick) () =
+let table3_spec scale =
   let runs =
     [
       ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
       ("Reno-noconsist", Nfs_client.noconsist_mount, Nfs_server.reno_profile);
       ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
     ]
-    |> List.map (fun (name, opts, profile) ->
-           ( name,
-             run_andrew ~scale ~client_opts:opts ~server_profile:profile
-               ~client_mips:0.9 ~client_nic:Nic.deqna_tuned () ))
   in
   let interesting = [ "getattr"; "setattr"; "read"; "write"; "lookup"; "readdir" ] in
-  let count (r : Andrew.result) name =
-    try List.assoc name r.Andrew.rpc_counts with Not_found -> 0
-  in
-  let other (r : Andrew.result) =
-    List.fold_left
-      (fun acc (n, c) -> if List.mem n interesting then acc else acc + c)
-      0 r.Andrew.rpc_counts
-  in
-  let rows =
+  (* Each cell reduces its Andrew run to the per-procedure counts the
+     table needs; assembly transposes runs into rows. *)
+  let cells =
     List.map
-      (fun proc ->
-        String.capitalize_ascii proc
-        :: List.map (fun (_, r) -> string_of_int (count r proc)) runs)
-      interesting
-    @ [
-        "Other" :: List.map (fun (_, r) -> string_of_int (other r)) runs;
-        "Total" :: List.map (fun (_, r) -> string_of_int r.Andrew.total_rpcs) runs;
-      ]
+      (fun (name, opts, profile) ->
+        {
+          cell_label = "table3/" ^ name;
+          cell_run =
+            (fun ctx ->
+              let r =
+                run_andrew ~ctx ~label:name ~scale ~client_opts:opts
+                  ~server_profile:profile ~client_mips:0.9
+                  ~client_nic:Nic.deqna_tuned ()
+              in
+              let c proc =
+                try List.assoc proc r.Andrew.rpc_counts with Not_found -> 0
+              in
+              let other =
+                List.fold_left
+                  (fun acc (n, k) -> if List.mem n interesting then acc else acc + k)
+                  0 r.Andrew.rpc_counts
+              in
+              List.map (fun proc -> count (c proc)) interesting
+              @ [ count other; count r.Andrew.total_rpcs ]);
+        })
+      runs
+  in
+  let row_labels =
+    List.map String.capitalize_ascii interesting @ [ "Other"; "Total" ]
   in
   {
-    id = "table3";
-    title = "Modified Andrew Benchmark RPC counts, MicroVAXII client";
-    header = "RPC" :: List.map fst runs;
-    rows;
+    sp_id = "table3";
+    sp_title = "Modified Andrew Benchmark RPC counts, MicroVAXII client";
+    sp_header = "RPC" :: List.map (fun (n, _, _) -> n) runs;
+    sp_cells = cells;
+    sp_assemble =
+      (fun outs ->
+        List.mapi
+          (fun i label -> txt label :: List.map (fun col -> List.nth col i) outs)
+          row_labels);
   }
 
-let table4 ?(scale = Quick) () =
-  let rows =
+let table4_spec scale =
+  let runs =
     [
       ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
       ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
     ]
-    |> List.map (fun (name, opts, profile) ->
-           let r =
-             run_andrew ~scale ~client_opts:opts ~server_profile:profile
-               ~client_mips:14.0 ~client_nic:Nic.fast_station ()
-           in
-           [ name; f1 r.Andrew.time_i_iv; f1 r.Andrew.time_v ])
   in
   {
-    id = "table4";
-    title = "Modified Andrew Benchmark, DS3100 client (seconds)";
-    header = [ "OS/Phase"; "I-IV"; "V" ];
-    rows;
+    sp_id = "table4";
+    sp_title = "Modified Andrew Benchmark, DS3100 client (seconds)";
+    sp_header = [ "OS/Phase"; "I-IV"; "V" ];
+    sp_cells =
+      List.map
+        (fun (name, opts, profile) ->
+          {
+            cell_label = "table4/" ^ name;
+            cell_run =
+              (fun ctx ->
+                let r =
+                  run_andrew ~ctx ~label:name ~scale ~client_opts:opts
+                    ~server_profile:profile ~client_mips:14.0
+                    ~client_nic:Nic.fast_station ()
+                in
+                [ sec1 r.Andrew.time_i_iv; sec1 r.Andrew.time_v ]);
+          })
+        runs;
+    sp_assemble =
+      (fun outs ->
+        List.map2 (fun (name, _, _) out -> txt name :: out) runs outs);
   }
 
 (* ------------------------------------------------------------------ *)
 (* Create-Delete (Table 5)                                            *)
 (* ------------------------------------------------------------------ *)
 
-let table5 ?(scale = Quick) () =
+let table5_spec scale =
   let iterations = match scale with Quick -> 5 | Full -> 20 in
   let sizes = [ ("No data", 0); ("10Kbytes", 10240); ("100Kbytes", 102400) ] in
   let local_cell bytes =
+    (* Purely local: no network, nothing to trace. *)
     let sim = Sim.create () in
     let cpu = Cpu.create sim ~mips:0.9 in
     let disk = Disk.create sim () in
@@ -524,9 +740,9 @@ let table5 ?(scale = Quick) () =
     Sim.run sim;
     Option.get !result
   in
-  let nfs_cell opts bytes =
-    let world = make_world ~topology:"lan" () in
-    drive world (fun () ->
+  let nfs_cell ctx label opts bytes =
+    let world = make_world ~run_label:label ~ctx ~topology:"lan" () in
+    drive ~label world (fun () ->
         let m = mount_in world opts in
         Create_delete.run_nfs m { Create_delete.data_bytes = bytes; iterations })
   in
@@ -540,220 +756,295 @@ let table5 ?(scale = Quick) () =
       ("no consist", `Nfs Nfs_client.noconsist_mount);
     ]
   in
-  let rows =
-    List.map
-      (fun (label, kind) ->
-        label
-        :: List.map
-             (fun (_, bytes) ->
-               match kind with
-               | `Local -> f1 (local_cell bytes)
-               | `Nfs opts -> f1 (nfs_cell opts bytes))
-             sizes)
+  let cells =
+    List.concat_map
+      (fun (row_label, kind) ->
+        List.map
+          (fun (size_label, bytes) ->
+            let label = Printf.sprintf "table5/%s/%s" row_label size_label in
+            {
+              cell_label = label;
+              cell_run =
+                (fun ctx ->
+                  [
+                    msr
+                      (match kind with
+                      | `Local -> local_cell bytes
+                      | `Nfs opts -> nfs_cell ctx label opts bytes);
+                  ]);
+            })
+          sizes)
       configs
   in
   {
-    id = "table5";
-    title = "Create-Delete benchmark (msec per iteration), MicroVAXII";
-    header = "Config" :: List.map fst sizes;
-    rows;
+    sp_id = "table5";
+    sp_title = "Create-Delete benchmark (msec per iteration), MicroVAXII";
+    sp_header = "Config" :: List.map fst sizes;
+    sp_cells = cells;
+    sp_assemble =
+      (fun outs ->
+        List.map2
+          (fun (row_label, _) per_size -> txt row_label :: List.concat per_size)
+          configs
+          (chunk (List.length sizes) outs));
   }
 
 (* ------------------------------------------------------------------ *)
 (* Section 3: NIC tuning                                              *)
 (* ------------------------------------------------------------------ *)
 
-let section3 ?(scale = Quick) () =
+let section3_spec scale =
   let duration = sweep_duration scale *. 2.0 in
-  let run nic =
-    let params = { Topology.default_params with Topology.server_nic = nic } in
-    let world = make_world ~params ~topology:"lan" () in
-    drive world (fun () ->
-        Fileset.preload_server world.server standard_fileset;
-        let m = mount_in world (mount_opts_for ~transport:`Udp_fixed ~topology:"lan") in
-        let cpu = Node.cpu world.topo.Topology.server in
-        let ctr = Node.copy_counters world.topo.Topology.server in
-        let busy0 = Cpu.busy_time cpu
-        and served0 = Nfs_server.rpcs_served world.server
-        and copied0 = ctr.Renofs_mbuf.Mbuf.Counters.bytes_copied in
-        let _ =
-          Nhfsstone.run m standard_fileset
-            {
-              Nhfsstone.rate = 20.0;
-              duration;
-              children = 4;
-              mix = Nhfsstone.read_lookup_mix;
-              seed = 5;
-            }
-        in
-        let served = Nfs_server.rpcs_served world.server - served0 in
-        let busy = Cpu.busy_time cpu -. busy0 in
-        let copied = ctr.Renofs_mbuf.Mbuf.Counters.bytes_copied - copied0 in
-        ( (if served = 0 then 0.0 else busy /. float_of_int served),
-          if served = 0 then 0 else copied / served ))
-  in
-  let stock_cpu, stock_copy = run Nic.deqna_stock in
-  let tuned_cpu, tuned_copy = run Nic.deqna_tuned in
-  let reduction =
-    if stock_cpu > 0.0 then (stock_cpu -. tuned_cpu) /. stock_cpu *. 100.0 else 0.0
+  let nic_cell name nic =
+    {
+      cell_label = "section3/" ^ name;
+      cell_run =
+        (fun ctx ->
+          let params = { Topology.default_params with Topology.server_nic = nic } in
+          let world = make_world ~params ~run_label:name ~ctx ~topology:"lan" () in
+          let cpu_per_rpc, copied_per_rpc =
+            drive ~label:("section3/" ^ name) world (fun () ->
+                Fileset.preload_server world.server standard_fileset;
+                let m = mount_in world (mount_opts_for ~transport:`Udp_fixed ~topology:"lan") in
+                let cpu = Node.cpu world.topo.Topology.server in
+                let ctr = Node.copy_counters world.topo.Topology.server in
+                let busy0 = Cpu.busy_time cpu
+                and served0 = Nfs_server.rpcs_served world.server
+                and copied0 = ctr.Renofs_mbuf.Mbuf.Counters.bytes_copied in
+                let _ =
+                  Nhfsstone.run m standard_fileset
+                    {
+                      Nhfsstone.rate = 20.0;
+                      duration;
+                      children = 4;
+                      mix = Nhfsstone.read_lookup_mix;
+                      seed = 5;
+                    }
+                in
+                let served = Nfs_server.rpcs_served world.server - served0 in
+                let busy = Cpu.busy_time cpu -. busy0 in
+                let copied = ctr.Renofs_mbuf.Mbuf.Counters.bytes_copied - copied0 in
+                ( (if served = 0 then 0.0 else busy /. float_of_int served),
+                  if served = 0 then 0 else copied / served ))
+          in
+          [ ms cpu_per_rpc; byte_count copied_per_rpc ]);
+    }
   in
   {
-    id = "section3";
-    title = "Server CPU with stock vs tuned network interface handling";
-    header = [ "driver"; "CPU(ms/rpc)"; "bytes copied/rpc" ];
-    rows =
-      [
-        [ "stock (copy + tx intr)"; ms stock_cpu; string_of_int stock_copy ];
-        [ "tuned (map, no tx intr)"; ms tuned_cpu; string_of_int tuned_copy ];
-        [ "reduction"; Printf.sprintf "%.0f%%" reduction; "-" ];
-      ];
+    sp_id = "section3";
+    sp_title = "Server CPU with stock vs tuned network interface handling";
+    sp_header = [ "driver"; "CPU(ms/rpc)"; "bytes copied/rpc" ];
+    sp_cells = [ nic_cell "stock" Nic.deqna_stock; nic_cell "tuned" Nic.deqna_tuned ];
+    sp_assemble =
+      (fun outs ->
+        match outs with
+        | [ ([ stock_cpu; _ ] as stock); ([ tuned_cpu; _ ] as tuned) ] ->
+            let sc = float_of_value stock_cpu and tc = float_of_value tuned_cpu in
+            let reduction = if sc > 0.0 then (sc -. tc) /. sc *. 100.0 else 0.0 in
+            [
+              txt "stock (copy + tx intr)" :: stock;
+              txt "tuned (map, no tx intr)" :: tuned;
+              [ txt "reduction"; pct_raw reduction; txt "-" ];
+            ]
+        | _ -> invalid_arg "section3: unexpected cell shape");
   }
 
 (* ------------------------------------------------------------------ *)
 (* Extension ablation: the lease consistency protocol                 *)
 (* ------------------------------------------------------------------ *)
 
-let leases ?(scale = Quick) () =
+let leases_spec scale =
   (* The paper's conclusion — "a cache consistency protocol would reduce
      the number of write RPCs by at least half" — checked against the
      NQNFS-style lease extension: MAB RPC economy plus Create-Delete
      latency, with noconsist as the unsafe optimistic bound. *)
   let cfg = andrew_config scale in
   let iterations = match scale with Quick -> 5 | Full -> 15 in
-  let row (name, opts) =
-    let world = make_world ~topology:"lan" () in
-    let mab =
-      drive world (fun () ->
-          let m = mount_in world opts in
-          Andrew.run m ~config:cfg ())
-    in
-    let cd =
-      let world = make_world ~topology:"lan" () in
-      drive world (fun () ->
-          let m = mount_in world opts in
-          Create_delete.run_nfs m { Create_delete.data_bytes = 102400; iterations })
-    in
-    let c n = try List.assoc n mab.Andrew.rpc_counts with Not_found -> 0 in
+  let runs =
     [
-      name;
-      string_of_int (c "write");
-      string_of_int (c "read");
-      string_of_int (c "getattr" + c "getlease");
-      f1 cd;
+      ("Reno (push-on-close)", Nfs_client.reno_mount);
+      ("Leases (consistent)", Nfs_client.lease_mount);
+      ("noconsist (unsafe bound)", Nfs_client.noconsist_mount);
     ]
   in
+  let cells =
+    List.map
+      (fun (name, opts) ->
+        {
+          cell_label = "leases/" ^ name;
+          cell_run =
+            (fun ctx ->
+              let world = make_world ~run_label:name ~ctx ~topology:"lan" () in
+              let mab =
+                drive ~label:name world (fun () ->
+                    let m = mount_in world opts in
+                    Andrew.run m ~config:cfg ())
+              in
+              let cd =
+                let world = make_world ~run_label:name ~ctx ~topology:"lan" () in
+                drive ~label:name world (fun () ->
+                    let m = mount_in world opts in
+                    Create_delete.run_nfs m
+                      { Create_delete.data_bytes = 102400; iterations })
+              in
+              let c n = try List.assoc n mab.Andrew.rpc_counts with Not_found -> 0 in
+              [
+                count (c "write");
+                count (c "read");
+                count (c "getattr" + c "getlease");
+                msr cd;
+              ]);
+        })
+      runs
+  in
   {
-    id = "leases";
-    title = "Lease consistency ablation: MAB RPCs and Create-Delete 100K";
-    header = [ "client"; "MAB writes"; "MAB reads"; "MAB getattr+lease"; "CD-100K (ms)" ];
-    rows =
-      List.map row
-        [
-          ("Reno (push-on-close)", Nfs_client.reno_mount);
-          ("Leases (consistent)", Nfs_client.lease_mount);
-          ("noconsist (unsafe bound)", Nfs_client.noconsist_mount);
-        ];
+    sp_id = "leases";
+    sp_title = "Lease consistency ablation: MAB RPCs and Create-Delete 100K";
+    sp_header = [ "client"; "MAB writes"; "MAB reads"; "MAB getattr+lease"; "CD-100K (ms)" ];
+    sp_cells = cells;
+    sp_assemble =
+      (fun outs -> List.map2 (fun (name, _) out -> txt name :: out) runs outs);
   }
 
 (* ------------------------------------------------------------------ *)
 (* Extension: server characterization under many clients [Keith90]    *)
 (* ------------------------------------------------------------------ *)
 
-let scaling ?(scale = Quick) () =
+let scaling_spec scale =
   let duration = match scale with Quick -> 25.0 | Full -> 120.0 in
   let per_client_rate = 12.0 in
-  let row n =
-    let sim = Sim.create () in
-    let topo, clients = Topology.multi_client sim ~clients:n () in
-    attach_trace sim topo (Printf.sprintf "scaling-%d" n);
-    let sudp = Udp.install topo.Topology.server in
-    let stcp = Tcp.install topo.Topology.server in
-    let server =
-      Nfs_server.create topo.Topology.server ~profile:Nfs_server.reno_profile
-        ~udp:sudp ~tcp:stcp ()
-    in
-    Nfs_server.start server;
-    let finished = ref 0 in
-    let achieved = ref 0.0 and latency = ref 0.0 in
-    let ready = Proc.Ivar.create sim in
-    let iostat = ref None in
-    Proc.spawn sim (fun () ->
-        Fileset.preload_server server standard_fileset;
-        (* Measure server CPU only over the loaded phase. *)
-        iostat := Some (Renofs_engine.Iostat.start sim (Node.cpu topo.Topology.server) ());
-        Proc.Ivar.fill ready ());
-    List.iteri
-      (fun i client ->
-        let cudp = Udp.install client in
-        let ctcp = Tcp.install client in
-        Proc.spawn sim (fun () ->
-            Proc.Ivar.read ready;
-            let m =
-              Nfs_client.mount ~udp:cudp ~tcp:ctcp
-                ~server:(Topology.server_id topo)
-                ~root:(Nfs_server.root_fhandle server)
-                Nfs_client.reno_mount
-            in
-            let r =
-              Nhfsstone.run m standard_fileset
-                {
-                  Nhfsstone.rate = per_client_rate;
-                  duration;
-                  children = 3;
-                  mix = Nhfsstone.read_lookup_mix;
-                  seed = 31 + i;
-                }
-            in
-            achieved := !achieved +. r.Nhfsstone.achieved;
-            latency := !latency +. r.Nhfsstone.mean_op_latency;
-            incr finished))
-      clients;
-    let guard = ref 0 in
-    while !finished < n do
-      incr guard;
-      if !guard > 100_000 then raise (Driver_stuck "scaling row");
-      Sim.run ~until:(Sim.now sim +. 50.0) sim
-    done;
-    let util =
-      match !iostat with
-      | Some io ->
-          Renofs_engine.Iostat.stop io;
-          Renofs_engine.Iostat.mean_utilization io
-      | None -> 0.0
-    in
-    [
-      string_of_int n;
-      f1 (float_of_int n *. per_client_rate);
-      f1 !achieved;
-      ms (!latency /. float_of_int n);
-      Printf.sprintf "%.0f%%" (util *. 100.0);
-    ]
-  in
   let counts = match scale with Quick -> [ 1; 2; 4 ] | Full -> [ 1; 2; 4; 6; 8 ] in
+  let client_cell n =
+    let label = Printf.sprintf "scaling-%d" n in
+    {
+      cell_label = label;
+      cell_run =
+        (fun ctx ->
+          let sim = Sim.create () in
+          let topo, clients = Topology.multi_client sim ~clients:n () in
+          attach_trace ctx sim topo label;
+          let sudp = Udp.install topo.Topology.server in
+          let stcp = Tcp.install topo.Topology.server in
+          let server =
+            Nfs_server.create topo.Topology.server ~profile:Nfs_server.reno_profile
+              ~udp:sudp ~tcp:stcp ()
+          in
+          Nfs_server.start server;
+          let finished = ref 0 in
+          let achieved = ref 0.0 and latency = ref 0.0 in
+          let ready = Proc.Ivar.create sim in
+          let iostat = ref None in
+          Proc.spawn sim (fun () ->
+              Fileset.preload_server server standard_fileset;
+              (* Measure server CPU only over the loaded phase. *)
+              iostat := Some (Renofs_engine.Iostat.start sim (Node.cpu topo.Topology.server) ());
+              Proc.Ivar.fill ready ());
+          List.iteri
+            (fun i client ->
+              let cudp = Udp.install client in
+              let ctcp = Tcp.install client in
+              Proc.spawn sim (fun () ->
+                  Proc.Ivar.read ready;
+                  let m =
+                    Nfs_client.mount ~udp:cudp ~tcp:ctcp
+                      ~server:(Topology.server_id topo)
+                      ~root:(Nfs_server.root_fhandle server)
+                      Nfs_client.reno_mount
+                  in
+                  let r =
+                    Nhfsstone.run m standard_fileset
+                      {
+                        Nhfsstone.rate = per_client_rate;
+                        duration;
+                        children = 3;
+                        mix = Nhfsstone.read_lookup_mix;
+                        seed = 31 + i;
+                      }
+                  in
+                  achieved := !achieved +. r.Nhfsstone.achieved;
+                  latency := !latency +. r.Nhfsstone.mean_op_latency;
+                  incr finished))
+            clients;
+          let guard = ref 0 in
+          while !finished < n do
+            incr guard;
+            if !guard > 100_000 then
+              raise (Driver_stuck (stuck_message ~label ~windows:!guard sim));
+            Sim.run ~until:(Sim.now sim +. 50.0) sim
+          done;
+          let util =
+            match !iostat with
+            | Some io ->
+                Renofs_engine.Iostat.stop io;
+                Renofs_engine.Iostat.mean_utilization io
+            | None -> 0.0
+          in
+          [
+            rate1 (float_of_int n *. per_client_rate);
+            rate1 !achieved;
+            ms (!latency /. float_of_int n);
+            pct0 util;
+          ]);
+    }
+  in
   {
-    id = "scaling";
-    title = "Server characterization: aggregate throughput vs client count";
-    header = [ "clients"; "offered (op/s)"; "achieved (op/s)"; "mean latency (ms)"; "server CPU" ];
-    rows = List.map row counts;
+    sp_id = "scaling";
+    sp_title = "Server characterization: aggregate throughput vs client count";
+    sp_header = [ "clients"; "offered (op/s)"; "achieved (op/s)"; "mean latency (ms)"; "server CPU" ];
+    sp_cells = List.map client_cell counts;
+    sp_assemble =
+      (fun outs -> List.map2 (fun n out -> count n :: out) counts outs);
   }
 
-let all =
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let specs =
   [
-    ("graph1", graph1);
-    ("graph2", graph2);
-    ("graph3", graph3);
-    ("graph4", graph4);
-    ("graph5", graph5);
-    ("graph6", graph6);
-    ("graph7", graph7);
-    ("graph8", graph8);
-    ("graph9", graph9);
-    ("table1", table1);
-    ("table2", table2);
-    ("table3", table3);
-    ("table4", table4);
-    ("table5", table5);
-    ("section3", section3);
-    ("leases", leases);
-    ("scaling", scaling);
+    ("graph1", graph1_spec);
+    ("graph2", graph2_spec);
+    ("graph3", graph3_spec);
+    ("graph4", graph4_spec);
+    ("graph5", graph5_spec);
+    ("graph6", graph6_spec);
+    ("graph7", graph7_spec);
+    ("graph8", graph8_spec);
+    ("graph9", graph9_spec);
+    ("table1", table1_spec);
+    ("table2", table2_spec);
+    ("table3", table3_spec);
+    ("table4", table4_spec);
+    ("table5", table5_spec);
+    ("section3", section3_spec);
+    ("leases", leases_spec);
+    ("scaling", scaling_spec);
   ]
+
+let spec ?(scale = Quick) id =
+  Option.map (fun mk -> mk scale) (List.assoc_opt id specs)
+
+(* Legacy single-experiment entry points: serial (the bechamel suite
+   times them as the per-artifact regeneration cost), rendered. *)
+let legacy id ?(scale = Quick) () =
+  render (run_spec ~jobs:1 ((List.assoc id specs) scale))
+
+let graph1 = legacy "graph1"
+let graph2 = legacy "graph2"
+let graph3 = legacy "graph3"
+let graph4 = legacy "graph4"
+let graph5 = legacy "graph5"
+let graph6 = legacy "graph6"
+let graph7 = legacy "graph7"
+let graph8 = legacy "graph8"
+let graph9 = legacy "graph9"
+let table1 = legacy "table1"
+let table2 = legacy "table2"
+let table3 = legacy "table3"
+let table4 = legacy "table4"
+let table5 = legacy "table5"
+let section3 = legacy "section3"
+let leases = legacy "leases"
+let scaling = legacy "scaling"
+
+let all = List.map (fun (id, _) -> (id, legacy id)) specs

@@ -1,12 +1,42 @@
-(** One runner per paper artifact (Graphs 1-9, Tables 1-5, and the
-    Section 3 NIC tuning numbers).
+(** One experiment spec per paper artifact (Graphs 1-9, Tables 1-5, the
+    Section 3 NIC tuning numbers, and the lease/scaling extensions).
 
-    Each runner builds fresh simulated worlds, drives the workload, and
-    returns a printable {!table} whose shape matches the paper's figure
-    or table.  [Quick] scale keeps every experiment in seconds of wall
-    time for tests; [Full] runs longer sweeps for the bench harness. *)
+    An experiment is declared as a list of {!cell}s — one self-contained
+    measurement per (transport x load x topology x profile) point, each
+    building its own fresh world — plus an assembly function that turns
+    the typed per-cell results into rows.  {!run_spec} executes the
+    cells, serially or across domains via {!Sweep}, and returns typed
+    {!results}; {!render} turns those into the printable string
+    {!table}.  No runner formats measurement strings itself.
+
+    [Quick] scale keeps every experiment in seconds of wall time for
+    tests; [Full] runs longer sweeps for the bench harness. *)
 
 type scale = Quick | Full
+
+(** {2 Typed measurement values} *)
+
+type unit_of_measure = Ms | Sec | Per_sec | Percent | Bytes | Count
+
+type value =
+  | Text of string  (** row labels and placeholders *)
+  | Int of int * unit_of_measure
+  | Float of float * unit_of_measure * int
+      (** value already in its display unit, with rendering precision *)
+
+val unit_name : unit_of_measure -> string
+(** Stable lowercase names ("ms", "s", "per_s", "percent", "bytes",
+    "count") used by the JSON export. *)
+
+val render_value : value -> string
+(** The single place measurement values become strings: fixed-precision
+    decimal, a ["%"] suffix for {!Percent}. *)
+
+val float_of_value : value -> float
+(** The numeric payload (parses {!Text}; raises [Failure] when it is
+    not numeric). *)
+
+(** {2 Rendered tables} *)
 
 type table = {
   id : string;
@@ -17,13 +47,78 @@ type table = {
 
 val print_table : Format.formatter -> table -> unit
 
+(** {2 Cells, specs and execution} *)
+
+type ctx = { trace : Renofs_trace.Trace.t option }
+(** Everything a cell receives from the runner.  The sink, when
+    present, is private to the cell — see {!run_spec}. *)
+
+type cell = {
+  cell_label : string;  (** e.g. ["graph1/load10/udp-dyn"], for diagnostics *)
+  cell_run : ctx -> value list;  (** builds its own world(s) and measures *)
+}
+
+type spec = {
+  sp_id : string;
+  sp_title : string;
+  sp_header : string list;
+  sp_cells : cell list;
+  sp_assemble : value list list -> value list list;
+      (** per-cell outputs, in cell order, to table rows *)
+}
+
+type results = {
+  r_id : string;
+  r_title : string;
+  r_header : string list;
+  r_rows : value list list;
+}
+
+val specs : (string * (scale -> spec)) list
+(** Every experiment, keyed by id ("graph1" ... "table5", "section3",
+    plus the extensions "leases" and "scaling").  Building a spec is
+    cheap — no simulation runs until {!run_spec}. *)
+
+val spec : ?scale:scale -> string -> spec option
+(** Look up and build one spec ([Quick] by default). *)
+
+val run_spec : ?jobs:int -> ?trace:Renofs_trace.Trace.t -> spec -> results
+(** Execute a spec's cells across [jobs] domains (default
+    {!Sweep.default_jobs}) and assemble the typed rows.  Results are
+    reassembled by cell index, never completion order, so output is
+    identical for every [jobs].
+
+    Tracing: with [trace] (or a {!with_trace} sink installed on the
+    calling domain), every cell records into a private sink of the same
+    capacity, attached to its worlds and mark-delimited per world; the
+    private sinks are merged into the main one in cell order after the
+    sweep.  The combined stream is therefore race-free and identical to
+    a serial run's. *)
+
+val run_specs : ?jobs:int -> ?trace:Renofs_trace.Trace.t -> spec list -> results list
+(** As {!run_spec} over several specs, pooling all their cells into one
+    sweep so short experiments overlap long ones. *)
+
+val render : results -> table
+(** Pure rendering of typed results via {!render_value}. *)
+
 val with_trace : Renofs_trace.Trace.t -> (unit -> 'a) -> 'a
-(** [with_trace tr f] runs [f] with [tr] attached to every world any
-    experiment builds: each world opens a new {!Renofs_trace.Trace}
-    mark-delimited segment labelled with its transport/profile/topology
-    name, and warmup phases are gated out with
-    [Renofs_trace.Trace.set_enabled].  The sink is detached (for future
-    worlds) when [f] returns. *)
+(** [with_trace tr f] installs [tr] as the calling domain's sink for
+    every experiment [f] runs (compatibility wrapper over the [?trace]
+    argument of {!run_spec}): each world opens a new
+    {!Renofs_trace.Trace} mark-delimited segment labelled with its
+    transport/profile/topology name, and warmup phases are gated out
+    with [Renofs_trace.Trace.set_enabled].  The sink is uninstalled
+    when [f] returns. *)
+
+exception Driver_stuck of string
+(** An experiment driver failed to finish; the message carries the run
+    label, sim time, pending event count and events processed. *)
+
+(** {2 Legacy one-call runners}
+
+    Serial ([jobs = 1]) convenience wrappers, one per artifact:
+    [run_spec] + [render] for the given id. *)
 
 val graph1 : ?scale:scale -> unit -> table
 (** RTT vs offered load, 100% lookup mix, same-LAN topology, three
@@ -85,5 +180,5 @@ val scaling : ?scale:scale -> unit -> table
     the number of client hosts grows. *)
 
 val all : (string * (?scale:scale -> unit -> table)) list
-(** Every experiment, keyed by id ("graph1" ... "table5", "section3",
-    plus the extensions "leases" and "scaling"). *)
+(** Legacy registry: same ids as {!specs}, each entry running serially
+    and rendering. *)
