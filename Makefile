@@ -3,8 +3,9 @@
 # formatted (ocamlformat is not vendored, so @fmt covers dune files
 # only — see dune-project), and the nfsbench CLI must survive a smoke
 # run: list the registry, run one experiment across 2 domains with
-# JSON output, and validate that output against the renofs-bench/1
-# schema.
+# JSON output, validate that output against the renofs-bench/1
+# schema, and exercise the fault layer (builtin listing, a schedule
+# file on a normal experiment, the chaos invariant matrix).
 
 .PHONY: all build test fmt smoke check clean
 
@@ -23,6 +24,9 @@ smoke: build
 	dune exec bin/nfsbench.exe -- list
 	dune exec bin/nfsbench.exe -- run graph1 --jobs 2 --json /tmp/renofs-smoke.json
 	dune exec bin/nfsbench.exe -- validate-json /tmp/renofs-smoke.json
+	dune exec bin/nfsbench.exe -- faults
+	dune exec bin/nfsbench.exe -- run graph1 --jobs 2 --faults examples/crash.json
+	dune exec bin/nfsbench.exe -- chaos --scale quick
 
 check: build test fmt smoke
 

@@ -31,7 +31,14 @@ let scale =
 
 let jobs =
   match Option.bind (Sys.getenv_opt "RENOFS_BENCH_JOBS") int_of_string_opt with
-  | Some j when j >= 1 -> j
+  | Some j when j >= 1 ->
+      let recommended = Renofs_workload.Sweep.default_jobs () in
+      if j > recommended then
+        Format.eprintf
+          "bench: RENOFS_BENCH_JOBS=%d exceeds this machine's %d recommended \
+           domains; running oversubscribed@."
+          j recommended;
+      j
   | _ -> Renofs_workload.Sweep.default_jobs ()
 
 (* ------------------------------------------------------------------ *)

@@ -8,6 +8,9 @@
      nfsbench run graph1 --json g.json write typed results as JSON
      nfsbench run graph5 --report      append the nfsstat-style trace report
      nfsbench run graph5 --trace t.jsonl   export the raw event trace
+     nfsbench run graph1 --faults crash        run under a fault schedule
+     nfsbench chaos [--scale quick|full]       fault-schedule x transport matrix
+     nfsbench faults                   list the builtin fault schedules
      nfsbench all [-f] [--jobs N] [--json FILE]   run everything
      nfsbench validate-json FILE       check a --json file against the schema
 
@@ -19,6 +22,7 @@ module E = Renofs_workload.Experiments
 module Sweep = Renofs_workload.Sweep
 module Bench_json = Renofs_workload.Bench_json
 module Trace = Renofs_trace.Trace
+module Fault = Renofs_fault.Fault
 
 let scale_of_full full = if full then E.Full else E.Quick
 
@@ -45,44 +49,67 @@ let check_outputs paths =
         (Option.bind path check_writable))
     paths
 
-let effective_jobs = function Some j -> max 1 j | None -> Sweep.default_jobs ()
+(* The default is already clamped to the machine; an explicit larger
+   --jobs still runs, oversubscribed, with a warning. *)
+let effective_jobs = function
+  | None -> Sweep.default_jobs ()
+  | Some j ->
+      let j = max 1 j in
+      let recommended = Sweep.default_jobs () in
+      if j > recommended then
+        Format.eprintf
+          "nfsbench: --jobs %d exceeds this machine's %d recommended domains; \
+           running oversubscribed@."
+          j recommended;
+      j
 
-let run_one id full jobs trace_path report json_path =
+let resolve_faults = function
+  | None -> Ok None
+  | Some spec -> Result.map Option.some (Fault.resolve spec)
+
+let run_one id full jobs trace_path report json_path faults_spec =
   match check_outputs [ ("trace", trace_path); ("json", json_path) ] with
   | Some msg -> `Error (false, msg)
   | None -> (
-      let scale = scale_of_full full in
-      match E.spec ~scale id with
-      | None ->
-          `Error
-            ( false,
-              Printf.sprintf "unknown experiment %S; try one of: %s" id
-                (String.concat ", " (List.map fst E.specs)) )
-      | Some spec ->
-          let jobs = effective_jobs jobs in
-          let tr =
-            if trace_path <> None || report then
-              (* Full-scale sweeps emit a few hundred thousand events;
-                 size the ring so the early runs are not overwritten. *)
-              Some (Trace.create ~capacity:(1 lsl 20) ())
-            else None
-          in
-          let results = E.run_spec ~jobs ?trace:tr spec in
-          print_with_chart (E.render results);
-          (match json_path with
-          | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
-          | None -> ());
-          (match (tr, trace_path) with
-          | Some tr, Some path ->
-              Trace.export_jsonl tr path;
-              Format.printf "trace: %d events written to %s (%d overwritten)@."
-                (Trace.length tr) path (Trace.dropped tr)
-          | _ -> ());
-          (match tr with
-          | Some tr when report ->
-              Trace.Report.print Format.std_formatter (Trace.Report.build tr)
-          | _ -> ());
-          `Ok ())
+      match resolve_faults faults_spec with
+      | Error msg -> `Error (false, msg)
+      | Ok faults -> (
+          let scale = scale_of_full full in
+          match E.spec ~scale id with
+          | None ->
+              `Error
+                ( false,
+                  Printf.sprintf "unknown experiment %S; try one of: %s" id
+                    (String.concat ", " (List.map fst E.specs)) )
+          | Some spec ->
+              let jobs = effective_jobs jobs in
+              let tr =
+                if trace_path <> None || report then
+                  (* Full-scale sweeps emit a few hundred thousand events;
+                     size the ring so the early runs are not overwritten. *)
+                  Some (Trace.create ~capacity:(1 lsl 20) ())
+                else None
+              in
+              (match faults with
+              | Some f ->
+                  Format.printf "faults: %s — %s@." f.Fault.name f.Fault.description
+              | None -> ());
+              let results = E.run_spec ~jobs ?trace:tr ?faults spec in
+              print_with_chart (E.render results);
+              (match json_path with
+              | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
+              | None -> ());
+              (match (tr, trace_path) with
+              | Some tr, Some path ->
+                  Trace.export_jsonl tr path;
+                  Format.printf "trace: %d events written to %s (%d overwritten)@."
+                    (Trace.length tr) path (Trace.dropped tr)
+              | _ -> ());
+              (match tr with
+              | Some tr when report ->
+                  Trace.Report.print Format.std_formatter (Trace.Report.build tr)
+              | _ -> ());
+              `Ok ()))
 
 let run_all full jobs json_path =
   match check_outputs [ ("json", json_path) ] with
@@ -102,6 +129,32 @@ let run_all full jobs json_path =
       | Some path -> Bench_json.write_file ~scale ~jobs ~path results
       | None -> ());
       `Ok ()
+
+let run_chaos scale jobs json_path =
+  match check_outputs [ ("json", json_path) ] with
+  | Some msg -> `Error (false, msg)
+  | None ->
+      let jobs = effective_jobs jobs in
+      let spec = (List.assoc "chaos" E.specs) scale in
+      let results = E.run_spec ~jobs spec in
+      print_with_chart (E.render results);
+      (match json_path with
+      | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
+      | None -> ());
+      let is_fail = function
+        | E.Text s -> String.length s >= 4 && String.sub s 0 4 = "FAIL"
+        | _ -> false
+      in
+      if List.exists (List.exists is_fail) results.E.r_rows then
+        `Error (false, "chaos: invariant violation detected (see table)")
+      else `Ok ()
+
+let list_faults () =
+  List.iter
+    (fun (s : Fault.schedule) ->
+      Printf.printf "%-12s %s\n" s.Fault.name s.Fault.description;
+      List.iter (fun a -> Printf.printf "    %s\n" (Fault.describe a)) s.Fault.actions)
+    Fault.builtins
 
 let list_ids () =
   List.iter (fun (id, _) -> print_endline id) E.specs
@@ -156,13 +209,42 @@ let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
        ~doc:"A file produced by --json.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SCHEDULE"
+        ~doc:
+          "Run under a fault schedule: a builtin name (see $(b,nfsbench \
+           faults)) or a renofs-fault/1 JSON file.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (enum [ ("quick", E.Quick); ("full", E.Full) ]) E.Quick
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"quick (3 schedules) or full (every builtin schedule).")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
     Term.(
       ret
         (const run_one $ id_arg $ full_flag $ jobs_arg $ trace_arg $ report_flag
-       $ json_arg))
+       $ json_arg $ faults_arg))
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-schedule x transport matrix and check the recovery \
+          invariants; exits non-zero on any violation")
+    Term.(ret (const run_chaos $ scale_arg $ jobs_arg $ json_arg))
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults" ~doc:"List the builtin fault schedules")
+    Term.(const list_faults $ const ())
 
 let all_cmd =
   Cmd.v
@@ -184,6 +266,6 @@ let main =
        ~doc:
          "Reproduce the experiments of 'Lessons Learned Tuning the 4.3BSD Reno \
           Implementation of the NFS Protocol' (Macklem, USENIX 1991)")
-    [ run_cmd; all_cmd; list_cmd; validate_cmd ]
+    [ run_cmd; chaos_cmd; faults_cmd; all_cmd; list_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main)

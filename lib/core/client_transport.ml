@@ -189,6 +189,14 @@ and on_udp_timeout t p =
         | resume :: rest ->
             t.gate <- rest;
             Sim.after t.sim 0.0 resume);
+        (match Node.trace t.node with
+        | Some tr ->
+            (* Only soft mounts have a retry limit, so [soft] is true on
+               every real emission; the invariant checker flags any
+               [soft = false] occurrence as a hard-mount leak. *)
+            Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+              (Trace.Wl_error { op = P.proc_name p.p_proc; soft = true })
+        | None -> ());
         Proc.Ivar.fill p.reply (Error Rpc_timed_out)
     | _ ->
         t.n_retransmits <- t.n_retransmits + 1;

@@ -7,6 +7,7 @@ module Nic = Renofs_net.Nic
 module Udp = Renofs_transport.Udp
 module Tcp = Renofs_transport.Tcp
 module Namecache = Renofs_vfs.Namecache
+module Trace = Renofs_trace.Trace
 module P = Nfs_proto
 
 type write_policy = Write_through | Async | Delayed
@@ -110,6 +111,21 @@ let ultrix_mount =
        delaying and merging partial-block dirty regions. *)
     write_policy = Async;
   }
+
+(* Symmetric to [Nfs_server.config]: a default value plus [with_*]
+   derivation over the option record. *)
+type config = mount_opts
+
+let default_config = reno_mount
+let with_transport c transport = { c with transport }
+let with_timeo c timeo = { c with timeo }
+let with_mss c mss = { c with mss }
+let with_write_policy c write_policy = { c with write_policy }
+let with_num_biods c num_biods = { c with num_biods }
+let with_consistency c consistency = { c with consistency }
+let with_leases c use_leases = { c with use_leases }
+let with_soft c ~retrans = { c with soft = true; retrans }
+let with_adaptive_transfer c adaptive_transfer = { c with adaptive_transfer }
 
 exception Nfs_error of P.stat
 
@@ -813,6 +829,22 @@ let read t fd ~off ~len =
     if t.opts.consistency && t.opts.push_dirty_before_read && cf.dirty_count > 0
     then flush_file t cf ~wait:true;
     validate t cf
+  end
+  else begin
+    (* Serving from cache on lease authority alone: the staleness the
+       invariant checker audits against live write leases. *)
+    match Node.trace t.node with
+    | Some tr ->
+        Trace.record tr
+          ~time:(Sim.now t.sim)
+          ~node:(Node.id t.node)
+          (Trace.Cached_read
+             {
+               file = cf.c_fh;
+               holder = Node.id t.node;
+               mtime = cf.cached_mtime;
+             })
+    | None -> ()
   end;
   let len = if off >= cf.csize then 0 else min len (cf.csize - off) in
   let out = Bytes.create len in

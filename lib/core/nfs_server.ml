@@ -46,6 +46,19 @@ let reference_port_profile =
     xdr_layer_instructions = 900.0;
   }
 
+(* Symmetric to [Nfs_client.config]: a default value plus [with_*]
+   derivation, so schedule- and experiment-driven reconfiguration reads
+   the same on both ends of the wire. *)
+type config = profile
+
+let default_config = reno_profile
+let with_fs_config c fs_config = { c with fs_config }
+let with_nfsd_count c nfsd_count = { c with nfsd_count }
+let with_duplicate_cache c duplicate_cache = { c with duplicate_cache }
+
+let with_xdr_layer_instructions c xdr_layer_instructions =
+  { c with xdr_layer_instructions }
+
 (* A recent-request cache entry [Juszczak89]: requests still executing
    must also be recognised, or a retransmission arriving mid-execution
    would re-run a non-idempotent operation. *)
@@ -253,6 +266,12 @@ let r_ok = 4
 let w_ok = 2
 let x_ok = 1
 
+let trace_event t ev =
+  match Node.trace t.node with
+  | Some tr ->
+      Trace.record tr ~time:(Sim.now (Node.sim t.node)) ~node:(Node.id t.node) ev
+  | None -> ()
+
 let execute t ?(client = (0, 0)) ?(cred = Rpc_msg.Auth_null) (call : P.call) :
     P.reply =
   let uid, gid =
@@ -324,7 +343,17 @@ let execute t ?(client = (0, 0)) ?(cred = Rpc_msg.Auth_null) (call : P.call) :
           (* mbuf to buffer cache copy before the synchronous write. *)
           charge_copy t (Bytes.length data);
           Fs.write t.fs v ~off:write_offset data;
-          attr v)
+          let a = attr v in
+          trace_event t
+            (Trace.Write_committed
+               {
+                 file = write_file;
+                 off = write_offset;
+                 len = Bytes.length data;
+                 digest = Trace.digest data;
+                 mtime = P.float_of_time a.P.mtime;
+               });
+          a)
   | P.Create { P.where = { P.dir; name }; attributes } ->
       wrap_dirop (fun () ->
           let mode, _, _, size, _ = sattr_to_fs attributes in
@@ -421,6 +450,17 @@ let execute t ?(client = (0, 0)) ?(cred = Rpc_msg.Auth_null) (call : P.call) :
           match obtain_lease t ~client ~mode:lease_mode lease_file with
           | `Granted ->
               let dur = min (max 1 want) (int_of_float lease_duration) in
+              trace_event t
+                (Trace.Lease_grant
+                   {
+                     file = lease_file;
+                     mode =
+                       (match lease_mode with
+                       | P.Lease_read -> "read"
+                       | P.Lease_write -> "write");
+                     holder = fst client;
+                     duration = float_of_int dur;
+                   });
               P.Rlease (Ok (Some { P.granted_duration = dur; lease_attr = attr v }))
           | `Vacate -> P.Rlease (Ok None)
       with Fs.Err e -> P.Rlease (Error (stat_of_fs_err e)))
@@ -567,7 +607,7 @@ let handle_message t ?arrived_at chain ~src ~src_port =
           Some reply)
   end
 
-let crash_and_reboot t ~downtime =
+let crash t =
   t.up <- false;
   (* Volatile state dies with the machine. *)
   Hashtbl.reset t.dup_table;
@@ -576,11 +616,19 @@ let crash_and_reboot t ~downtime =
   (match Fs.namecache t.fs with Some nc -> Renofs_vfs.Namecache.purge nc | None -> ());
   (* A rebooting host's TCP resets every connection. *)
   (match t.tcp with Some stack -> Tcp.reset_all stack | None -> ());
-  Proc.sleep (Node.sim t.node) downtime;
+  trace_event t Trace.Srv_crash
+
+let reboot t =
   (* Grace period: 1.5 lease terms, covering a pre-crash lease plus the
      holder's write-back slack. *)
   t.no_leases_before <- Sim.now (Node.sim t.node) +. (1.5 *. lease_duration);
-  t.up <- true
+  t.up <- true;
+  trace_event t Trace.Srv_reboot
+
+let crash_and_reboot t ~downtime =
+  crash t;
+  Proc.sleep (Node.sim t.node) downtime;
+  reboot t
 
 let start_udp t =
   let sock = Udp.bind t.udp ~port:P.port in

@@ -24,6 +24,23 @@ val reno_profile : profile
 val reference_port_profile : profile
 (** The Ultrix-2.2-shaped server used in Graphs 8-9 and Tables 2-4. *)
 
+(** {2 Config records}
+
+    [config] is [profile] under the name shared with
+    {!Renofs_core.Nfs_client.config}: a [default_config] value plus
+    [with_*] derivation, so experiment- and fault-schedule-driven
+    reconfiguration reads symmetrically on both ends of the wire. *)
+
+type config = profile
+
+val default_config : config
+(** {!reno_profile}. *)
+
+val with_fs_config : config -> Renofs_vfs.Fs.config -> config
+val with_nfsd_count : config -> int -> config
+val with_duplicate_cache : config -> bool -> config
+val with_xdr_layer_instructions : config -> float -> config
+
 type t
 
 val create :
@@ -67,6 +84,16 @@ val crash_and_reboot : t -> downtime:float -> unit
     the whole recovery story).  After reboot the server observes an
     NQNFS-style grace period of one lease duration before granting new
     leases, so leases issued before the crash cannot be contradicted.
-    Call from a process. *)
+    Call from a process.  Equivalent to {!crash}, a [downtime] sleep,
+    then {!reboot}. *)
+
+val crash : t -> unit
+(** The instantaneous half of {!crash_and_reboot}: mark the server down
+    and discard its volatile state (traced as [Srv_crash]).  Does not
+    sleep — safe to call from a timer callback. *)
+
+val reboot : t -> unit
+(** Bring a crashed server back up and start the lease grace period
+    (traced as [Srv_reboot]).  Does not sleep. *)
 
 val is_up : t -> bool

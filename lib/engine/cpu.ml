@@ -5,6 +5,7 @@ type job = { work : float; finished : (unit -> unit) option }
 type t = {
   sim : Sim.t;
   mips : float;
+  mutable slowdown : float; (* work multiplier, >= epsilon; 1.0 = nominal *)
   intr_q : job Queue.t;
   norm_q : job Queue.t;
   mutable serving : bool;
@@ -18,6 +19,7 @@ let create sim ~mips =
   {
     sim;
     mips;
+    slowdown = 1.0;
     intr_q = Queue.create ();
     norm_q = Queue.create ();
     serving = false;
@@ -28,6 +30,11 @@ let create sim ~mips =
 
 let mips t = t.mips
 let seconds_of_instructions t instructions = instructions /. (t.mips *. 1e6)
+let slowdown t = t.slowdown
+
+let set_slowdown t factor =
+  if factor <= 0.0 then invalid_arg "Cpu.set_slowdown: factor must be positive";
+  t.slowdown <- factor
 
 let rec serve t =
   let job =
@@ -56,12 +63,14 @@ let consume ?(priority = Normal) t seconds =
   if seconds < 0.0 then invalid_arg "Cpu.consume: negative work";
   if seconds = 0.0 then ()
   else
+    let work = seconds *. t.slowdown in
     Proc.suspend (fun resume ->
-        enqueue t priority { work = seconds; finished = Some resume })
+        enqueue t priority { work; finished = Some resume })
 
 let charge ?(priority = Normal) t seconds =
   if seconds < 0.0 then invalid_arg "Cpu.charge: negative work";
-  if seconds > 0.0 then enqueue t priority { work = seconds; finished = None }
+  if seconds > 0.0 then
+    enqueue t priority { work = seconds *. t.slowdown; finished = None }
 
 let busy_time t =
   let in_service =

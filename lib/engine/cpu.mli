@@ -21,6 +21,13 @@ val mips : t -> float
 val seconds_of_instructions : t -> float -> float
 (** Convert an instruction count to seconds on this CPU. *)
 
+val slowdown : t -> float
+
+val set_slowdown : t -> float -> unit
+(** Multiply all subsequently queued work by [factor] (default 1.0;
+    must be positive).  Fault schedules use this to model a server CPU
+    degraded for an interval; work already queued is unaffected. *)
+
 val consume : ?priority:priority -> t -> float -> unit
 (** Block the calling process until the CPU has executed [seconds] of its
     work.  Must be called from inside a process. *)

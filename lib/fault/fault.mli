@@ -1,0 +1,140 @@
+(** Declarative fault schedules and trace-driven recovery invariants.
+
+    A {!schedule} is a named timeline of {!action}s — server crashes,
+    link flaps, loss bursts, CPU slowdowns, partitions — that
+    {!install} compiles onto {!Renofs_engine.Sim} timers against any
+    built world, applying each action through the existing
+    [Nfs_server] / [Link] / [Cpu] hooks.  Any experiment cell can
+    therefore run under any schedule ("the stateless server concept was
+    used so that crash recovery is trivial" — this is the layer that
+    puts the claim under test).
+
+    {!Check} consumes the run's [Renofs_trace] stream afterwards and
+    delivers verdicts on the recovery invariants the paper's design
+    implies; {!Check.check_all} lists them. *)
+
+(** {1 Schedules} *)
+
+type action =
+  | Server_crash of { at : float; downtime : float }
+      (** Crash the server at [at] (volatile state lost), reboot it
+          [downtime] seconds later. *)
+  | Link_down of { at : float; duration : float; link : string }
+      (** Administratively down the matching links for [duration].
+          [link] names a link base (["eth0"], matching both
+          directions), a full direction name (["eth0:client>server"]),
+          or ["*"] for every link in the world. *)
+  | Loss_burst of { at : float; duration : float; link : string; loss : float }
+      (** Raise the matching links' per-packet corruption probability
+          to [loss] for [duration], then restore each link's previous
+          value. *)
+  | Cpu_slow of { at : float; duration : float; node : string; factor : float }
+      (** Multiply the named node's CPU work by [factor] for
+          [duration]. *)
+  | Partition of { at : float; duration : float; between : string * string }
+      (** Down every link direction directly joining the two named
+          nodes, in both directions, for [duration]. *)
+
+type schedule = { name : string; description : string; actions : action list }
+
+val describe : action -> string
+(** Human-readable one-liner, also recorded as the [Fault_inject] trace
+    event when the action fires. *)
+
+val builtins : schedule list
+(** The schedules [nfsbench faults] lists and the chaos experiment
+    family runs: crash, flaky, flap, slow-server, partition. *)
+
+val find_builtin : string -> schedule option
+
+(** {1 JSON schedule files}
+
+    Schema ["renofs-fault/1"]:
+
+    {v
+    { "schema": "renofs-fault/1",
+      "name": "crash",
+      "description": "server crashes at t=4s, reboots 3s later",
+      "actions": [
+        { "kind": "server_crash", "at": 4.0, "downtime": 3.0 },
+        { "kind": "link_down",    "at": 3.0, "duration": 0.5, "link": "eth0" },
+        { "kind": "loss_burst",   "at": 2.0, "duration": 6.0, "link": "*",
+          "loss": 0.05 },
+        { "kind": "cpu_slow",     "at": 2.0, "duration": 6.0, "node": "server",
+          "factor": 8.0 },
+        { "kind": "partition",    "at": 3.0, "duration": 2.0,
+          "between": ["router1", "router2"] } ] }
+    v} *)
+
+val of_json : Renofs_json.Json.json -> (schedule, string) result
+val parse : string -> (schedule, string) result
+val load_file : string -> (schedule, string) result
+
+val resolve : string -> (schedule, string) result
+(** A builtin name if one matches, otherwise a schedule file path. *)
+
+(** {1 Installation} *)
+
+type env = {
+  sim : Renofs_engine.Sim.t;
+  nodes : Renofs_net.Node.t list;  (** link/node name lookups *)
+  server : Renofs_core.Nfs_server.t option;
+  trace : Renofs_trace.Trace.t option;  (** [Fault_inject] sink *)
+}
+
+val install : env -> schedule -> unit
+(** Compile every action onto sim timers, with action times relative
+    to the sim clock at installation (so a schedule installed after a
+    warmup phase perturbs the measured run, not the warmup).  Actions
+    referencing names absent from the world apply to nothing (and
+    still record [Fault_inject]). *)
+
+(** {1 Invariant checking} *)
+
+module Check : sig
+  type verdict = { v_name : string; v_ok : bool; v_detail : string }
+
+  val durable_writes :
+    ?read_back:(file:int -> off:int -> len:int -> bytes option) ->
+    Renofs_trace.Trace.record_ list ->
+    verdict
+  (** Every acknowledged WRITE ([Write_committed]) must still be
+      readable afterwards: writes not overlapped by a later write to
+      the same file must digest-match what [read_back] returns from the
+      post-run file system.  Without [read_back] the verdict passes
+      vacuously, saying so in the detail. *)
+
+  val hard_mount_errors : Renofs_trace.Trace.record_ list -> verdict
+  (** Hard mounts never surface errors: any [Wl_error] with
+      [soft = false] is a violation. *)
+
+  val no_double_effect : Renofs_trace.Trace.record_ list -> verdict
+  (** With the duplicate-request cache on, no non-idempotent RPC
+      (CREATE/REMOVE/RENAME) may execute twice: two [Srv_service]
+      events for the same (xid, proc) with no [Srv_crash] between them
+      is a violation.  A crash between them is the paper's known
+      at-least-once hazard — the cache died with the server — and is
+      not flagged. *)
+
+  val no_stale_lease_reads : Renofs_trace.Trace.record_ list -> verdict
+  (** No lease-backed cached read served stale while a conflicting
+      write lease is live: a [Cached_read] whose [mtime] predates the
+      latest [Write_committed] on the file, while another holder's
+      write lease ([Lease_grant]) is unexpired (and no crash voided
+      it), is a violation. *)
+
+  val check_all :
+    ?read_back:(file:int -> off:int -> len:int -> bytes option) ->
+    Renofs_trace.Trace.record_ list ->
+    verdict list
+  (** All four, in the order above. *)
+
+  val summary : verdict list -> string
+  (** ["4/4 ok"], or ["FAIL:" ^ names] of the failing invariants. *)
+
+  val recovery_time : Renofs_trace.Trace.record_ list -> float
+  (** Worst crash-to-first-service gap: for each [Srv_crash], the time
+      until the next [Srv_service] (the first RPC actually served again
+      after recovery).  [0.] when no crash occurred; the gap from an
+      unrecovered crash to the end of the trace counts. *)
+end

@@ -1,0 +1,38 @@
+(** Minimal dependency-free JSON reader.
+
+    Accepts standard JSON (objects, arrays, strings with the common
+    escapes, numbers, booleans, null).  Extracted from [Bench_json] so
+    layers below the workload library (e.g. [renofs_fault] schedule
+    files) can parse documents without depending on the experiment
+    registry; [Bench_json] re-exports this type with an equality so
+    existing callers are unaffected. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+val parse_exn : string -> json
+(** Raises {!Bad} with a message and byte offset on malformed input. *)
+
+val parse : string -> (json, string) result
+
+(** {2 Accessors}
+
+    Each raises {!Bad} naming [ctx] when the shape is wrong — suitable
+    for schema readers that want one error message out. *)
+
+val member : ctx:string -> string -> (string * json) list -> json
+(** [member ~ctx name obj] is the field, or raises "[ctx]: missing
+    field [name]". *)
+
+val member_opt : string -> (string * json) list -> json option
+val str : ctx:string -> json -> string
+val num : ctx:string -> json -> float
+val arr : ctx:string -> json -> json list
+val obj : ctx:string -> json -> (string * json) list

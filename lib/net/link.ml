@@ -15,7 +15,8 @@ type t = {
   bandwidth_bps : float;
   delay : float;
   queue_limit : int;
-  loss : float;
+  mutable loss : float;
+  mutable up : bool;
   rng : Rng.t;
   deliver : Packet.t -> unit;
   queue : Packet.t Queue.t;
@@ -36,6 +37,7 @@ let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ?(owner = 
     delay;
     queue_limit;
     loss;
+    up = true;
     rng;
     deliver;
     queue = Queue.create ();
@@ -90,7 +92,20 @@ let rec start_next t =
           start_next t)
 
 let send t pkt =
-  if Queue.length t.queue >= t.queue_limit then begin
+  if not t.up then begin
+    t.stats.error_drops <- t.stats.error_drops + 1;
+    match t.trace with
+    | Some tr ->
+        Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+          (Trace.Pkt_drop
+             {
+               link = t.name;
+               bytes = Packet.wire_size pkt;
+               reason = Trace.Link_down;
+             })
+    | None -> ()
+  end
+  else if Queue.length t.queue >= t.queue_limit then begin
     t.stats.queue_drops <- t.stats.queue_drops + 1;
     match t.trace with
     | Some tr ->
@@ -113,6 +128,10 @@ let send t pkt =
 let name t = t.name
 let queue_length t = Queue.length t.queue
 let stats t = t.stats
+let loss t = t.loss
+let set_loss t p = t.loss <- Float.max 0.0 (Float.min 1.0 p)
+let is_up t = t.up
+let set_up t up = t.up <- up
 
 let utilization t =
   let now = Sim.now t.sim in

@@ -45,5 +45,21 @@ val queue_length : t -> int
 
 val stats : t -> stats
 
+(** {2 Fault-injection hooks}
+
+    Used by [Renofs_fault] to apply loss bursts and link flaps at
+    simulated times; harmless to call by hand. *)
+
+val loss : t -> float
+val set_loss : t -> float -> unit
+(** Change the per-packet corruption probability (clamped to [0..1]);
+    applies to packets whose transmission completes after the call. *)
+
+val is_up : t -> bool
+val set_up : t -> bool -> unit
+(** A downed link drops every newly offered packet (counted as an error
+    drop, traced as [Link_down]); packets already queued or in flight
+    still deliver.  Links start up. *)
+
 val utilization : t -> float
 (** Fraction of time spent transmitting since creation. *)

@@ -22,10 +22,17 @@ let default_params =
     link_loss = 0.001;
   }
 
+type shape = Lan | Campus | Wide_area | Star
+
+type spec = { shape : shape; clients : int; params : params }
+
+let default_spec = { shape = Lan; clients = 1; params = default_params }
+
 type t = {
   sim : Sim.t;
   client : Node.t;
   server : Node.t;
+  clients : Node.t list;
   routers : Node.t list;
   all : Node.t list;
   bottleneck : Link.t option;
@@ -50,29 +57,31 @@ let make_router sim rng ~id ~name =
   Node.create sim ~id ~name ~mips:2.0 ~nic:Nic.deqna_tuned ~rng:(Rng.split rng)
     ~forward_cost:0.3e-3 ()
 
-let lan sim ?(params = default_params) () =
-  let rng = Rng.create params.seed in
-  let client =
-    make_host sim rng ~id:1 ~name:"client" ~mips:params.client_mips
-      ~nic:params.client_nic
-  and server =
+let host_pair sim rng params =
+  ( make_host sim rng ~id:1 ~name:"client" ~mips:params.client_mips
+      ~nic:params.client_nic,
     make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
-      ~nic:params.server_nic
-  in
+      ~nic:params.server_nic )
+
+let build_lan sim params =
+  let rng = Rng.create params.seed in
+  let client, server = host_pair sim rng params in
   let _ = connect_class client server ~name:"eth0" ~loss:0.0 ethernet in
   let all = [ client; server ] in
   Node.auto_routes all;
-  { sim; client; server; routers = []; all; bottleneck = None }
+  {
+    sim;
+    client;
+    server;
+    clients = [ client ];
+    routers = [];
+    all;
+    bottleneck = None;
+  }
 
-let campus sim ?(params = default_params) () =
+let build_campus sim params =
   let rng = Rng.create params.seed in
-  let client =
-    make_host sim rng ~id:1 ~name:"client" ~mips:params.client_mips
-      ~nic:params.client_nic
-  and server =
-    make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
-      ~nic:params.server_nic
-  in
+  let client, server = host_pair sim rng params in
   let r1 = make_router sim rng ~id:10 ~name:"router1"
   and r2 = make_router sim rng ~id:11 ~name:"router2" in
   let _ = connect_class client r1 ~name:"eth1" ~loss:0.0 ethernet in
@@ -88,17 +97,19 @@ let campus sim ?(params = default_params) () =
     Traffic.start ~src:r1 ~dst:r2 Traffic.campus_backbone;
     Traffic.start ~src:r2 ~dst:r1 Traffic.campus_backbone
   end;
-  { sim; client; server; routers = [ r1; r2 ]; all; bottleneck = Some ring_back }
+  {
+    sim;
+    client;
+    server;
+    clients = [ client ];
+    routers = [ r1; r2 ];
+    all;
+    bottleneck = Some ring_back;
+  }
 
-let wide_area sim ?(params = default_params) () =
+let build_wide_area sim params =
   let rng = Rng.create params.seed in
-  let client =
-    make_host sim rng ~id:1 ~name:"client" ~mips:params.client_mips
-      ~nic:params.client_nic
-  and server =
-    make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
-      ~nic:params.server_nic
-  in
+  let client, server = host_pair sim rng params in
   let r1 = make_router sim rng ~id:10 ~name:"router1"
   and r2 = make_router sim rng ~id:11 ~name:"router2"
   and r3 = make_router sim rng ~id:12 ~name:"router3" in
@@ -122,13 +133,14 @@ let wide_area sim ?(params = default_params) () =
     sim;
     client;
     server;
+    clients = [ client ];
     routers = [ r1; r2; r3 ];
     all;
     bottleneck = Some serial_out;
   }
 
-let multi_client sim ~clients ?(params = default_params) () =
-  if clients < 1 then invalid_arg "Topology.multi_client: need at least one client";
+let build_star sim ~clients params =
+  if clients < 1 then invalid_arg "Topology.build: Star needs at least one client";
   let rng = Rng.create params.seed in
   let server =
     make_host sim rng ~id:2 ~name:"server" ~mips:params.server_mips
@@ -148,19 +160,49 @@ let multi_client sim ~clients ?(params = default_params) () =
   in
   let all = server :: client_nodes in
   Node.auto_routes all;
-  ( {
-      sim;
-      client = List.hd client_nodes;
-      server;
-      routers = [];
-      all;
-      bottleneck = None;
-    },
-    client_nodes )
+  {
+    sim;
+    client = List.hd client_nodes;
+    server;
+    clients = client_nodes;
+    routers = [];
+    all;
+    bottleneck = None;
+  }
 
-let by_name name sim ?params () =
-  match name with
-  | "lan" -> lan sim ?params ()
-  | "campus" -> campus sim ?params ()
-  | "wan" -> wide_area sim ?params ()
-  | other -> invalid_arg ("Topology.by_name: unknown topology " ^ other)
+let build sim spec =
+  match spec.shape with
+  | Star -> build_star sim ~clients:spec.clients spec.params
+  | (Lan | Campus | Wide_area) as shape ->
+      if spec.clients <> 1 then
+        invalid_arg "Topology.build: this shape has exactly one client";
+      (match shape with
+      | Lan -> build_lan sim spec.params
+      | Campus -> build_campus sim spec.params
+      | Wide_area -> build_wide_area sim spec.params
+      | Star -> assert false)
+
+let shape_of_name = function
+  | "lan" -> Lan
+  | "campus" -> Campus
+  | "wan" -> Wide_area
+  | "star" -> Star
+  | other -> invalid_arg ("Topology.shape_of_name: unknown topology " ^ other)
+
+(* One-line compatibility wrappers over [build]. *)
+
+let lan sim ?(params = default_params) () =
+  build sim { shape = Lan; clients = 1; params }
+
+let campus sim ?(params = default_params) () =
+  build sim { shape = Campus; clients = 1; params }
+
+let wide_area sim ?(params = default_params) () =
+  build sim { shape = Wide_area; clients = 1; params }
+
+let multi_client sim ~clients ?(params = default_params) () =
+  let t = build sim { shape = Star; clients; params } in
+  (t, t.clients)
+
+let by_name name sim ?(params = default_params) () =
+  build sim { shape = shape_of_name name; clients = 1; params }

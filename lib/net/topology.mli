@@ -1,12 +1,23 @@
-(** The paper's three client/server internetwork configurations.
+(** The paper's client/server internetwork configurations, built from
+    one declarative {!spec}.
 
-    1. {!lan}: both machines on the same lightly-loaded Ethernet.
-    2. {!campus}: two Ethernets joined by an 80 Mbit/s token ring and two
+    1. [Lan]: both machines on the same lightly-loaded Ethernet.
+    2. [Campus]: two Ethernets joined by an 80 Mbit/s token ring and two
        IP routers, with bursty backbone cross-traffic.
-    3. {!wide_area}: as {!campus} plus a 56 Kbit/s point-to-point link
+    3. [Wide_area]: as [Campus] plus a 56 Kbit/s point-to-point link
        and a third router.
+    4. [Star]: a server with N clients, each on its own Ethernet drop —
+       the server-characterization setup of [Keith90].
 
-    Hosts default to 0.9 MIPS MicroVAXIIs with tuned DEQNA profiles. *)
+    Hosts default to 0.9 MIPS MicroVAXIIs with tuned DEQNA profiles.
+
+    Node and link names are stable across runs, so fault schedules can
+    target them: hosts are ["client"] / ["server"] (Star clients:
+    ["client0"], ["client1"], ...), routers ["router1"] .. ["router3"],
+    and link bases ["eth0"] (Lan), ["eth1"] / ["ring"] / ["eth2"]
+    (Campus), plus ["serial56k"] (Wide_area), and ["eth0"] ..
+    ["ethN-1"] (Star).  Each base names two directions,
+    ["<base>:<a>><b>"]. *)
 
 type params = {
   seed : int;
@@ -22,10 +33,19 @@ val default_params : params
 (** seed 1, 0.9 MIPS hosts, tuned DEQNAs, cross-traffic on, 0.1% backbone
     loss. *)
 
+type shape = Lan | Campus | Wide_area | Star
+
+type spec = { shape : shape; clients : int; params : params }
+(** [clients] must be 1 for every shape but [Star]. *)
+
+val default_spec : spec
+(** [Lan], one client, {!default_params}. *)
+
 type t = {
   sim : Renofs_engine.Sim.t;
-  client : Node.t;
+  client : Node.t;  (** the first (often only) client *)
   server : Node.t;
+  clients : Node.t list;  (** every client host, [client] first *)
   routers : Node.t list;
   all : Node.t list;
   bottleneck : Link.t option;
@@ -33,19 +53,28 @@ type t = {
           there is one: the token ring or the 56K line *)
 }
 
+val build : Renofs_engine.Sim.t -> spec -> t
+(** The one constructor.  Raises [Invalid_argument] on a [clients]
+    count the shape cannot honour. *)
+
+val shape_of_name : string -> shape
+(** "lan", "campus", "wan" or "star".  Raises [Invalid_argument]
+    otherwise. *)
+
+(** {2 Wrappers}
+
+    One-liners over {!build} kept for call-site brevity. *)
+
 val lan : Renofs_engine.Sim.t -> ?params:params -> unit -> t
 val campus : Renofs_engine.Sim.t -> ?params:params -> unit -> t
 val wide_area : Renofs_engine.Sim.t -> ?params:params -> unit -> t
 
 val by_name : string -> Renofs_engine.Sim.t -> ?params:params -> unit -> t
-(** "lan", "campus" or "wan".  Raises [Invalid_argument] otherwise. *)
+(** [build] on [shape_of_name] with one client. *)
 
 val multi_client :
   Renofs_engine.Sim.t -> clients:int -> ?params:params -> unit -> t * Node.t list
-(** A server with [clients] client hosts, each on its own Ethernet drop
-    (star topology): the server-characterization setup of [Keith90].
-    The returned [t.client] is the first client; the list has them
-    all. *)
+(** [build] on [Star]; the snd of the pair is [t.clients]. *)
 
 val client_id : t -> int
 val server_id : t -> int

@@ -1,6 +1,6 @@
 module Stats = Renofs_engine.Stats
 
-type drop_reason = Queue_full | Link_error | Sock_overflow
+type drop_reason = Queue_full | Link_error | Sock_overflow | Link_down
 
 type event =
   | Rpc_send of { xid : int32; proc : int }
@@ -17,6 +17,19 @@ type event =
   | Cache_hit of { cache : string }
   | Cache_miss of { cache : string }
   | Run_mark of { label : string }
+  | Srv_crash
+  | Srv_reboot
+  | Write_committed of {
+      file : int;
+      off : int;
+      len : int;
+      digest : int;
+      mtime : float;
+    }
+  | Lease_grant of { file : int; mode : string; holder : int; duration : float }
+  | Cached_read of { file : int; holder : int; mtime : float }
+  | Wl_error of { op : string; soft : bool }
+  | Fault_inject of { action : string }
 
 type record_ = { time : float; node : int; ev : event }
 
@@ -90,6 +103,16 @@ let proc_name = function
   | 19 -> "getlease"
   | n -> Printf.sprintf "proc%d" n
 
+(* FNV-1a folded to 30 bits: stays a small nonnegative int on every
+   platform and round-trips exactly through the JSONL float fields, so
+   trace files compare byte for byte across runs. *)
+let digest b =
+  let h = ref 0x811c9dc5 in
+  Bytes.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    b;
+  !h
+
 (* ------------------------------------------------------------------ *)
 (* JSONL                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -98,11 +121,13 @@ let reason_name = function
   | Queue_full -> "queue_full"
   | Link_error -> "link_error"
   | Sock_overflow -> "sock_overflow"
+  | Link_down -> "link_down"
 
 let reason_of_name = function
   | "queue_full" -> Queue_full
   | "link_error" -> Link_error
   | "sock_overflow" -> Sock_overflow
+  | "link_down" -> Link_down
   | s -> failwith ("Trace: unknown drop reason " ^ s)
 
 (* Shortest decimal representation that still round-trips. *)
@@ -196,7 +221,34 @@ let line_of_record r =
       str "cache" cache
   | Run_mark { label } ->
       tag "run_mark";
-      str "label" label);
+      str "label" label
+  | Srv_crash -> tag "srv_crash"
+  | Srv_reboot -> tag "srv_reboot"
+  | Write_committed { file; off; len; digest; mtime } ->
+      tag "write_committed";
+      int "file" file;
+      int "off" off;
+      int "len" len;
+      int "digest" digest;
+      num "mtime" mtime
+  | Lease_grant { file; mode; holder; duration } ->
+      tag "lease_grant";
+      int "file" file;
+      str "mode" mode;
+      int "holder" holder;
+      num "duration" duration
+  | Cached_read { file; holder; mtime } ->
+      tag "cached_read";
+      int "file" file;
+      int "holder" holder;
+      num "mtime" mtime
+  | Wl_error { op; soft } ->
+      tag "wl_error";
+      str "op" op;
+      int "soft" (if soft then 1 else 0)
+  | Fault_inject { action } ->
+      tag "fault_inject";
+      str "action" action);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -321,6 +373,21 @@ let record_of_line line =
     | "cache_hit" -> Cache_hit { cache = str "cache" }
     | "cache_miss" -> Cache_miss { cache = str "cache" }
     | "run_mark" -> Run_mark { label = str "label" }
+    | "srv_crash" -> Srv_crash
+    | "srv_reboot" -> Srv_reboot
+    | "write_committed" ->
+        Write_committed
+          { file = int "file"; off = int "off"; len = int "len";
+            digest = int "digest"; mtime = num "mtime" }
+    | "lease_grant" ->
+        Lease_grant
+          { file = int "file"; mode = str "mode"; holder = int "holder";
+            duration = num "duration" }
+    | "cached_read" ->
+        Cached_read
+          { file = int "file"; holder = int "holder"; mtime = num "mtime" }
+    | "wl_error" -> Wl_error { op = str "op"; soft = int "soft" <> 0 }
+    | "fault_inject" -> Fault_inject { action = str "action" }
     | tag -> failwith ("Trace: unknown event tag " ^ tag)
   in
   { time = num "t"; node = int "node"; ev }
@@ -434,7 +501,9 @@ module Report = struct
                   :: !out
             | None -> ())
         | Pkt_enqueue _ | Pkt_drop _ | Pkt_deliver _ | Frag_lost _
-        | Cwnd_update _ | Rto_update _ | Cache_hit _ | Cache_miss _ ->
+        | Cwnd_update _ | Rto_update _ | Cache_hit _ | Cache_miss _
+        | Srv_crash | Srv_reboot | Write_committed _ | Lease_grant _
+        | Cached_read _ | Wl_error _ | Fault_inject _ ->
             ())
       records;
     (List.rev !out, !incomplete + Hashtbl.length pending)

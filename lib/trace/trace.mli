@@ -21,6 +21,7 @@ type drop_reason =
   | Queue_full  (** drop-tail router/link output queue overflow *)
   | Link_error  (** random per-packet corruption on the wire *)
   | Sock_overflow  (** receiving socket buffer full *)
+  | Link_down  (** link administratively down (fault injection) *)
 
 type event =
   | Rpc_send of { xid : int32; proc : int }
@@ -39,6 +40,29 @@ type event =
   | Run_mark of { label : string }
       (** Starts a new trace segment: sim clocks and xid spaces reset
           between experiment worlds, so joins never cross a mark. *)
+  | Srv_crash  (** server lost its volatile state (dup cache, leases) *)
+  | Srv_reboot  (** server back up; lease-recovery grace period begins *)
+  | Write_committed of {
+      file : int;  (** inode number *)
+      off : int;
+      len : int;
+      digest : int;  (** {!digest} of the data as written *)
+      mtime : float;  (** file mtime after the write *)
+    }
+      (** The server acknowledged a WRITE after committing it; the
+          invariant checker ([Fault.Check]) replays these against the
+          post-run file system to prove durability across crashes. *)
+  | Lease_grant of { file : int; mode : string; holder : int; duration : float }
+      (** NQNFS lease granted; [mode] is ["read"] or ["write"]. *)
+  | Cached_read of { file : int; holder : int; mtime : float }
+      (** A client served a read from its block cache under a live lease
+          without revalidating; [mtime] is the cached attribute. *)
+  | Wl_error of { op : string; soft : bool }
+      (** An RPC error surfaced to the workload ([ETIMEDOUT] on a soft
+          mount's give-up).  [soft = false] would mean a hard mount
+          leaked an error — the invariant checkers flag it. *)
+  | Fault_inject of { action : string }
+      (** A fault schedule applied an action (human-readable form). *)
 
 type record_ = { time : float; node : int; ev : event }
 (** [node] is the host id the event was observed on, or [-1] when the
@@ -90,6 +114,11 @@ val proc_name : int -> string
 (** NFSv2 procedure names (plus this repo's extensions), matching
     [Nfs_proto.proc_name]; kept here so the trace library stays below
     the protocol layer in the dependency order. *)
+
+val digest : bytes -> int
+(** FNV-1a folded to 30 bits — a small nonnegative int that survives the
+    JSONL number round-trip exactly.  Used by {!Write_committed} and the
+    invariant checker's read-back comparison. *)
 
 (** {2 JSONL export / import}
 

@@ -30,11 +30,11 @@ val write_file :
 
 (** {2 Minimal JSON reader, for validation and tests}
 
-    Accepts standard JSON (objects, arrays, strings with the common
-    escapes, numbers, booleans, null); enough to round-trip what
-    {!emit} produces. *)
+    Re-exported from {!Renofs_json.Json} (with a type equality) so the
+    reader is also available below the workload layer; accepts standard
+    JSON, enough to round-trip what {!emit} produces. *)
 
-type json =
+type json = Renofs_json.Json.json =
   | Null
   | Bool of bool
   | Num of float

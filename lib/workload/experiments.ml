@@ -14,6 +14,7 @@ module Nfs_server = Renofs_core.Nfs_server
 module Nfs_client = Renofs_core.Nfs_client
 module Client_transport = Renofs_core.Client_transport
 module Trace = Renofs_trace.Trace
+module Fault = Renofs_fault.Fault
 
 type scale = Quick | Full
 
@@ -99,7 +100,7 @@ let print_table fmt t =
 (* Cells and specs                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type ctx = { trace : Trace.t option }
+type ctx = { trace : Trace.t option; faults : Fault.schedule option }
 
 type cell = { cell_label : string; cell_run : ctx -> value list }
 
@@ -154,12 +155,14 @@ let effective_trace = function
 (* Each cell records into its own sink; the sinks are merged into the
    main one in cell order after the sweep, so the combined stream is
    identical to a serial run (segments stay mark-delimited). *)
-let run_cells ?jobs ~trace cells =
+let run_cells ?jobs ~trace ~faults cells =
   match trace with
   | None ->
       Sweep.run ?jobs
         (List.map
-           (fun c -> Sweep.cell ~label:c.cell_label (fun () -> c.cell_run { trace = None }))
+           (fun c ->
+             Sweep.cell ~label:c.cell_label (fun () ->
+                 c.cell_run { trace = None; faults }))
            cells)
   | Some main ->
       let cap = Trace.capacity main in
@@ -168,15 +171,16 @@ let run_cells ?jobs ~trace cells =
         Sweep.run ?jobs
           (List.map2
              (fun c sink ->
-               Sweep.cell ~label:c.cell_label (fun () -> c.cell_run { trace = Some sink }))
+               Sweep.cell ~label:c.cell_label (fun () ->
+                   c.cell_run { trace = Some sink; faults }))
              cells sinks)
       in
       List.iter (fun sink -> Trace.merge ~into:main sink) sinks;
       outs
 
-let run_spec ?jobs ?trace spec =
+let run_spec ?jobs ?trace ?faults spec =
   let trace = effective_trace trace in
-  let outs = run_cells ?jobs ~trace spec.sp_cells in
+  let outs = run_cells ?jobs ~trace ~faults spec.sp_cells in
   {
     r_id = spec.sp_id;
     r_title = spec.sp_title;
@@ -184,11 +188,13 @@ let run_spec ?jobs ?trace spec =
     r_rows = spec.sp_assemble outs;
   }
 
-let run_specs ?jobs ?trace specs =
+let run_specs ?jobs ?trace ?faults specs =
   (* One shared pool across every spec: single-cell experiments overlap
      with their neighbours instead of serialising the tail. *)
   let trace = effective_trace trace in
-  let outs = run_cells ?jobs ~trace (List.concat_map (fun s -> s.sp_cells) specs) in
+  let outs =
+    run_cells ?jobs ~trace ~faults (List.concat_map (fun s -> s.sp_cells) specs)
+  in
   let rec split specs outs =
     match specs with
     | [] -> []
@@ -228,10 +234,30 @@ let attach_trace ctx sim topo label =
       List.iter (fun n -> Node.set_trace n (Some tr)) topo.Topology.all;
       Trace.mark tr ~time:(Sim.now sim) label
 
+let install_faults ~ctx world =
+  match ctx.faults with
+  | None -> ()
+  | Some sched ->
+      Fault.install
+        {
+          Fault.sim = world.sim;
+          nodes = world.topo.Topology.all;
+          server = Some world.server;
+          trace = ctx.trace;
+        }
+        sched
+
+(* [defer_faults] leaves the schedule uninstalled so runners with a
+   warmup phase can install it (via {!install_faults}) when the
+   measured run starts — schedule times are relative to installation. *)
 let make_world ?(params = Topology.default_params)
-    ?(server_profile = Nfs_server.reno_profile) ?run_label ~ctx ~topology () =
+    ?(server_profile = Nfs_server.reno_profile) ?(defer_faults = false)
+    ?run_label ~ctx ~topology () =
   let sim = Sim.create () in
-  let topo = Topology.by_name topology sim ~params () in
+  let topo =
+    Topology.build sim
+      { Topology.shape = Topology.shape_of_name topology; clients = 1; params }
+  in
   attach_trace ctx sim topo (Option.value run_label ~default:topology);
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
@@ -240,13 +266,17 @@ let make_world ?(params = Topology.default_params)
       ~tcp:stcp ()
   in
   Nfs_server.start server;
-  {
-    sim;
-    topo;
-    server;
-    client_udp = Udp.install topo.Topology.client;
-    client_tcp = Tcp.install topo.Topology.client;
-  }
+  let world =
+    {
+      sim;
+      topo;
+      server;
+      client_udp = Udp.install topo.Topology.client;
+      client_tcp = Tcp.install topo.Topology.client;
+    }
+  in
+  if not defer_faults then install_faults ~ctx world;
+  world
 
 exception Driver_stuck of string
 
@@ -302,10 +332,14 @@ let sweep_duration = function Quick -> 20.0 | Full -> 120.0
 let one_nhfsstone_run ?(server_profile = Nfs_server.reno_profile)
     ?(params = Topology.default_params) ?(warmup = 8.0) ?(children = 4) ?label
     ~ctx ~topology ~mount_opts ~mix ~rate ~duration ~seed () =
-  let world = make_world ~params ~server_profile ?run_label:label ~ctx ~topology () in
+  let world =
+    make_world ~params ~server_profile ~defer_faults:true ?run_label:label ~ctx
+      ~topology ()
+  in
   drive ?label world (fun () ->
       (* Preload and warmup are not part of the measured run: gate the
-         sink so the report sees steady state only. *)
+         sink so the report sees steady state only, and hold the fault
+         schedule back so it perturbs the measured run, not the warmup. *)
       (match ctx.trace with Some tr -> Trace.set_enabled tr false | None -> ());
       Fileset.preload_server world.server standard_fileset;
       let m = mount_in world mount_opts in
@@ -314,6 +348,7 @@ let one_nhfsstone_run ?(server_profile = Nfs_server.reno_profile)
           (Nhfsstone.run m standard_fileset
              { Nhfsstone.rate; duration = warmup; children; mix; seed = seed + 1 });
       (match ctx.trace with Some tr -> Trace.set_enabled tr true | None -> ());
+      install_faults ~ctx world;
       Nhfsstone.run m standard_fileset
         { Nhfsstone.rate; duration; children; mix; seed })
 
@@ -921,7 +956,15 @@ let scaling_spec scale =
       cell_run =
         (fun ctx ->
           let sim = Sim.create () in
-          let topo, clients = Topology.multi_client sim ~clients:n () in
+          let topo =
+            Topology.build sim
+              {
+                Topology.shape = Topology.Star;
+                clients = n;
+                params = Topology.default_params;
+              }
+          in
+          let clients = topo.Topology.clients in
           attach_trace ctx sim topo label;
           let sudp = Udp.install topo.Topology.server in
           let stcp = Tcp.install topo.Topology.server in
@@ -997,6 +1040,104 @@ let scaling_spec scale =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: fault schedules under load, with invariant verdicts         *)
+(* ------------------------------------------------------------------ *)
+
+(* Content is a function of (file, offset, round) so overwrites change
+   the bytes and the durability check compares real data, not zeros. *)
+let chaos_payload ~file ~off ~round ~len =
+  Bytes.init len (fun i -> Char.chr ((file * 131 + off * 7 + round * 13 + i) land 0xff))
+
+(* Steady write/read mix over a small fixed fileset.  Nothing is ever
+   unlinked, so every acknowledged write must still be readable from
+   the server afterwards — the workload half of the durability
+   invariant. *)
+let chaos_drive world m ~duration =
+  let sim = world.sim in
+  let t0 = Sim.now sim in
+  let fds =
+    Array.init 4 (fun i -> Nfs_client.create m (Printf.sprintf "chaos%d" i))
+  in
+  let block = 1024 in
+  let round = ref 0 in
+  while Sim.now sim -. t0 < duration do
+    let k = !round mod Array.length fds in
+    let off = (!round / Array.length fds) mod 8 * block in
+    Nfs_client.write m fds.(k) ~off
+      (chaos_payload ~file:k ~off ~round:!round ~len:block);
+    if !round mod 3 = 0 then ignore (Nfs_client.read m fds.(k) ~off ~len:block);
+    if !round mod 5 = 4 then Nfs_client.fsync m fds.(k);
+    Proc.sleep sim 0.25;
+    incr round
+  done;
+  Nfs_client.flush_all m;
+  Array.iter (fun fd -> Nfs_client.close m fd) fds
+
+let chaos_cell ~schedule ~tname ~transport ~duration =
+  let label = Printf.sprintf "chaos/%s/%s" schedule.Fault.name tname in
+  {
+    cell_label = label;
+    cell_run =
+      (fun ctx ->
+        (* The invariant checker needs the event stream even when the
+           caller did not ask for a trace: give the run a private sink. *)
+        let sink =
+          match ctx.trace with
+          | Some tr -> tr
+          | None -> Trace.create ~capacity:65536 ()
+        in
+        let ctx = { trace = Some sink; faults = Some schedule } in
+        let world = make_world ~run_label:label ~ctx ~topology:"lan" () in
+        let start = Sim.now world.sim in
+        let verdicts, retrans, recovery, elapsed =
+          drive ~label world (fun () ->
+              let m = mount_in world (mount_opts_for ~transport ~topology:"lan") in
+              chaos_drive world m ~duration;
+              let fs = Nfs_server.fs world.server in
+              let read_back ~file ~off ~len =
+                try Some (Fs.read fs (Fs.vnode_by_ino fs file) ~off ~len)
+                with _ -> None
+              in
+              let records = Trace.to_list sink in
+              ( Fault.Check.check_all ~read_back records,
+                Client_transport.retransmits (Nfs_client.transport m),
+                Fault.Check.recovery_time records,
+                Sim.now world.sim -. start ))
+        in
+        [
+          txt schedule.Fault.name;
+          txt tname;
+          sec2 elapsed;
+          count retrans;
+          ms recovery;
+          txt (Fault.Check.summary verdicts);
+        ]);
+  }
+
+let chaos_spec scale =
+  let duration = match scale with Quick -> 10.0 | Full -> 14.0 in
+  let schedules =
+    match scale with
+    | Quick -> List.filter_map Fault.find_builtin [ "crash"; "flaky"; "partition" ]
+    | Full -> Fault.builtins
+  in
+  {
+    sp_id = "chaos";
+    sp_title = "Fault schedules under load: recovery cost and invariant verdicts";
+    sp_header =
+      [ "schedule"; "transport"; "elapsed(s)"; "retrans"; "recovery(ms)"; "invariants" ];
+    sp_cells =
+      List.concat_map
+        (fun schedule ->
+          List.map
+            (fun (tname, transport) ->
+              chaos_cell ~schedule ~tname ~transport ~duration)
+            transports)
+        schedules;
+    sp_assemble = (fun outs -> outs);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1019,6 +1160,7 @@ let specs =
     ("section3", section3_spec);
     ("leases", leases_spec);
     ("scaling", scaling_spec);
+    ("chaos", chaos_spec);
   ]
 
 let spec ?(scale = Quick) id =
@@ -1046,5 +1188,6 @@ let table5 = legacy "table5"
 let section3 = legacy "section3"
 let leases = legacy "leases"
 let scaling = legacy "scaling"
+let chaos = legacy "chaos"
 
 let all = List.map (fun (id, _) -> (id, legacy id)) specs

@@ -49,9 +49,14 @@ val print_table : Format.formatter -> table -> unit
 
 (** {2 Cells, specs and execution} *)
 
-type ctx = { trace : Renofs_trace.Trace.t option }
+type ctx = {
+  trace : Renofs_trace.Trace.t option;
+  faults : Renofs_fault.Fault.schedule option;
+}
 (** Everything a cell receives from the runner.  The sink, when
-    present, is private to the cell — see {!run_spec}. *)
+    present, is private to the cell — see {!run_spec}.  The fault
+    schedule, when present, is installed on every world the cell
+    builds through [make_world]. *)
 
 type cell = {
   cell_label : string;  (** e.g. ["graph1/load10/udp-dyn"], for diagnostics *)
@@ -82,7 +87,12 @@ val specs : (string * (scale -> spec)) list
 val spec : ?scale:scale -> string -> spec option
 (** Look up and build one spec ([Quick] by default). *)
 
-val run_spec : ?jobs:int -> ?trace:Renofs_trace.Trace.t -> spec -> results
+val run_spec :
+  ?jobs:int ->
+  ?trace:Renofs_trace.Trace.t ->
+  ?faults:Renofs_fault.Fault.schedule ->
+  spec ->
+  results
 (** Execute a spec's cells across [jobs] domains (default
     {!Sweep.default_jobs}) and assemble the typed rows.  Results are
     reassembled by cell index, never completion order, so output is
@@ -93,9 +103,18 @@ val run_spec : ?jobs:int -> ?trace:Renofs_trace.Trace.t -> spec -> results
     capacity, attached to its worlds and mark-delimited per world; the
     private sinks are merged into the main one in cell order after the
     sweep.  The combined stream is therefore race-free and identical to
-    a serial run's. *)
+    a serial run's.
 
-val run_specs : ?jobs:int -> ?trace:Renofs_trace.Trace.t -> spec list -> results list
+    Faults: with [faults], the schedule is installed on every world the
+    cells build, so any experiment can run under any schedule (the
+    [nfsbench run ID --faults FILE] path). *)
+
+val run_specs :
+  ?jobs:int ->
+  ?trace:Renofs_trace.Trace.t ->
+  ?faults:Renofs_fault.Fault.schedule ->
+  spec list ->
+  results list
 (** As {!run_spec} over several specs, pooling all their cells into one
     sweep so short experiments overlap long ones. *)
 
@@ -178,6 +197,12 @@ val scaling : ?scale:scale -> unit -> table
 (** Extension (not in the paper, which cites [Keith90] for server
     characterization): aggregate throughput, latency and server CPU as
     the number of client hosts grows. *)
+
+val chaos : ?scale:scale -> unit -> table
+(** Extension: the fault-schedule matrix — builtin schedules x
+    transports under a steady write/read load on a hard mount, with
+    elapsed time, retransmissions, worst crash-to-service recovery gap,
+    and the {!Renofs_fault.Fault.Check} invariant verdicts per cell. *)
 
 val all : (string * (?scale:scale -> unit -> table)) list
 (** Legacy registry: same ids as {!specs}, each entry running serially

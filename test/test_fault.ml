@@ -1,0 +1,339 @@
+(* The fault layer: schedule parsing, the trace-driven invariant
+   checker (each invariant must reject a seeded violation and pass a
+   clean stream), deterministic chaos results at any --jobs, a real
+   over-the-wire duplicate-CREATE probe of the Juszczak cache, and the
+   crash scenario from test_crash ported onto the schedule API. *)
+
+open Renofs_core
+module Net = Renofs_net
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Udp = Renofs_transport.Udp
+module Tcp = Renofs_transport.Tcp
+module Rpc_msg = Renofs_rpc.Rpc_msg
+module Xdr = Renofs_xdr.Xdr
+module Trace = Renofs_trace.Trace
+module Fault = Renofs_fault.Fault
+module Check = Fault.Check
+module E = Renofs_workload.Experiments
+module Bench_json = Renofs_workload.Bench_json
+module P = Nfs_proto
+
+(* ---------------------------------------------------------------- *)
+(* Schedule JSON                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_schedule_json () =
+  let text =
+    {|{ "schema": "renofs-fault/1", "name": "x", "description": "d",
+        "actions": [
+          {"kind":"server_crash","at":4.0,"downtime":3.0},
+          {"kind":"link_down","at":3.0,"duration":0.5,"link":"eth0"},
+          {"kind":"loss_burst","at":2.0,"duration":6.0,"link":"*","loss":0.05},
+          {"kind":"cpu_slow","at":2.0,"duration":6.0,"node":"server","factor":8.0},
+          {"kind":"partition","at":3.0,"duration":2.0,
+           "between":["client","server"]} ] }|}
+  in
+  (match Fault.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+      Alcotest.(check string) "name" "x" s.Fault.name;
+      Alcotest.(check int) "actions" 5 (List.length s.Fault.actions);
+      match s.Fault.actions with
+      | Fault.Server_crash { at; downtime } :: _ ->
+          Alcotest.(check (float 1e-9)) "at" 4.0 at;
+          Alcotest.(check (float 1e-9)) "downtime" 3.0 downtime
+      | _ -> Alcotest.fail "first action should be server_crash"));
+  (match Fault.parse "{}" with
+  | Ok _ -> Alcotest.fail "missing schema accepted"
+  | Error _ -> ());
+  (match
+     Fault.parse
+       {|{"schema":"renofs-fault/1","name":"x","actions":[{"kind":"nope"}]}|}
+   with
+  | Ok _ -> Alcotest.fail "unknown action kind accepted"
+  | Error _ -> ());
+  (match Fault.resolve "crash" with
+  | Ok s -> Alcotest.(check string) "builtin resolves" "crash" s.Fault.name
+  | Error e -> Alcotest.fail e);
+  match Fault.resolve "/no/such/schedule.json" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ()
+
+let test_new_events_jsonl_roundtrip () =
+  List.iter
+    (fun ev ->
+      let r = { Trace.time = 1.25; node = 3; ev } in
+      Alcotest.(check bool)
+        (Trace.line_of_record r)
+        true
+        (Trace.record_of_line (Trace.line_of_record r) = r))
+    [
+      Trace.Srv_crash;
+      Trace.Srv_reboot;
+      Trace.Write_committed
+        { file = 7; off = 1024; len = 512; digest = 12345; mtime = 1.0 };
+      Trace.Lease_grant { file = 7; mode = "write"; holder = 1; duration = 6.0 };
+      Trace.Cached_read { file = 7; holder = 1; mtime = 0.5 };
+      Trace.Wl_error { op = "create"; soft = true };
+      Trace.Fault_inject { action = "server_crash at=4 downtime=3" };
+      Trace.Pkt_drop { link = "eth0:client>server"; bytes = 1500; reason = Trace.Link_down };
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Invariants against synthetic streams                              *)
+(* ---------------------------------------------------------------- *)
+
+let r ?(node = 1) time ev = { Trace.time; node; ev }
+
+let test_hard_mount_invariant () =
+  let bad = [ r 1.0 (Trace.Wl_error { op = "write"; soft = false }) ] in
+  Alcotest.(check bool) "hard-mount error flagged" false
+    (Check.hard_mount_errors bad).Check.v_ok;
+  let ok = [ r 1.0 (Trace.Wl_error { op = "write"; soft = true }) ] in
+  Alcotest.(check bool) "soft give-up is legal" true
+    (Check.hard_mount_errors ok).Check.v_ok
+
+let test_double_effect_invariant () =
+  let svc t =
+    r ~node:2 t (Trace.Srv_service { xid = 7l; proc = 9; service = 0.001 })
+  in
+  Alcotest.(check bool) "double CREATE flagged" false
+    (Check.no_double_effect [ svc 1.0; svc 2.0 ]).Check.v_ok;
+  (* A crash between the two executions is the paper's known
+     at-least-once hazard — the cache died with the server. *)
+  let crashed =
+    [ svc 1.0; r ~node:2 1.5 Trace.Srv_crash; r ~node:2 1.6 Trace.Srv_reboot;
+      svc 2.0 ]
+  in
+  Alcotest.(check bool) "re-execution across a crash tolerated" true
+    (Check.no_double_effect crashed).Check.v_ok
+
+let test_stale_lease_invariant () =
+  let base =
+    [
+      r ~node:2 1.0
+        (Trace.Lease_grant { file = 5; mode = "write"; holder = 1; duration = 6.0 });
+      r ~node:2 2.0
+        (Trace.Write_committed
+           { file = 5; off = 0; len = 4; digest = 0; mtime = 2.0 });
+    ]
+  in
+  let stale =
+    base @ [ r ~node:3 3.0 (Trace.Cached_read { file = 5; holder = 3; mtime = 1.0 }) ]
+  in
+  Alcotest.(check bool) "stale cached read flagged" false
+    (Check.no_stale_lease_reads stale).Check.v_ok;
+  let after_crash =
+    base
+    @ [
+        r ~node:2 2.5 Trace.Srv_crash;
+        r ~node:3 3.0 (Trace.Cached_read { file = 5; holder = 3; mtime = 1.0 });
+      ]
+  in
+  Alcotest.(check bool) "crash voids the conflicting lease" true
+    (Check.no_stale_lease_reads after_crash).Check.v_ok
+
+let test_durability_invariant () =
+  let commit t data =
+    r ~node:2 t
+      (Trace.Write_committed
+         {
+           file = 9;
+           off = 0;
+           len = Bytes.length data;
+           digest = Trace.digest data;
+           mtime = t;
+         })
+  in
+  let w = commit 1.0 (Bytes.of_string "hello") in
+  let returns s ~file:_ ~off:_ ~len:_ = Some (Bytes.of_string s) in
+  let gone ~file:_ ~off:_ ~len:_ = None in
+  Alcotest.(check bool) "matching read-back passes" true
+    (Check.durable_writes ~read_back:(returns "hello") [ w ]).Check.v_ok;
+  Alcotest.(check bool) "corrupted read-back flagged" false
+    (Check.durable_writes ~read_back:(returns "jello") [ w ]).Check.v_ok;
+  Alcotest.(check bool) "vanished file flagged" false
+    (Check.durable_writes ~read_back:gone [ w ]).Check.v_ok;
+  (* A later overlapping write supersedes the first: only the final
+     extent is digest-checked. *)
+  let w2 = commit 2.0 (Bytes.of_string "world") in
+  Alcotest.(check bool) "superseded write not checked" true
+    (Check.durable_writes ~read_back:(returns "world") [ w; w2 ]).Check.v_ok;
+  Alcotest.(check bool) "summary names the failure" true
+    (String.length
+       (Check.summary [ Check.hard_mount_errors [ r 1.0 (Trace.Wl_error { op = "x"; soft = false }) ] ])
+    >= 4)
+
+(* ---------------------------------------------------------------- *)
+(* Duplicate CREATE over the wire: the checker sees what the         *)
+(* Juszczak cache does (and flags its absence)                       *)
+(* ---------------------------------------------------------------- *)
+
+let double_create_verdict ~dup_cache =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let tr = Trace.create () in
+  List.iter (fun n -> Net.Node.set_trace n (Some tr)) topo.Net.Topology.all;
+  let sudp = Udp.install topo.Net.Topology.server in
+  let stcp = Tcp.install topo.Net.Topology.server in
+  let profile = Nfs_server.with_duplicate_cache Nfs_server.default_config dup_cache in
+  let server =
+    Nfs_server.create topo.Net.Topology.server ~profile ~udp:sudp ~tcp:stcp ()
+  in
+  Nfs_server.start server;
+  let cudp = Udp.install topo.Net.Topology.client in
+  Proc.spawn sim (fun () ->
+      let sock = Udp.bind_ephemeral cudp in
+      let call =
+        P.Create
+          {
+            P.where = { P.dir = Nfs_server.root_fhandle server; name = "dup" };
+            attributes =
+              {
+                P.s_mode = 0o644;
+                s_uid = 0;
+                s_gid = 0;
+                s_size = 0;
+                s_atime = None;
+                s_mtime = None;
+              };
+          }
+      in
+      (* The same xid twice: a retransmitted non-idempotent request. *)
+      let send () =
+        let enc =
+          Rpc_msg.encode_call
+            {
+              Rpc_msg.xid = 4242l;
+              prog = P.program;
+              vers = P.version;
+              proc = P.proc_of_call call;
+              cred = Rpc_msg.Auth_unix { stamp = 0; machine = "t"; uid = 0; gid = 0 };
+            }
+        in
+        P.encode_call enc call;
+        Udp.sendto sock ~dst:(Net.Topology.server_id topo) ~dst_port:P.port
+          (Xdr.Enc.chain enc)
+      in
+      send ();
+      Proc.sleep sim 0.5;
+      send ());
+  Sim.run ~until:5.0 sim;
+  Check.no_double_effect (Trace.to_list tr)
+
+let test_dup_cache_off_double_create_flagged () =
+  Alcotest.(check bool) "no cache: double effect flagged" false
+    (double_create_verdict ~dup_cache:false).Check.v_ok
+
+let test_dup_cache_on_double_create_clean () =
+  Alcotest.(check bool) "cache replays, no second effect" true
+    (double_create_verdict ~dup_cache:true).Check.v_ok
+
+(* ---------------------------------------------------------------- *)
+(* Chaos determinism: identical trace and JSON at any --jobs         *)
+(* ---------------------------------------------------------------- *)
+
+let test_chaos_determinism () =
+  let spec = Option.get (E.spec ~scale:E.Quick "chaos") in
+  (* Two cells keep the test fast; determinism does not depend on the
+     cell count. *)
+  let mini =
+    { spec with E.sp_cells = List.filteri (fun i _ -> i < 2) spec.E.sp_cells }
+  in
+  let run jobs =
+    let tr = Trace.create ~capacity:(1 lsl 18) () in
+    let results = E.run_spec ~jobs ~trace:tr mini in
+    ( Bench_json.emit ~scale:E.Quick ~jobs:1 [ results ],
+      List.map Trace.line_of_record (Trace.to_list tr) )
+  in
+  let json1, trace1 = run 1 in
+  let json3, trace3 = run 3 in
+  Alcotest.(check string) "JSON byte-identical across jobs" json1 json3;
+  Alcotest.(check (list string)) "trace byte-identical across jobs" trace1 trace3;
+  Alcotest.(check bool) "invariants green on defaults" true
+    (String.length json1 > 0
+    && not
+         (List.exists
+            (List.exists (function
+              | E.Text s -> String.length s >= 4 && String.sub s 0 4 = "FAIL"
+              | _ -> false))
+            (E.run_spec ~jobs:1 mini).E.r_rows))
+
+(* ---------------------------------------------------------------- *)
+(* test_crash's hard-mount scenario on the schedule API              *)
+(* ---------------------------------------------------------------- *)
+
+let test_schedule_crash_rides_through () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.lan sim () in
+  let sudp = Udp.install topo.Net.Topology.server in
+  let stcp = Tcp.install topo.Net.Topology.server in
+  let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in
+  Nfs_server.start server;
+  Fault.install
+    { Fault.sim; nodes = topo.Net.Topology.all; server = Some server; trace = None }
+    {
+      Fault.name = "crash-early";
+      description = "crash at 0.5s, reboot 5s later";
+      actions = [ Fault.Server_crash { at = 0.5; downtime = 5.0 } ];
+    };
+  let cudp = Udp.install topo.Net.Topology.client in
+  let ctcp = Tcp.install topo.Net.Topology.client in
+  let finished = ref false in
+  Proc.spawn sim (fun () ->
+      let m =
+        Nfs_client.mount ~udp:cudp ~tcp:ctcp
+          ~server:(Net.Topology.server_id topo)
+          ~root:(Nfs_server.root_fhandle server)
+          Nfs_client.reno_mount
+      in
+      let fd = Nfs_client.create m "before" in
+      Nfs_client.write m fd ~off:0 (Bytes.of_string "pre-crash");
+      Nfs_client.close m fd;
+      Proc.sleep sim 0.6;
+      Alcotest.(check bool) "schedule crashed the server" false
+        (Nfs_server.is_up server);
+      (* The hard mount blocks and retransmits until the reboot. *)
+      let t0 = Sim.now sim in
+      let fd2 = Nfs_client.create m "during" in
+      Nfs_client.close m fd2;
+      Alcotest.(check bool) "operation stalled across downtime" true
+        (Sim.now sim -. t0 >= 3.0);
+      let back = Nfs_client.read m (Nfs_client.open_ m "before") ~off:0 ~len:100 in
+      Alcotest.(check string) "stable storage survived" "pre-crash"
+        (Bytes.to_string back);
+      Alcotest.(check bool) "client retransmitted" true
+        (Client_transport.retransmits (Nfs_client.transport m) > 0);
+      finished := true);
+  Sim.run ~until:36_000.0 sim;
+  if not !finished then Alcotest.fail "never finished"
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "schedules",
+        [
+          Alcotest.test_case "json round-trip and errors" `Quick test_schedule_json;
+          Alcotest.test_case "new trace events roundtrip jsonl" `Quick
+            test_new_events_jsonl_roundtrip;
+          Alcotest.test_case "crash schedule rides through" `Quick
+            test_schedule_crash_rides_through;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "hard mount errors" `Quick test_hard_mount_invariant;
+          Alcotest.test_case "double effect" `Quick test_double_effect_invariant;
+          Alcotest.test_case "stale lease reads" `Quick test_stale_lease_invariant;
+          Alcotest.test_case "durable writes" `Quick test_durability_invariant;
+          Alcotest.test_case "dup cache off: flagged" `Quick
+            test_dup_cache_off_double_create_flagged;
+          Alcotest.test_case "dup cache on: clean" `Quick
+            test_dup_cache_on_double_create_clean;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "deterministic at any --jobs" `Quick
+            test_chaos_determinism;
+        ] );
+    ]
