@@ -6,8 +6,12 @@
 # JSON output, validate that output against the renofs-bench/1
 # schema, and exercise the fault layer (builtin listing, a schedule
 # file on a normal experiment, the chaos invariant matrix).
+# `make bench-gate` reruns the quick suite and diffs it against the
+# committed BENCH_quick.json baseline, failing on any >15% regression
+# in latency (ms/s) or throughput (per_s) cells; refresh the baseline
+# with `make bench-baseline` after an intentional performance change.
 
-.PHONY: all build test fmt smoke check clean
+.PHONY: all build test fmt smoke bench-gate bench-baseline check clean
 
 all: build
 
@@ -28,7 +32,14 @@ smoke: build
 	dune exec bin/nfsbench.exe -- run graph1 --jobs 2 --faults examples/crash.json
 	dune exec bin/nfsbench.exe -- chaos --scale quick
 
-check: build test fmt smoke
+bench-gate: build
+	dune exec bin/nfsbench.exe -- all --json /tmp/renofs-bench-gate.json > /dev/null
+	dune exec bin/nfsbench.exe -- diff BENCH_quick.json /tmp/renofs-bench-gate.json --tolerance 15
+
+bench-baseline: build
+	dune exec bin/nfsbench.exe -- all --json BENCH_quick.json > /dev/null
+
+check: build test fmt smoke bench-gate
 
 clean:
 	dune clean

@@ -12,6 +12,9 @@
      nfsbench chaos [--scale quick|full]       fault-schedule x transport matrix
      nfsbench faults                   list the builtin fault schedules
      nfsbench all [-f] [--jobs N] [--json FILE]   run everything
+     nfsbench run graph5 --metrics m.jsonl sample time-series metrics
+     nfsbench plot m.jsonl cwnd        chart a recorded series
+     nfsbench diff OLD.json NEW.json   regression-gate two --json files
      nfsbench validate-json FILE       check a --json file against the schema
 
    Results are assembled by cell index, never completion order, so any
@@ -23,6 +26,8 @@ module Sweep = Renofs_workload.Sweep
 module Bench_json = Renofs_workload.Bench_json
 module Trace = Renofs_trace.Trace
 module Fault = Renofs_fault.Fault
+module Metrics = Renofs_metrics.Metrics
+module Stats = Renofs_engine.Stats
 
 let scale_of_full full = if full then E.Full else E.Quick
 
@@ -67,8 +72,16 @@ let resolve_faults = function
   | None -> Ok None
   | Some spec -> Result.map Option.some (Fault.resolve spec)
 
-let run_one id full jobs trace_path report json_path faults_spec =
-  match check_outputs [ ("trace", trace_path); ("json", json_path) ] with
+(* CSV by extension, JSONL otherwise. *)
+let export_metrics mt path =
+  if Filename.check_suffix path ".csv" then Metrics.export_csv mt path
+  else Metrics.export_jsonl mt path
+
+let run_one id full jobs trace_path report json_path faults_spec metrics_path =
+  match
+    check_outputs
+      [ ("trace", trace_path); ("json", json_path); ("metrics", metrics_path) ]
+  with
   | Some msg -> `Error (false, msg)
   | None -> (
       match resolve_faults faults_spec with
@@ -90,12 +103,24 @@ let run_one id full jobs trace_path report json_path faults_spec =
                   Some (Trace.create ~capacity:(1 lsl 20) ())
                 else None
               in
+              let mt =
+                match metrics_path with
+                | Some _ -> Some (Metrics.create ())
+                | None -> None
+              in
               (match faults with
               | Some f ->
                   Format.printf "faults: %s — %s@." f.Fault.name f.Fault.description
               | None -> ());
-              let results = E.run_spec ~jobs ?trace:tr ?faults spec in
+              let results = E.run_spec ~jobs ?trace:tr ?faults ?metrics:mt spec in
               print_with_chart (E.render results);
+              (match (mt, metrics_path) with
+              | Some mt, Some path ->
+                  export_metrics mt path;
+                  Format.printf "metrics: %d series written to %s@."
+                    (List.length (Metrics.series mt))
+                    path
+              | _ -> ());
               (match json_path with
               | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
               | None -> ());
@@ -148,6 +173,81 @@ let run_chaos scale jobs json_path =
       if List.exists (List.exists is_fail) results.E.r_rows then
         `Error (false, "chaos: invariant violation detected (see table)")
       else `Ok ()
+
+(* A series address is "run/name"; PATTERN is a case-sensitive
+   substring of it.  Counters plot as per-interval rates — the level of
+   a monotone counter is rarely the interesting shape. *)
+let run_plot path pattern =
+  match Metrics.import_jsonl path with
+  | Error msg -> `Error (false, msg)
+  | Ok all ->
+      let address (s : Metrics.series) = s.Metrics.e_run ^ "/" ^ s.Metrics.e_name in
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        sub = "" || go 0
+      in
+      let matches =
+        List.filter (fun s -> contains ~sub:pattern (address s)) all
+      in
+      if matches = [] then begin
+        Format.eprintf "no series matches %S; available:@." pattern;
+        List.iter (fun s -> Format.eprintf "  %s@." (address s)) all;
+        `Error (false, Printf.sprintf "no series matches %S" pattern)
+      end
+      else begin
+        let shown, rest =
+          List.filteri (fun i _ -> i < 4) matches,
+          List.filteri (fun i _ -> i >= 4) matches
+        in
+        List.iter
+          (fun (s : Metrics.series) ->
+            let points, value_label =
+              match s.Metrics.e_kind with
+              | Metrics.Counter ->
+                  (Stats.Timeseries.rate s.Metrics.e_points, s.Metrics.e_unit ^ "/s")
+              | Metrics.Gauge | Metrics.Histogram ->
+                  (s.Metrics.e_points, s.Metrics.e_unit)
+            in
+            Format.printf "%s — %s, %s, %d points@." (address s)
+              (Metrics.kind_name s.Metrics.e_kind)
+              value_label (List.length points);
+            Format.printf "%s@."
+              (Renofs_workload.Ascii_plot.render ~x_label:"sim time (s)"
+                 ~y_label:value_label ~x:(List.map fst points)
+                 ~series:[ (value_label, List.map snd points) ]
+                 ()))
+          shown;
+        if rest <> [] then begin
+          Format.printf "...and %d more matches (narrow the pattern):@."
+            (List.length rest);
+          List.iter (fun s -> Format.printf "  %s@." (address s)) rest
+        end;
+        `Ok ()
+      end
+
+let run_diff old_path new_path tolerance_pct =
+  if tolerance_pct < 0.0 then `Error (false, "--tolerance must be >= 0")
+  else
+    match
+      Bench_json.diff_files ~tolerance:(tolerance_pct /. 100.0) old_path new_path
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok r ->
+        List.iter (fun w -> Format.printf "note: %s@." w) r.Bench_json.warnings;
+        List.iter (fun w -> Format.printf "%s@." w) r.Bench_json.improvements;
+        List.iter (fun w -> Format.printf "%s@." w) r.Bench_json.regressions;
+        Format.printf "%d cells compared at ±%g%%: %d regressed, %d improved@."
+          r.Bench_json.compared tolerance_pct
+          (List.length r.Bench_json.regressions)
+          (List.length r.Bench_json.improvements);
+        if r.Bench_json.regressions <> [] then
+          `Error
+            ( false,
+              Printf.sprintf "%d cells regressed beyond %g%%"
+                (List.length r.Bench_json.regressions)
+                tolerance_pct )
+        else `Ok ()
 
 let list_faults () =
   List.iter
@@ -209,6 +309,17 @@ let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
        ~doc:"A file produced by --json.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Sample instrumented sources (cwnd, RTO estimators, server queue \
+           depth, link utilization, caches) every 0.5 sim-seconds and write \
+           the time series to $(docv): schema renofs-metrics/1 as JSONL, or \
+           CSV when $(docv) ends in .csv.")
+
 let faults_arg =
   Arg.(
     value
@@ -231,7 +342,58 @@ let run_cmd =
     Term.(
       ret
         (const run_one $ id_arg $ full_flag $ jobs_arg $ trace_arg $ report_flag
-       $ json_arg $ faults_arg))
+       $ json_arg $ faults_arg $ metrics_arg))
+
+let plot_cmd =
+  let metrics_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A renofs-metrics/1 JSONL file (--metrics).")
+  in
+  let pattern =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SERIES"
+          ~doc:
+            "Substring of a series address (run/name), e.g. \
+             $(b,udp-dyn/client.xport.cwnd) or just $(b,cwnd).")
+  in
+  Cmd.v
+    (Cmd.info "plot"
+       ~doc:
+         "Render time series from a --metrics file as ASCII charts (counters \
+          as per-interval rates)")
+    Term.(ret (const run_plot $ metrics_file $ pattern))
+
+let diff_cmd =
+  let old_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline renofs-bench/1 file.")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate renofs-bench/1 file.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 15.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Allowed change in percent before a latency (ms/s) increase or a \
+             throughput (per_s) decrease counts as a regression.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two --json files cell by cell; exits non-zero when any \
+          cell regressed beyond the tolerance")
+    Term.(ret (const run_diff $ old_file $ new_file $ tolerance))
 
 let chaos_cmd =
   Cmd.v
@@ -266,6 +428,15 @@ let main =
        ~doc:
          "Reproduce the experiments of 'Lessons Learned Tuning the 4.3BSD Reno \
           Implementation of the NFS Protocol' (Macklem, USENIX 1991)")
-    [ run_cmd; chaos_cmd; faults_cmd; all_cmd; list_cmd; validate_cmd ]
+    [
+      run_cmd;
+      chaos_cmd;
+      faults_cmd;
+      all_cmd;
+      list_cmd;
+      validate_cmd;
+      plot_cmd;
+      diff_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -11,6 +11,7 @@ module Node = Renofs_net.Node
 module Udp = Renofs_transport.Udp
 module Tcp = Renofs_transport.Tcp
 module Trace = Renofs_trace.Trace
+module Metrics = Renofs_metrics.Metrics
 module P = Nfs_proto
 
 exception Rpc_error of string
@@ -343,10 +344,52 @@ and reconnect t st =
 (* Construction                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Sampled sources for the run attached to this client's node, if any:
+   the congestion window and outstanding-request gauges plus per-class
+   Jacobson estimator state (srtt / rttvar / RTO, in ms) — the
+   trajectories behind Graphs 5 and 7.  Estimators without a sample yet
+   return nan, which the sampler skips. *)
+let register_metrics t =
+  match Node.metrics t.node with
+  | None -> ()
+  | Some run ->
+      let p s = Node.name t.node ^ ".xport." ^ s in
+      let fi = float_of_int in
+      Metrics.register run ~name:(p "outstanding") ~unit_:"count"
+        ~kind:Metrics.Gauge (fun () -> fi t.outstanding);
+      Metrics.register run ~name:(p "calls") ~unit_:"count"
+        ~kind:Metrics.Counter (fun () -> fi t.n_calls);
+      Metrics.register run ~name:(p "retransmits") ~unit_:"count"
+        ~kind:Metrics.Counter (fun () -> fi t.n_retransmits);
+      match t.mode with
+      | Udp_fixed | Tcp_stream _ -> ()
+      | Udp_dynamic est ->
+          Metrics.register run ~name:(p "cwnd") ~unit_:"count"
+            ~kind:Metrics.Gauge (fun () -> t.cwnd);
+          List.iter
+            (fun (cls, e) ->
+              let ms f () = if Rtt.initialized e.e_rtt then f () *. 1e3 else nan in
+              Metrics.register run ~name:(p cls ^ ".srtt") ~unit_:"ms"
+                ~kind:Metrics.Gauge
+                (ms (fun () -> Rtt.srtt e.e_rtt));
+              Metrics.register run ~name:(p cls ^ ".rttvar") ~unit_:"ms"
+                ~kind:Metrics.Gauge
+                (ms (fun () -> Rtt.deviation e.e_rtt));
+              Metrics.register run ~name:(p cls ^ ".rto") ~unit_:"ms"
+                ~kind:Metrics.Gauge
+                (ms (fun () -> Rtt.rto e.e_rtt ~default:t.timeo)))
+            [
+              ("read", est.e_read);
+              ("write", est.e_write);
+              ("getattr", est.e_getattr);
+              ("lookup", est.e_lookup);
+            ]
+
 let base node ~mode ~sock ~server ~timeo ?max_retries ?(uid = 100) ?(gid = 100)
     ~cwnd_init ~cwnd_max () =
-  {
-    sim = Node.sim node;
+  let t =
+    {
+      sim = Node.sim node;
     node;
     mode;
     sock;
@@ -363,10 +406,13 @@ let base node ~mode ~sock ~server ~timeo ?max_retries ?(uid = 100) ?(gid = 100)
     gate = [];
     n_calls = 0;
     n_retransmits = 0;
-    rtt_all = Stats.Welford.create ();
-    rtt_by_proc = Hashtbl.create 8;
-    trace = None;
-  }
+      rtt_all = Stats.Welford.create ();
+      rtt_by_proc = Hashtbl.create 8;
+      trace = None;
+    }
+  in
+  register_metrics t;
+  t
 
 let create_udp_fixed stack ~server ?(timeo = 1.0) ?max_retries ?uid ?gid () =
   let node = Udp.node stack in

@@ -8,6 +8,7 @@ module Udp = Renofs_transport.Udp
 module Tcp = Renofs_transport.Tcp
 module Namecache = Renofs_vfs.Namecache
 module Trace = Renofs_trace.Trace
+module Metrics = Renofs_metrics.Metrics
 module P = Nfs_proto
 
 type write_policy = Write_through | Async | Delayed
@@ -629,6 +630,31 @@ let mount ~udp ?tcp ~server ~root opts =
       seen_retransmits = 0;
     }
   in
+  (* Client cache and biod sources for the run attached to this node,
+     if any (the transport registered its own at creation). *)
+  (match Node.metrics node with
+  | None -> ()
+  | Some run ->
+      let p s = Node.name node ^ ".cli." ^ s in
+      let fi = float_of_int in
+      Metrics.register run ~name:(p "attrcache.hit_ratio") ~unit_:"percent"
+        ~kind:Metrics.Gauge (fun () ->
+          let total = Attrcache.hits t.attrs + Attrcache.misses t.attrs in
+          if total = 0 then nan
+          else 100.0 *. fi (Attrcache.hits t.attrs) /. fi total);
+      (match t.names with
+      | Some nc ->
+          Metrics.register run ~name:(p "namecache.hit_ratio") ~unit_:"percent"
+            ~kind:Metrics.Gauge (fun () ->
+              let s = Namecache.stats nc in
+              let total = s.Namecache.hits + s.Namecache.misses in
+              if total = 0 then nan
+              else 100.0 *. fi s.Namecache.hits /. fi total)
+      | None -> ());
+      Metrics.register run ~name:(p "biod.queued") ~unit_:"count"
+        ~kind:Metrics.Gauge (fun () -> fi (Biod.queued t.biods));
+      Metrics.register run ~name:(p "biod.jobs") ~unit_:"count"
+        ~kind:Metrics.Counter (fun () -> fi (Biod.jobs_run t.biods)));
   ignore (getattr_rpc t root);
   (* Lease renewal: dirty files keep their leases alive (and get told to
      vacate as soon as they are contested); clean leases just lapse. *)

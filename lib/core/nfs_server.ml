@@ -9,6 +9,7 @@ module Record_mark = Renofs_rpc.Record_mark
 module Node = Renofs_net.Node
 module Nic = Renofs_net.Nic
 module Trace = Renofs_trace.Trace
+module Metrics = Renofs_metrics.Metrics
 module Udp = Renofs_transport.Udp
 module Tcp = Renofs_transport.Tcp
 module Fs = Renofs_vfs.Fs
@@ -84,6 +85,8 @@ type t = {
   service_times : (string, Stats.Welford.t) Hashtbl.t;
   mutable served : int;
   mutable dups : int;
+  mutable in_service : int; (* RPCs currently inside [execute] *)
+  mutable service_hist : Stats.Hist.t option; (* ms; only with metrics *)
   dup_table : (int32 * int * int, dup_entry) Hashtbl.t;
   dup_order : (int32 * int * int) Queue.t;
   leases : (int, lease_holder list ref) Hashtbl.t; (* per fhandle *)
@@ -98,26 +101,61 @@ let lease_duration = 6.0
 (* Short, as NQNFS leases are: the bound on both staleness after a
    partition and the wait for a contested grant. *)
 
+(* Sampled sources for the run attached to the server's node, if any:
+   throughput and duplicate counters, the service-concurrency gauge,
+   the name-cache hit ratio, and a per-RPC service-time histogram
+   (created here so the data path pays nothing without metrics). *)
+let register_metrics t =
+  match Node.metrics t.node with
+  | None -> ()
+  | Some run ->
+      let p s = Node.name t.node ^ ".srv." ^ s in
+      let fi = float_of_int in
+      Metrics.register run ~name:(p "served") ~unit_:"count"
+        ~kind:Metrics.Counter (fun () -> fi t.served);
+      Metrics.register run ~name:(p "dups") ~unit_:"count"
+        ~kind:Metrics.Counter (fun () -> fi t.dups);
+      Metrics.register run ~name:(p "inflight") ~unit_:"count"
+        ~kind:Metrics.Gauge (fun () -> fi t.in_service);
+      (match Fs.namecache t.fs with
+      | Some nc ->
+          Metrics.register run ~name:(p "namecache.hit_ratio") ~unit_:"percent"
+            ~kind:Metrics.Gauge (fun () ->
+              let s = Renofs_vfs.Namecache.stats nc in
+              let total = s.Renofs_vfs.Namecache.hits + s.Renofs_vfs.Namecache.misses in
+              if total = 0 then nan
+              else 100.0 *. fi s.Renofs_vfs.Namecache.hits /. fi total)
+      | None -> ());
+      let hist = Stats.Hist.create ~bucket_width:0.5 ~buckets:200 in
+      t.service_hist <- Some hist;
+      Metrics.register_hist run ~name:(p "service_ms") ~unit_:"ms" hist
+
 let create node ?(profile = reno_profile) ~udp ?tcp () =
   let sim = Node.sim node in
   let disk = Disk.create sim () in
   let fs = Fs.create sim (Node.cpu node) disk profile.fs_config in
-  {
-    node;
-    profile;
-    fs;
-    udp;
-    tcp;
-    counters = Stats.Counter.create ();
-    service_times = Hashtbl.create 20;
-    served = 0;
-    dups = 0;
-    dup_table = Hashtbl.create dup_capacity;
-    dup_order = Queue.create ();
-    leases = Hashtbl.create 64;
-    up = true;
-    no_leases_before = 0.0;
-  }
+  let t =
+    {
+      node;
+      profile;
+      fs;
+      udp;
+      tcp;
+      counters = Stats.Counter.create ();
+      service_times = Hashtbl.create 20;
+      served = 0;
+      dups = 0;
+      in_service = 0;
+      service_hist = None;
+      dup_table = Hashtbl.create dup_capacity;
+      dup_order = Queue.create ();
+      leases = Hashtbl.create 64;
+      up = true;
+      no_leases_before = 0.0;
+    }
+  in
+  register_metrics t;
+  t
 
 let fs t = t.fs
 let is_up t = t.up
@@ -568,9 +606,14 @@ let handle_message t ?arrived_at chain ~src ~src_port =
                 Stats.Counter.incr t.counters (P.proc_name hdr.Rpc_msg.proc);
                 t.served <- t.served + 1;
                 let t0 = Sim.now (Node.sim t.node) in
+                t.in_service <- t.in_service + 1;
                 let reply = execute t ~client:(src, src_port) ~cred:hdr.Rpc_msg.cred call in
+                t.in_service <- t.in_service - 1;
                 let elapsed = Sim.now (Node.sim t.node) -. t0 in
                 note_service t (P.proc_name hdr.Rpc_msg.proc) elapsed;
+                (match t.service_hist with
+                | Some h -> Stats.Hist.add h (elapsed *. 1e3)
+                | None -> ());
                 (match Node.trace t.node with
                 | Some tr ->
                     Trace.record tr
@@ -632,6 +675,16 @@ let crash_and_reboot t ~downtime =
 
 let start_udp t =
   let sock = Udp.bind t.udp ~port:P.port in
+  (* The receive-queue depth the paper's Section 4 watches back up
+     behind the 56K link; registered here because the socket only
+     exists once the server starts. *)
+  (match Node.metrics t.node with
+  | Some run ->
+      Metrics.register run
+        ~name:(Node.name t.node ^ ".srv.qdepth")
+        ~unit_:"count" ~kind:Metrics.Gauge
+        (fun () -> float_of_int (Udp.pending sock))
+  | None -> ());
   for _ = 1 to t.profile.nfsd_count do
     Proc.spawn (Node.sim t.node) (fun () ->
         let rec serve () =

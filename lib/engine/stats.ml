@@ -74,7 +74,7 @@ module Hist = struct
         (bound, t.counts.(i)))
 end
 
-module Series = struct
+module Timeseries = struct
   type t = { name : string; mutable rev : (float * float) list; mutable n : int }
 
   let create ?(name = "") () = { name; rev = []; n = 0 }
@@ -86,7 +86,41 @@ module Series = struct
 
   let length t = t.n
   let to_list t = List.rev t.rev
+
+  (* Successive differences over an already-ordered point list.  One
+     output point per input pair, stamped at the later time, so an
+     n-point series yields n-1 points and empty/singleton series yield
+     []. *)
+  let delta points =
+    match points with
+    | [] | [ _ ] -> []
+    | (_, v0) :: rest ->
+        let prev = ref v0 in
+        List.map
+          (fun (t, v) ->
+            let d = v -. !prev in
+            prev := v;
+            (t, d))
+          rest
+
+  (* Counter -> per-second rate: delta divided by the sampling gap.
+     Pairs with a nonpositive time step carry no rate information
+     (duplicate timestamps from merged runs) and are skipped. *)
+  let rate points =
+    match points with
+    | [] | [ _ ] -> []
+    | (t0, v0) :: rest ->
+        let prev_t = ref t0 and prev_v = ref v0 in
+        List.filter_map
+          (fun (t, v) ->
+            let dt = t -. !prev_t and dv = v -. !prev_v in
+            prev_t := t;
+            prev_v := v;
+            if dt > 0.0 then Some (t, dv /. dt) else None)
+          rest
 end
+
+module Series = Timeseries
 
 module Counter = struct
   type t = (string, int ref) Hashtbl.t

@@ -31,8 +31,9 @@ module Hist : sig
       [infinity]. *)
 end
 
-(** Append-only (time, value) traces, e.g. the Graph 7 RTT/RTO trace. *)
-module Series : sig
+(** Append-only (time, value) traces, e.g. the Graph 7 RTT/RTO trace or
+    a metrics sampler's per-series points. *)
+module Timeseries : sig
   type t
 
   val create : ?name:string -> unit -> t
@@ -40,7 +41,19 @@ module Series : sig
   val add : t -> float -> float -> unit
   val length : t -> int
   val to_list : t -> (float * float) list
+
+  val delta : (float * float) list -> (float * float) list
+  (** Successive value differences, stamped at the later point's time:
+      n points yield n-1; empty and single-point inputs yield []. *)
+
+  val rate : (float * float) list -> (float * float) list
+  (** Successive per-second rates ([delta] / time step), for
+      counter-valued series.  Pairs with a nonpositive time step are
+      skipped; empty and single-point inputs yield []. *)
 end
+
+module Series = Timeseries
+(** Compatibility alias for {!Timeseries}. *)
 
 (** Named integer counters, e.g. per-RPC-type counts. *)
 module Counter : sig

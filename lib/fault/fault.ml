@@ -148,7 +148,9 @@ let load_file path =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | content -> parse content
+  | content ->
+      (* [parse] errors already carry line/column; add which file. *)
+      Result.map_error (fun msg -> path ^ ": " ^ msg) (parse content)
   | exception Sys_error msg -> Error msg
 
 let resolve spec =

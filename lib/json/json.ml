@@ -13,7 +13,21 @@ let parse_exn s =
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail msg =
+    (* Count newlines up to the failure point so callers can report
+       file:line:col on multi-line documents (fault schedules, JSONL). *)
+    let line = ref 1 and bol = ref 0 in
+    for i = 0 to Stdlib.min !pos n - 1 do
+      if s.[i] = '\n' then begin
+        incr line;
+        bol := i + 1
+      end
+    done;
+    raise
+      (Bad
+         (Printf.sprintf "%s at line %d, column %d (offset %d)" msg !line
+            (!pos - !bol + 1) !pos))
+  in
   let skip_ws () =
     while
       !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)

@@ -18,7 +18,8 @@ type json =
 exception Bad of string
 
 val parse_exn : string -> json
-(** Raises {!Bad} with a message and byte offset on malformed input. *)
+(** Raises {!Bad} with a message carrying line, column and byte offset
+    on malformed input. *)
 
 val parse : string -> (json, string) result
 

@@ -136,3 +136,5 @@ let set_up t up = t.up <- up
 let utilization t =
   let now = Sim.now t.sim in
   if now <= 0.0 then 0.0 else t.busy /. now
+
+let busy_time t = t.busy

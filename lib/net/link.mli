@@ -63,3 +63,7 @@ val set_up : t -> bool -> unit
 
 val utilization : t -> float
 (** Fraction of time spent transmitting since creation. *)
+
+val busy_time : t -> float
+(** Cumulative transmission seconds — a counter; sampled periodically
+    and differentiated, it yields the utilization over each window. *)

@@ -4,6 +4,7 @@ module Cpu = Renofs_engine.Cpu
 module Rng = Renofs_engine.Rng
 module Mbuf = Renofs_mbuf.Mbuf
 module Trace = Renofs_trace.Trace
+module Metrics = Renofs_metrics.Metrics
 
 type datagram = {
   proto : Packet.proto;
@@ -40,6 +41,7 @@ type t = {
   stats : stats;
   mutable next_ip_id : int;
   mutable trace : Trace.t option;
+  mutable metrics : Metrics.run option;
 }
 
 let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
@@ -67,6 +69,7 @@ let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
       };
     next_ip_id = id * 100_000;
     trace = None;
+    metrics = None;
   }
 
 let id t = t.id
@@ -94,6 +97,40 @@ let set_trace t tr =
       | None -> ())
 let reassembly_timeouts t = Ipfrag.timeouts t.reasm
 let links t = List.rev_map (fun i -> i.link) t.ifaces |> List.rev
+let metrics t = t.metrics
+
+let register_link_metrics run link =
+  let p suffix = Printf.sprintf "link:%s/%s" (Link.name link) suffix in
+  let fi = float_of_int in
+  Metrics.register run ~name:(p "busy_time") ~unit_:"s" ~kind:Metrics.Counter
+    (fun () -> Link.busy_time link);
+  Metrics.register run ~name:(p "qlen") ~unit_:"count" ~kind:Metrics.Gauge
+    (fun () -> fi (Link.queue_length link));
+  Metrics.register run ~name:(p "drops") ~unit_:"count" ~kind:Metrics.Counter
+    (fun () ->
+      let s = Link.stats link in
+      fi (s.Link.queue_drops + s.Link.error_drops));
+  Metrics.register run ~name:(p "bytes") ~unit_:"bytes" ~kind:Metrics.Counter
+    (fun () -> fi (Link.stats link).Link.bytes_sent)
+
+(* Like [set_trace]: one call per node covers the host's reassembly
+   buffer, its mbuf copy accounting and every outgoing link direction
+   attached so far. *)
+let set_metrics t run =
+  t.metrics <- run;
+  match run with
+  | None -> ()
+  | Some run ->
+      let p suffix = t.name ^ "." ^ suffix in
+      let fi = float_of_int in
+      Metrics.register run ~name:(p "ipfrag.pending") ~unit_:"count"
+        ~kind:Metrics.Gauge (fun () -> fi (Ipfrag.pending t.reasm));
+      Metrics.register run ~name:(p "ipfrag.timeouts") ~unit_:"count"
+        ~kind:Metrics.Counter (fun () -> fi (Ipfrag.timeouts t.reasm));
+      Metrics.register run ~name:(p "mbuf.bytes_copied") ~unit_:"bytes"
+        ~kind:Metrics.Counter (fun () ->
+          fi t.copy_ctr.Mbuf.Counters.bytes_copied);
+      List.iter (fun i -> register_link_metrics run i.link) t.ifaces
 
 let handler_for t = function
   | Packet.Udp -> t.udp_handler
@@ -158,6 +195,8 @@ let connect a b ~name ~bandwidth_bps ~delay ~mtu ~queue_limit ?(loss = 0.0) () =
   in
   (match a.trace with Some _ as tr -> Link.set_trace ab tr | None -> ());
   (match b.trace with Some _ as tr -> Link.set_trace ba tr | None -> ());
+  (match a.metrics with Some run -> register_link_metrics run ab | None -> ());
+  (match b.metrics with Some run -> register_link_metrics run ba | None -> ());
   a.ifaces <- a.ifaces @ [ { mtu; link = ab; peer = b.id } ];
   b.ifaces <- b.ifaces @ [ { mtu; link = ba; peer = a.id } ];
   (ab, ba)

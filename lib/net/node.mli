@@ -67,6 +67,17 @@ val trace : t -> Renofs_trace.Trace.t option
     transport and server) read this on their hot paths; a [None] costs
     one branch. *)
 
+val set_metrics : t -> Renofs_metrics.Metrics.run option -> unit
+(** Attach this host to a metrics run: registers sampled sources for
+    the reassembly buffer (in-flight fragments, timeouts), mbuf copy
+    bytes, and every outgoing link direction attached so far
+    (busy-time, queue length, drops, bytes).  Like {!set_trace}, upper
+    layers consult {!metrics} at creation time to register their own
+    sources; detached, everything costs one branch. *)
+
+val metrics : t -> Renofs_metrics.Metrics.run option
+(** The attached metrics run, if any. *)
+
 val connect :
   t ->
   t ->

@@ -408,12 +408,19 @@ let import_jsonl path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec go acc =
+      let rec go lineno acc =
         match input_line ic with
-        | line -> go (if line = "" then acc else record_of_line line :: acc)
+        | "" -> go (lineno + 1) acc
+        | line ->
+            let r =
+              try record_of_line line
+              with Failure msg ->
+                failwith (Printf.sprintf "%s:%d: %s" path lineno msg)
+            in
+            go (lineno + 1) (r :: acc)
         | exception End_of_file -> List.rev acc
       in
-      go [])
+      go 1 [])
 
 (* ------------------------------------------------------------------ *)
 (* Analysis                                                           *)
@@ -663,6 +670,16 @@ module Report = struct
     List.iter line rows
 
   let print fmt r =
+    (* Lead with coverage: a silently overwritten ring reads as a full
+       record when it is anything but. *)
+    Format.fprintf fmt "== trace coverage: %d events held, %d overwritten ==@."
+      r.events r.events_dropped;
+    if r.events_dropped > 0 then
+      Format.fprintf fmt
+        "WARNING: the ring overwrote %d events — the oldest spans are \
+         missing from every table below; re-run with a larger capacity for \
+         full coverage@."
+        r.events_dropped;
     Format.fprintf fmt "== rpc statistics by procedure (nfsstat) ==@.";
     let total_calls = List.fold_left (fun a p -> a + p.pr_calls) 0 r.by_proc in
     let total_retrans = List.fold_left (fun a p -> a + p.pr_retrans) 0 r.by_proc in

@@ -135,6 +135,7 @@ val export_jsonl : t -> string -> unit
 (** Write surviving records to a file, one per line. *)
 
 val import_jsonl : string -> record_ list
+(** Raises [Failure] with [path:line:] context on malformed input. *)
 
 (** {2 Analysis} *)
 

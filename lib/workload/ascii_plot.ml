@@ -4,27 +4,42 @@ let render ?(width = 56) ?(height = 14) ~x_label ~y_label ~x ~series () =
   ignore y_label;
   let n = List.fold_left (fun acc (_, ys) -> min acc (List.length ys)) (List.length x) series in
   let xs = Array.of_list (List.filteri (fun i _ -> i < n) x) in
-  if n = 0 || Array.length xs = 0 then "(no data)\n"
+  (* NaN/infinite coordinates carry no plottable information and would
+     make [int_of_float] undefined below: they are rejected up front
+     (axis ranges) and skipped point by point. *)
+  let finite = Float.is_finite in
+  if n = 0 || not (Array.exists finite xs) then "(no data)\n"
   else begin
-    let x_min = xs.(0) and x_max = xs.(Array.length xs - 1) in
+    let x_min =
+      Array.fold_left (fun a v -> if finite v then Float.min a v else a) infinity xs
+    and x_max =
+      Array.fold_left
+        (fun a v -> if finite v then Float.max a v else a)
+        neg_infinity xs
+    in
     let y_max =
       List.fold_left
         (fun acc (_, ys) ->
-          List.fold_left Float.max acc (List.filteri (fun i _ -> i < n) ys))
+          List.fold_left
+            (fun a v -> if finite v then Float.max a v else a)
+            acc
+            (List.filteri (fun i _ -> i < n) ys))
         1e-9 series
     in
     let grid = Array.make_matrix height width ' ' in
     let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
     let place xv yv marker =
-      let col =
-        int_of_float ((xv -. x_min) /. x_span *. float_of_int (width - 1))
-      in
-      let row =
-        height - 1 - int_of_float (yv /. y_max *. float_of_int (height - 1))
-      in
-      let col = max 0 (min (width - 1) col) in
-      let row = max 0 (min (height - 1) row) in
-      grid.(row).(col) <- (if grid.(row).(col) = ' ' then marker else '@')
+      if finite xv && finite yv then begin
+        let col =
+          int_of_float ((xv -. x_min) /. x_span *. float_of_int (width - 1))
+        in
+        let row =
+          height - 1 - int_of_float (yv /. y_max *. float_of_int (height - 1))
+        in
+        let col = max 0 (min (width - 1) col) in
+        let row = max 0 (min (height - 1) row) in
+        grid.(row).(col) <- (if grid.(row).(col) = ' ' then marker else '@')
+      end
     in
     List.iteri
       (fun si (_, ys) ->

@@ -15,7 +15,9 @@ val render :
   string
 (** A chart with one marker per series ([*], [+], [o], [x], [#]), a
     zero-based y axis, and a legend.  Series shorter than [x] are
-    truncated to the common length. *)
+    truncated to the common length.  Non-finite coordinates (NaN,
+    infinities) are skipped and never affect the axis ranges; a chart
+    with no finite x at all renders as ["(no data)\n"]. *)
 
 val render_table : Experiments.table -> string option
 (** Interpret an experiment table whose first column is numeric x and

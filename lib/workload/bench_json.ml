@@ -166,12 +166,180 @@ let validate s =
   | Error msg -> Error ("parse error: " ^ msg)
   | Ok doc -> ( try Ok (validate_exn doc) with Bad msg -> Error msg)
 
-let validate_file path =
+let read_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | content -> validate content
+  | content -> Ok content
   | exception Sys_error msg -> Error msg
+
+let validate_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok content -> validate content
+
+(* ------------------------------------------------------------------ *)
+(* Regression diffing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type diff_report = {
+  compared : int;
+  regressions : string list;
+  improvements : string list;
+  warnings : string list;
+}
+
+(* The flattened view diffing needs: per experiment, the header and
+   typed cells. *)
+type diff_cell = Dnum of float * string | Dtext of string
+
+let extract_exn doc =
+  let j ctx = Renofs_json.Json.obj ~ctx in
+  let field ctx name o = Renofs_json.Json.member ~ctx name o in
+  let str ctx = Renofs_json.Json.str ~ctx in
+  let num ctx = Renofs_json.Json.num ~ctx in
+  let arr ctx = Renofs_json.Json.arr ~ctx in
+  let top = j "document" doc in
+  List.map
+    (fun e ->
+      let e = j "experiment" e in
+      let id = str "id" (field "experiment" "id" e) in
+      let header =
+        List.map (str (id ^ ".header")) (arr (id ^ ".header") (field id "header" e))
+      in
+      let rows =
+        List.map
+          (fun row ->
+            List.map
+              (fun cell ->
+                let c = j (id ^ ".cell") cell in
+                match str (id ^ ".type") (field id "type" c) with
+                | "text" -> Dtext (str id (field id "value" c))
+                | _ ->
+                    Dnum
+                      ( num id (field id "value" c),
+                        str (id ^ ".unit") (field id "unit" c) ))
+              (arr (id ^ ".row") row))
+          (arr (id ^ ".rows") (field id "rows" e))
+      in
+      (id, (header, rows)))
+    (arr "experiments" (field "document" "experiments" top))
+
+let load_for_diff path =
+  match read_file path with
+  | Error msg -> Error (path ^ ": " ^ msg)
+  | Ok content -> (
+      match parse content with
+      | Error msg -> Error (path ^ ": parse error: " ^ msg)
+      | Ok doc -> (
+          match validate_exn doc with
+          | () -> Ok (extract_exn doc)
+          | exception Bad msg -> Error (path ^ ": " ^ msg)))
+
+(* A cell regresses when a latency (ms/s) grows, or a throughput
+   (per_s) shrinks, by more than [tolerance] (a fraction).  Other units
+   (percent/bytes/count) describe the workload rather than its cost and
+   are not judged; nor are cells whose baseline is 0 (no direction to
+   scale).  Cells are matched positionally within matching experiment
+   ids; shape mismatches are reported as warnings, not failures, so a
+   baseline survives adding a row to an experiment. *)
+let diff_docs ~tolerance old_docs new_docs =
+  let compared = ref 0 in
+  let regressions = ref [] and improvements = ref [] and warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun m -> warnings := m :: !warnings) fmt in
+  List.iter
+    (fun (id, (old_header, old_rows)) ->
+      match List.assoc_opt id new_docs with
+      | None -> warn "%s: missing from new file; skipped" id
+      | Some (new_header, new_rows) ->
+          if old_header <> new_header then
+            warn "%s: header changed; skipped" id
+          else if List.length old_rows <> List.length new_rows then
+            warn "%s: %d rows vs %d; skipped" id (List.length old_rows)
+              (List.length new_rows)
+          else
+            List.iteri
+              (fun ri (old_row, new_row) ->
+                let row_label =
+                  match
+                    List.find_opt (function Dtext _ -> true | _ -> false) old_row
+                  with
+                  | Some (Dtext s) -> s
+                  | _ -> Printf.sprintf "row %d" ri
+                in
+                if List.length old_row <> List.length new_row then
+                  warn "%s/%s: row shape changed; skipped" id row_label
+                else
+                  List.iteri
+                    (fun ci (o, n) ->
+                      let col =
+                        match List.nth_opt old_header ci with
+                        | Some h -> h
+                        | None -> Printf.sprintf "col %d" ci
+                      in
+                      match (o, n) with
+                      | Dtext a, Dtext b ->
+                          if a <> b then
+                            warn "%s/%s: %s changed %S -> %S" id row_label col a b
+                      | Dnum (ov, ou), Dnum (nv, nu) when ou = nu ->
+                          let direction =
+                            match ou with
+                            | "ms" | "s" -> Some `Lower_better
+                            | "per_s" -> Some `Higher_better
+                            | _ -> None
+                          in
+                          (match direction with
+                          | Some dir when ov > 0.0 ->
+                              incr compared;
+                              let ratio = nv /. ov in
+                              let line verdict pct =
+                                Printf.sprintf
+                                  "%s/%s: %s %s %s -> %s %s (%+.1f%%)" id
+                                  row_label col verdict (float_str ov)
+                                  (float_str nv) ou pct
+                              in
+                              let pct = (ratio -. 1.0) *. 100.0 in
+                              let bad, good =
+                                match dir with
+                                | `Lower_better ->
+                                    ( ratio > 1.0 +. tolerance,
+                                      ratio < 1.0 -. tolerance )
+                                | `Higher_better ->
+                                    ( ratio < 1.0 -. tolerance,
+                                      ratio > 1.0 +. tolerance )
+                              in
+                              if bad then
+                                regressions := line "REGRESSED" pct :: !regressions
+                              else if good then
+                                improvements := line "improved" pct :: !improvements
+                          | _ -> ())
+                      | Dnum (_, ou), Dnum (_, nu) ->
+                          warn "%s/%s: %s unit changed %S -> %S" id row_label col
+                            ou nu
+                      | _ -> warn "%s/%s: %s cell type changed" id row_label col)
+                    (List.combine old_row new_row))
+              (List.combine old_rows new_rows))
+    old_docs;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id old_docs) then
+        warn "%s: not in baseline; skipped" id)
+    new_docs;
+  {
+    compared = !compared;
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    warnings = List.rev !warnings;
+  }
+
+let diff_files ~tolerance old_path new_path =
+  if tolerance < 0.0 then invalid_arg "Bench_json.diff_files: negative tolerance";
+  match load_for_diff old_path with
+  | Error _ as e -> e
+  | Ok old_docs -> (
+      match load_for_diff new_path with
+      | Error _ as e -> e
+      | Ok new_docs -> Ok (diff_docs ~tolerance old_docs new_docs))

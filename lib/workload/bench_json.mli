@@ -50,3 +50,23 @@ val validate : string -> (unit, string) result
     conforming "renofs-bench/1" file. *)
 
 val validate_file : string -> (unit, string) result
+
+(** {2 Regression diffing ([nfsbench diff])} *)
+
+type diff_report = {
+  compared : int;  (** numeric cells judged against the tolerance *)
+  regressions : string list;
+      (** latency (ms/s) grew, or throughput (per_s) shrank, by more
+          than the tolerance *)
+  improvements : string list;  (** moved past the tolerance the good way *)
+  warnings : string list;
+      (** skipped material: missing experiments, shape/unit changes *)
+}
+
+val diff_files :
+  tolerance:float -> string -> string -> (diff_report, string) result
+(** [diff_files ~tolerance old new] compares two "renofs-bench/1" files
+    cell by cell (matched by experiment id and position; [tolerance] is
+    a fraction, e.g. [0.15]).  Only ms/s/per_s cells are judged; other
+    units, text cells and zero baselines are informational.  [Error] is
+    reserved for unreadable or non-conforming files. *)

@@ -15,6 +15,7 @@ module Nfs_client = Renofs_core.Nfs_client
 module Client_transport = Renofs_core.Client_transport
 module Trace = Renofs_trace.Trace
 module Fault = Renofs_fault.Fault
+module Metrics = Renofs_metrics.Metrics
 
 type scale = Quick | Full
 
@@ -100,7 +101,12 @@ let print_table fmt t =
 (* Cells and specs                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type ctx = { trace : Trace.t option; faults : Fault.schedule option }
+type ctx = {
+  trace : Trace.t option;
+  faults : Fault.schedule option;
+  metrics : Metrics.t option;
+  cell_label : string;
+}
 
 type cell = { cell_label : string; cell_run : ctx -> value list }
 
@@ -152,35 +158,53 @@ let effective_trace = function
   | Some _ as t -> t
   | None -> Domain.DLS.get dls_trace
 
-(* Each cell records into its own sink; the sinks are merged into the
-   main one in cell order after the sweep, so the combined stream is
-   identical to a serial run (segments stay mark-delimited). *)
-let run_cells ?jobs ~trace ~faults cells =
-  match trace with
-  | None ->
-      Sweep.run ?jobs
-        (List.map
-           (fun c ->
-             Sweep.cell ~label:c.cell_label (fun () ->
-                 c.cell_run { trace = None; faults }))
-           cells)
+(* Each cell records into its own sinks (trace and metrics alike); the
+   sinks are merged into the main ones in cell order after the sweep,
+   so the combined streams are identical to a serial run's (trace
+   segments stay mark-delimited; metrics runs keep start order). *)
+let run_cells ?jobs ~trace ~faults ~metrics cells =
+  let trace_sinks =
+    match trace with
+    | None -> List.map (fun _ -> None) cells
+    | Some main ->
+        let cap = Trace.capacity main in
+        List.map (fun _ -> Some (Trace.create ~capacity:cap ())) cells
+  in
+  let metric_sinks =
+    match metrics with
+    | None -> List.map (fun _ -> None) cells
+    | Some main ->
+        List.map
+          (fun _ -> Some (Metrics.create ~interval:(Metrics.interval main) ()))
+          cells
+  in
+  let outs =
+    Sweep.run ?jobs
+      (List.map2
+         (fun c (tr, mt) ->
+           Sweep.cell ~label:c.cell_label (fun () ->
+               c.cell_run
+                 { trace = tr; faults; metrics = mt; cell_label = c.cell_label }))
+         cells
+         (List.combine trace_sinks metric_sinks))
+  in
+  (match trace with
   | Some main ->
-      let cap = Trace.capacity main in
-      let sinks = List.map (fun _ -> Trace.create ~capacity:cap ()) cells in
-      let outs =
-        Sweep.run ?jobs
-          (List.map2
-             (fun c sink ->
-               Sweep.cell ~label:c.cell_label (fun () ->
-                   c.cell_run { trace = Some sink; faults }))
-             cells sinks)
-      in
-      List.iter (fun sink -> Trace.merge ~into:main sink) sinks;
-      outs
+      List.iter
+        (function Some sink -> Trace.merge ~into:main sink | None -> ())
+        trace_sinks
+  | None -> ());
+  (match metrics with
+  | Some main ->
+      List.iter
+        (function Some sink -> Metrics.merge ~into:main sink | None -> ())
+        metric_sinks
+  | None -> ());
+  outs
 
-let run_spec ?jobs ?trace ?faults spec =
+let run_spec ?jobs ?trace ?faults ?metrics spec =
   let trace = effective_trace trace in
-  let outs = run_cells ?jobs ~trace ~faults spec.sp_cells in
+  let outs = run_cells ?jobs ~trace ~faults ~metrics spec.sp_cells in
   {
     r_id = spec.sp_id;
     r_title = spec.sp_title;
@@ -188,12 +212,13 @@ let run_spec ?jobs ?trace ?faults spec =
     r_rows = spec.sp_assemble outs;
   }
 
-let run_specs ?jobs ?trace ?faults specs =
+let run_specs ?jobs ?trace ?faults ?metrics specs =
   (* One shared pool across every spec: single-cell experiments overlap
      with their neighbours instead of serialising the tail. *)
   let trace = effective_trace trace in
   let outs =
-    run_cells ?jobs ~trace ~faults (List.concat_map (fun s -> s.sp_cells) specs)
+    run_cells ?jobs ~trace ~faults ~metrics
+      (List.concat_map (fun s -> s.sp_cells) specs)
   in
   let rec split specs outs =
     match specs with
@@ -234,6 +259,18 @@ let attach_trace ctx sim topo label =
       List.iter (fun n -> Node.set_trace n (Some tr)) topo.Topology.all;
       Trace.mark tr ~time:(Sim.now sim) label
 
+(* Open a sampled metrics run for this world, labelled by the cell
+   (unique within a spec; a cell's second world gets a [#2] suffix).
+   Must run on worlds drained with [Sim.run ~until] windows — i.e.
+   everything built through [drive] — because the sampling tick keeps
+   the event queue non-empty forever. *)
+let attach_metrics ctx sim topo =
+  match ctx.metrics with
+  | None -> ()
+  | Some mt ->
+      let run = Metrics.start_run mt ~sim ~label:ctx.cell_label in
+      List.iter (fun n -> Node.set_metrics n (Some run)) topo.Topology.all
+
 let install_faults ~ctx world =
   match ctx.faults with
   | None -> ()
@@ -259,6 +296,7 @@ let make_world ?(params = Topology.default_params)
       { Topology.shape = Topology.shape_of_name topology; clients = 1; params }
   in
   attach_trace ctx sim topo (Option.value run_label ~default:topology);
+  attach_metrics ctx sim topo;
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server =
@@ -341,6 +379,7 @@ let one_nhfsstone_run ?(server_profile = Nfs_server.reno_profile)
          sink so the report sees steady state only, and hold the fault
          schedule back so it perturbs the measured run, not the warmup. *)
       (match ctx.trace with Some tr -> Trace.set_enabled tr false | None -> ());
+      (match ctx.metrics with Some m -> Metrics.set_enabled m false | None -> ());
       Fileset.preload_server world.server standard_fileset;
       let m = mount_in world mount_opts in
       if warmup > 0.0 then
@@ -348,6 +387,7 @@ let one_nhfsstone_run ?(server_profile = Nfs_server.reno_profile)
           (Nhfsstone.run m standard_fileset
              { Nhfsstone.rate; duration = warmup; children; mix; seed = seed + 1 });
       (match ctx.trace with Some tr -> Trace.set_enabled tr true | None -> ());
+      (match ctx.metrics with Some m -> Metrics.set_enabled m true | None -> ());
       install_faults ~ctx world;
       Nhfsstone.run m standard_fileset
         { Nhfsstone.rate; duration; children; mix; seed })
@@ -966,6 +1006,7 @@ let scaling_spec scale =
           in
           let clients = topo.Topology.clients in
           attach_trace ctx sim topo label;
+          attach_metrics ctx sim topo;
           let sudp = Udp.install topo.Topology.server in
           let stcp = Tcp.install topo.Topology.server in
           let server =
@@ -1086,7 +1127,7 @@ let chaos_cell ~schedule ~tname ~transport ~duration =
           | Some tr -> tr
           | None -> Trace.create ~capacity:65536 ()
         in
-        let ctx = { trace = Some sink; faults = Some schedule } in
+        let ctx = { ctx with trace = Some sink; faults = Some schedule } in
         let world = make_world ~run_label:label ~ctx ~topology:"lan" () in
         let start = Sim.now world.sim in
         let verdicts, retrans, recovery, elapsed =

@@ -52,11 +52,14 @@ val print_table : Format.formatter -> table -> unit
 type ctx = {
   trace : Renofs_trace.Trace.t option;
   faults : Renofs_fault.Fault.schedule option;
+  metrics : Renofs_metrics.Metrics.t option;
+  cell_label : string;
 }
-(** Everything a cell receives from the runner.  The sink, when
-    present, is private to the cell — see {!run_spec}.  The fault
-    schedule, when present, is installed on every world the cell
-    builds through [make_world]. *)
+(** Everything a cell receives from the runner.  The trace and metrics
+    sinks, when present, are private to the cell — see {!run_spec}.
+    The fault schedule, when present, is installed on every world the
+    cell builds through [make_world].  [cell_label] labels the cell's
+    metrics runs. *)
 
 type cell = {
   cell_label : string;  (** e.g. ["graph1/load10/udp-dyn"], for diagnostics *)
@@ -91,6 +94,7 @@ val run_spec :
   ?jobs:int ->
   ?trace:Renofs_trace.Trace.t ->
   ?faults:Renofs_fault.Fault.schedule ->
+  ?metrics:Renofs_metrics.Metrics.t ->
   spec ->
   results
 (** Execute a spec's cells across [jobs] domains (default
@@ -107,12 +111,19 @@ val run_spec :
 
     Faults: with [faults], the schedule is installed on every world the
     cells build, so any experiment can run under any schedule (the
-    [nfsbench run ID --faults FILE] path). *)
+    [nfsbench run ID --faults FILE] path).
+
+    Metrics: with [metrics], every cell samples into a private sink of
+    the same interval, one labelled run per world; the sinks are merged
+    into the main one in cell order after the sweep, so the exported
+    series are byte-identical at any [jobs] (the [nfsbench run ID
+    --metrics FILE] path). *)
 
 val run_specs :
   ?jobs:int ->
   ?trace:Renofs_trace.Trace.t ->
   ?faults:Renofs_fault.Fault.schedule ->
+  ?metrics:Renofs_metrics.Metrics.t ->
   spec list ->
   results list
 (** As {!run_spec} over several specs, pooling all their cells into one

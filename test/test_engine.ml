@@ -272,6 +272,26 @@ let test_series () =
   Alcotest.(check (list (pair (float 0.0) (float 0.0))))
     "order" [ (1.0, 0.1); (2.0, 0.2) ] (Stats.Series.to_list s)
 
+let check_points = Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+
+let test_timeseries_delta () =
+  check_points "empty" [] (Stats.Timeseries.delta []);
+  check_points "single point" [] (Stats.Timeseries.delta [ (1.0, 5.0) ]);
+  check_points "differences stamped at later time"
+    [ (2.0, 3.0); (3.0, -1.0) ]
+    (Stats.Timeseries.delta [ (1.0, 10.0); (2.0, 13.0); (3.0, 12.0) ])
+
+let test_timeseries_rate () =
+  check_points "empty" [] (Stats.Timeseries.rate []);
+  check_points "single point" [] (Stats.Timeseries.rate [ (1.0, 5.0) ]);
+  check_points "delta over dt"
+    [ (2.0, 3.0); (4.0, 2.0) ]
+    (Stats.Timeseries.rate [ (1.0, 10.0); (2.0, 13.0); (4.0, 17.0) ]);
+  (* A repeated timestamp has no defined rate; the pair is skipped
+     rather than emitting an infinity. *)
+  check_points "zero dt skipped" [ (3.0, 1.0) ]
+    (Stats.Timeseries.rate [ (1.0, 5.0); (1.0, 9.0); (3.0, 11.0) ])
+
 let test_counter () =
   let c = Stats.Counter.create () in
   Stats.Counter.incr c "read";
@@ -458,6 +478,8 @@ let () =
           Alcotest.test_case "hist overflow" `Quick test_hist_overflow;
           Alcotest.test_case "hist quantile bounds" `Quick test_hist_quantile_bounds;
           Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "timeseries delta" `Quick test_timeseries_delta;
+          Alcotest.test_case "timeseries rate" `Quick test_timeseries_rate;
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "counter reset" `Quick test_counter_reset;
         ] );

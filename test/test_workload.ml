@@ -327,6 +327,62 @@ let test_graph7_trace_tracks () =
   Alcotest.(check bool) "rto mostly above rtt" true
     (2 * List.length above > List.length t.Experiments.rows)
 
+(* ------------------------------------------------------------------ *)
+(* Ascii_plot                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_plot_axis_scaling () =
+  let chart =
+    Ascii_plot.render ~width:40 ~height:10 ~x_label:"load" ~y_label:"ms"
+      ~x:[ 0.0; 5.0; 10.0 ]
+      ~series:[ ("rtt", [ 1.0; 2.0; 4.0 ]) ]
+      ()
+  in
+  (* The y axis is zero-based and spans the data maximum; the x axis
+     runs from the smallest to the largest x. *)
+  Alcotest.(check bool) "y max labeled" true (contains chart "4.0");
+  Alcotest.(check bool) "y zero-based" true (contains chart "0.0");
+  Alcotest.(check bool) "x min labeled" true (contains chart "0.0");
+  Alcotest.(check bool) "x max labeled" true (contains chart "10.0");
+  Alcotest.(check bool) "x label shown" true (contains chart "load");
+  Alcotest.(check bool) "legend names series" true (contains chart "rtt")
+
+let test_plot_empty () =
+  let chart = Ascii_plot.render ~x_label:"x" ~y_label:"y" ~x:[] ~series:[] () in
+  Alcotest.(check string) "no data" "(no data)\n" chart
+
+let test_plot_single_point () =
+  let chart =
+    Ascii_plot.render ~width:30 ~height:8 ~x_label:"t" ~y_label:"v" ~x:[ 2.0 ]
+      ~series:[ ("s", [ 3.0 ]) ]
+      ()
+  in
+  Alcotest.(check bool) "renders a marker" true (contains chart "*");
+  Alcotest.(check bool) "y max is the value" true (contains chart "3.0")
+
+let test_plot_nan_rejected () =
+  (* NaN/infinite points must neither crash nor stretch the axes. *)
+  let chart =
+    Ascii_plot.render ~width:40 ~height:10 ~x_label:"t" ~y_label:"v"
+      ~x:[ 1.0; 2.0; 3.0 ]
+      ~series:[ ("s", [ 1.0; Float.nan; Float.infinity ]) ]
+      ()
+  in
+  Alcotest.(check bool) "finite y max" true (contains chart "1.0");
+  Alcotest.(check bool) "no inf in axis" false (contains chart "inf");
+  Alcotest.(check bool) "no nan in axis" false (contains chart "nan");
+  let all_nan =
+    Ascii_plot.render ~x_label:"t" ~y_label:"v" ~x:[ Float.nan ]
+      ~series:[ ("s", [ 1.0 ]) ]
+      ()
+  in
+  Alcotest.(check string) "all-NaN x renders as no data" "(no data)\n" all_nan
+
 let () =
   Alcotest.run "workload"
     [
@@ -364,5 +420,12 @@ let () =
           Alcotest.test_case "table3 cache claims" `Quick test_table3_cache_claims;
           Alcotest.test_case "table1 56K transports" `Quick test_table1_congestion_control_wins_on_56k;
           Alcotest.test_case "graph7 trace" `Quick test_graph7_trace_tracks;
+        ] );
+      ( "ascii-plot",
+        [
+          Alcotest.test_case "axis scaling" `Quick test_plot_axis_scaling;
+          Alcotest.test_case "empty" `Quick test_plot_empty;
+          Alcotest.test_case "single point" `Quick test_plot_single_point;
+          Alcotest.test_case "nan rejected" `Quick test_plot_nan_rejected;
         ] );
     ]
