@@ -6,12 +6,17 @@
 # JSON output, validate that output against the renofs-bench/1
 # schema, and exercise the fault layer (builtin listing, a schedule
 # file on a normal experiment, the chaos invariant matrix).
+# `make fuzz-smoke` runs the seeded wire-corruption fuzzer at fixed
+# seeds: the checksums-on pass must come back clean (exit 0), and the
+# checksums-off pass under bit corruption must detect at least one
+# data-integrity violation (non-zero exit, inverted with `!`) — that
+# asymmetry is the whole point of the UDP checksum.
 # `make bench-gate` reruns the quick suite and diffs it against the
 # committed BENCH_quick.json baseline, failing on any >15% regression
 # in latency (ms/s) or throughput (per_s) cells; refresh the baseline
 # with `make bench-baseline` after an intentional performance change.
 
-.PHONY: all build test fmt smoke bench-gate bench-baseline check clean
+.PHONY: all build test fmt smoke fuzz-smoke bench-gate bench-baseline check clean
 
 all: build
 
@@ -32,6 +37,10 @@ smoke: build
 	dune exec bin/nfsbench.exe -- run graph1 --jobs 2 --faults examples/crash.json
 	dune exec bin/nfsbench.exe -- chaos --scale quick
 
+fuzz-smoke: build
+	dune exec bin/nfsbench.exe -- fuzz --seeds 15 --jobs 2
+	! dune exec bin/nfsbench.exe -- fuzz --seeds 5 --jobs 2 --no-checksum
+
 bench-gate: build
 	dune exec bin/nfsbench.exe -- all --json /tmp/renofs-bench-gate.json > /dev/null
 	dune exec bin/nfsbench.exe -- diff BENCH_quick.json /tmp/renofs-bench-gate.json --tolerance 15
@@ -39,7 +48,7 @@ bench-gate: build
 bench-baseline: build
 	dune exec bin/nfsbench.exe -- all --json BENCH_quick.json > /dev/null
 
-check: build test fmt smoke bench-gate
+check: build test fmt smoke fuzz-smoke bench-gate
 
 clean:
 	dune clean

@@ -10,6 +10,8 @@
      nfsbench run graph5 --trace t.jsonl   export the raw event trace
      nfsbench run graph1 --faults crash        run under a fault schedule
      nfsbench chaos [--scale quick|full]       fault-schedule x transport matrix
+     nfsbench fuzz --seeds 50          seeded wire-corruption sweep
+     nfsbench fuzz --no-checksum --seeds 5     reproduce Sun's checksums-off story
      nfsbench faults                   list the builtin fault schedules
      nfsbench all [-f] [--jobs N] [--json FILE]   run everything
      nfsbench run graph5 --metrics m.jsonl sample time-series metrics
@@ -155,23 +157,48 @@ let run_all full jobs json_path =
       | None -> ());
       `Ok ()
 
-let run_chaos scale jobs json_path =
+let any_fail results =
+  let is_fail = function
+    | E.Text s -> String.length s >= 4 && String.sub s 0 4 = "FAIL"
+    | _ -> false
+  in
+  List.exists (List.exists is_fail) results.E.r_rows
+
+let run_chaos scale jobs seed json_path =
   match check_outputs [ ("json", json_path) ] with
   | Some msg -> `Error (false, msg)
   | None ->
       let jobs = effective_jobs jobs in
-      let spec = (List.assoc "chaos" E.specs) scale in
+      Format.printf "chaos: seed %d%s@." seed
+        (if seed = 0 then " (the default world)" else "");
+      let spec = E.chaos_spec ~seed scale in
       let results = E.run_spec ~jobs spec in
       print_with_chart (E.render results);
       (match json_path with
       | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
       | None -> ());
-      let is_fail = function
-        | E.Text s -> String.length s >= 4 && String.sub s 0 4 = "FAIL"
-        | _ -> false
-      in
-      if List.exists (List.exists is_fail) results.E.r_rows then
+      if any_fail results then
         `Error (false, "chaos: invariant violation detected (see table)")
+      else `Ok ()
+
+let run_fuzz scale jobs seeds seed no_checksum json_path =
+  match check_outputs [ ("json", json_path) ] with
+  | Some msg -> `Error (false, msg)
+  | None ->
+      let jobs = effective_jobs jobs in
+      let checksum = not no_checksum in
+      Format.printf "fuzz: %d seeds from base seed %d, checksums %s, profiles %s@."
+        seeds seed
+        (if checksum then "on" else "off")
+        (String.concat "," E.fuzz_profiles);
+      let spec = E.fuzz_spec ~seeds ~base_seed:seed ~checksum scale in
+      let results = E.run_spec ~jobs spec in
+      print_with_chart (E.render results);
+      (match json_path with
+      | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
+      | None -> ());
+      if any_fail results then
+        `Error (false, "fuzz: violation detected (see table)")
       else `Ok ()
 
 (* A series address is "run/name"; PATTERN is a case-sensitive
@@ -395,13 +422,59 @@ let diff_cmd =
           cell regressed beyond the tolerance")
     Term.(ret (const run_diff $ old_file $ new_file $ tolerance))
 
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "World seed (printed in the header so a failing run can be \
+           replayed). 0 is the historical default world; for $(b,fuzz) it is \
+           the base seed: cell $(i,i) uses seed N+$(i,i).")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the fault-schedule x transport matrix and check the recovery \
           invariants; exits non-zero on any violation")
-    Term.(ret (const run_chaos $ scale_arg $ jobs_arg $ json_arg))
+    Term.(ret (const run_chaos $ scale_arg $ jobs_arg $ seed_arg $ json_arg))
+
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Number of fuzzing cells; profile and transport cycle per cell, \
+             so 15 or more covers the full profile x transport matrix.")
+  in
+  let no_checksum_flag =
+    Arg.(
+      value & flag
+      & info [ "no-checksum" ]
+          ~doc:
+            "Disable UDP checksums, as Sun shipped them — the corrupt \
+             profile is then expected to produce (and the exit code to \
+             report) end-to-end data-integrity violations.")
+  in
+  let fuzz_scale =
+    Arg.(
+      value
+      & opt (enum [ ("quick", E.Quick); ("full", E.Full) ]) E.Quick
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Per-cell workload duration: quick (6 sim-s) or full (10).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Sweep seeded wire-mangling profiles (corrupt/truncate/duplicate/\
+          reorder/storm) across the three transports under load; exits \
+          non-zero on any invariant or data-integrity violation, stuck \
+          driver, or uncaught exception")
+    Term.(
+      ret
+        (const run_fuzz $ fuzz_scale $ jobs_arg $ seeds_arg $ seed_arg
+       $ no_checksum_flag $ json_arg))
 
 let faults_cmd =
   Cmd.v
@@ -431,6 +504,7 @@ let main =
     [
       run_cmd;
       chaos_cmd;
+      fuzz_cmd;
       faults_cmd;
       all_cmd;
       list_cmd;

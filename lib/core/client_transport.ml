@@ -78,6 +78,7 @@ type t = {
   (* statistics *)
   mutable n_calls : int;
   mutable n_retransmits : int;
+  mutable n_garbled : int;
   rtt_all : Stats.Welford.t;
   rtt_by_proc : (string, Stats.Welford.t) Hashtbl.t;
   mutable trace : (Stats.Series.t * Stats.Series.t) option;
@@ -268,14 +269,57 @@ let complete t xid chain =
           Sim.after t.sim 0.0 resume);
       Proc.Ivar.fill p.reply (Ok chain)
 
+(* Validate a received reply end to end before completing the pending
+   request.  Anything that does not decode — short packet, damaged RPC
+   header, damaged NFS body — is counted, traced as a [Garbled] drop and
+   discarded, which leaves the request pending: the RTO fires and
+   retransmits (UDP), or the reconnect path replays (TCP).  A decodable
+   reply whose xid matches nothing pending is a late duplicate of an
+   answered request and is dropped silently, as the BSD client does.
+   [GARBAGE_ARGS] means the *request* was damaged in transit; the server
+   never executed it, so it too is left to the retransmit path. *)
+let garbage t ~bytes =
+  t.n_garbled <- t.n_garbled + 1;
+  match Node.trace t.node with
+  | Some tr ->
+      Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+        (Trace.Pkt_drop
+           { link = Node.name t.node ^ ":rpc"; bytes; reason = Trace.Garbled })
+  | None -> ()
+
+let garbage_reply t chain = garbage t ~bytes:(Mbuf.length chain)
+
+let try_complete t chain =
+  match Rpc_msg.peek_xid chain with
+  | None -> garbage_reply t chain
+  | Some xid -> (
+      match Hashtbl.find_opt t.pending xid with
+      | None -> () (* late duplicate of an already-answered request *)
+      | Some p -> (
+          match Rpc_msg.decode_reply chain with
+          | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) ->
+              garbage_reply t chain
+          | _, Rpc_msg.Accepted Rpc_msg.Success, dec -> (
+              (* Throwaway decode of the body: [call] decodes again from
+                 its own cursor, so validating here costs one extra pass
+                 only on the reply actually being completed. *)
+              match P.decode_reply ~proc:p.p_proc dec with
+              | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) ->
+                  garbage_reply t chain
+              | _ -> complete t xid chain)
+          | _, Rpc_msg.Accepted Rpc_msg.Garbage_args, _ ->
+              garbage_reply t chain
+          | _, (Rpc_msg.Accepted _ | Rpc_msg.Denied _), _ ->
+              (* A well-formed error reply (wrong program, auth trouble):
+                 genuine server state, delivered to the caller. *)
+              complete t xid chain))
+
 let start_udp_receiver t =
   let sock = Option.get t.sock in
   Proc.spawn t.sim (fun () ->
       let rec loop () =
         let dg = Udp.recv sock in
-        (match Rpc_msg.peek_xid dg.Udp.payload with
-        | Some xid -> complete t xid dg.Udp.payload
-        | None -> ());
+        try_complete t dg.Udp.payload;
         loop ()
       in
       loop ())
@@ -292,20 +336,24 @@ let rec start_tcp_receiver t st =
       let reader = Record_mark.Reader.create () in
       let rec loop () =
         match Tcp.recv conn ~max:65536 with
-        | chunk ->
+        | chunk -> (
             Record_mark.Reader.push reader chunk;
             let rec drain () =
               match Record_mark.Reader.pop reader with
-              | Some record -> (
-                  match Rpc_msg.peek_xid record with
-                  | Some xid ->
-                      complete t xid record;
-                      drain ()
-                  | None -> drain ())
+              | Some record ->
+                  try_complete t record;
+                  drain ()
               | None -> ()
             in
-            drain ();
-            loop ()
+            (* A corrupt record mark means framing is lost for good:
+               abort so the next [recv] raises [Connection_closed] and
+               the normal reconnect-and-replay path takes over. *)
+            match drain () with
+            | () -> loop ()
+            | exception Record_mark.Reader.Corrupt _ ->
+                garbage t ~bytes:(Record_mark.Reader.buffered reader);
+                Tcp.abort conn;
+                loop ())
         | exception Tcp.Connection_closed -> reconnect t st
       in
       loop ())
@@ -361,6 +409,8 @@ let register_metrics t =
         ~kind:Metrics.Counter (fun () -> fi t.n_calls);
       Metrics.register run ~name:(p "retransmits") ~unit_:"count"
         ~kind:Metrics.Counter (fun () -> fi t.n_retransmits);
+      Metrics.register run ~name:(p "garbled") ~unit_:"count"
+        ~kind:Metrics.Counter (fun () -> fi t.n_garbled);
       match t.mode with
       | Udp_fixed | Tcp_stream _ -> ()
       | Udp_dynamic est ->
@@ -406,6 +456,7 @@ let base node ~mode ~sock ~server ~timeo ?max_retries ?(uid = 100) ?(gid = 100)
     gate = [];
     n_calls = 0;
     n_retransmits = 0;
+    n_garbled = 0;
       rtt_all = Stats.Welford.create ();
       rtt_by_proc = Hashtbl.create 8;
       trace = None;
@@ -529,6 +580,7 @@ let summary t =
   }
 
 let retransmits t = t.n_retransmits
+let garbled t = t.n_garbled
 let outstanding t = t.outstanding
 let congestion_window t = t.cwnd
 

@@ -79,6 +79,13 @@ val call : t -> Nfs_proto.call -> Nfs_proto.reply
 
 val summary : t -> summary
 val retransmits : t -> int
+
+val garbled : t -> int
+(** Replies discarded because they failed to decode end to end (short
+    packet, damaged header or body, or a [GARBAGE_ARGS] verdict on a
+    request damaged in transit).  Each leaves its request pending for
+    the normal retransmit/replay path. *)
+
 val outstanding : t -> int
 val congestion_window : t -> float
 (** Current window in requests; meaningful for the dynamic transport. *)

@@ -160,6 +160,7 @@ let create node ?(profile = reno_profile) ~udp ?tcp () =
 let fs t = t.fs
 let is_up t = t.up
 let udp_stack t = t.udp
+let tcp_stack t = t.tcp
 let node t = t.node
 let root_fhandle t = Fs.ino (Fs.root t.fs)
 let counters t = t.counters
@@ -736,8 +737,12 @@ let start_tcp t stack =
                   drain ()
               | None -> ()
             in
-            drain ();
-            pump ()
+            (* A corrupt record mark means this connection's framing is
+               unrecoverable: reset it, as a real server's RPC layer
+               does; the client reconnects and replays. *)
+            (match drain () with
+            | () -> pump ()
+            | exception Record_mark.Reader.Corrupt _ -> Tcp.abort conn)
         | exception Tcp.Connection_closed -> ()
       in
       pump ())

@@ -62,6 +62,10 @@ val udp_stack : t -> Renofs_transport.Udp.stack
 (** The stack the server answers on; {!Mountd.start} binds its port
     here. *)
 
+val tcp_stack : t -> Renofs_transport.Tcp.stack option
+(** The TCP stack, when the server was given one — e.g. to read its
+    checksum-drop counter after a wire-corruption run. *)
+
 val root_fhandle : t -> Nfs_proto.fhandle
 val node : t -> Renofs_net.Node.t
 

@@ -7,14 +7,36 @@ module Trace = Renofs_trace.Trace
 module Nfs_server = Renofs_core.Nfs_server
 module Json = Renofs_json.Json
 
+type mangle_spec = {
+  at : float;
+  duration : float;
+  link : string;
+  rate : float;
+  seed : int;
+}
+
 type action =
   | Server_crash of { at : float; downtime : float }
   | Link_down of { at : float; duration : float; link : string }
   | Loss_burst of { at : float; duration : float; link : string; loss : float }
   | Cpu_slow of { at : float; duration : float; node : string; factor : float }
   | Partition of { at : float; duration : float; between : string * string }
+  | Corrupt of mangle_spec
+  | Truncate of mangle_spec
+  | Duplicate of mangle_spec
+  | Reorder of mangle_spec
 
 type schedule = { name : string; description : string; actions : action list }
+
+(* The four wire-mangling actions differ only in which [Link.mangle_op]
+   they drive; collapse them for describe/encode/install. *)
+let mangle_parts = function
+  | Corrupt m -> Some (Link.Corrupt, "corrupt", m)
+  | Truncate m -> Some (Link.Truncate, "truncate", m)
+  | Duplicate m -> Some (Link.Duplicate, "duplicate", m)
+  | Reorder m -> Some (Link.Reorder, "reorder", m)
+  | Server_crash _ | Link_down _ | Loss_burst _ | Cpu_slow _ | Partition _ ->
+      None
 
 let describe = function
   | Server_crash { at; downtime } ->
@@ -29,6 +51,12 @@ let describe = function
         node factor
   | Partition { at; duration; between = a, b } ->
       Printf.sprintf "partition at=%g duration=%g between=%s,%s" at duration a b
+  | (Corrupt _ | Truncate _ | Duplicate _ | Reorder _) as a ->
+      let _, kind, { at; duration; link; rate; seed } =
+        Option.get (mangle_parts a)
+      in
+      Printf.sprintf "%s at=%g duration=%g link=%s rate=%g seed=%d" kind at
+        duration link rate seed
 
 (* ------------------------------------------------------------------ *)
 (* Built-in schedules                                                 *)
@@ -61,6 +89,15 @@ let builtins =
       description = "server CPU 8x slower from t=2s to t=8s";
       actions =
         [ Cpu_slow { at = 2.0; duration = 6.0; node = "server"; factor = 8.0 } ];
+    };
+    {
+      name = "garble";
+      description = "1% single-bit wire corruption on every link, t=1s to t=9s";
+      actions =
+        [
+          Corrupt
+            { at = 1.0; duration = 8.0; link = "*"; rate = 0.01; seed = 0 };
+        ];
     };
     {
       name = "partition";
@@ -110,6 +147,24 @@ let action_of_json j =
                   Json.str ~ctx:"partition.between" b );
             }
       | _ -> raise (Json.Bad "partition.between: expected a two-element array"))
+  | "corrupt" | "truncate" | "duplicate" | "reorder" ->
+      let m =
+        {
+          at;
+          duration = num "duration";
+          link = str "link";
+          rate = num "rate";
+          seed =
+            (match Json.member_opt "seed" o with
+            | Some s -> int_of_float (Json.num ~ctx:(ctx ^ ".seed") s)
+            | None -> 0);
+        }
+      in
+      (match kind with
+      | "corrupt" -> Corrupt m
+      | "truncate" -> Truncate m
+      | "duplicate" -> Duplicate m
+      | _ -> Reorder m)
   | other -> raise (Json.Bad (Printf.sprintf "unknown action kind %S" other))
 
 let of_json j =
@@ -251,7 +306,18 @@ let install env sched =
               let ls = links_between env between in
               List.iter (fun l -> Link.set_up l false) ls;
               Sim.after env.sim duration (fun () ->
-                  List.iter (fun l -> Link.set_up l true) ls)))
+                  List.iter (fun l -> Link.set_up l true) ls))
+      | Corrupt _ | Truncate _ | Duplicate _ | Reorder _ ->
+          let op, _, { at = t; duration; link; rate; seed } =
+            Option.get (mangle_parts action)
+          in
+          at t (fun () ->
+              note env action;
+              let ls = links_matching env link in
+              let saved = List.map (fun l -> (l, Link.mangle_rate l op)) ls in
+              List.iter (fun l -> Link.set_mangle l ~seed op rate) ls;
+              Sim.after env.sim duration (fun () ->
+                  List.iter (fun (l, v) -> Link.set_mangle l ~seed op v) saved)))
     sched.actions
 
 (* ------------------------------------------------------------------ *)
@@ -348,6 +414,36 @@ module Check = struct
                 (List.length writes);
           }
         else verdict name violations
+
+  (* -- end-to-end data integrity ----------------------------------- *)
+
+  let data_integrity ~expected ~read_back =
+    let name = "data-integrity" in
+    let violations =
+      List.filter_map
+        (fun (file, off, data) ->
+          let len = Bytes.length data in
+          match read_back ~file ~off ~len with
+          | None ->
+              Some
+                (Printf.sprintf "file %d bytes %d+%d unreadable" file off len)
+          | Some got ->
+              if Bytes.equal got data then None
+              else
+                Some
+                  (Printf.sprintf
+                     "file %d bytes %d+%d differ from what the client sent"
+                     file off len))
+        expected
+    in
+    if violations = [] then
+      {
+        v_name = name;
+        v_ok = true;
+        v_detail =
+          Printf.sprintf "%d client extents verified" (List.length expected);
+      }
+    else verdict name violations
 
   (* -- hard mount errors ------------------------------------------- *)
 

@@ -15,6 +15,17 @@
 
 (** {1 Schedules} *)
 
+type mangle_spec = {
+  at : float;
+  duration : float;
+  link : string;  (** link base, full direction name, or ["*"] *)
+  rate : float;  (** per-packet probability, clamped to [0..1] *)
+  seed : int;
+      (** mixed with the link name into the mangler's RNG stream; two
+          schedules differing only in [seed] damage different packets *)
+}
+(** Parameters shared by the four wire-mangling actions. *)
+
 type action =
   | Server_crash of { at : float; downtime : float }
       (** Crash the server at [at] (volatile state lost), reboot it
@@ -34,6 +45,19 @@ type action =
   | Partition of { at : float; duration : float; between : string * string }
       (** Down every link direction directly joining the two named
           nodes, in both directions, for [duration]. *)
+  | Corrupt of mangle_spec
+      (** Flip one random bit in [rate] of the packets crossing the
+          matching links — delivered damaged, not dropped, so only an
+          end-to-end checksum can tell.  The Sun "checksums off"
+          corruption story from the paper's Section 9 reproduces as a
+          data-integrity violation when UDP checksums are disabled. *)
+  | Truncate of mangle_spec
+      (** Cut a random-length tail off [rate] of the packets. *)
+  | Duplicate of mangle_spec
+      (** Deliver an extra copy of [rate] of the packets shortly after
+          the original. *)
+  | Reorder of mangle_spec
+      (** Delay [rate] of the packets past their successors. *)
 
 type schedule = { name : string; description : string; actions : action list }
 
@@ -43,7 +67,7 @@ val describe : action -> string
 
 val builtins : schedule list
 (** The schedules [nfsbench faults] lists and the chaos experiment
-    family runs: crash, flaky, flap, slow-server, partition. *)
+    family runs: crash, flaky, flap, slow-server, garble, partition. *)
 
 val find_builtin : string -> schedule option
 
@@ -63,8 +87,13 @@ val find_builtin : string -> schedule option
         { "kind": "cpu_slow",     "at": 2.0, "duration": 6.0, "node": "server",
           "factor": 8.0 },
         { "kind": "partition",    "at": 3.0, "duration": 2.0,
-          "between": ["router1", "router2"] } ] }
-    v} *)
+          "between": ["router1", "router2"] },
+        { "kind": "corrupt",      "at": 1.0, "duration": 8.0, "link": "*",
+          "rate": 0.01, "seed": 7 } ] }
+    v}
+
+    The mangling kinds [corrupt], [truncate], [duplicate] and [reorder]
+    share the same fields; ["seed"] is optional and defaults to [0]. *)
 
 val of_json : Renofs_json.Json.json -> (schedule, string) result
 val parse : string -> (schedule, string) result
@@ -103,6 +132,18 @@ module Check : sig
       the same file must digest-match what [read_back] returns from the
       post-run file system.  Without [read_back] the verdict passes
       vacuously, saying so in the detail. *)
+
+  val data_integrity :
+    expected:(int * int * bytes) list ->
+    read_back:(file:int -> off:int -> len:int -> bytes option) ->
+    verdict
+  (** End-to-end content check against a client-side ledger: each
+      [(file, off, data)] extent the workload believes it wrote must
+      read back byte-identical.  Unlike {!durable_writes} — whose
+      digests are recorded {e server-side} and therefore cannot see a
+      request damaged on the wire — this catches silent wire corruption
+      accepted by a checksum-less transport.  Not part of
+      {!check_all}; the fuzz harness appends it when it has a ledger. *)
 
   val hard_mount_errors : Renofs_trace.Trace.record_ list -> verdict
   (** Hard mounts never surface errors: any [Wl_error] with

@@ -210,7 +210,9 @@ module Cursor = struct
   let remaining c = c.left
 
   let read_into c dst off len =
-    if len > c.left then raise Underrun;
+    (* A negative length means a garbage count decoded off the wire;
+       treat it as an underrun, never as a request to Bytes. *)
+    if len < 0 || len > c.left then raise Underrun;
     let off = ref off and want = ref len in
     while !want > 0 do
       match c.mbufs with
@@ -232,6 +234,10 @@ module Cursor = struct
     c.left <- c.left - len
 
   let bytes c n =
+    (* Bounds-check before allocating: a corrupt 4 GB length must raise
+       Underrun here, not Invalid_argument (or a huge allocation) from
+       [Bytes.create]. *)
+    if n < 0 || n > c.left then raise Underrun;
     let out = Bytes.create n in
     read_into c out 0 n;
     out
@@ -241,7 +247,8 @@ module Cursor = struct
     Bytes.get_int32_be b 0
 
   let skip c n =
-    if n > c.left then raise Underrun;
+    (* [n < 0] would skip the loop yet grow [c.left] below. *)
+    if n < 0 || n > c.left then raise Underrun;
     let want = ref n in
     while !want > 0 do
       match c.mbufs with

@@ -1,12 +1,29 @@
 module Sim = Renofs_engine.Sim
 module Rng = Renofs_engine.Rng
 module Trace = Renofs_trace.Trace
+module Mbuf = Renofs_mbuf.Mbuf
 
 type stats = {
   mutable packets_sent : int;
   mutable bytes_sent : int;
   mutable queue_drops : int;
   mutable error_drops : int;
+  mutable mangled : int;
+}
+
+type mangle_op = Corrupt | Truncate | Duplicate | Reorder
+
+(* The mangler's state: one private RNG (seeded from the fault action's
+   seed mixed with the link name, so every link direction draws an
+   independent, reproducible stream) plus one rate per operation.
+   Allocated lazily on the first [set_mangle]; a link that is never
+   mangled keeps [mangle = None] and pays one branch per packet. *)
+type mangle = {
+  m_rng : Rng.t;
+  mutable m_corrupt : float;
+  mutable m_truncate : float;
+  mutable m_duplicate : float;
+  mutable m_reorder : float;
 }
 
 type t = {
@@ -25,6 +42,7 @@ type t = {
   mutable busy : float;
   owner : int; (* transmitting-side node id, -1 if unattached *)
   mutable trace : Trace.t option;
+  mutable mangle : mangle option;
 }
 
 let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ?(owner = -1)
@@ -42,10 +60,18 @@ let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ?(owner = 
     deliver;
     queue = Queue.create ();
     transmitting = false;
-    stats = { packets_sent = 0; bytes_sent = 0; queue_drops = 0; error_drops = 0 };
+    stats =
+      {
+        packets_sent = 0;
+        bytes_sent = 0;
+        queue_drops = 0;
+        error_drops = 0;
+        mangled = 0;
+      };
     busy = 0.0;
     owner;
     trace = None;
+    mangle = None;
   }
 
 let set_trace t tr = t.trace <- tr
@@ -63,6 +89,79 @@ let trace_pkt t pkt ev_of =
       Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
         (ev_of (Packet.wire_size pkt))
   | Some _ | None -> ()
+
+let deliver_after t delay pkt =
+  Sim.after t.sim delay (fun () ->
+      trace_pkt t pkt (fun bytes -> Trace.Pkt_deliver { link = t.name; bytes });
+      t.deliver pkt)
+
+let note_mangle t pkt op =
+  t.stats.mangled <- t.stats.mangled + 1;
+  match t.trace with
+  | Some tr when pkt_traced pkt ->
+      Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+        (Trace.Pkt_mangle { link = t.name; bytes = Packet.wire_size pkt; op })
+  | Some _ | None -> ()
+
+(* A small but nonzero base for the extra reorder/duplicate latency on
+   zero-delay links. *)
+let mangle_delay_unit t = Float.max t.delay 0.001
+
+(* Damage [pkt] per the mangle config and hand every resulting copy to
+   [deliver_after].  Mutation is never in place: split fragments share
+   their parent's storage, so the payload is deep-copied through bytes
+   before a bit is touched. *)
+let mangle_deliver t (m : mangle) pkt =
+  let rng = m.m_rng in
+  let pkt =
+    if m.m_corrupt > 0.0 && Rng.chance rng m.m_corrupt && Packet.data_len pkt > 0
+    then begin
+      note_mangle t pkt "corrupt";
+      let b = Mbuf.to_bytes pkt.Packet.payload in
+      (* Flip exactly one bit: the smallest damage, and the case the
+         Internet checksum is guaranteed to catch. *)
+      let bit = Rng.int rng (Bytes.length b * 8) in
+      let i = bit lsr 3 in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit land 7))));
+      { pkt with Packet.payload = Mbuf.of_bytes b }
+    end
+    else pkt
+  in
+  let pkt =
+    if
+      m.m_truncate > 0.0
+      && Rng.chance rng m.m_truncate
+      && Packet.data_len pkt > 0
+    then begin
+      note_mangle t pkt "truncate";
+      let keep = Rng.int rng (Packet.data_len pkt) in
+      let b = Bytes.sub (Mbuf.to_bytes pkt.Packet.payload) 0 keep in
+      { pkt with Packet.payload = Mbuf.of_bytes b }
+    end
+    else pkt
+  in
+  let delay =
+    if m.m_reorder > 0.0 && Rng.chance rng m.m_reorder then begin
+      note_mangle t pkt "reorder";
+      (* Hold this packet past anything transmitted within the next
+         round-trip-ish window. *)
+      t.delay +. (mangle_delay_unit t *. (1.0 +. Rng.float rng 1.0))
+    end
+    else t.delay
+  in
+  deliver_after t delay pkt;
+  if m.m_duplicate > 0.0 && Rng.chance rng m.m_duplicate then begin
+    note_mangle t pkt "duplicate";
+    (* Receivers consume payload chains destructively, so the twin needs
+       its own storage. *)
+    let copy =
+      Mbuf.sub_copy pkt.Packet.payload ~pos:0 ~len:(Packet.data_len pkt)
+    in
+    deliver_after t
+      (delay +. (mangle_delay_unit t *. Rng.float rng 1.0))
+      { pkt with Packet.payload = copy }
+  end
 
 let rec start_next t =
   match Queue.take_opt t.queue with
@@ -84,11 +183,11 @@ let rec start_next t =
                      { link = t.name; bytes; reason = Trace.Link_error })
             | None -> ()
           end
-          else
-            Sim.after t.sim t.delay (fun () ->
-                trace_pkt t pkt (fun bytes ->
-                    Trace.Pkt_deliver { link = t.name; bytes });
-                t.deliver pkt);
+          else begin
+            match t.mangle with
+            | None -> deliver_after t t.delay pkt
+            | Some m -> mangle_deliver t m pkt
+          end;
           start_next t)
 
 let send t pkt =
@@ -132,6 +231,50 @@ let loss t = t.loss
 let set_loss t p = t.loss <- Float.max 0.0 (Float.min 1.0 p)
 let is_up t = t.up
 let set_up t up = t.up <- up
+
+(* Deterministic, non-randomized string hash (FNV-1a), so mangle RNG
+   streams do not depend on [Hashtbl.hash] implementation details. *)
+let name_hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let ensure_mangle t ~seed =
+  match t.mangle with
+  | Some m -> m
+  | None ->
+      let m =
+        {
+          m_rng = Rng.create (seed lxor name_hash t.name);
+          m_corrupt = 0.0;
+          m_truncate = 0.0;
+          m_duplicate = 0.0;
+          m_reorder = 0.0;
+        }
+      in
+      t.mangle <- Some m;
+      m
+
+let set_mangle t ?(seed = 0) op rate =
+  let m = ensure_mangle t ~seed in
+  let rate = Float.max 0.0 (Float.min 1.0 rate) in
+  match op with
+  | Corrupt -> m.m_corrupt <- rate
+  | Truncate -> m.m_truncate <- rate
+  | Duplicate -> m.m_duplicate <- rate
+  | Reorder -> m.m_reorder <- rate
+
+let mangle_rate t op =
+  match t.mangle with
+  | None -> 0.0
+  | Some m -> (
+      match op with
+      | Corrupt -> m.m_corrupt
+      | Truncate -> m.m_truncate
+      | Duplicate -> m.m_duplicate
+      | Reorder -> m.m_reorder)
 
 let utilization t =
   let now = Sim.now t.sim in

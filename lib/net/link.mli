@@ -10,6 +10,7 @@ type stats = {
   mutable bytes_sent : int;
   mutable queue_drops : int;
   mutable error_drops : int;
+  mutable mangled : int;  (** packets damaged by the {!set_mangle} stage *)
 }
 
 type t
@@ -60,6 +61,26 @@ val set_up : t -> bool -> unit
 (** A downed link drops every newly offered packet (counted as an error
     drop, traced as [Link_down]); packets already queued or in flight
     still deliver.  Links start up. *)
+
+type mangle_op = Corrupt | Truncate | Duplicate | Reorder
+(** What the wire-corruption stage can do to a packet that survives
+    transmission: flip exactly one payload bit, cut a random tail off
+    the payload, deliver an extra deep copy slightly later, or delay the
+    packet past its successors. *)
+
+val set_mangle : t -> ?seed:int -> mangle_op -> float -> unit
+(** [set_mangle t op rate] sets the per-packet probability of [op]
+    (clamped to [0..1]).  The first call allocates the link's mangler
+    and seeds its private RNG from [seed] (default 0) mixed with the
+    link name, so every link direction draws an independent,
+    reproducible stream; later calls reuse the existing RNG and ignore
+    [seed].  A link with no mangler configured pays one branch per
+    packet.  Mangled packets count in [stats.mangled] and trace as
+    [Pkt_mangle]. *)
+
+val mangle_rate : t -> mangle_op -> float
+(** The current rate for [op] (0 when no mangler is configured) — lets
+    fault schedules save and restore rates around a burst. *)
 
 val utilization : t -> float
 (** Fraction of time spent transmitting since creation. *)

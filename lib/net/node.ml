@@ -12,6 +12,8 @@ type datagram = {
   src_port : int;
   dst_port : int;
   payload : Mbuf.t;
+  sum : (int * int) option;
+      (* sender's (length, checksum) metadata — see [Packet.t.sum] *)
 }
 
 type stats = {
@@ -111,7 +113,9 @@ let register_link_metrics run link =
       let s = Link.stats link in
       fi (s.Link.queue_drops + s.Link.error_drops));
   Metrics.register run ~name:(p "bytes") ~unit_:"bytes" ~kind:Metrics.Counter
-    (fun () -> fi (Link.stats link).Link.bytes_sent)
+    (fun () -> fi (Link.stats link).Link.bytes_sent);
+  Metrics.register run ~name:(p "mangled") ~unit_:"count" ~kind:Metrics.Counter
+    (fun () -> fi (Link.stats link).Link.mangled)
 
 (* Like [set_trace]: one call per node covers the host's reassembly
    buffer, its mbuf copy accounting and every outgoing link direction
@@ -164,6 +168,7 @@ let deliver_local t (pkt : Packet.t) =
                   src_port = whole.Packet.src_port;
                   dst_port = whole.Packet.dst_port;
                   payload = whole.Packet.payload;
+                  sum = whole.Packet.sum;
                 }))
 
 let forward t (pkt : Packet.t) =
@@ -236,13 +241,13 @@ let auto_routes nodes =
   in
   List.iter bfs nodes
 
-let send_datagram t ~proto ~dst ~src_port ~dst_port payload =
+let send_datagram t ?sum ~proto ~dst ~src_port ~dst_port payload =
   match route t dst with
   | None -> t.stats.no_route_drops <- t.stats.no_route_drops + 1
   | Some iface ->
       t.next_ip_id <- t.next_ip_id + 1;
       let dgram =
-        Packet.make_datagram ~proto ~src:t.id ~dst ~src_port ~dst_port
+        Packet.make_datagram ?sum ~proto ~src:t.id ~dst ~src_port ~dst_port
           ~ip_id:t.next_ip_id payload
       in
       let bytes = Packet.data_len dgram in

@@ -16,6 +16,9 @@ type datagram = {
   src_port : int;
   dst_port : int;
   payload : Renofs_mbuf.Mbuf.t;
+  sum : (int * int) option;
+      (** the sender's [(length, checksum)] metadata, if it checksummed —
+          see [Packet.t.sum]; the receiving transport verifies it *)
 }
 
 type stats = {
@@ -104,6 +107,7 @@ val set_proto_handler : t -> Packet.proto -> (datagram -> unit) -> unit
 
 val send_datagram :
   t ->
+  ?sum:int * int ->
   proto:Packet.proto ->
   dst:int ->
   src_port:int ->
@@ -111,4 +115,5 @@ val send_datagram :
   Renofs_mbuf.Mbuf.t ->
   unit
 (** Route, checksum, fragment and transmit one transport datagram.
-    Must run inside a process (it consumes CPU).  Consumes the chain. *)
+    Must run inside a process (it consumes CPU).  Consumes the chain.
+    [sum] is checksum metadata carried to the receiver (default none). *)

@@ -13,6 +13,11 @@ type t = {
   more : bool;
   total_data : int;
   payload : Mbuf.t;
+  sum : (int * int) option;
+      (* UDP checksum metadata: (data length, Internet checksum) as the
+         sender computed them.  Virtual, like the UDP header it lives in:
+         not counted in wire_size, carried by every fragment, verified by
+         the receiving transport.  [None] = sender did not checksum. *)
 }
 
 let ip_header_bytes = 20
@@ -29,7 +34,7 @@ let wire_size p =
 
 let is_fragmented p = p.more || p.frag_off > 0
 
-let make_datagram ~proto ~src ~dst ~src_port ~dst_port ~ip_id payload =
+let make_datagram ?sum ~proto ~src ~dst ~src_port ~dst_port ~ip_id payload =
   {
     proto;
     src;
@@ -41,6 +46,7 @@ let make_datagram ~proto ~src ~dst ~src_port ~dst_port ~ip_id payload =
     more = false;
     total_data = Mbuf.length payload;
     payload;
+    sum;
   }
 
 let fragment p ~mtu =

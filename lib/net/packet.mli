@@ -21,6 +21,13 @@ type t = {
   more : bool;  (** more fragments follow *)
   total_data : int;  (** data length of the whole datagram *)
   payload : Renofs_mbuf.Mbuf.t;
+  sum : (int * int) option;
+      (** UDP checksum metadata, [(data length, Internet checksum)] as
+          computed by the sender.  Virtual like the UDP header itself:
+          not counted in {!wire_size}, copied onto every fragment, and
+          verified (against the reassembled payload) by the receiving
+          transport.  [None] means the sender sent without a checksum —
+          the Sun-checksums-off configuration. *)
 }
 
 val ip_header_bytes : int
@@ -40,6 +47,7 @@ val is_fragmented : t -> bool
 (** True if this packet is one piece of a multi-fragment datagram. *)
 
 val make_datagram :
+  ?sum:int * int ->
   proto:proto ->
   src:int ->
   dst:int ->
@@ -49,7 +57,8 @@ val make_datagram :
   Renofs_mbuf.Mbuf.t ->
   t
 (** An unfragmented datagram-as-single-packet (fragment it with
-    {!fragment} before transmission if needed). *)
+    {!fragment} before transmission if needed).  [sum] is the sender's
+    checksum metadata (absent = unchecksummed). *)
 
 val fragment : t -> mtu:int -> t list
 (** Split (or further split — routers re-fragment fragments) so every

@@ -3,6 +3,11 @@ module Mbuf = Renofs_mbuf.Mbuf
 let max_fragment = 0x7FFFFFFF
 let last_flag = 0x80000000
 
+(* Upper bound a [Reader] will accept for one fragment (1 MiB): far
+   above any record this protocol produces, far below the 2 GB a
+   garbage length word can claim. *)
+let max_sane_fragment = 1 lsl 20
+
 let frame ?ctr chain =
   let len = Mbuf.length chain in
   if len > max_fragment then invalid_arg "Record_mark.frame: record too large";
@@ -36,6 +41,11 @@ module Reader = struct
       let last = word land last_flag <> 0 in
       let len = word land max_fragment in
       if len = 0 then raise (Corrupt "zero-length fragment");
+      (* A corrupt length word must not leave the reader buffering
+         forever toward a bound no sane RPC approaches; the largest
+         legitimate record here is an 8 KB WRITE plus headers. *)
+      if len > max_sane_fragment then
+        raise (Corrupt (Printf.sprintf "fragment length %d too large" len));
       if Mbuf.length t.buf < 4 + len then None
       else begin
         ignore (take_buf t 4);

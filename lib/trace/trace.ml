@@ -1,6 +1,12 @@
 module Stats = Renofs_engine.Stats
 
-type drop_reason = Queue_full | Link_error | Sock_overflow | Link_down
+type drop_reason =
+  | Queue_full
+  | Link_error
+  | Sock_overflow
+  | Link_down
+  | Bad_checksum
+  | Garbled
 
 type event =
   | Rpc_send of { xid : int32; proc : int }
@@ -9,6 +15,7 @@ type event =
   | Pkt_enqueue of { link : string; bytes : int; qlen : int }
   | Pkt_drop of { link : string; bytes : int; reason : drop_reason }
   | Pkt_deliver of { link : string; bytes : int }
+  | Pkt_mangle of { link : string; bytes : int; op : string }
   | Frag_lost of { src : int; ip_id : int }
   | Srv_queue of { xid : int32; proc : int; wait : float }
   | Srv_service of { xid : int32; proc : int; service : float }
@@ -122,13 +129,19 @@ let reason_name = function
   | Link_error -> "link_error"
   | Sock_overflow -> "sock_overflow"
   | Link_down -> "link_down"
+  | Bad_checksum -> "bad_checksum"
+  | Garbled -> "garbled"
 
+(* Raises [Failure] like every other parse error in this file, so
+   [import_jsonl] wraps it with its [path:line:] location. *)
 let reason_of_name = function
   | "queue_full" -> Queue_full
   | "link_error" -> Link_error
   | "sock_overflow" -> Sock_overflow
   | "link_down" -> Link_down
-  | s -> failwith ("Trace: unknown drop reason " ^ s)
+  | "bad_checksum" -> Bad_checksum
+  | "garbled" -> Garbled
+  | s -> failwith (Printf.sprintf "Trace: unknown drop reason %S" s)
 
 (* Shortest decimal representation that still round-trips. *)
 let json_float v =
@@ -193,6 +206,11 @@ let line_of_record r =
       tag "pkt_deliver";
       str "link" link;
       int "bytes" bytes
+  | Pkt_mangle { link; bytes; op } ->
+      tag "pkt_mangle";
+      str "link" link;
+      int "bytes" bytes;
+      str "op" op
   | Frag_lost { src; ip_id } ->
       tag "frag_lost";
       int "src" src;
@@ -364,6 +382,8 @@ let record_of_line line =
           { link = str "link"; bytes = int "bytes";
             reason = reason_of_name (str "reason") }
     | "pkt_deliver" -> Pkt_deliver { link = str "link"; bytes = int "bytes" }
+    | "pkt_mangle" ->
+        Pkt_mangle { link = str "link"; bytes = int "bytes"; op = str "op" }
     | "frag_lost" -> Frag_lost { src = int "src"; ip_id = int "ip_id" }
     | "srv_queue" -> Srv_queue { xid = xid (); proc = int "proc"; wait = num "wait" }
     | "srv_service" ->
@@ -507,10 +527,10 @@ module Report = struct
                   }
                   :: !out
             | None -> ())
-        | Pkt_enqueue _ | Pkt_drop _ | Pkt_deliver _ | Frag_lost _
-        | Cwnd_update _ | Rto_update _ | Cache_hit _ | Cache_miss _
-        | Srv_crash | Srv_reboot | Write_committed _ | Lease_grant _
-        | Cached_read _ | Wl_error _ | Fault_inject _ ->
+        | Pkt_enqueue _ | Pkt_drop _ | Pkt_deliver _ | Pkt_mangle _
+        | Frag_lost _ | Cwnd_update _ | Rto_update _ | Cache_hit _
+        | Cache_miss _ | Srv_crash | Srv_reboot | Write_committed _
+        | Lease_grant _ | Cached_read _ | Wl_error _ | Fault_inject _ ->
             ())
       records;
     (List.rev !out, !incomplete + Hashtbl.length pending)

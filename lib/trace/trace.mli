@@ -22,6 +22,8 @@ type drop_reason =
   | Link_error  (** random per-packet corruption on the wire *)
   | Sock_overflow  (** receiving socket buffer full *)
   | Link_down  (** link administratively down (fault injection) *)
+  | Bad_checksum  (** receiver checksum mismatch (mangled payload) *)
+  | Garbled  (** undecodable RPC bytes discarded above the transport *)
 
 type event =
   | Rpc_send of { xid : int32; proc : int }
@@ -30,6 +32,10 @@ type event =
   | Pkt_enqueue of { link : string; bytes : int; qlen : int }
   | Pkt_drop of { link : string; bytes : int; reason : drop_reason }
   | Pkt_deliver of { link : string; bytes : int }
+  | Pkt_mangle of { link : string; bytes : int; op : string }
+      (** The fault-injection mangler damaged a packet in flight; [op]
+          is ["corrupt"], ["truncate"], ["duplicate"] or ["reorder"]
+          and [bytes] the wire size before mangling. *)
   | Frag_lost of { src : int; ip_id : int }
   | Srv_queue of { xid : int32; proc : int; wait : float }
   | Srv_service of { xid : int32; proc : int; service : float }

@@ -41,6 +41,43 @@ let encode_header h =
   Bytes.set_int32_be b 10 (Int32.of_int h.window);
   b
 
+(* TCP's checksum, always on: the ones-complement sum of header and
+   data, complemented and stored in the header's unused bytes 14-15
+   (left zero by [encode_header]).  Summing an intact segment end to
+   end therefore yields zero — the verification the input handler
+   performs before it trusts a single header field. *)
+let ones_sum_bytes b =
+  let s = ref 0 in
+  let n = Bytes.length b in
+  let i = ref 0 in
+  while !i + 1 < n do
+    s :=
+      !s
+      + ((Char.code (Bytes.get b !i) lsl 8) lor Char.code (Bytes.get b (!i + 1)));
+    s := (!s land 0xFFFF) + (!s lsr 16);
+    i := !i + 2
+  done;
+  if !i < n then begin
+    s := !s + (Char.code (Bytes.get b !i) lsl 8);
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  end;
+  !s
+
+(* Header + optional data as one chain with the checksum stamped in.
+   The header is even-length, so the two ones-complement partial sums
+   combine with a single carry fold. *)
+let checksummed_chain hdr data =
+  let hb = encode_header hdr in
+  let data_sum =
+    match data with None -> 0 | Some d -> lnot (Mbuf.checksum d) land 0xFFFF
+  in
+  let s = ones_sum_bytes hb + data_sum in
+  let s = (s land 0xFFFF) + (s lsr 16) in
+  Bytes.set_uint16_be hb 14 (lnot s land 0xFFFF);
+  let chain = Mbuf.of_bytes hb in
+  (match data with Some d -> Mbuf.append_chain chain d | None -> ());
+  chain
+
 let decode_header chain =
   let b = Mbuf.to_bytes (Mbuf.sub_copy chain ~pos:0 ~len:header_bytes) in
   {
@@ -112,9 +149,11 @@ and stack = {
   listeners : (int, conn -> unit) Hashtbl.t;
   conns : (int * int * int, conn) Hashtbl.t;
   mutable next_ephemeral : int;
+  mutable checksum_drops : int;
 }
 
 let node t = t.node
+let checksum_drops t = t.checksum_drops
 let mss conn = conn.mss
 let peer conn = conn.peer
 let peer_port conn = conn.peer_port
@@ -169,8 +208,7 @@ let send_segment c ~seq ~flags ~data =
   let hdr =
     { seq; ack = c.rcv_nxt; flags = flags lor flag_ack; window = adv_window c }
   in
-  let chain = Mbuf.of_bytes (encode_header hdr) in
-  (match data with Some d -> Mbuf.append_chain chain d | None -> ());
+  let chain = checksummed_chain hdr data in
   c.n_segs_sent <- c.n_segs_sent + 1;
   c.n_bytes_sent <- c.n_bytes_sent + Mbuf.length chain;
   Cpu.consume (cpu c) c.stack.send_cost;
@@ -180,7 +218,7 @@ let send_segment c ~seq ~flags ~data =
 (* The SYN does not carry the ACK flag. *)
 let send_syn c =
   let hdr = { seq = 0; ack = 0; flags = flag_syn; window = adv_window c } in
-  let chain = Mbuf.of_bytes (encode_header hdr) in
+  let chain = checksummed_chain hdr None in
   c.n_segs_sent <- c.n_segs_sent + 1;
   Cpu.consume (cpu c) c.stack.send_cost;
   Node.send_datagram c.stack.node ~proto:Packet.Tcp ~dst:c.peer
@@ -441,7 +479,7 @@ let abort c =
        segments addressed to vanished connections). *)
     (try
        let hdr = { seq = c.snd_nxt; ack = c.rcv_nxt; flags = flag_rst; window = 0 } in
-       let chain = Mbuf.of_bytes (encode_header hdr) in
+       let chain = checksummed_chain hdr None in
        Cpu.consume (cpu c) c.stack.send_cost;
        Node.send_datagram c.stack.node ~proto:Packet.Tcp ~dst:c.peer
          ~src_port:c.local_port ~dst_port:c.peer_port chain
@@ -581,10 +619,31 @@ let install ?(send_instructions = 480.0) ?(recv_instructions = 480.0)
       listeners = Hashtbl.create 8;
       conns = Hashtbl.create 32;
       next_ephemeral = 50000;
+      checksum_drops = 0;
     }
   in
   Node.set_proto_handler node Packet.Tcp (fun (dg : Node.datagram) ->
-      if Mbuf.length dg.Node.payload >= header_bytes then begin
+      if
+        Mbuf.length dg.Node.payload < header_bytes
+        || Mbuf.checksum dg.Node.payload <> 0
+      then begin
+        (* Short or corrupt segment: drop before trusting any header
+           field; the sender's retransmission repairs the stream. *)
+        stack.checksum_drops <- stack.checksum_drops + 1;
+        match Node.trace node with
+        | Some tr ->
+            Trace.record tr
+              ~time:(Sim.now (Node.sim node))
+              ~node:(Node.id node)
+              (Trace.Pkt_drop
+                 {
+                   link = Printf.sprintf "tcp:%d" dg.Node.dst_port;
+                   bytes = Mbuf.length dg.Node.payload;
+                   reason = Trace.Bad_checksum;
+                 })
+        | None -> ()
+      end
+      else begin
         let h = decode_header dg.Node.payload in
         let _, payload = Mbuf.split dg.Node.payload header_bytes in
         (* Input protocol processing cost: cheaper for pure ACKs. *)

@@ -44,6 +44,11 @@ val install :
 
 val node : stack -> Renofs_net.Node.t
 
+val checksum_drops : stack -> int
+(** Segments discarded on input because they were shorter than a header
+    or failed the (always-on) TCP checksum — wire corruption the
+    sender's retransmission repairs. *)
+
 val listen : stack -> port:int -> (conn -> unit) -> unit
 (** Accept connections on [port]; the callback runs as a new process per
     connection. *)

@@ -21,27 +21,67 @@ type socket = {
 and stack = {
   node : Node.t;
   sock_cost : float;
+  checksum : bool;
   sockets : (int, socket) Hashtbl.t;
   mutable next_ephemeral : int;
+  mutable checksum_drops : int;
 }
 
 (* 0.2 ms of socket-layer work on a 0.9 MIPS machine = 180 instructions'
    worth; scale with CPU speed via instruction count. *)
 let default_sock_instructions = 180.0
 
-let install ?sock_cost node =
+let install ?sock_cost ?(checksum = true) node =
   let cost =
     match sock_cost with
     | Some c -> c
     | None -> Cpu.seconds_of_instructions (Node.cpu node) default_sock_instructions
   in
   let stack =
-    { node; sock_cost = cost; sockets = Hashtbl.create 16; next_ephemeral = 40000 }
+    {
+      node;
+      sock_cost = cost;
+      checksum;
+      sockets = Hashtbl.create 16;
+      next_ephemeral = 40000;
+      checksum_drops = 0;
+    }
   in
   Node.set_proto_handler node Packet.Udp (fun (dg : Node.datagram) ->
       (* Runs inside the node's receive process: charging CPU here models
          socket-layer input processing. *)
       Cpu.consume (Node.cpu node) stack.sock_cost;
+      (* Verify the sender's checksum metadata before demultiplexing.
+         [sum = None] (an unchecksummed sender, e.g. background cross
+         traffic) is accepted — exactly UDP's optional-checksum rule.
+         The length check matters on its own: a truncated final fragment
+         reassembles into a silently shorter datagram whose bytes all
+         checksum fine. *)
+      let sum_ok =
+        (not stack.checksum)
+        ||
+        match dg.Node.sum with
+        | None -> true
+        | Some (len, sum) ->
+            Mbuf.length dg.Node.payload = len
+            && Mbuf.checksum dg.Node.payload = sum
+      in
+      if not sum_ok then begin
+        stack.checksum_drops <- stack.checksum_drops + 1;
+        match Node.trace node with
+        | Some tr ->
+            Trace.record tr
+              ~time:(Renofs_engine.Sim.now (Node.sim node))
+              ~node:(Node.id node)
+              (Trace.Pkt_drop
+                 {
+                   link = Printf.sprintf "udp:%d" dg.Node.dst_port;
+                   bytes = Mbuf.length dg.Node.payload;
+                   reason = Trace.Bad_checksum;
+                 })
+        | None -> ()
+      end
+      else
       match Hashtbl.find_opt stack.sockets dg.Node.dst_port with
       | None -> () (* port unreachable; silently dropped *)
       | Some sock ->
@@ -114,8 +154,16 @@ let port sock = sock.port
 let sendto sock ~dst ~dst_port payload =
   if sock.closed then invalid_arg "Udp.sendto: socket closed";
   Cpu.consume (Node.cpu sock.stack.node) sock.stack.sock_cost;
-  Node.send_datagram sock.stack.node ~proto:Packet.Udp ~dst ~src_port:sock.port
-    ~dst_port payload
+  (* The CPU time of checksumming is already charged by the node's
+     [Nic.checksum_cost] on both paths; this only attaches the virtual
+     header fields the receiver verifies. *)
+  let sum =
+    if sock.stack.checksum then
+      Some (Mbuf.length payload, Mbuf.checksum payload)
+    else None
+  in
+  Node.send_datagram sock.stack.node ?sum ~proto:Packet.Udp ~dst
+    ~src_port:sock.port ~dst_port payload
 
 let try_recv sock =
   match Queue.take_opt sock.queue with
@@ -133,6 +181,8 @@ let rec recv sock =
 
 let pending sock = Queue.length sock.queue
 let drops sock = sock.drops
+let checksum_enabled stack = stack.checksum
+let checksum_drops stack = stack.checksum_drops
 
 let close sock =
   sock.closed <- true;

@@ -19,10 +19,20 @@ type datagram = {
   arrived_at : float;
 }
 
-val install : ?sock_cost:float -> Renofs_net.Node.t -> stack
+val install : ?sock_cost:float -> ?checksum:bool -> Renofs_net.Node.t -> stack
 (** Claim the node's UDP input.  [sock_cost] is CPU seconds of socket-
     layer processing charged per datagram in each direction (default
-    0.2 ms at MicroVAXII scale: scaled by the node's MIPS). *)
+    0.2 ms at MicroVAXII scale: scaled by the node's MIPS).
+
+    [checksum] (default [true]) controls the optional UDP checksum:
+    senders attach [(length, Internet checksum)] metadata and receivers
+    drop any datagram whose reassembled payload no longer matches
+    (traced as a [Bad_checksum] drop, counted by {!checksum_drops}).
+    Unchecksummed datagrams ([sum = None]) are always accepted, as UDP
+    specifies.  [~checksum:false] reproduces the early Sun servers that
+    shipped with UDP checksums off: wire corruption then reaches the
+    RPC layer, and anything XDR happens to decode reaches the file
+    system. *)
 
 val node : stack -> Renofs_net.Node.t
 
@@ -45,5 +55,10 @@ val pending : socket -> int
 
 val drops : socket -> int
 (** Datagrams discarded because the receive buffer was full. *)
+
+val checksum_enabled : stack -> bool
+
+val checksum_drops : stack -> int
+(** Datagrams discarded for a checksum or length mismatch. *)
 
 val close : socket -> unit

@@ -289,7 +289,7 @@ let install_faults ~ctx world =
    measured run starts — schedule times are relative to installation. *)
 let make_world ?(params = Topology.default_params)
     ?(server_profile = Nfs_server.reno_profile) ?(defer_faults = false)
-    ?run_label ~ctx ~topology () =
+    ?(udp_checksum = true) ?run_label ~ctx ~topology () =
   let sim = Sim.create () in
   let topo =
     Topology.build sim
@@ -297,7 +297,7 @@ let make_world ?(params = Topology.default_params)
   in
   attach_trace ctx sim topo (Option.value run_label ~default:topology);
   attach_metrics ctx sim topo;
-  let sudp = Udp.install topo.Topology.server in
+  let sudp = Udp.install ~checksum:udp_checksum topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server =
     Nfs_server.create topo.Topology.server ~profile:server_profile ~udp:sudp
@@ -309,7 +309,7 @@ let make_world ?(params = Topology.default_params)
       sim;
       topo;
       server;
-      client_udp = Udp.install topo.Topology.client;
+      client_udp = Udp.install ~checksum:udp_checksum topo.Topology.client;
       client_tcp = Tcp.install topo.Topology.client;
     }
   in
@@ -1114,7 +1114,7 @@ let chaos_drive world m ~duration =
   Nfs_client.flush_all m;
   Array.iter (fun fd -> Nfs_client.close m fd) fds
 
-let chaos_cell ~schedule ~tname ~transport ~duration =
+let chaos_cell ?(seed = 0) ~schedule ~tname ~transport ~duration () =
   let label = Printf.sprintf "chaos/%s/%s" schedule.Fault.name tname in
   {
     cell_label = label;
@@ -1128,7 +1128,12 @@ let chaos_cell ~schedule ~tname ~transport ~duration =
           | None -> Trace.create ~capacity:65536 ()
         in
         let ctx = { ctx with trace = Some sink; faults = Some schedule } in
-        let world = make_world ~run_label:label ~ctx ~topology:"lan" () in
+        (* seed 0 = the historical default world, bit-for-bit. *)
+        let params =
+          if seed = 0 then Topology.default_params
+          else { Topology.default_params with Topology.seed = seed }
+        in
+        let world = make_world ~params ~run_label:label ~ctx ~topology:"lan" () in
         let start = Sim.now world.sim in
         let verdicts, retrans, recovery, elapsed =
           drive ~label world (fun () ->
@@ -1155,7 +1160,7 @@ let chaos_cell ~schedule ~tname ~transport ~duration =
         ]);
   }
 
-let chaos_spec scale =
+let chaos_spec ?seed scale =
   let duration = match scale with Quick -> 10.0 | Full -> 14.0 in
   let schedules =
     match scale with
@@ -1172,9 +1177,181 @@ let chaos_spec scale =
         (fun schedule ->
           List.map
             (fun (tname, transport) ->
-              chaos_cell ~schedule ~tname ~transport ~duration)
+              chaos_cell ?seed ~schedule ~tname ~transport ~duration ())
             transports)
         schedules;
+    sp_assemble = (fun outs -> outs);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: seeded wire-mangling sweeps                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each profile maps a seed to a schedule of wire-mangling actions over
+   every link.  Rates are high enough that a few sim-seconds of traffic
+   sees dozens of damaged packets, low enough that hard-mount
+   retransmission always gets a clean copy through eventually. *)
+let fuzz_profile_actions =
+  let m ~rate seed = { Fault.at = 1.0; duration = 4.0; link = "*"; rate; seed } in
+  [
+    ("corrupt", fun seed -> [ Fault.Corrupt (m ~rate:0.08 seed) ]);
+    ("truncate", fun seed -> [ Fault.Truncate (m ~rate:0.08 seed) ]);
+    ("duplicate", fun seed -> [ Fault.Duplicate (m ~rate:0.15 seed) ]);
+    ("reorder", fun seed -> [ Fault.Reorder (m ~rate:0.15 seed) ]);
+    ( "storm",
+      fun seed ->
+        [
+          Fault.Corrupt (m ~rate:0.04 seed);
+          Fault.Truncate (m ~rate:0.04 (seed + 1));
+          Fault.Duplicate (m ~rate:0.08 (seed + 2));
+          Fault.Reorder (m ~rate:0.08 (seed + 3));
+        ] );
+  ]
+
+let fuzz_profiles = List.map fst fuzz_profile_actions
+
+(* Like [chaos_drive], but returns the ledger of extents the client
+   believes it wrote — the expected side of the end-to-end
+   data-integrity check, which server-side digests cannot provide. *)
+let fuzz_drive world m ~duration =
+  let sim = world.sim in
+  let t0 = Sim.now sim in
+  let fds =
+    Array.init 4 (fun i -> Nfs_client.create m (Printf.sprintf "fuzz%d" i))
+  in
+  let block = 1024 in
+  let ledger : (int * int, bytes) Hashtbl.t = Hashtbl.create 64 in
+  let round = ref 0 in
+  while Sim.now sim -. t0 < duration do
+    let k = !round mod Array.length fds in
+    let off = (!round / Array.length fds) mod 8 * block in
+    let data = chaos_payload ~file:k ~off ~round:!round ~len:block in
+    Nfs_client.write m fds.(k) ~off data;
+    Hashtbl.replace ledger (k, off) data;
+    if !round mod 3 = 0 then ignore (Nfs_client.read m fds.(k) ~off ~len:block);
+    if !round mod 5 = 4 then Nfs_client.fsync m fds.(k);
+    Proc.sleep sim 0.25;
+    incr round
+  done;
+  Nfs_client.flush_all m;
+  Array.iter (fun fd -> Nfs_client.close m fd) fds;
+  Hashtbl.fold (fun (file, off) data acc -> (file, off, data) :: acc) ledger []
+  |> List.sort compare
+
+let fuzz_cell ~seed ~profile ~mk_actions ~tname ~transport ~checksum ~duration =
+  let label = Printf.sprintf "fuzz/%d/%s/%s" seed profile tname in
+  let row verdict ~retrans ~garbled ~ckdrops =
+    [
+      count seed;
+      txt profile;
+      txt tname;
+      count retrans;
+      count garbled;
+      count ckdrops;
+      txt verdict;
+    ]
+  in
+  {
+    cell_label = label;
+    cell_run =
+      (fun ctx ->
+        let sink =
+          match ctx.trace with
+          | Some tr -> tr
+          | None -> Trace.create ~capacity:65536 ()
+        in
+        let schedule =
+          {
+            Fault.name = "fuzz-" ^ profile;
+            description = "seeded wire mangling";
+            actions = mk_actions seed;
+          }
+        in
+        let ctx = { ctx with trace = Some sink; faults = Some schedule } in
+        let params = { Topology.default_params with Topology.seed = seed + 1 } in
+        match
+          let world =
+            make_world ~params ~udp_checksum:checksum ~run_label:label ~ctx
+              ~topology:"lan" ()
+          in
+          drive ~label world (fun () ->
+              let m =
+                mount_in world (mount_opts_for ~transport ~topology:"lan")
+              in
+              let expected = fuzz_drive world m ~duration in
+              let fs = Nfs_server.fs world.server in
+              (* [check_all] keys files by server inode (from the trace);
+                 the client ledger keys them by workload index, resolved
+                 through the server namespace at check time. *)
+              let read_back_ino ~file ~off ~len =
+                try Some (Fs.read fs (Fs.vnode_by_ino fs file) ~off ~len)
+                with _ -> None
+              in
+              let read_back_idx ~file ~off ~len =
+                try
+                  let vn =
+                    Fs.lookup fs (Fs.root fs) (Printf.sprintf "fuzz%d" file)
+                  in
+                  Some (Fs.read fs vn ~off ~len)
+                with _ -> None
+              in
+              let records = Trace.to_list sink in
+              let verdicts =
+                Fault.Check.check_all ~read_back:read_back_ino records
+                @ [
+                    Fault.Check.data_integrity ~expected
+                      ~read_back:read_back_idx;
+                  ]
+              in
+              let tr = Nfs_client.transport m in
+              let ckdrops =
+                Udp.checksum_drops world.client_udp
+                + Udp.checksum_drops (Nfs_server.udp_stack world.server)
+                + Tcp.checksum_drops world.client_tcp
+                + (match Nfs_server.tcp_stack world.server with
+                  | Some s -> Tcp.checksum_drops s
+                  | None -> 0)
+              in
+              row
+                (Fault.Check.summary verdicts)
+                ~retrans:(Client_transport.retransmits tr)
+                ~garbled:(Client_transport.garbled tr)
+                ~ckdrops)
+        with
+        | r -> r
+        | exception Driver_stuck _ ->
+            row "FAIL:stuck" ~retrans:0 ~garbled:0 ~ckdrops:0
+        | exception e ->
+            row
+              ("FAIL:exn:" ^ Printexc.to_string e)
+              ~retrans:0 ~garbled:0 ~ckdrops:0);
+  }
+
+(* Seed [base_seed + i] drives cell [i]; profile and transport cycle so
+   any [seeds >= 15] covers the full profile x transport matrix.  Kept
+   out of the [specs] registry: fuzzing is a robustness gate, not a
+   paper artifact. *)
+let fuzz_spec ?(seeds = 15) ?(base_seed = 0) ?(checksum = true) scale =
+  let duration = match scale with Quick -> 6.0 | Full -> 10.0 in
+  let nprofiles = List.length fuzz_profile_actions in
+  {
+    sp_id = "fuzz";
+    sp_title =
+      Printf.sprintf
+        "Seeded wire-corruption fuzzing (base seed %d, checksums %s)" base_seed
+        (if checksum then "on" else "off");
+    sp_header =
+      [ "seed"; "profile"; "transport"; "retrans"; "garbled"; "ckdrops"; "invariants" ];
+    sp_cells =
+      List.init seeds (fun i ->
+          let profile, mk_actions =
+            List.nth fuzz_profile_actions (i mod nprofiles)
+          in
+          let tname, transport =
+            List.nth transports (i / nprofiles mod List.length transports)
+          in
+          fuzz_cell ~seed:(base_seed + i) ~profile ~mk_actions ~tname ~transport
+            ~checksum ~duration);
     sp_assemble = (fun outs -> outs);
   }
 
@@ -1201,7 +1378,7 @@ let specs =
     ("section3", section3_spec);
     ("leases", leases_spec);
     ("scaling", scaling_spec);
-    ("chaos", chaos_spec);
+    ("chaos", fun scale -> chaos_spec scale);
   ]
 
 let spec ?(scale = Quick) id =

@@ -90,6 +90,31 @@ val specs : (string * (scale -> spec)) list
 val spec : ?scale:scale -> string -> spec option
 (** Look up and build one spec ([Quick] by default). *)
 
+val chaos_spec : ?seed:int -> scale -> spec
+(** The registry's "chaos" spec, with an explicit world seed.  [seed]
+    defaults to the historical fixed world (bit-for-bit identical to
+    [spec "chaos"]); any other value re-seeds the topology RNG so
+    repeated chaos runs explore different timing interleavings. *)
+
+val fuzz_profiles : string list
+(** The wire-mangling profiles {!fuzz_spec} cycles through: corrupt,
+    truncate, duplicate, reorder, storm. *)
+
+val fuzz_spec : ?seeds:int -> ?base_seed:int -> ?checksum:bool -> scale -> spec
+(** Seeded wire-corruption fuzzing, deliberately absent from {!specs}
+    (it is a robustness gate, not a paper artifact).  Cell [i] runs the
+    chaos-style write/read workload on a hard mount under mangling
+    driven by seed [base_seed + i], cycling profile and transport so
+    any [seeds >= 15] covers the full matrix.  Each row reports
+    retransmissions, garbled replies, checksum drops, and the
+    {!Renofs_fault.Fault.Check} verdicts including the end-to-end
+    {!Renofs_fault.Fault.Check.data_integrity} check against the
+    client-side ledger; a stuck driver or uncaught exception becomes a
+    ["FAIL:..."] verdict instead of killing the sweep.  [checksum:false]
+    disables UDP checksums — the Sun configuration whose silent
+    corruption the paper recounts — and under the corrupt profile is
+    expected to produce data-integrity violations. *)
+
 val run_spec :
   ?jobs:int ->
   ?trace:Renofs_trace.Trace.t ->

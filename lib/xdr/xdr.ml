@@ -37,24 +37,31 @@ module Enc = struct
 end
 
 module Dec = struct
-  type t = Mbuf.Cursor.t
+  (* The cursor plus the chain's total length, so every error locates
+     itself ("... at byte N of M") — the only clue a fuzzing run gives
+     about where in a mangled message decoding fell over. *)
+  type t = { c : Mbuf.Cursor.t; total : int }
 
-  let create chain = Mbuf.Cursor.create chain
-  let remaining = Mbuf.Cursor.remaining
+  let create chain = { c = Mbuf.Cursor.create chain; total = Mbuf.length chain }
+  let remaining t = Mbuf.Cursor.remaining t.c
+
+  let fail t what =
+    raise
+      (Decode_error
+         (Printf.sprintf "%s at byte %d of %d" what
+            (t.total - Mbuf.Cursor.remaining t.c)
+            t.total))
 
   let u32 t =
-    try Mbuf.Cursor.u32 t
-    with Mbuf.Cursor.Underrun -> raise (Decode_error "truncated u32")
+    try Mbuf.Cursor.u32 t.c
+    with Mbuf.Cursor.Underrun -> fail t "truncated u32"
 
   let int t =
     let v = u32 t in
     Int32.to_int v land 0xFFFFFFFF
 
   let bool t =
-    match u32 t with
-    | 0l -> false
-    | 1l -> true
-    | _ -> raise (Decode_error "bad bool")
+    match u32 t with 0l -> false | 1l -> true | _ -> fail t "bad bool"
 
   let enum t = int t
 
@@ -65,19 +72,19 @@ module Dec = struct
     Int64.logor hi64 lo64
 
   let opaque_fixed t n =
-    if n < 0 then raise (Decode_error "negative opaque length");
+    if n < 0 then fail t "negative opaque length";
     let body =
-      try Mbuf.Cursor.bytes t n
-      with Mbuf.Cursor.Underrun -> raise (Decode_error "truncated opaque")
+      try Mbuf.Cursor.bytes t.c n
+      with Mbuf.Cursor.Underrun -> fail t "truncated opaque"
     in
     let pad = pad_len n in
-    (try Mbuf.Cursor.skip t pad
-     with Mbuf.Cursor.Underrun -> raise (Decode_error "truncated padding"));
+    (try Mbuf.Cursor.skip t.c pad
+     with Mbuf.Cursor.Underrun -> fail t "truncated padding");
     body
 
   let opaque t ~max =
     let n = int t in
-    if n > max then raise (Decode_error "opaque too long");
+    if n > max then fail t (Printf.sprintf "opaque too long (%d > %d)" n max);
     opaque_fixed t n
 
   let string t ~max = Bytes.to_string (opaque t ~max)

@@ -6,7 +6,8 @@
 
 exception Decode_error of string
 (** Malformed input: bad discriminant, truncated data, negative or
-    oversized length. *)
+    oversized length.  Errors raised by {!Dec} locate themselves as
+    ["... at byte N of M"] within the message being decoded. *)
 
 (** Encoding: all functions append to the chain. *)
 module Enc : sig

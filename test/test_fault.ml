@@ -60,6 +60,63 @@ let test_schedule_json () =
   | Ok _ -> Alcotest.fail "missing file accepted"
   | Error _ -> ()
 
+let test_mangle_actions_json () =
+  let text =
+    {|{ "schema": "renofs-fault/1", "name": "m", "actions": [
+         {"kind":"corrupt","at":1.0,"duration":8.0,"link":"*","rate":0.01,"seed":7},
+         {"kind":"truncate","at":1.0,"duration":8.0,"link":"eth0","rate":0.02},
+         {"kind":"duplicate","at":1.0,"duration":8.0,"link":"*","rate":0.03},
+         {"kind":"reorder","at":1.0,"duration":8.0,"link":"*","rate":0.04} ] }|}
+  in
+  (match Fault.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+      match s.Fault.actions with
+      | [
+       Fault.Corrupt c; Fault.Truncate t; Fault.Duplicate d; Fault.Reorder o;
+      ] ->
+          Alcotest.(check int) "explicit seed" 7 c.Fault.seed;
+          Alcotest.(check int) "seed defaults to 0" 0 t.Fault.seed;
+          Alcotest.(check string) "link" "eth0" t.Fault.link;
+          Alcotest.(check (float 1e-9)) "rate" 0.03 d.Fault.rate;
+          Alcotest.(check (float 1e-9)) "at" 1.0 o.Fault.at
+      | _ -> Alcotest.fail "expected the four mangle actions in order"));
+  (* missing rate *)
+  (match
+     Fault.parse
+       {|{"schema":"renofs-fault/1","name":"m",
+          "actions":[{"kind":"corrupt","at":1.0,"duration":8.0,"link":"*"}]}|}
+   with
+  | Ok _ -> Alcotest.fail "corrupt without rate accepted"
+  | Error _ -> ());
+  match Fault.resolve "garble" with
+  | Ok s -> (
+      match s.Fault.actions with
+      | [ Fault.Corrupt _ ] -> ()
+      | _ -> Alcotest.fail "garble should be a single corrupt action")
+  | Error e -> Alcotest.fail e
+
+let test_data_integrity_check () =
+  let store : (int * int, bytes) Hashtbl.t = Hashtbl.create 8 in
+  let read_back ~file ~off ~len =
+    Option.bind (Hashtbl.find_opt store (file, off)) (fun b ->
+        if Bytes.length b = len then Some b else None)
+  in
+  let expected = [ (0, 0, Bytes.of_string "good"); (1, 8, Bytes.of_string "data") ] in
+  Hashtbl.replace store (0, 0) (Bytes.of_string "good");
+  Hashtbl.replace store (1, 8) (Bytes.of_string "data");
+  Alcotest.(check bool) "clean store passes" true
+    (Check.data_integrity ~expected ~read_back).Check.v_ok;
+  (* One silently corrupted byte — what a checksum-less UDP write
+     suffers — must be flagged. *)
+  Hashtbl.replace store (1, 8) (Bytes.of_string "dXta");
+  let v = Check.data_integrity ~expected ~read_back in
+  Alcotest.(check bool) "corrupted extent flagged" false v.Check.v_ok;
+  Alcotest.(check string) "named" "data-integrity" v.Check.v_name;
+  Hashtbl.remove store (0, 0);
+  Alcotest.(check bool) "vanished extent flagged" false
+    (Check.data_integrity ~expected ~read_back).Check.v_ok
+
 let test_new_events_jsonl_roundtrip () =
   List.iter
     (fun ev ->
@@ -78,6 +135,9 @@ let test_new_events_jsonl_roundtrip () =
       Trace.Wl_error { op = "create"; soft = true };
       Trace.Fault_inject { action = "server_crash at=4 downtime=3" };
       Trace.Pkt_drop { link = "eth0:client>server"; bytes = 1500; reason = Trace.Link_down };
+      Trace.Pkt_drop { link = "udp:2049"; bytes = 1500; reason = Trace.Bad_checksum };
+      Trace.Pkt_drop { link = "client:rpc"; bytes = 40; reason = Trace.Garbled };
+      Trace.Pkt_mangle { link = "eth0:client>server"; bytes = 1500; op = "corrupt" };
     ]
 
 (* ---------------------------------------------------------------- *)
@@ -260,6 +320,22 @@ let test_chaos_determinism () =
               | _ -> false))
             (E.run_spec ~jobs:1 mini).E.r_rows))
 
+(* Two fuzz cells (corrupt and truncate on udp-fixed), deterministic
+   across --jobs, and green with checksums on. *)
+let test_fuzz_smoke_and_determinism () =
+  let spec = E.fuzz_spec ~seeds:2 ~base_seed:0 E.Quick in
+  let run jobs = Bench_json.emit ~scale:E.Quick ~jobs:1 [ E.run_spec ~jobs spec ] in
+  let j1 = run 1 in
+  Alcotest.(check string) "byte-identical across jobs" j1 (run 2);
+  let rows = (E.run_spec ~jobs:1 spec).E.r_rows in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (List.iter (function
+      | E.Text s when String.length s >= 4 && String.sub s 0 4 = "FAIL" ->
+          Alcotest.failf "fuzz cell failed: %s" s
+      | _ -> ()))
+    rows
+
 (* ---------------------------------------------------------------- *)
 (* test_crash's hard-mount scenario on the schedule API              *)
 (* ---------------------------------------------------------------- *)
@@ -315,6 +391,7 @@ let () =
       ( "schedules",
         [
           Alcotest.test_case "json round-trip and errors" `Quick test_schedule_json;
+          Alcotest.test_case "mangle actions json" `Quick test_mangle_actions_json;
           Alcotest.test_case "new trace events roundtrip jsonl" `Quick
             test_new_events_jsonl_roundtrip;
           Alcotest.test_case "crash schedule rides through" `Quick
@@ -330,10 +407,13 @@ let () =
             test_dup_cache_off_double_create_flagged;
           Alcotest.test_case "dup cache on: clean" `Quick
             test_dup_cache_on_double_create_clean;
+          Alcotest.test_case "data integrity" `Quick test_data_integrity_check;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "deterministic at any --jobs" `Quick
             test_chaos_determinism;
+          Alcotest.test_case "fuzz smoke + determinism" `Quick
+            test_fuzz_smoke_and_determinism;
         ] );
     ]

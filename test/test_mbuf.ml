@@ -102,6 +102,23 @@ let test_cursor_skip () =
   Mbuf.Cursor.skip cur 3000;
   Alcotest.(check string) "after skip" "Z" (Bytes.to_string (Mbuf.Cursor.bytes cur 1))
 
+(* Regressions: hostile lengths (a garbage XDR count, for instance)
+   must raise Underrun up front — never allocate first, never let a
+   negative length grow the cursor. *)
+let test_cursor_hostile_lengths () =
+  let fresh () = Mbuf.Cursor.create (Mbuf.of_string "abcd") in
+  let raises name f =
+    Alcotest.check_raises name Mbuf.Cursor.Underrun (fun () -> ignore (f ()))
+  in
+  raises "bytes: huge" (fun () -> Mbuf.Cursor.bytes (fresh ()) max_int);
+  raises "bytes: negative" (fun () -> Mbuf.Cursor.bytes (fresh ()) (-1));
+  raises "skip: past end" (fun () -> Mbuf.Cursor.skip (fresh ()) 5);
+  raises "skip: negative" (fun () -> Mbuf.Cursor.skip (fresh ()) (-1));
+  (* A failed negative skip must not have manufactured extra length. *)
+  let cur = fresh () in
+  (try Mbuf.Cursor.skip cur (-2) with Mbuf.Cursor.Underrun -> ());
+  Alcotest.(check int) "remaining unchanged" 4 (Mbuf.Cursor.remaining cur)
+
 (* Property tests *)
 
 let prop_roundtrip =
@@ -175,6 +192,7 @@ let () =
           Alcotest.test_case "sequential reads" `Quick test_cursor_sequential;
           Alcotest.test_case "underrun" `Quick test_cursor_underrun;
           Alcotest.test_case "skip across mbufs" `Quick test_cursor_skip;
+          Alcotest.test_case "hostile lengths" `Quick test_cursor_hostile_lengths;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

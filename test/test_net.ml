@@ -203,6 +203,124 @@ let test_link_random_loss () =
   Alcotest.(check bool) "roughly half lost" true (drops > 400 && drops < 600)
 
 (* ------------------------------------------------------------------ *)
+(* Wire mangling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mangle_link ?(name = "l") sim sink =
+  Link.create sim ~name ~bandwidth_bps:1e9 ~delay:0.001 ~queue_limit:1000
+    ~rng:(Rng.create 1)
+    ~deliver:(fun p -> sink := Mbuf.to_bytes p.Packet.payload :: !sink)
+    ()
+
+let test_mangle_corrupt_flips_one_bit () =
+  let sim = Sim.create () in
+  let got = ref [] in
+  let link = mangle_link sim got in
+  Link.set_mangle link ~seed:7 Link.Corrupt 1.0;
+  let original = Bytes.init 100 (fun i -> Char.chr (i mod 256)) in
+  Link.send link (mk_datagram 100);
+  Sim.run sim;
+  (match !got with
+  | [ b ] ->
+      let diff_bits = ref 0 in
+      Bytes.iteri
+        (fun i c ->
+          let x = Char.code c lxor Char.code (Bytes.get original i) in
+          let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+          diff_bits := !diff_bits + pop x)
+        b;
+      Alcotest.(check int) "exactly one bit flipped" 1 !diff_bits;
+      (* A single bit flip is always visible to the Internet checksum. *)
+      Alcotest.(check bool) "checksum catches it" true
+        (Mbuf.checksum (Mbuf.of_bytes b)
+        <> Mbuf.checksum (Mbuf.of_bytes original))
+  | _ -> Alcotest.fail "expected one delivery");
+  Alcotest.(check int) "mangled counted" 1 (Link.stats link).Link.mangled
+
+let test_mangle_truncate_shortens () =
+  let sim = Sim.create () in
+  let got = ref [] in
+  let link = mangle_link sim got in
+  Link.set_mangle link ~seed:3 Link.Truncate 1.0;
+  Link.send link (mk_datagram 100);
+  Sim.run sim;
+  match !got with
+  | [ b ] ->
+      Alcotest.(check bool) "shorter than sent" true (Bytes.length b < 100)
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_mangle_duplicate_delivers_twice () =
+  let sim = Sim.create () in
+  let got = ref [] in
+  let link = mangle_link sim got in
+  Link.set_mangle link ~seed:5 Link.Duplicate 1.0;
+  let original = Bytes.init 100 (fun i -> Char.chr (i mod 256)) in
+  Link.send link (mk_datagram 100);
+  Sim.run sim;
+  match !got with
+  | [ a; b ] ->
+      Alcotest.(check bytes) "copy 1 intact" original a;
+      Alcotest.(check bytes) "copy 2 intact" original b
+  | l -> Alcotest.failf "expected two deliveries, got %d" (List.length l)
+
+let test_mangle_reorder_delays () =
+  let base_arrival =
+    let sim = Sim.create () in
+    let t = ref 0.0 in
+    let link =
+      Link.create sim ~name:"l" ~bandwidth_bps:1e9 ~delay:0.001
+        ~queue_limit:1000 ~rng:(Rng.create 1)
+        ~deliver:(fun _ -> t := Sim.now sim)
+        ()
+    in
+    Link.send link (mk_datagram 100);
+    Sim.run sim;
+    !t
+  in
+  let sim = Sim.create () in
+  let t = ref 0.0 in
+  let link =
+    Link.create sim ~name:"l" ~bandwidth_bps:1e9 ~delay:0.001 ~queue_limit:1000
+      ~rng:(Rng.create 1)
+      ~deliver:(fun _ -> t := Sim.now sim)
+      ()
+  in
+  Link.set_mangle link ~seed:9 Link.Reorder 1.0;
+  Link.send link (mk_datagram 100);
+  Sim.run sim;
+  Alcotest.(check bool) "held back past normal delivery" true (!t > base_arrival)
+
+(* Same link name and seed must damage the packet identically — a
+   failing fuzz seed has to replay — and the seed must matter. *)
+let test_mangle_deterministic_by_seed () =
+  let run ~seed =
+    let sim = Sim.create () in
+    let got = ref [] in
+    let link = mangle_link sim got in
+    Link.set_mangle link ~seed Link.Corrupt 1.0;
+    Link.send link (mk_datagram 100);
+    Sim.run sim;
+    List.hd !got
+  in
+  Alcotest.(check bytes) "seed 11 replays" (run ~seed:11) (run ~seed:11);
+  Alcotest.(check bool) "different seeds differ" true
+    (not (Bytes.equal (run ~seed:11) (run ~seed:12)))
+
+let test_mangle_rate_save_restore () =
+  let sim = Sim.create () in
+  let got = ref [] in
+  let link = mangle_link sim got in
+  Alcotest.(check (float 0.0)) "off by default" 0.0
+    (Link.mangle_rate link Link.Corrupt);
+  Link.set_mangle link ~seed:1 Link.Corrupt 0.25;
+  Alcotest.(check (float 0.0)) "set" 0.25 (Link.mangle_rate link Link.Corrupt);
+  Alcotest.(check (float 0.0)) "others untouched" 0.0
+    (Link.mangle_rate link Link.Truncate);
+  Link.set_mangle link Link.Corrupt 0.0;
+  Alcotest.(check (float 0.0)) "restored" 0.0
+    (Link.mangle_rate link Link.Corrupt)
+
+(* ------------------------------------------------------------------ *)
 (* Nodes and routing                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -389,6 +507,18 @@ let () =
           Alcotest.test_case "fifo backlog" `Quick test_link_fifo_backlog;
           Alcotest.test_case "queue drops" `Quick test_link_queue_drops;
           Alcotest.test_case "random loss" `Quick test_link_random_loss;
+        ] );
+      ( "mangling",
+        [
+          Alcotest.test_case "corrupt flips one bit" `Quick
+            test_mangle_corrupt_flips_one_bit;
+          Alcotest.test_case "truncate shortens" `Quick test_mangle_truncate_shortens;
+          Alcotest.test_case "duplicate delivers twice" `Quick
+            test_mangle_duplicate_delivers_twice;
+          Alcotest.test_case "reorder delays" `Quick test_mangle_reorder_delays;
+          Alcotest.test_case "deterministic by seed" `Quick
+            test_mangle_deterministic_by_seed;
+          Alcotest.test_case "rate save/restore" `Quick test_mangle_rate_save_restore;
         ] );
       ( "nodes",
         [

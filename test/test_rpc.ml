@@ -78,6 +78,186 @@ let test_garbage_rejected () =
   | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) -> ()
   | _ -> Alcotest.fail "garbage accepted"
 
+(* Truncation tables: every message type under every strict prefix.
+   A truncated packet must surface as [Decode_error] (or [Bad_message]
+   at the RPC layer) — never [Invalid_argument]/[Failure]/a bare
+   [Underrun] — so the wire-corruption fault layer can only ever drive
+   the GARBAGE_ARGS/drop/retransmit paths, not crash a peer.  A strict
+   prefix that still decodes is fine: the missing tail was unread. *)
+
+module Nfs_proto = Renofs_core.Nfs_proto
+module Mount_proto = Renofs_core.Mount_proto
+
+let check_prefixes ~what ~encode ~decode =
+  let enc = Xdr.Enc.create () in
+  encode enc;
+  let whole = Mbuf.to_bytes (Xdr.Enc.chain enc) in
+  for len = 0 to Bytes.length whole - 1 do
+    let chain = Renofs_mbuf.Mbuf.of_bytes (Bytes.sub whole 0 len) in
+    match decode chain with
+    | _ -> ()
+    | exception (Xdr.Decode_error _ | Rpc_msg.Bad_message _) -> ()
+    | exception e ->
+        Alcotest.failf "%s: %d-byte prefix raised %s" what len
+          (Printexc.to_string e)
+  done
+
+let sample_fattr =
+  {
+    Nfs_proto.ftype = Nfs_proto.NFREG;
+    mode = 0o644;
+    nlink = 1;
+    uid = 100;
+    gid = 20;
+    size = 4096;
+    blocksize = 1024;
+    rdev = 0;
+    blocks = 8;
+    fsid = 1;
+    fileid = 42;
+    atime = { Nfs_proto.seconds = 10; useconds = 0 };
+    mtime = { Nfs_proto.seconds = 11; useconds = 0 };
+    ctime = { Nfs_proto.seconds = 12; useconds = 0 };
+  }
+
+let sample_dirop = { Nfs_proto.dir = 7; name = "file.txt" }
+
+let sample_sattr =
+  { Nfs_proto.sattr_none with Nfs_proto.s_mode = 0o600; s_size = 100 }
+
+let nfs_sample_calls =
+  Nfs_proto.
+    [
+      Null;
+      Getattr 7;
+      Setattr (7, sample_sattr);
+      Lookup sample_dirop;
+      Readlink 7;
+      Read { read_file = 7; offset = 0; count = 8192 };
+      Write { write_file = 7; write_offset = 1024; data = Bytes.make 100 'w' };
+      Create { where = sample_dirop; attributes = sample_sattr };
+      Remove sample_dirop;
+      Rename { from_dir = sample_dirop; to_dir = { dir = 8; name = "new" } };
+      Link { link_from = 7; link_to = sample_dirop };
+      Symlink
+        { sym_where = sample_dirop; sym_target = "/tmp/t"; sym_attr = sample_sattr };
+      Mkdir { where = sample_dirop; attributes = sample_sattr };
+      Rmdir sample_dirop;
+      Readdir { rd_dir = 7; cookie = 0; rd_count = 512 };
+      Statfs 7;
+      Readdirlook { rd_dir = 7; cookie = 0; rd_count = 512 };
+      Getlease { lease_file = 7; lease_mode = Lease_read; lease_duration = 30 };
+    ]
+
+let nfs_sample_replies =
+  Nfs_proto.
+    [
+      (0, Rnull);
+      (1, Rattr (Ok sample_fattr));
+      (1, Rattr (Error NFSERR_STALE));
+      (4, Rdirop (Ok (7, sample_fattr)));
+      (5, Rreadlink (Ok "/target"));
+      (6, Rread (Ok (sample_fattr, Bytes.make 64 'r')));
+      (10, Rstat NFS_OK);
+      ( 16,
+        Rreaddir
+          (Ok ([ { fileid = 3; entry_name = "a"; entry_cookie = 1 } ], true)) );
+      ( 17,
+        Rstatfs
+          (Ok
+             {
+               tsize = 8192;
+               bsize = 1024;
+               blocks_total = 1000;
+               blocks_free = 500;
+               blocks_avail = 400;
+             }) );
+      ( 18,
+        Rreaddirlook
+          (Ok
+             ( [
+                 {
+                   le_entry = { fileid = 3; entry_name = "a"; entry_cookie = 1 };
+                   le_file = 3;
+                   le_attr = sample_fattr;
+                 };
+               ],
+               true )) );
+      (19, Rlease (Ok (Some { granted_duration = 30; lease_attr = sample_fattr })));
+      (19, Rlease (Ok None));
+    ]
+
+let mount_sample_calls =
+  Mount_proto.[ Mnt_null; Mnt "/export"; Dump; Umnt "/export"; Umntall; Export ]
+
+let mount_sample_replies =
+  Mount_proto.
+    [
+      (0, Rmnt_null);
+      (1, Rmnt (Mnt_ok 7));
+      (1, Rmnt (Mnt_error 13));
+      (2, Rdump [ ("client1", "/export") ]);
+      (3, Rumnt);
+      (5, Rexport [ "/export"; "/home" ]);
+    ]
+
+let test_nfs_truncation () =
+  List.iter
+    (fun call ->
+      let proc = Nfs_proto.proc_of_call call in
+      check_prefixes
+        ~what:("nfs call " ^ Nfs_proto.proc_name proc)
+        ~encode:(fun enc -> Nfs_proto.encode_call enc call)
+        ~decode:(fun chain ->
+          ignore (Nfs_proto.decode_call ~proc (Xdr.Dec.create chain))))
+    nfs_sample_calls;
+  List.iter
+    (fun (proc, reply) ->
+      check_prefixes
+        ~what:("nfs reply " ^ Nfs_proto.proc_name proc)
+        ~encode:(fun enc -> Nfs_proto.encode_reply enc reply)
+        ~decode:(fun chain ->
+          ignore (Nfs_proto.decode_reply ~proc (Xdr.Dec.create chain))))
+    nfs_sample_replies
+
+let test_mount_truncation () =
+  List.iter
+    (fun call ->
+      let proc = Mount_proto.proc_of_call call in
+      check_prefixes
+        ~what:("mount call " ^ Mount_proto.proc_name proc)
+        ~encode:(fun enc -> Mount_proto.encode_call enc call)
+        ~decode:(fun chain ->
+          ignore (Mount_proto.decode_call ~proc (Xdr.Dec.create chain))))
+    mount_sample_calls;
+  List.iter
+    (fun (proc, reply) ->
+      check_prefixes
+        ~what:("mount reply " ^ Mount_proto.proc_name proc)
+        ~encode:(fun enc -> Mount_proto.encode_reply enc reply)
+        ~decode:(fun chain ->
+          ignore (Mount_proto.decode_reply ~proc (Xdr.Dec.create chain))))
+    mount_sample_replies
+
+let test_rpc_truncation () =
+  check_prefixes ~what:"rpc call header"
+    ~encode:(fun enc ->
+      Xdr.Enc.append_chain enc
+        (Xdr.Enc.chain (Rpc_msg.encode_call (sample_call 6))))
+    ~decode:(fun chain -> ignore (Rpc_msg.decode_call chain));
+  List.iter
+    (fun status ->
+      check_prefixes ~what:"rpc reply header"
+        ~encode:(fun enc ->
+          Xdr.Enc.append_chain enc
+            (Xdr.Enc.chain (Rpc_msg.encode_reply ~xid:9l status)))
+        ~decode:(fun chain -> ignore (Rpc_msg.decode_reply chain)))
+    [
+      Rpc_msg.Accepted Rpc_msg.Success;
+      Rpc_msg.Accepted (Rpc_msg.Prog_mismatch { low = 2; high = 2 });
+      Rpc_msg.Denied Rpc_msg.Auth_error;
+    ]
+
 (* Record marking *)
 
 let test_frame_shape () =
@@ -123,6 +303,25 @@ let test_reader_back_to_back () =
   Alcotest.(check string) "first" "first" (pop_str ());
   Alcotest.(check string) "second" "second!" (pop_str ());
   Alcotest.(check bool) "no extra" true (Record_mark.Reader.pop r = None)
+
+(* A corrupt length word must raise [Corrupt] promptly, not leave the
+   reader buffering toward 2 GB (or spinning on a zero-length
+   fragment). *)
+let test_reader_rejects_hostile_lengths () =
+  let feed word =
+    let r = Record_mark.Reader.create () in
+    let b = Mbuf.empty () in
+    Mbuf.add_u32 b word;
+    Record_mark.Reader.push r b;
+    match Record_mark.Reader.pop r with
+    | exception Record_mark.Reader.Corrupt _ -> ()
+    | _ -> Alcotest.failf "length word %lx accepted" word
+  in
+  feed 0x80000000l;
+  (* a 2 GB claim *)
+  feed 0xFFFFFFFFl;
+  (* just above the sane-fragment cap *)
+  feed (Int32.of_int (0x80000000 lor (2 lsl 20)))
 
 let prop_reader_chunking =
   QCheck.Test.make ~name:"record reader handles arbitrary chunking" ~count:200
@@ -194,12 +393,20 @@ let () =
           Alcotest.test_case "peek xid" `Quick test_peek_xid;
           Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
         ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "rpc headers" `Quick test_rpc_truncation;
+          Alcotest.test_case "nfs calls and replies" `Quick test_nfs_truncation;
+          Alcotest.test_case "mount calls and replies" `Quick test_mount_truncation;
+        ] );
       ( "record-marking",
         [
           Alcotest.test_case "frame shape" `Quick test_frame_shape;
           Alcotest.test_case "single record" `Quick test_reader_single_record;
           Alcotest.test_case "partial then complete" `Quick test_reader_partial_then_complete;
           Alcotest.test_case "back to back" `Quick test_reader_back_to_back;
+          Alcotest.test_case "hostile length words" `Quick
+            test_reader_rejects_hostile_lengths;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -34,8 +34,8 @@ let test_bool_strict () =
   let enc = Xdr.Enc.create () in
   Xdr.Enc.u32 enc 2l;
   let dec = Xdr.Dec.create (Xdr.Enc.chain enc) in
-  Alcotest.check_raises "bad bool" (Xdr.Decode_error "bad bool") (fun () ->
-      ignore (Xdr.Dec.bool dec))
+  Alcotest.check_raises "bad bool" (Xdr.Decode_error "bad bool at byte 4 of 4")
+    (fun () -> ignore (Xdr.Dec.bool dec))
 
 let test_u64 () =
   List.iter
@@ -59,7 +59,8 @@ let test_opaque_max () =
   let enc = Xdr.Enc.create () in
   Xdr.Enc.opaque enc (Bytes.make 10 'z');
   let dec = Xdr.Dec.create (Xdr.Enc.chain enc) in
-  Alcotest.check_raises "too long" (Xdr.Decode_error "opaque too long") (fun () ->
+  Alcotest.check_raises "too long"
+    (Xdr.Decode_error "opaque too long (10 > 5) at byte 4 of 16") (fun () ->
       ignore (Xdr.Dec.opaque dec ~max:5))
 
 let test_opaque_fixed () =
@@ -74,8 +75,44 @@ let test_truncated () =
   Xdr.Enc.u32 enc 5l;
   let dec = Xdr.Dec.create (Xdr.Enc.chain enc) in
   ignore (Xdr.Dec.u32 dec);
-  Alcotest.check_raises "truncated" (Xdr.Decode_error "truncated u32") (fun () ->
+  Alcotest.check_raises "truncated"
+    (Xdr.Decode_error "truncated u32 at byte 4 of 4") (fun () ->
       ignore (Xdr.Dec.u32 dec))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Every strict prefix of a representative stream must fail with a
+   located [Decode_error] — never [Invalid_argument], [Failure] or a
+   bare cursor [Underrun] — because a truncated packet is exactly what
+   the wire-mangling fault layer produces. *)
+let test_truncation_table () =
+  let enc = Xdr.Enc.create () in
+  Xdr.Enc.int enc 3;
+  Xdr.Enc.string enc "file.txt";
+  Xdr.Enc.bool enc true;
+  Xdr.Enc.u64 enc 123456789L;
+  Xdr.Enc.opaque enc (Bytes.make 10 'z');
+  let whole = Mbuf.to_bytes (Xdr.Enc.chain enc) in
+  for len = 0 to Bytes.length whole - 1 do
+    let dec = Xdr.Dec.create (Mbuf.of_bytes (Bytes.sub whole 0 len)) in
+    match
+      ignore (Xdr.Dec.int dec);
+      ignore (Xdr.Dec.string dec ~max:255);
+      ignore (Xdr.Dec.bool dec);
+      ignore (Xdr.Dec.u64 dec);
+      ignore (Xdr.Dec.opaque dec ~max:64)
+    with
+    | () -> Alcotest.failf "prefix of %d bytes decoded completely" len
+    | exception Xdr.Decode_error msg ->
+        if not (contains ~sub:" at byte " msg) then
+          Alcotest.failf "prefix %d: error %S lacks a location" len msg
+    | exception e ->
+        Alcotest.failf "prefix %d: raised %s, not Decode_error" len
+          (Printexc.to_string e)
+  done
 
 let test_append_chain_zero_copy () =
   let ctr = Mbuf.Counters.create () in
@@ -170,6 +207,7 @@ let () =
           Alcotest.test_case "opaque max" `Quick test_opaque_max;
           Alcotest.test_case "opaque fixed" `Quick test_opaque_fixed;
           Alcotest.test_case "truncated" `Quick test_truncated;
+          Alcotest.test_case "truncation table" `Quick test_truncation_table;
           Alcotest.test_case "zero-copy splice" `Quick test_append_chain_zero_copy;
           Alcotest.test_case "mixed sequence" `Quick test_mixed_sequence;
         ] );
