@@ -15,8 +15,12 @@
 # committed BENCH_quick.json baseline, failing on any >15% regression
 # in latency (ms/s) or throughput (per_s) cells; refresh the baseline
 # with `make bench-baseline` after an intentional performance change.
+# `make fleet-smoke` runs the sharded multi-server family across 2
+# domains, validates the JSON, and byte-compares it against a 1-domain
+# run (minus the "jobs" header line, the one legitimate difference) —
+# the determinism contract for fleet-scale worlds.
 
-.PHONY: all build test fmt smoke fuzz-smoke bench-gate bench-baseline check clean
+.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke bench-gate bench-baseline check clean
 
 all: build
 
@@ -41,6 +45,14 @@ fuzz-smoke: build
 	dune exec bin/nfsbench.exe -- fuzz --seeds 15 --jobs 2
 	! dune exec bin/nfsbench.exe -- fuzz --seeds 5 --jobs 2 --no-checksum
 
+fleet-smoke: build
+	dune exec bin/nfsbench.exe -- run fleet-quick --jobs 2 --json /tmp/renofs-fleet-smoke2.json
+	dune exec bin/nfsbench.exe -- validate-json /tmp/renofs-fleet-smoke2.json
+	dune exec bin/nfsbench.exe -- run fleet-quick --jobs 1 --json /tmp/renofs-fleet-smoke1.json > /dev/null
+	grep -v '"jobs"' /tmp/renofs-fleet-smoke1.json > /tmp/renofs-fleet-smoke1.stripped
+	grep -v '"jobs"' /tmp/renofs-fleet-smoke2.json > /tmp/renofs-fleet-smoke2.stripped
+	cmp /tmp/renofs-fleet-smoke1.stripped /tmp/renofs-fleet-smoke2.stripped
+
 bench-gate: build
 	dune exec bin/nfsbench.exe -- all --json /tmp/renofs-bench-gate.json > /dev/null
 	dune exec bin/nfsbench.exe -- diff BENCH_quick.json /tmp/renofs-bench-gate.json --tolerance 15
@@ -48,7 +60,7 @@ bench-gate: build
 bench-baseline: build
 	dune exec bin/nfsbench.exe -- all --json BENCH_quick.json > /dev/null
 
-check: build test fmt smoke fuzz-smoke bench-gate
+check: build test fmt smoke fuzz-smoke fleet-smoke bench-gate
 
 clean:
 	dune clean

@@ -56,10 +56,13 @@ let check_outputs paths =
         (Option.bind path check_writable))
     paths
 
-(* The default is already clamped to the machine; an explicit larger
-   --jobs still runs, oversubscribed, with a warning. *)
-let effective_jobs = function
-  | None -> Sweep.default_jobs ()
+(* The default is already clamped to the machine and to the cell count
+   (a 9-cell fleet run should not spawn idle domains); an explicit
+   larger --jobs still runs, oversubscribed, with a warning. *)
+let effective_jobs ?cells jobs =
+  let cap j = match cells with Some n when n >= 1 -> min j n | _ -> j in
+  match jobs with
+  | None -> cap (Sweep.default_jobs ())
   | Some j ->
       let j = max 1 j in
       let recommended = Sweep.default_jobs () in
@@ -68,7 +71,14 @@ let effective_jobs = function
           "nfsbench: --jobs %d exceeds this machine's %d recommended domains; \
            running oversubscribed@."
           j recommended;
-      j
+      (match cells with
+      | Some n when j > n && n >= 1 ->
+          Format.eprintf
+            "nfsbench: --jobs %d exceeds the %d cells; extra domains would \
+             idle, capping to %d@."
+            j n n
+      | _ -> ());
+      cap j
 
 let resolve_faults = function
   | None -> Ok None
@@ -97,7 +107,7 @@ let run_one id full jobs trace_path report json_path faults_spec metrics_path =
                   Printf.sprintf "unknown experiment %S; try one of: %s" id
                     (String.concat ", " (List.map fst E.specs)) )
           | Some spec ->
-              let jobs = effective_jobs jobs in
+              let jobs = effective_jobs ~cells:(List.length spec.E.sp_cells) jobs in
               let tr =
                 if trace_path <> None || report then
                   (* Full-scale sweeps emit a few hundred thousand events;
@@ -143,14 +153,18 @@ let run_all full jobs json_path =
   | Some msg -> `Error (false, msg)
   | None ->
       let scale = scale_of_full full in
-      let jobs = effective_jobs jobs in
+      let built = List.map (fun (_, mk) -> mk scale) E.specs in
+      let cells =
+        List.fold_left (fun acc s -> acc + List.length s.E.sp_cells) 0 built
+      in
+      let jobs = effective_jobs ~cells jobs in
       Format.printf "running %d experiments (%s scale, %d jobs)...@."
         (List.length E.specs)
         (match scale with E.Quick -> "quick" | E.Full -> "full")
         jobs;
       (* One pooled sweep across every experiment's cells: short
          experiments overlap long ones instead of serialising. *)
-      let results = E.run_specs ~jobs (List.map (fun (_, mk) -> mk scale) E.specs) in
+      let results = E.run_specs ~jobs built in
       List.iter (fun r -> print_with_chart (E.render r)) results;
       (match json_path with
       | Some path -> Bench_json.write_file ~scale ~jobs ~path results
@@ -168,10 +182,10 @@ let run_chaos scale jobs seed json_path =
   match check_outputs [ ("json", json_path) ] with
   | Some msg -> `Error (false, msg)
   | None ->
-      let jobs = effective_jobs jobs in
       Format.printf "chaos: seed %d%s@." seed
         (if seed = 0 then " (the default world)" else "");
       let spec = E.chaos_spec ~seed scale in
+      let jobs = effective_jobs ~cells:(List.length spec.E.sp_cells) jobs in
       let results = E.run_spec ~jobs spec in
       print_with_chart (E.render results);
       (match json_path with
@@ -185,13 +199,13 @@ let run_fuzz scale jobs seeds seed no_checksum json_path =
   match check_outputs [ ("json", json_path) ] with
   | Some msg -> `Error (false, msg)
   | None ->
-      let jobs = effective_jobs jobs in
       let checksum = not no_checksum in
       Format.printf "fuzz: %d seeds from base seed %d, checksums %s, profiles %s@."
         seeds seed
         (if checksum then "on" else "off")
         (String.concat "," E.fuzz_profiles);
       let spec = E.fuzz_spec ~seeds ~base_seed:seed ~checksum scale in
+      let jobs = effective_jobs ~cells:(List.length spec.E.sp_cells) jobs in
       let results = E.run_spec ~jobs spec in
       print_with_chart (E.render results);
       (match json_path with

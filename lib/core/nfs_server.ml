@@ -110,8 +110,11 @@ let register_metrics t =
   | None -> ()
   | Some run ->
       let p s = Node.name t.node ^ ".srv." ^ s in
+      (* Per-shard series carry a server label so fleet plots can split
+         imbalance across shards without parsing series names. *)
+      let labels = [ ("server", Node.name t.node) ] in
       let fi = float_of_int in
-      Metrics.register run ~name:(p "served") ~unit_:"count"
+      Metrics.register ~labels run ~name:(p "served") ~unit_:"count"
         ~kind:Metrics.Counter (fun () -> fi t.served);
       Metrics.register run ~name:(p "dups") ~unit_:"count"
         ~kind:Metrics.Counter (fun () -> fi t.dups);
@@ -681,7 +684,9 @@ let start_udp t =
      exists once the server starts. *)
   (match Node.metrics t.node with
   | Some run ->
-      Metrics.register run
+      Metrics.register
+        ~labels:[ ("server", Node.name t.node) ]
+        run
         ~name:(Node.name t.node ^ ".srv.qdepth")
         ~unit_:"count" ~kind:Metrics.Gauge
         (fun () -> float_of_int (Udp.pending sock))

@@ -16,7 +16,7 @@ type mangle_spec = {
 }
 
 type action =
-  | Server_crash of { at : float; downtime : float }
+  | Server_crash of { at : float; downtime : float; server : string }
   | Link_down of { at : float; duration : float; link : string }
   | Loss_burst of { at : float; duration : float; link : string; loss : float }
   | Cpu_slow of { at : float; duration : float; node : string; factor : float }
@@ -39,8 +39,9 @@ let mangle_parts = function
       None
 
 let describe = function
-  | Server_crash { at; downtime } ->
-      Printf.sprintf "server_crash at=%g downtime=%g" at downtime
+  | Server_crash { at; downtime; server } ->
+      Printf.sprintf "server_crash at=%g downtime=%g server=%s" at downtime
+        server
   | Link_down { at; duration; link } ->
       Printf.sprintf "link_down at=%g duration=%g link=%s" at duration link
   | Loss_burst { at; duration; link; loss } ->
@@ -67,7 +68,7 @@ let builtins =
     {
       name = "crash";
       description = "server crashes at t=4s, reboots 3s later";
-      actions = [ Server_crash { at = 4.0; downtime = 3.0 } ];
+      actions = [ Server_crash { at = 4.0; downtime = 3.0; server = "*" } ];
     };
     {
       name = "flaky";
@@ -126,7 +127,16 @@ let action_of_json j =
   let str name = Json.str ~ctx:(ctx ^ "." ^ name) (Json.member ~ctx name o) in
   let at = num "at" in
   match kind with
-  | "server_crash" -> Server_crash { at; downtime = num "downtime" }
+  | "server_crash" ->
+      Server_crash
+        {
+          at;
+          downtime = num "downtime";
+          server =
+            (match Json.member_opt "server" o with
+            | Some s -> Json.str ~ctx:(ctx ^ ".server") s
+            | None -> "*");
+        }
   | "link_down" ->
       Link_down { at; duration = num "duration"; link = str "link" }
   | "loss_burst" ->
@@ -218,7 +228,7 @@ let resolve spec =
 type env = {
   sim : Sim.t;
   nodes : Node.t list;
-  server : Nfs_server.t option;
+  servers : Nfs_server.t list;
   trace : Trace.t option;
 }
 
@@ -266,14 +276,18 @@ let install env sched =
   List.iter
     (fun action ->
       match action with
-      | Server_crash { at = t; downtime } ->
+      | Server_crash { at = t; downtime; server } ->
           at t (fun () ->
               note env action;
-              match env.server with
-              | Some srv ->
-                  Proc.spawn env.sim (fun () ->
-                      Nfs_server.crash_and_reboot srv ~downtime)
-              | None -> ())
+              (* "*" crashes every server — the single-server worlds'
+                 behaviour, unchanged; a name picks one shard out of a
+                 fleet. *)
+              env.servers
+              |> List.iter (fun srv ->
+                     if server = "*" || Node.name (Nfs_server.node srv) = server
+                     then
+                       Proc.spawn env.sim (fun () ->
+                           Nfs_server.crash_and_reboot srv ~downtime)))
       | Link_down { at = t; duration; link } ->
           at t (fun () ->
               note env action;

@@ -27,9 +27,11 @@ type mangle_spec = {
 (** Parameters shared by the four wire-mangling actions. *)
 
 type action =
-  | Server_crash of { at : float; downtime : float }
-      (** Crash the server at [at] (volatile state lost), reboot it
-          [downtime] seconds later. *)
+  | Server_crash of { at : float; downtime : float; server : string }
+      (** Crash the matching servers at [at] (volatile state lost),
+          reboot them [downtime] seconds later.  [server] is a node
+          name (["server3"], one shard of a fleet) or ["*"] for every
+          server in the world — what single-server schedules use. *)
   | Link_down of { at : float; duration : float; link : string }
       (** Administratively down the matching links for [duration].
           [link] names a link base (["eth0"], matching both
@@ -93,7 +95,9 @@ val find_builtin : string -> schedule option
     v}
 
     The mangling kinds [corrupt], [truncate], [duplicate] and [reorder]
-    share the same fields; ["seed"] is optional and defaults to [0]. *)
+    share the same fields; ["seed"] is optional and defaults to [0].
+    [server_crash] takes an optional ["server"] node name (default
+    ["*"], every server) to crash one shard of a fleet. *)
 
 val of_json : Renofs_json.Json.json -> (schedule, string) result
 val parse : string -> (schedule, string) result
@@ -107,7 +111,8 @@ val resolve : string -> (schedule, string) result
 type env = {
   sim : Renofs_engine.Sim.t;
   nodes : Renofs_net.Node.t list;  (** link/node name lookups *)
-  server : Renofs_core.Nfs_server.t option;
+  servers : Renofs_core.Nfs_server.t list;
+      (** crash targets — one for the paper worlds, N for a fleet *)
   trace : Renofs_trace.Trace.t option;  (** [Fault_inject] sink *)
 }
 

@@ -9,6 +9,7 @@ type series = {
   e_name : string;
   e_kind : kind;
   e_unit : string;
+  e_labels : (string * string) list;
   e_points : (float * float) list;
 }
 
@@ -16,6 +17,7 @@ type source = {
   s_name : string;
   s_unit : string;
   s_kind : kind;
+  s_labels : (string * string) list;
   s_sample : unit -> float;
   s_points : Stats.Timeseries.t;
 }
@@ -66,23 +68,24 @@ let start_run t ~sim ~label =
   ignore (Sim.timer_after sim t.m_interval tick);
   run
 
-let register run ~name ~unit_ ~kind sample =
+let register ?(labels = []) run ~name ~unit_ ~kind sample =
   run.r_sources_rev <-
     {
       s_name = name;
       s_unit = unit_;
       s_kind = kind;
+      s_labels = labels;
       s_sample = sample;
       s_points = Stats.Timeseries.create ~name ();
     }
     :: run.r_sources_rev
 
-let register_hist run ~name ~unit_ hist =
+let register_hist ?(labels = []) run ~name ~unit_ hist =
   let q p () =
     if Stats.Hist.count hist = 0 then nan else Stats.Hist.quantile hist p
   in
-  register run ~name:(name ^ "/p50") ~unit_ ~kind:Histogram (q 0.5);
-  register run ~name:(name ^ "/p95") ~unit_ ~kind:Histogram (q 0.95)
+  register ~labels run ~name:(name ^ "/p50") ~unit_ ~kind:Histogram (q 0.5);
+  register ~labels run ~name:(name ^ "/p95") ~unit_ ~kind:Histogram (q 0.95)
 
 let merge ~into t =
   into.m_runs_rev <- t.m_runs_rev @ into.m_runs_rev;
@@ -98,6 +101,7 @@ let series t =
             e_name = s.s_name;
             e_kind = s.s_kind;
             e_unit = s.s_unit;
+            e_labels = s.s_labels;
             e_points = Stats.Timeseries.to_list s.s_points;
           })
         run.r_sources_rev)
@@ -140,6 +144,17 @@ let escape s =
     s;
   Buffer.contents b
 
+(* Unlabelled series emit no "labels" member at all, so every export
+   written before labels existed stays byte-identical. *)
+let labels_field = function
+  | [] -> ""
+  | labels ->
+      Printf.sprintf {|,"labels":{%s}|}
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf {|"%s":"%s"|} (escape k) (escape v))
+              labels))
+
 let series_line s =
   let points =
     String.concat ","
@@ -147,9 +162,10 @@ let series_line s =
          (fun (t, v) -> Printf.sprintf "[%s,%s]" (float_str t) (float_str v))
          s.e_points)
   in
-  Printf.sprintf {|{"run":"%s","name":"%s","kind":"%s","unit":"%s","points":[%s]}|}
+  Printf.sprintf
+    {|{"run":"%s","name":"%s","kind":"%s","unit":"%s"%s,"points":[%s]}|}
     (escape s.e_run) (escape s.e_name) (kind_name s.e_kind) (escape s.e_unit)
-    points
+    (labels_field s.e_labels) points
 
 let export_jsonl t path =
   let oc = open_out path in
@@ -175,9 +191,17 @@ let export_csv t path =
       output_string oc "run,series,kind,unit,time,value\n";
       List.iter
         (fun s ->
+          let name =
+            match s.e_labels with
+            | [] -> s.e_name
+            | labels ->
+                Printf.sprintf "%s{%s}" s.e_name
+                  (String.concat ";"
+                     (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+          in
           List.iter
             (fun (time, v) ->
-              Printf.fprintf oc "%s,%s,%s,%s,%s,%s\n" s.e_run s.e_name
+              Printf.fprintf oc "%s,%s,%s,%s,%s,%s\n" s.e_run name
                 (kind_name s.e_kind) s.e_unit (float_str time) (float_str v))
             s.e_points)
         (series t))
@@ -225,12 +249,21 @@ let import_jsonl path =
                          | [ t; v ] -> (Json.num ~ctx t, Json.num ~ctx v)
                          | _ -> raise (Json.Bad "point is not a [time,value] pair"))
                 in
+                let labels =
+                  match Json.member_opt "labels" o with
+                  | None -> []
+                  | Some j ->
+                      List.map
+                        (fun (k, v) -> (k, Json.str ~ctx v))
+                        (Json.obj ~ctx j)
+                in
                 Ok
                   {
                     e_run = field "run";
                     e_name = field "name";
                     e_kind = kind;
                     e_unit = field "unit";
+                    e_labels = labels;
                     e_points = points;
                   })
       in

@@ -35,6 +35,9 @@ type series = {
   e_name : string;
   e_kind : kind;
   e_unit : string;
+  e_labels : (string * string) list;
+      (** dimension tags, e.g. [("server", "server3")] on per-shard
+          series; empty for most sources *)
   e_points : (float * float) list;  (** (sim time, value), time-ordered *)
 }
 
@@ -55,12 +58,25 @@ val start_run : t -> sim:Renofs_engine.Sim.t -> label:string -> run
     plots can always address a single run. *)
 
 val register :
-  run -> name:string -> unit_:string -> kind:kind -> (unit -> float) -> unit
+  ?labels:(string * string) list ->
+  run ->
+  name:string ->
+  unit_:string ->
+  kind:kind ->
+  (unit -> float) ->
+  unit
 (** Add a sampled source.  Non-finite samples are skipped (a gauge with
-    nothing to report returns [nan]). *)
+    nothing to report returns [nan]).  [labels] (default none) tags the
+    series with dimensions — fleet worlds label per-shard series with
+    [("server", name)] so plots can split shard imbalance. *)
 
 val register_hist :
-  run -> name:string -> unit_:string -> Renofs_engine.Stats.Hist.t -> unit
+  ?labels:(string * string) list ->
+  run ->
+  name:string ->
+  unit_:string ->
+  Renofs_engine.Stats.Hist.t ->
+  unit
 (** Derive [name/p50] and [name/p95] quantile series from a live
     histogram; empty histograms contribute no points. *)
 
@@ -77,10 +93,13 @@ val series : t -> series list
     JSONL: a header line
     [{"schema":"renofs-metrics/1","interval":I,"series":N}] followed by
     one object per series with fields [run], [name], [kind], [unit],
-    [points] (array of [[time, value]] pairs).  Floats print with
-    shortest round-trip precision so serial and parallel exports are
-    byte-identical.  CSV: a [run,series,kind,unit,time,value] header
-    then one row per point. *)
+    [points] (array of [[time, value]] pairs), plus [labels] (a string
+    object) only when the series carries labels — unlabelled exports
+    are byte-identical to pre-label writers, and old files import with
+    empty labels.  Floats print with shortest round-trip precision so
+    serial and parallel exports are byte-identical.  CSV: a
+    [run,series,kind,unit,time,value] header then one row per point;
+    labelled series render as [name{k=v;...}] in the series column. *)
 
 val export_jsonl : t -> string -> unit
 val export_csv : t -> string -> unit

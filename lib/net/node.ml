@@ -36,6 +36,8 @@ type t = {
   forward_cost : float;
   mutable ifaces : iface list; (* in attachment order *)
   routes : (int, iface) Hashtbl.t;
+  mutable default_route : (iface * (int, unit) Hashtbl.t) option;
+      (* single-homed shortcut: (only iface, ids reachable through it) *)
   reasm : Ipfrag.t;
   mutable udp_handler : (datagram -> unit) option;
   mutable tcp_handler : (datagram -> unit) option;
@@ -57,6 +59,7 @@ let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
     forward_cost;
     ifaces = [];
     routes = Hashtbl.create 16;
+    default_route = None;
     reasm = Ipfrag.create sim ();
     udp_handler = None;
     tcp_handler = None;
@@ -145,7 +148,14 @@ let set_proto_handler t proto h =
   | Packet.Udp -> t.udp_handler <- Some h
   | Packet.Tcp -> t.tcp_handler <- Some h
 
-let route t dst = Hashtbl.find_opt t.routes dst
+let route t dst =
+  match Hashtbl.find_opt t.routes dst with
+  | Some _ as r -> r
+  | None -> (
+      match t.default_route with
+      | Some (iface, known) when dst <> t.id && Hashtbl.mem known dst ->
+          Some iface
+      | _ -> None)
 
 (* Deliver a locally-addressed packet: interrupt-level per-packet work,
    reassembly, checksum of completed datagrams, protocol dispatch. *)
@@ -239,7 +249,38 @@ let auto_routes nodes =
     done;
     Hashtbl.iter (fun dst iface -> Hashtbl.replace src.routes dst iface) first_hop
   in
-  List.iter bfs nodes
+  (* A single-homed host's whole table would say "via my one link"; a
+     shared membership set of its connected component replaces the
+     per-destination entries (and the per-host BFS), which is what lets
+     worlds with thousands of leaf clients route in O(n) instead of
+     O(n^2) time and space.  Multi-homed nodes (routers) and nodes
+     outside the first component keep the exact BFS tables. *)
+  match nodes with
+  | [] -> ()
+  | first :: _ ->
+      let component = Hashtbl.create 16 in
+      let q = Queue.create () in
+      Hashtbl.replace component first.id ();
+      Queue.add first q;
+      while not (Queue.is_empty q) do
+        let n = Queue.take q in
+        List.iter
+          (fun iface ->
+            if not (Hashtbl.mem component iface.peer) then begin
+              Hashtbl.replace component iface.peer ();
+              match Hashtbl.find_opt by_id iface.peer with
+              | Some m -> Queue.add m q
+              | None -> ()
+            end)
+          n.ifaces
+      done;
+      List.iter
+        (fun n ->
+          match n.ifaces with
+          | [ only ] when Hashtbl.mem component n.id ->
+              n.default_route <- Some (only, component)
+          | _ -> bfs n)
+        nodes
 
 let send_datagram t ?sum ~proto ~dst ~src_port ~dst_port payload =
   match route t dst with

@@ -100,7 +100,12 @@ val links : t -> Link.t list
 
 val auto_routes : t list -> unit
 (** Fill every node's routing table with shortest-hop next hops (BFS);
-    call once after all {!connect}s. *)
+    call once after all {!connect}s.  Single-homed hosts get a default
+    route through their one interface (guarded by a shared
+    reachable-set membership test, so destinations outside the world
+    still count as [no_route_drops]) instead of a per-destination
+    table — semantically identical, but fleet-scale worlds with
+    thousands of leaf clients route in O(n) instead of O(n^2). *)
 
 val set_proto_handler : t -> Packet.proto -> (datagram -> unit) -> unit
 (** Install the UDP or TCP input function. *)

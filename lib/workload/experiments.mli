@@ -84,11 +84,14 @@ type results = {
 
 val specs : (string * (scale -> spec)) list
 (** Every experiment, keyed by id ("graph1" ... "table5", "section3",
-    plus the extensions "leases" and "scaling").  Building a spec is
-    cheap — no simulation runs until {!run_spec}. *)
+    plus the extensions "leases", "scaling" and "fleet").  Building a
+    spec is cheap — no simulation runs until {!run_spec}. *)
 
 val spec : ?scale:scale -> string -> spec option
-(** Look up and build one spec ([Quick] by default). *)
+(** Look up and build one spec ([Quick] by default).  The extra id
+    "fleet-quick" resolves to the fleet family pinned at [Quick]
+    regardless of [scale] — the stable target of the make-check smoke
+    stage. *)
 
 val chaos_spec : ?seed:int -> scale -> spec
 (** The registry's "chaos" spec, with an explicit world seed.  [seed]
@@ -233,6 +236,12 @@ val scaling : ?scale:scale -> unit -> table
 (** Extension (not in the paper, which cites [Keith90] for server
     characterization): aggregate throughput, latency and server CPU as
     the number of client hosts grows. *)
+
+val fleet : ?scale:scale -> unit -> table
+(** Extension: sharded multi-server fleets — aggregate op/s, p95
+    latency and per-shard serving balance as the server count grows
+    under a fixed client population (the saturation knee moves right
+    with servers). *)
 
 val chaos : ?scale:scale -> unit -> table
 (** Extension: the fault-schedule matrix — builtin schedules x

@@ -25,9 +25,7 @@ let content ~path ~size =
   let seedc = Hashtbl.hash path land 0xFF in
   Bytes.init size (fun i -> Char.chr ((seedc + (i * 31)) mod 256))
 
-let preload_server server t =
-  let fs = Nfs_server.fs server in
-  let root = Fs.root fs in
+let preload_at fs root t =
   List.iter (fun d -> ignore (Fs.mkdir fs ~dir:root d ~mode:0o755 ())) t.dirs;
   List.iter
     (fun path ->
@@ -39,3 +37,20 @@ let preload_server server t =
             Fs.write fs v ~off:0 (content ~path ~size:t.file_size)
       | _ -> invalid_arg "Fileset.preload_server: unexpected path shape")
     t.files
+
+let preload_server server t = preload_at (Nfs_server.fs server) (Fs.root (Nfs_server.fs server)) t
+
+let preload_under server ~path t =
+  let fs = Nfs_server.fs server in
+  let components =
+    String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+  in
+  let dir =
+    List.fold_left
+      (fun dir c ->
+        match Fs.lookup fs dir c with
+        | v -> v
+        | exception Fs.Err Fs.Enoent -> Fs.mkdir fs ~dir c ~mode:0o755 ())
+      (Fs.root fs) components
+  in
+  preload_at fs dir t

@@ -24,6 +24,12 @@ val preload_server : Renofs_core.Nfs_server.t -> t -> unit
     be wrong — this runs through the normal Fs path, so call it before
     starting measurement).  Must run inside a process. *)
 
+val preload_under : Renofs_core.Nfs_server.t -> path:string -> t -> unit
+(** {!preload_server}, but rooted at [path] (["/home3"]-style export
+    directory; created if absent) instead of the filesystem root — how
+    fleet shards each get their own subtree.  Must run inside a
+    process. *)
+
 val content : path:string -> size:int -> bytes
 (** The deterministic content every preloaded file holds; lets tests
     verify reads end-to-end. *)

@@ -53,7 +53,7 @@ let pick_op rng mix =
   in
   go 0.0 mix
 
-let run mount fileset config =
+let run ?latency_hist mount fileset config =
   let sim = Nfs_client.sim mount in
   let files = Array.of_list fileset.Fileset.files in
   if Array.length files = 0 then invalid_arg "Nhfsstone.run: empty fileset";
@@ -94,7 +94,11 @@ let run mount fileset config =
            | None -> ())
      with Nfs_client.Nfs_error _ | Client_transport.Rpc_error _ -> ());
     incr completed;
-    Stats.Welford.add op_latency (Sim.now sim -. t0)
+    let dt = Sim.now sim -. t0 in
+    Stats.Welford.add op_latency dt;
+    match latency_hist with
+    | Some h -> Stats.Hist.add h (dt *. 1000.0)
+    | None -> ()
   in
   let children = max 1 config.children in
   let stop_at = Sim.now sim +. config.duration in

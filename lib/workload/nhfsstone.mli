@@ -43,7 +43,15 @@ type result = {
   mean_op_latency : float;  (** syscall-level latency, seconds *)
 }
 
-val run : Renofs_core.Nfs_client.t -> Fileset.t -> config -> result
+val run :
+  ?latency_hist:Renofs_engine.Stats.Hist.t ->
+  Renofs_core.Nfs_client.t ->
+  Fileset.t ->
+  config ->
+  result
 (** Drive the load from inside a process; returns after [duration] of
     virtual time (plus drain).  RPC statistics are deltas over the run
-    as long as the mount is fresh. *)
+    as long as the mount is fresh.  [latency_hist] additionally records
+    every op's syscall-level latency in milliseconds — share one
+    histogram across a population of clients to get fleet-wide
+    quantiles. *)

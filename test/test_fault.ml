@@ -40,9 +40,10 @@ let test_schedule_json () =
       Alcotest.(check string) "name" "x" s.Fault.name;
       Alcotest.(check int) "actions" 5 (List.length s.Fault.actions);
       match s.Fault.actions with
-      | Fault.Server_crash { at; downtime } :: _ ->
+      | Fault.Server_crash { at; downtime; server } :: _ ->
           Alcotest.(check (float 1e-9)) "at" 4.0 at;
-          Alcotest.(check (float 1e-9)) "downtime" 3.0 downtime
+          Alcotest.(check (float 1e-9)) "downtime" 3.0 downtime;
+          Alcotest.(check string) "server" "*" server
       | _ -> Alcotest.fail "first action should be server_crash"));
   (match Fault.parse "{}" with
   | Ok _ -> Alcotest.fail "missing schema accepted"
@@ -348,11 +349,11 @@ let test_schedule_crash_rides_through () =
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in
   Nfs_server.start server;
   Fault.install
-    { Fault.sim; nodes = topo.Net.Topology.all; server = Some server; trace = None }
+    { Fault.sim; nodes = topo.Net.Topology.all; servers = [ server ]; trace = None }
     {
       Fault.name = "crash-early";
       description = "crash at 0.5s, reboot 5s later";
-      actions = [ Fault.Server_crash { at = 0.5; downtime = 5.0 } ];
+      actions = [ Fault.Server_crash { at = 0.5; downtime = 5.0; server = "*" } ];
     };
   let cudp = Udp.install topo.Net.Topology.client in
   let ctcp = Tcp.install topo.Net.Topology.client in

@@ -103,6 +103,56 @@ let with_temp f =
   let path = Filename.temp_file "renofs_metrics" ".jsonl" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
 
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_series_labels () =
+  let sim = Sim.create () in
+  let t = Metrics.create ~interval:0.5 () in
+  let run = Metrics.start_run t ~sim ~label:"cell" in
+  Metrics.register ~labels:[ ("server", "server1") ] run ~name:"srv.served"
+    ~unit_:"count" ~kind:Metrics.Counter (fun () -> 1.0);
+  Metrics.register run ~name:"plain" ~unit_:"count" ~kind:Metrics.Gauge
+    (fun () -> 2.0);
+  drive sim 1.2;
+  with_temp (fun path ->
+      Metrics.export_jsonl t path;
+      let labelled, plain =
+        match List.filter (contains ~sub:"srv.served") (read_lines path) with
+        | [ l ] -> (l, List.hd (List.filter (contains ~sub:"plain") (read_lines path)))
+        | l -> Alcotest.failf "expected 1 labelled line, got %d" (List.length l)
+      in
+      Alcotest.(check bool) "labels member present" true
+        (contains ~sub:{|"labels":{"server":"server1"}|} labelled);
+      (* Unlabelled series keep the pre-label wire format. *)
+      Alcotest.(check bool) "no labels member when empty" false
+        (contains ~sub:"labels" plain);
+      match Metrics.import_jsonl path with
+      | Error e -> Alcotest.fail e
+      | Ok imported ->
+          let find name =
+            List.find (fun s -> s.Metrics.e_name = name) imported
+          in
+          Alcotest.(check (list (pair string string))) "labels round-trip"
+            [ ("server", "server1") ]
+            (find "srv.served").Metrics.e_labels;
+          Alcotest.(check (list (pair string string))) "empty labels round-trip"
+            [] (find "plain").Metrics.e_labels)
+
 let test_jsonl_roundtrip () =
   let sim = Sim.create () in
   let t = Metrics.create ~interval:0.5 () in
@@ -165,6 +215,7 @@ let () =
       ( "jsonl",
         [
           Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "series labels" `Quick test_series_labels;
           Alcotest.test_case "error location" `Quick test_import_error_location;
           Alcotest.test_case "schema check" `Quick test_import_rejects_other_schema;
         ] );

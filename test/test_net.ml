@@ -450,6 +450,155 @@ let test_cross_traffic_loads_ring () =
         ((Link.stats ring).Link.packets_sent > 100)
   | None -> Alcotest.fail "campus should expose the ring"
 
+(* ------------------------------------------------------------------ *)
+(* Graph worlds                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let quiet_params =
+  { Topology.default_params with cross_traffic = false; link_loss = 0.0 }
+
+let test_build_error_names_shape () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "campus, 3 clients"
+    (Invalid_argument "Topology.build: shape Campus has exactly one client (got 3)")
+    (fun () ->
+      ignore
+        (Topology.build sim
+           { Topology.shape = Topology.Campus; clients = 3; params = quiet_params }));
+  Alcotest.check_raises "lan, 0 clients"
+    (Invalid_argument "Topology.build: shape Lan has exactly one client (got 0)")
+    (fun () ->
+      ignore
+        (Topology.build sim
+           { Topology.shape = Topology.Lan; clients = 0; params = quiet_params }))
+
+let test_graph_invalid_specs () =
+  let sim = Sim.create () in
+  let base = { Topology.default_graph_spec with g_params = quiet_params } in
+  let expect name msg spec =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Topology.build_graph sim spec))
+  in
+  expect "no servers" "Topology.build_graph: needs at least one server"
+    { base with Topology.g_servers = 0 };
+  expect "too many servers" "Topology.build_graph: at most 90 servers (got 91)"
+    { base with Topology.g_servers = 91 };
+  expect "no clients" "Topology.build_graph: needs at least one client"
+    { base with Topology.g_clients = 0 };
+  expect "wan fraction range"
+    "Topology.build_graph: wan_fraction must be within [0,1]"
+    { base with Topology.g_wan_fraction = 1.5 };
+  expect "empty backbone" "Topology.build_graph: Backbone needs at least one router"
+    { base with Topology.g_tier = Topology.Backbone 0 };
+  expect "empty fat-tree"
+    "Topology.build_graph: Fat_tree needs at least one spine and one leaf"
+    { base with Topology.g_tier = Topology.Fat_tree { spines = 0; leaves = 2 } }
+
+(* Any client can reach any server across the fabric, and the naming /
+   id contract holds. *)
+let check_graph_delivery topo ~client ~server =
+  let sim = topo.Topology.sim in
+  let received = ref 0 in
+  Node.set_proto_handler server Packet.Udp (fun dg ->
+      received := Mbuf.length dg.Node.payload);
+  Proc.spawn sim (fun () ->
+      Node.send_datagram client ~proto:Packet.Udp ~dst:(Node.id server)
+        ~src_port:1000 ~dst_port:2049 (mk_payload 8192));
+  Sim.run sim;
+  Alcotest.(check int) "delivered across fabric" 8192 !received
+
+let test_graph_backbone () =
+  let sim = Sim.create () in
+  let topo =
+    Topology.build_graph sim
+      {
+        Topology.g_servers = 4;
+        g_clients = 6;
+        g_tier = Topology.Backbone 2;
+        g_wan_fraction = 0.0;
+        g_params = quiet_params;
+      }
+  in
+  Alcotest.(check (list string)) "server names"
+    [ "server0"; "server1"; "server2"; "server3" ]
+    (List.map Node.name topo.Topology.servers);
+  Alcotest.(check (list int)) "server ids" [ 2; 3; 4; 5 ]
+    (List.map Node.id topo.Topology.servers);
+  Alcotest.(check (list string)) "router names" [ "bb0"; "bb1" ]
+    (List.map Node.name topo.Topology.routers);
+  Alcotest.(check int) "six clients" 6 (List.length topo.Topology.clients);
+  Alcotest.(check string) "first client" "client0"
+    (Node.name topo.Topology.client);
+  Alcotest.(check int) "client ids from 100000" 100_000
+    (Node.id topo.Topology.client);
+  (* client5 attaches to bb1, server3 to bb1 as well; client0 to bb0 and
+     server3 to bb1 crosses the backbone ring. *)
+  let last_server = List.nth topo.Topology.servers 3 in
+  check_graph_delivery topo ~client:topo.Topology.client ~server:last_server;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Node.name r ^ " forwarded")
+        true
+        ((Node.stats r).Node.packets_forwarded > 0))
+    topo.Topology.routers
+
+let test_graph_fat_tree () =
+  let sim = Sim.create () in
+  let topo =
+    Topology.build_graph sim
+      {
+        Topology.g_servers = 4;
+        g_clients = 4;
+        g_tier = Topology.Fat_tree { spines = 2; leaves = 2 };
+        g_wan_fraction = 0.0;
+        g_params = quiet_params;
+      }
+  in
+  Alcotest.(check (list string)) "tier names"
+    [ "spine0"; "spine1"; "leaf0"; "leaf1" ]
+    (List.map Node.name topo.Topology.routers);
+  let last_server = List.nth topo.Topology.servers 3 in
+  check_graph_delivery topo ~client:topo.Topology.client ~server:last_server
+
+let test_graph_wan_fraction () =
+  let sim = Sim.create () in
+  let topo =
+    Topology.build_graph sim
+      {
+        Topology.g_servers = 1;
+        g_clients = 8;
+        g_tier = Topology.Backbone 1;
+        g_wan_fraction = 0.25;
+        g_params = quiet_params;
+      }
+  in
+  let server = topo.Topology.server in
+  let delivered = ref 0 in
+  Node.set_proto_handler server Packet.Udp (fun _ -> incr delivered);
+  List.iter
+    (fun c ->
+      Proc.spawn sim (fun () ->
+          Node.send_datagram c ~proto:Packet.Udp ~dst:(Node.id server)
+            ~src_port:1000 ~dst_port:2049 (mk_payload 8192)))
+    topo.Topology.clients;
+  Sim.run sim;
+  Alcotest.(check int) "all datagrams arrive" 8 !delivered;
+  (* A 56K serial edge has a 1006-byte MTU, so the 8K datagram leaves a
+     WAN client in >= 9 fragments where an Ethernet edge takes 6.  With
+     wan_fraction 0.25 over 8 clients the even-spread rule marks
+     exactly clients 3 and 7. *)
+  let wan_clients =
+    List.filteri
+      (fun _ c ->
+        match Node.links c with
+        | [ l ] -> (Link.stats l).Link.packets_sent >= 9
+        | _ -> false)
+      topo.Topology.clients
+    |> List.map Node.name
+  in
+  Alcotest.(check (list string)) "even spread" [ "client3"; "client7" ] wan_clients
+
 (* Properties *)
 
 let prop_fragment_reassemble =
@@ -532,6 +681,15 @@ let () =
             test_nic_stock_copies_more_than_tuned;
           Alcotest.test_case "nic copy accounting" `Quick test_nic_copy_accounting;
           Alcotest.test_case "cross traffic flows" `Quick test_cross_traffic_loads_ring;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "build error names shape" `Quick
+            test_build_error_names_shape;
+          Alcotest.test_case "graph spec validation" `Quick test_graph_invalid_specs;
+          Alcotest.test_case "backbone graph" `Quick test_graph_backbone;
+          Alcotest.test_case "fat-tree graph" `Quick test_graph_fat_tree;
+          Alcotest.test_case "wan fraction spread" `Quick test_graph_wan_fraction;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
