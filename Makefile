@@ -19,8 +19,14 @@
 # domains, validates the JSON, and byte-compares it against a 1-domain
 # run (minus the "jobs" header line, the one legitimate difference) —
 # the determinism contract for fleet-scale worlds.
+# `make perf-gate` measures wall-clock engine throughput (events/s,
+# RPCs/s over the fixed graph5 full cell set) and fails if either rate
+# drops more than 30% below the committed BENCH_perf.json — wide
+# because container clocks are noisy, but tight enough to catch a real
+# hot-path regression.  Refresh with `make perf-baseline` after an
+# intentional engine change (run it on a quiet machine).
 
-.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke bench-gate bench-baseline check clean
+.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke bench-gate bench-baseline perf-gate perf-baseline check clean
 
 all: build
 
@@ -60,7 +66,13 @@ bench-gate: build
 bench-baseline: build
 	dune exec bin/nfsbench.exe -- all --json BENCH_quick.json > /dev/null
 
-check: build test fmt smoke fuzz-smoke fleet-smoke bench-gate
+perf-gate: build
+	dune exec bin/nfsbench.exe -- perf --baseline BENCH_perf.json --tolerance 30
+
+perf-baseline: build
+	dune exec bin/nfsbench.exe -- perf --json BENCH_perf.json
+
+check: build test fmt smoke fuzz-smoke fleet-smoke bench-gate perf-gate
 
 clean:
 	dune clean

@@ -73,11 +73,13 @@ let regenerate () =
 (* ------------------------------------------------------------------ *)
 
 let experiment_tests =
-  (* One Test.make per table/figure: cost of a Quick regeneration. *)
+  (* One Test.make per table/figure: cost of a serial Quick regeneration. *)
   List.map
-    (fun (id, f) ->
-      Test.make ~name:id (Staged.stage (fun () -> ignore (f ?scale:(Some E.Quick) ()))))
-    E.all
+    (fun (id, mk) ->
+      Test.make ~name:id
+        (Staged.stage (fun () ->
+             ignore (E.render (E.run_spec ~jobs:1 (mk E.Quick))))))
+    E.specs
 
 let micro_tests =
   let payload = Bytes.create 8192 in

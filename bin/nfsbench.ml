@@ -12,6 +12,8 @@
      nfsbench chaos [--scale quick|full]       fault-schedule x transport matrix
      nfsbench fuzz --seeds 50          seeded wire-corruption sweep
      nfsbench fuzz --no-checksum --seeds 5     reproduce Sun's checksums-off story
+     nfsbench perf --json p.json       wall-clock engine throughput
+     nfsbench perf --baseline BENCH_perf.json  gate against a baseline
      nfsbench faults                   list the builtin fault schedules
      nfsbench all [-f] [--jobs N] [--json FILE]   run everything
      nfsbench run graph5 --metrics m.jsonl sample time-series metrics
@@ -24,6 +26,7 @@
 
 open Cmdliner
 module E = Renofs_workload.Experiments
+module Perf = Renofs_workload.Perf
 module Sweep = Renofs_workload.Sweep
 module Bench_json = Renofs_workload.Bench_json
 module Trace = Renofs_trace.Trace
@@ -290,6 +293,55 @@ let run_diff old_path new_path tolerance_pct =
                 tolerance_pct )
         else `Ok ()
 
+(* Wall-clock throughput of the engine itself; see Perf.  Serial by
+   design — measuring real time wants the machine to itself. *)
+let run_perf json_path baseline_path tolerance_pct =
+  match check_outputs [ ("json", json_path) ] with
+  | Some msg -> `Error (false, msg)
+  | None ->
+      if tolerance_pct < 0.0 then `Error (false, "--tolerance must be >= 0")
+      else begin
+        let baseline =
+          (* Read the baseline before the minutes-long measurement so a
+             bad path fails fast. *)
+          match baseline_path with
+          | None -> Ok None
+          | Some path -> Result.map Option.some (Perf.read_file path)
+        in
+        match baseline with
+        | Error msg -> `Error (false, msg)
+        | Ok baseline ->
+            let r =
+              Perf.run ~progress:(fun label -> Format.printf "%s...@." label) ()
+            in
+            Format.printf
+              "%d cells, %.1f s wall: %d events (%.0f events/s), %d RPCs \
+               (%.0f RPCs/s)@."
+              (List.length r.Perf.cells) r.Perf.wall_s r.Perf.events
+              r.Perf.events_per_s r.Perf.rpcs r.Perf.rpcs_per_s;
+            (match json_path with
+            | Some path ->
+                Perf.write_file ~path r;
+                Format.printf "perf: written to %s@." path
+            | None -> ());
+            (match baseline with
+            | None -> `Ok ()
+            | Some b ->
+                let v =
+                  Perf.diff ~tolerance:(tolerance_pct /. 100.0) ~baseline:b
+                    ~current:r
+                in
+                List.iter (fun n -> Format.printf "note: %s@." n) v.Perf.notes;
+                List.iter (fun s -> Format.printf "%s@." s) v.Perf.regressions;
+                if v.Perf.regressions <> [] then
+                  `Error
+                    ( false,
+                      Printf.sprintf "perf: %d rate(s) regressed beyond %g%%"
+                        (List.length v.Perf.regressions)
+                        tolerance_pct )
+                else `Ok ())
+      end
+
 let list_faults () =
   List.iter
     (fun (s : Fault.schedule) ->
@@ -490,6 +542,32 @@ let fuzz_cmd =
         (const run_fuzz $ fuzz_scale $ jobs_arg $ seeds_arg $ seed_arg
        $ no_checksum_flag $ json_arg))
 
+let perf_cmd =
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "A renofs-perf/1 file to gate against: exits non-zero when \
+             events/s or RPCs/s fall more than the tolerance below it.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 30.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Allowed wall-clock rate drop in percent before the run counts \
+             as a regression (wide by default: container clocks are noisy).")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Measure wall-clock engine throughput (events/s, RPCs/s) over the \
+          fixed graph5 full cell set; optionally write a renofs-perf/1 JSON \
+          and gate against a baseline")
+    Term.(ret (const run_perf $ json_arg $ baseline_arg $ tolerance))
+
 let faults_cmd =
   Cmd.v
     (Cmd.info "faults" ~doc:"List the builtin fault schedules")
@@ -519,6 +597,7 @@ let main =
       run_cmd;
       chaos_cmd;
       fuzz_cmd;
+      perf_cmd;
       faults_cmd;
       all_cmd;
       list_cmd;

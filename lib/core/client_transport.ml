@@ -166,12 +166,14 @@ let record_rtt t p rtt =
 (* UDP transmission and retransmission                                *)
 (* ------------------------------------------------------------------ *)
 
-let request_copy p = Mbuf.sub_copy p.request ~pos:0 ~len:(Mbuf.length p.request)
+let request_copy t p =
+  Mbuf.sub_copy ?pool:(Node.pool t.node) p.request ~pos:0
+    ~len:(Mbuf.length p.request)
 
 let rec transmit_udp t p =
   let sock = Option.get t.sock in
   p.sent_at <- Sim.now t.sim;
-  Udp.sendto sock ~dst:t.server ~dst_port:P.port (request_copy p);
+  Udp.sendto sock ~dst:t.server ~dst_port:P.port (request_copy t p);
   let rto = rto_for t p in
   p.timer <-
     Some
@@ -199,6 +201,7 @@ and on_udp_timeout t p =
             Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
               (Trace.Wl_error { op = P.proc_name p.p_proc; soft = true })
         | None -> ());
+        Mbuf.release ?pool:(Node.pool t.node) p.request;
         Proc.Ivar.fill p.reply (Error Rpc_timed_out)
     | _ ->
         t.n_retransmits <- t.n_retransmits + 1;
@@ -242,6 +245,10 @@ let complete t xid chain =
   | Some p ->
       Hashtbl.remove t.pending xid;
       (match p.timer with Some tm -> Sim.cancel tm | None -> ());
+      (* The master copy can never be retransmitted again; recycle it.
+         Every transmission sent a fresh [request_copy], so no in-flight
+         packet aliases this storage. *)
+      Mbuf.release ?pool:(Node.pool t.node) p.request;
       (* Karn's rule: no RTT sample from retransmitted requests. *)
       if not p.retransmitted then record_rtt t p (Sim.now t.sim -. p.sent_at);
       (match t.mode with
@@ -287,14 +294,21 @@ let garbage t ~bytes =
            { link = Node.name t.node ^ ":rpc"; bytes; reason = Trace.Garbled })
   | None -> ()
 
-let garbage_reply t chain = garbage t ~bytes:(Mbuf.length chain)
+let garbage_reply t chain =
+  garbage t ~bytes:(Mbuf.length chain);
+  (* The chain goes nowhere else; hand its storage back. *)
+  Mbuf.release ?pool:(Node.pool t.node) chain
 
 let try_complete t chain =
   match Rpc_msg.peek_xid chain with
   | None -> garbage_reply t chain
   | Some xid -> (
       match Hashtbl.find_opt t.pending xid with
-      | None -> () (* late duplicate of an already-answered request *)
+      | None ->
+          (* Late duplicate of an already-answered request: dropped
+             silently, as the BSD client does, but the storage is still
+             ours to recycle. *)
+          Mbuf.release ?pool:(Node.pool t.node) chain
       | Some p -> (
           match Rpc_msg.decode_reply chain with
           | exception (Rpc_msg.Bad_message _ | Xdr.Decode_error _) ->
@@ -380,7 +394,7 @@ and reconnect t st =
                     (Trace.Rpc_retransmit
                        { xid = p.p_xid; proc = p.p_proc; retry = p.retries; rto = 0.0 })
               | None -> ());
-              try Tcp.send conn (Record_mark.frame (request_copy p))
+              try Tcp.send conn (Record_mark.frame (request_copy t p))
               with Tcp.Connection_closed -> ())
             pending
       | exception Tcp.Connect_timeout -> attempt ()
@@ -522,8 +536,9 @@ let call t call_v =
   let xid = t.next_xid in
   t.next_xid <- Int32.add t.next_xid 1l;
   let ctr = Node.copy_counters t.node in
+  let pool = Node.pool t.node in
   let enc =
-    Rpc_msg.encode_call ~ctr
+    Rpc_msg.encode_call ~ctr ?pool
       { Rpc_msg.xid; prog = P.program; vers = P.version; proc; cred = t.cred }
   in
   P.encode_call ~ctr enc call_v;
@@ -556,7 +571,7 @@ let call t call_v =
       p.sent_at <- Sim.now t.sim;
       (* A dead connection is not an error: the request stays pending
          and is replayed after the automatic reconnect. *)
-      try Tcp.send st.conn (Record_mark.frame ~ctr (request_copy p))
+      try Tcp.send st.conn (Record_mark.frame ~ctr ?pool (request_copy t p))
       with Tcp.Connection_closed -> ()));
   let reply_chain =
     match Proc.Ivar.read p.reply with Ok c -> c | Error e -> raise e
@@ -564,7 +579,12 @@ let call t call_v =
   charge t decode_instructions;
   match Rpc_msg.decode_reply reply_chain with
   | exception (Rpc_msg.Bad_message m | Xdr.Decode_error m) -> raise (Rpc_error m)
-  | _, Rpc_msg.Accepted Rpc_msg.Success, dec -> P.decode_reply ~proc dec
+  | _, Rpc_msg.Accepted Rpc_msg.Success, dec ->
+      (* Decoded values are fresh bytes (the cursor copies out of the
+         chain), so once the body is decoded the reply storage is dead. *)
+      let result = P.decode_reply ~proc dec in
+      Mbuf.release ?pool reply_chain;
+      result
   | _, Rpc_msg.Accepted _, _ -> raise (Rpc_error "rpc accepted with error")
   | _, Rpc_msg.Denied _, _ -> raise (Rpc_error "rpc denied")
 

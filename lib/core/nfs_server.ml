@@ -555,7 +555,9 @@ let dup_store t key reply =
       (Done
          {
            at = Sim.now (Node.sim t.node);
-           reply = Mbuf.sub_copy reply ~pos:0 ~len:(Mbuf.length reply);
+           reply =
+             Mbuf.sub_copy ?pool:(Node.pool t.node) reply ~pos:0
+               ~len:(Mbuf.length reply);
          })
 
 (* Handle one RPC message; returns the reply chain, or [None] for
@@ -601,7 +603,9 @@ let handle_message t ?arrived_at chain ~src ~src_port =
           None
       | `Replay reply ->
           t.dups <- t.dups + 1;
-          Some (Mbuf.sub_copy reply ~pos:0 ~len:(Mbuf.length reply))
+          Some
+            (Mbuf.sub_copy ?pool:(Node.pool t.node) reply ~pos:0
+               ~len:(Mbuf.length reply))
       | `Execute | `Execute_untracked ->
           let reply_body =
             match P.decode_call ~proc:hdr.Rpc_msg.proc dec with
@@ -634,13 +638,14 @@ let handle_message t ?arrived_at chain ~src ~src_port =
           in
           charge t (t.profile.encode_instructions +. t.profile.xdr_layer_instructions);
           let ctr = Node.copy_counters t.node in
+          let pool = Node.pool t.node in
           let enc =
             match reply_body with
-            | None -> Rpc_msg.encode_reply ~ctr ~xid:hdr.Rpc_msg.xid
+            | None -> Rpc_msg.encode_reply ~ctr ?pool ~xid:hdr.Rpc_msg.xid
                         (Rpc_msg.Accepted Rpc_msg.Garbage_args)
             | Some body ->
                 let enc =
-                  Rpc_msg.encode_reply ~ctr ~xid:hdr.Rpc_msg.xid
+                  Rpc_msg.encode_reply ~ctr ?pool ~xid:hdr.Rpc_msg.xid
                     (Rpc_msg.Accepted Rpc_msg.Success)
                 in
                 P.encode_reply ~ctr enc body;
@@ -701,6 +706,11 @@ let start_udp t =
            with
           | Some reply -> Udp.sendto sock ~dst:dg.Udp.src ~dst_port:dg.Udp.src_port reply
           | None -> ());
+          (* The request chain is fully decoded (every extracted value is
+             a fresh copy) and any cached reply was copied, so this
+             worker holds the last reference: recycle the storage the
+             client's encoder allocated. *)
+          Mbuf.release ?pool:(Node.pool t.node) dg.Udp.payload;
           serve ()
         in
         serve ())

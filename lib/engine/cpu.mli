@@ -32,6 +32,15 @@ val consume : ?priority:priority -> t -> float -> unit
 (** Block the calling process until the CPU has executed [seconds] of its
     work.  Must be called from inside a process. *)
 
+val consume_k : ?priority:priority -> t -> float -> (unit -> unit) -> unit
+(** [consume_k t seconds k] runs [k] once the CPU has executed [seconds]
+    of work — {!consume} in continuation-passing style.  Queues the same
+    job at the same moment as [consume] would (identical event
+    sequences), but needs no surrounding process: no fiber, no effect
+    suspension.  The backbone of the per-packet receive path, where a
+    process existed only to wait for the CPU.  [k] runs from the CPU
+    completion event; if [seconds] is zero it runs immediately. *)
+
 val charge : ?priority:priority -> t -> float -> unit
 (** Queue [seconds] of work without waiting for it; used for interrupt
     service routines whose completion nobody blocks on.  The work still

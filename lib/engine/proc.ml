@@ -17,8 +17,8 @@ let handler =
         | _ -> None);
   }
 
-let spawn sim body =
-  Sim.after sim 0.0 (fun () -> Effect.Deep.match_with body () handler)
+let run body = Effect.Deep.match_with body () handler
+let spawn sim body = Sim.after sim 0.0 (fun () -> run body)
 
 let sleep sim duration =
   suspend (fun resume -> Sim.after sim duration resume)

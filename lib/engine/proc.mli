@@ -10,6 +10,13 @@ val spawn : Sim.t -> (unit -> unit) -> unit
 (** Start [body] as a new process at the current time (it first runs from
     the event queue, not synchronously). *)
 
+val run : (unit -> unit) -> unit
+(** Run [body] as a process synchronously, right now, with no event in
+    between — the fiber-allocating half of {!spawn}.  For dispatch
+    points that are already at the right simulated moment (e.g. a
+    packet handler firing from a CPU-completion event) and only need a
+    suspension context for the code they call. *)
+
 val suspend : ((unit -> unit) -> unit) -> unit
 (** [suspend register] parks the calling process; [register resume] must
     arrange for [resume] to be called exactly once, later.  Only valid

@@ -1,132 +1,288 @@
+(* The event queue is a calendar queue (Brown, CACM 1988): an array of
+   buckets, each a sorted intrusive doubly-linked list, indexed by
+   event time modulo a "year" of [nbuckets * width] seconds.  For the
+   timer-heavy simulation workload (most scheduling is a short hop
+   forward from [now]) push, pop and cancel are all O(1) on average:
+   insertion appends at a bucket tail, the minimum is at the head of
+   the current bucket, and cancellation unlinks the node outright —
+   cancelled events never reach a pop.  Ordering is exactly (time,
+   seq): same-time events share a bucket, where insertion keeps them
+   FIFO by sequence number. *)
+
 type event = {
   time : float;
+  tkey : int;
+      (* [time] in integer nanoseconds (truncated): a monotone
+         approximation that resolves almost every ordering with one
+         untagged int compare instead of chasing boxed floats.  Ties
+         fall back to the exact float, then to [seq]. *)
   seq : int;
   fn : unit -> unit;
-  mutable cancelled : bool;
+  mutable queued : bool;
+  mutable vb : int;  (* virtual bucket, cached by [insert] *)
+  mutable prev : event;
+  mutable next : event;
+  count : int ref;  (* the owning queue's size, so [cancel] can maintain it *)
 }
 
 type timer = event
 
-(* A simple binary min-heap on (time, seq).  Cancelled events stay in the
-   heap and are skipped when popped; this keeps cancellation O(1). *)
 type t = {
-  mutable heap : event array;
-  mutable size : int;
+  mutable buckets : event array;  (* circular lists, one sentinel each *)
+  mutable nbuckets : int;  (* power of two *)
+  mutable mask : int;
+  mutable width : float;  (* seconds per bucket *)
+  mutable inv_width : float;  (* 1 / width: multiply beats divide *)
+  mutable vcur : int;
+      (* search cursor: a lower bound on the least virtual bucket
+         (floor (time / width)) over queued events *)
+  size : int ref;
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
 }
 
-let dummy = { time = 0.0; seq = -1; fn = ignore; cancelled = true }
+let dummy_count = ref 0
+
+let sentinel () =
+  let rec s =
+    { time = nan; tkey = max_int; seq = -1; fn = ignore; queued = false;
+      vb = -1; prev = s; next = s; count = dummy_count }
+  in
+  s
+
+let min_buckets = 16
 
 let create () =
-  { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0; processed = 0 }
+  {
+    buckets = Array.init min_buckets (fun _ -> sentinel ());
+    nbuckets = min_buckets;
+    mask = min_buckets - 1;
+    width = 1e-3;
+    inv_width = 1e3;
+    vcur = 0;
+    size = ref 0;
+    clock = 0.0;
+    next_seq = 0;
+    processed = 0;
+  }
 
 let now t = t.clock
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Virtual bucket of a time: all times are >= 0, so truncation is
+   floor.  The same expression indexes inserts and pops, so boundary
+   rounding is self-consistent (and monotone in time, which is all
+   correctness needs — the exact boundary only shifts which bucket a
+   borderline event lands in). *)
+let vbucket t time = int_of_float (time *. t.inv_width)
 
-let grow t =
-  let heap = Array.make (2 * Array.length t.heap) dummy in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+let before a b =
+  a.tkey < b.tkey
+  || (a.tkey = b.tkey
+     && (a.time < b.time || (a.time = b.time && a.seq < b.seq)))
 
-let push t ev =
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- ev;
-  t.size <- t.size + 1;
-  let rec up i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if before t.heap.(i) t.heap.(parent) then begin
-        let tmp = t.heap.(i) in
-        t.heap.(i) <- t.heap.(parent);
-        t.heap.(parent) <- tmp;
-        up parent
-      end
-    end
-  in
-  up (t.size - 1)
+(* Sorted insertion scanning from the tail: the common case (an event
+   later than everything already in its bucket) appends in O(1),
+   branch-predictably, with no scan state. *)
+let insert t ev =
+  let vb = vbucket t ev.time in
+  ev.vb <- vb;
+  let s = t.buckets.(vb land t.mask) in
+  let tail = s.prev in
+  if tail == s || before tail ev then begin
+    ev.prev <- tail;
+    ev.next <- s;
+    tail.next <- ev;
+    s.prev <- ev;
+    ev.queued <- true
+  end
+  else begin
+    let p = ref tail.prev in
+    while not (!p == s || before !p ev) do
+      p := !p.prev
+    done;
+    let p = !p in
+    ev.prev <- p;
+    ev.next <- p.next;
+    p.next.prev <- ev;
+    p.next <- ev;
+    ev.queued <- true
+  end
+
+let unlink ev =
+  ev.prev.next <- ev.next;
+  ev.next.prev <- ev.prev;
+  ev.prev <- ev;
+  ev.next <- ev;
+  ev.queued <- false
+
+(* ------------------------------------------------------------------ *)
+(* Resizing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Bucket width from a sample of pending event times: the mean gap
+   across the middle half of the sorted sample, so a tail of far-future
+   timers cannot stretch every bucket.  A few events per bucket keeps
+   both the insertion scans and the year sweeps short. *)
+let choose_width t evs =
+  let n = Array.length evs in
+  if n < 2 then t.width
+  else begin
+    let k = min n 64 in
+    let sample = Array.init k (fun i -> evs.(i * n / k).time) in
+    Array.sort compare sample;
+    let lo = k / 4 and hi = k - 1 - (k / 4) in
+    if hi <= lo then t.width
+    else
+      let w = 4.0 *. ((sample.(hi) -. sample.(lo)) /. float_of_int (hi - lo)) in
+      if Float.is_finite w && w > 1e-9 then w else t.width
+  end
+
+let resize t nbuckets =
+  let evs = Array.make !(t.size) (sentinel ()) in
+  let i = ref 0 in
+  Array.iter
+    (fun s ->
+      let p = ref s.next in
+      while !p != s do
+        let nx = (!p).next in
+        evs.(!i) <- !p;
+        incr i;
+        p := nx
+      done)
+    t.buckets;
+  t.width <- choose_width t evs;
+  t.inv_width <- 1.0 /. t.width;
+  t.nbuckets <- nbuckets;
+  t.mask <- nbuckets - 1;
+  t.buckets <- Array.init nbuckets (fun _ -> sentinel ());
+  t.vcur <- max_int;
+  Array.iter
+    (fun ev ->
+      ev.prev <- ev;
+      ev.next <- ev;
+      insert t ev;
+      let vb = vbucket t ev.time in
+      if vb < t.vcur then t.vcur <- vb)
+    evs
+
+let maybe_grow t = if !(t.size) > 2 * t.nbuckets then resize t (2 * t.nbuckets)
+
+let maybe_shrink t =
+  if t.nbuckets > min_buckets && !(t.size) < t.nbuckets / 2 then
+    resize t (t.nbuckets / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Finding the minimum                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Fallback when a whole year of buckets holds nothing due this year
+   (the pending set is sparse): each bucket head is that bucket's
+   minimum, so one pass over the heads finds the global minimum and
+   jumps the cursor straight to its year. *)
+let direct_search t =
+  let best = ref None in
+  Array.iter
+    (fun s ->
+      let h = s.next in
+      if h != s then
+        match !best with
+        | Some b when not (before h b) -> ()
+        | _ -> best := Some h)
+    t.buckets;
+  let b = Option.get !best in
+  t.vcur <- b.vb;
+  b
+
+(* The head of bucket [vcur land mask] is the minimum iff it is due in
+   the cursor's year; otherwise no event of that year exists in the
+   bucket (later years sort after it) and the cursor advances. *)
+let find_min t =
+  if !(t.size) = 0 then None
+  else begin
+    let rec scan vcur n =
+      if n = t.nbuckets then direct_search t
+      else
+        let s = t.buckets.(vcur land t.mask) in
+        let h = s.next in
+        if h != s && h.vb = vcur then begin
+          t.vcur <- vcur;
+          h
+        end
+        else scan (vcur + 1) (n + 1)
+    in
+    Some (scan t.vcur 0)
+  end
 
 let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    let rec down i =
-      let l = (2 * i) + 1 and r = (2 * i) + 2 in
-      let smallest = ref i in
-      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-      if !smallest <> i then begin
-        let tmp = t.heap.(i) in
-        t.heap.(i) <- t.heap.(!smallest);
-        t.heap.(!smallest) <- tmp;
-        down !smallest
-      end
-    in
-    down 0;
-    Some top
-  end
+  match find_min t with
+  | None -> None
+  | Some ev ->
+      unlink ev;
+      decr t.size;
+      maybe_shrink t;
+      Some ev
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                   *)
+(* ------------------------------------------------------------------ *)
 
 let schedule t time fn =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is before now %g" time t.clock);
-  let ev = { time; seq = t.next_seq; fn; cancelled = false } in
+  let rec ev =
+    { time; tkey = int_of_float (time *. 1e9); seq = t.next_seq;
+      fn; queued = false; vb = 0; prev = ev; next = ev; count = t.size }
+  in
   t.next_seq <- t.next_seq + 1;
-  push t ev;
+  insert t ev;
+  if ev.vb < t.vcur || !(t.size) = 0 then t.vcur <- ev.vb;
+  incr t.size;
+  maybe_grow t;
   ev
 
 let at t time fn = ignore (schedule t time fn)
 let after t delay fn = ignore (schedule t (t.clock +. delay) fn)
 let timer_after t delay fn = schedule t (t.clock +. delay) fn
-let cancel ev = ev.cancelled <- true
-let pending ev = not ev.cancelled
 
-let step t =
-  let rec next () =
-    match pop t with
-    | None -> false
-    | Some ev when ev.cancelled -> next ()
-    | Some ev ->
-        t.clock <- ev.time;
-        ev.cancelled <- true;
-        t.processed <- t.processed + 1;
-        ev.fn ();
-        true
-  in
-  next ()
-
-let rec skip_cancelled t =
-  if t.size > 0 && t.heap.(0).cancelled then begin
-    ignore (pop t);
-    skip_cancelled t
+let cancel ev =
+  if ev.queued then begin
+    unlink ev;
+    decr ev.count
   end
 
+let pending ev = ev.queued
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.fn ();
+      true
+
 let run ?until t =
-  let continue () =
-    skip_cancelled t;
-    match until with
-    | None -> t.size > 0
-    | Some limit ->
-        if t.size > 0 && t.heap.(0).time <= limit then true
-        else begin
-          if t.clock < limit then t.clock <- limit;
-          false
-        end
-  in
-  while continue () do
-    ignore (step t)
-  done
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      (* One [find_min] per event: peek, and only if the minimum is due
+         within the horizon unlink and fire it directly — going through
+         [step] would scan for the same minimum twice. *)
+      let rec loop () =
+        match find_min t with
+        | Some ev when ev.time <= limit ->
+            unlink ev;
+            decr t.size;
+            maybe_shrink t;
+            t.clock <- ev.time;
+            t.processed <- t.processed + 1;
+            ev.fn ();
+            loop ()
+        | Some _ | None -> if t.clock < limit then t.clock <- limit
+      in
+      loop ()
 
 let events_processed t = t.processed
-
-let pending_events t =
-  let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).cancelled then incr n
-  done;
-  !n
+let pending_events t = !(t.size)

@@ -3,7 +3,14 @@
     A [Sim.t] owns a virtual clock and a queue of pending events ordered by
     [(time, sequence)].  All simulated activity — process wakeups, packet
     deliveries, timer expiries — is driven by this queue, which makes every
-    run deterministic for a given seed. *)
+    run deterministic for a given seed.
+
+    The queue is a calendar queue (Brown, CACM 1988): an array of
+    time-bucketed sorted lists that resizes with the pending-event
+    population, giving O(1) average schedule, fire and cancel for the
+    timer-wheel-like distributions a network simulation produces.
+    Ordering is exactly [(time, sequence)] — an event scheduled earlier
+    for the same instant always fires first, at any queue size. *)
 
 type t
 
@@ -44,5 +51,4 @@ val events_processed : t -> int
 (** Total events executed so far; useful for bounding tests. *)
 
 val pending_events : t -> int
-(** Events currently queued and not cancelled.  O(queue size); meant for
-    diagnostics (e.g. stuck-driver reports), not hot paths. *)
+(** Events currently queued and not cancelled.  O(1). *)

@@ -10,14 +10,17 @@ module Counters = struct
     mutable bytes_copied : int;
     mutable smalls_allocated : int;
     mutable clusters_allocated : int;
+    mutable pool_hits : int;
   }
 
-  let create () = { bytes_copied = 0; smalls_allocated = 0; clusters_allocated = 0 }
+  let create () =
+    { bytes_copied = 0; smalls_allocated = 0; clusters_allocated = 0; pool_hits = 0 }
 
   let reset t =
     t.bytes_copied <- 0;
     t.smalls_allocated <- 0;
-    t.clusters_allocated <- 0
+    t.clusters_allocated <- 0;
+    t.pool_hits <- 0
 end
 
 type mbuf = {
@@ -26,7 +29,74 @@ type mbuf = {
   mutable len : int;
   cluster : bool;
   writable : bool; (* false for views produced by [split] *)
+  refs : int ref; (* live records sharing [data]; views share the cell *)
 }
+
+(* Free lists of recycled storage.  Only exactly pool-sized buffers are
+   kept, so storage that came from [of_bytes] of arbitrary data (or from
+   outside the pool entirely) silently falls back to the GC. *)
+module Pool = struct
+  type t = {
+    mutable smalls : Bytes.t list;
+    mutable clusters : Bytes.t list;
+    mutable nsmalls : int;
+    mutable nclusters : int;
+    small_cap : int;
+    cluster_cap : int;
+    mutable hits : int;
+    mutable recycled : int;
+  }
+
+  let create ?(small_cap = 2048) ?(cluster_cap = 512) () =
+    {
+      smalls = [];
+      clusters = [];
+      nsmalls = 0;
+      nclusters = 0;
+      small_cap;
+      cluster_cap;
+      hits = 0;
+      recycled = 0;
+    }
+
+  let grab t cluster =
+    if cluster then
+      match t.clusters with
+      | [] -> None
+      | b :: rest ->
+          t.clusters <- rest;
+          t.nclusters <- t.nclusters - 1;
+          t.hits <- t.hits + 1;
+          Some b
+    else
+      match t.smalls with
+      | [] -> None
+      | b :: rest ->
+          t.smalls <- rest;
+          t.nsmalls <- t.nsmalls - 1;
+          t.hits <- t.hits + 1;
+          Some b
+
+  let stash t b =
+    let n = Bytes.length b in
+    if n = mlen then begin
+      if t.nsmalls < t.small_cap then begin
+        t.smalls <- b :: t.smalls;
+        t.nsmalls <- t.nsmalls + 1;
+        t.recycled <- t.recycled + 1
+      end
+    end
+    else if n = mclbytes && t.nclusters < t.cluster_cap then begin
+      t.clusters <- b :: t.clusters;
+      t.nclusters <- t.nclusters + 1;
+      t.recycled <- t.recycled + 1
+    end
+
+  let hits t = t.hits
+  let recycled t = t.recycled
+  let small_free t = t.nsmalls
+  let cluster_free t = t.nclusters
+end
 
 type t = { mutable rev : mbuf list; mutable total : int }
 (* [rev] holds the mbufs in reverse order so append is O(1). *)
@@ -44,25 +114,51 @@ let note_copy ctr n =
   | None -> ()
   | Some (c : Counters.t) -> c.bytes_copied <- c.bytes_copied + n
 
-let alloc ctr want_cluster =
+let alloc ?pool ctr want_cluster =
   let cluster = want_cluster in
   (match ctr with
   | None -> ()
   | Some (c : Counters.t) ->
       if cluster then c.clusters_allocated <- c.clusters_allocated + 1
       else c.smalls_allocated <- c.smalls_allocated + 1);
-  {
-    data = Bytes.create (if cluster then mclbytes else mlen);
-    off = 0;
-    len = 0;
-    cluster;
-    writable = true;
-  }
+  let data =
+    match pool with
+    | None -> Bytes.create (if cluster then mclbytes else mlen)
+    | Some p -> (
+        match Pool.grab p cluster with
+        | Some b ->
+            (match ctr with
+            | Some (c : Counters.t) -> c.pool_hits <- c.pool_hits + 1
+            | None -> ());
+            b
+        | None -> Bytes.create (if cluster then mclbytes else mlen))
+  in
+  { data; off = 0; len = 0; cluster; writable = true; refs = ref 1 }
+
+(* Explicit ownership: a chain's owner hands the storage back once the
+   payload is dead.  Each record drops one reference; storage recycles
+   only when the last sharer (a [split] view, usually) releases.  The
+   chain is emptied, so releasing twice is a no-op rather than an
+   aliasing bug. *)
+let release ?pool t =
+  (match pool with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun m ->
+          let r = m.refs in
+          if !r > 0 then begin
+            decr r;
+            if !r = 0 then Pool.stash p m.data
+          end)
+        t.rev);
+  t.rev <- [];
+  t.total <- 0
 
 let tail_room m =
   if not m.writable then 0 else Bytes.length m.data - (m.off + m.len)
 
-let add_bytes ?ctr t src ~off ~len =
+let add_bytes ?ctr ?pool t src ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length src then
     invalid_arg "Mbuf.add_bytes: range out of bounds";
   note_copy ctr len;
@@ -72,7 +168,7 @@ let add_bytes ?ctr t src ~off ~len =
         match t.rev with
         | m :: _ when tail_room m > 0 -> m
         | _ ->
-            let m = alloc ctr (len >= mincl_size) in
+            let m = alloc ?pool ctr (len >= mincl_size) in
             t.rev <- m :: t.rev;
             m
       in
@@ -85,25 +181,35 @@ let add_bytes ?ctr t src ~off ~len =
   in
   go off len
 
-let add_string ?ctr t s =
-  add_bytes ?ctr t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+let add_string ?ctr ?pool t s =
+  add_bytes ?ctr ?pool t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
 
-(* The 4-byte staging buffer must be per call: a module-level scratch
-   is written concurrently when experiment cells encode on several
-   domains, and corrupts the word. *)
-let add_u32 ?ctr t v =
-  let b = Bytes.create 4 in
-  Bytes.set_int32_be b 0 v;
-  add_bytes ?ctr t b ~off:0 ~len:4
+let add_u32 ?ctr ?pool t v =
+  match t.rev with
+  | m :: _ when tail_room m >= 4 ->
+      (* Write straight into the tail: the common case in XDR encoding,
+         which is word-at-a-time, so the staging buffer below would
+         otherwise be allocated once per field. *)
+      Bytes.set_int32_be m.data (m.off + m.len) v;
+      m.len <- m.len + 4;
+      t.total <- t.total + 4;
+      note_copy ctr 4
+  | _ ->
+      (* The 4-byte staging buffer must be per call: a module-level
+         scratch is written concurrently when experiment cells encode on
+         several domains, and corrupts the word. *)
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 v;
+      add_bytes ?ctr ?pool t b ~off:0 ~len:4
 
-let of_bytes ?ctr b =
+let of_bytes ?ctr ?pool b =
   let t = empty () in
-  add_bytes ?ctr t b ~off:0 ~len:(Bytes.length b);
+  add_bytes ?ctr ?pool t b ~off:0 ~len:(Bytes.length b);
   t
 
-let of_string ?ctr s =
+let of_string ?ctr ?pool s =
   let t = empty () in
-  add_string ?ctr t s;
+  add_string ?ctr ?pool t s;
   t
 
 let iter_mbufs t f = List.iter f (List.rev t.rev)
@@ -138,9 +244,19 @@ let split t n =
       end
       else if !left = 0 then take back m
       else begin
-        (* Straddling mbuf: share the underlying storage as two views. *)
+        (* Straddling mbuf: share the underlying storage as two views.
+           One record conceptually dies and two are born, so the shared
+           reference count grows by exactly one. *)
+        incr m.refs;
         let head =
-          { data = m.data; off = m.off; len = !left; cluster = m.cluster; writable = false }
+          {
+            data = m.data;
+            off = m.off;
+            len = !left;
+            cluster = m.cluster;
+            writable = false;
+            refs = m.refs;
+          }
         and tail =
           {
             data = m.data;
@@ -148,6 +264,7 @@ let split t n =
             len = m.len - !left;
             cluster = m.cluster;
             writable = false;
+            refs = m.refs;
           }
         in
         take front head;
@@ -156,7 +273,7 @@ let split t n =
       end);
   (front, back)
 
-let sub_copy ?ctr t ~pos ~len =
+let sub_copy ?ctr ?pool t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.total then
     invalid_arg "Mbuf.sub_copy: range out of bounds";
   let out = empty () in
@@ -168,29 +285,45 @@ let sub_copy ?ctr t ~pos ~len =
         let avail = m.len - drop in
         if avail > 0 then begin
           let n = min avail !want in
-          add_bytes ?ctr out m.data ~off:(m.off + drop) ~len:n;
+          add_bytes ?ctr ?pool out m.data ~off:(m.off + drop) ~len:n;
           want := !want - n
         end
       end);
   out
 
 let checksum t =
-  (* Internet checksum: ones-complement sum of 16-bit big-endian words. *)
+  (* Internet checksum: ones-complement sum of 16-bit big-endian words.
+     Summed word-at-a-time without allocating; with 63-bit ints the
+     carries can be folded once at the end (end-around-carry addition is
+     associative in its 16-bit result), not per word.  [high] is the
+     pending odd leading byte across an mbuf boundary, -1 when none. *)
   let sum = ref 0 in
-  let carry_fold s = (s land 0xFFFF) + (s lsr 16) in
-  let high = ref None in
-  iter_mbufs t (fun m ->
-      for i = 0 to m.len - 1 do
-        let b = Char.code (Bytes.get m.data (m.off + i)) in
-        match !high with
-        | None -> high := Some b
-        | Some h ->
-            sum := carry_fold (!sum + ((h lsl 8) lor b));
-            high := None
-      done);
-  (match !high with
-  | Some h -> sum := carry_fold (!sum + (h lsl 8))
-  | None -> ());
+  let high = ref (-1) in
+  List.iter
+    (fun m ->
+      let data = m.data in
+      let base = m.off and len = m.len in
+      let i = ref 0 in
+      (* In-bounds by the mbuf invariant (off + len <= capacity), so the
+         inner loop can skip the per-byte bounds checks. *)
+      if !high >= 0 && len > 0 then begin
+        sum := !sum + ((!high lsl 8) lor Char.code (Bytes.unsafe_get data base));
+        high := -1;
+        i := 1
+      end;
+      while !i + 1 < len do
+        sum :=
+          !sum
+          + ((Char.code (Bytes.unsafe_get data (base + !i)) lsl 8)
+            lor Char.code (Bytes.unsafe_get data (base + !i + 1)));
+        i := !i + 2
+      done;
+      if !i < len then high := Char.code (Bytes.unsafe_get data (base + !i)))
+    (List.rev t.rev);
+  if !high >= 0 then sum := !sum + (!high lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
   lnot !sum land 0xFFFF
 
 module Cursor = struct

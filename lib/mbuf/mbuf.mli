@@ -16,20 +16,65 @@ val mclbytes : int
 
 (** Per-host allocation and copy counters.  Pass the owning host's
     counters to the operations that copy; the host charges CPU time for
-    [bytes_copied] at its memory-copy bandwidth. *)
+    [bytes_copied] at its memory-copy bandwidth.
+
+    [smalls_allocated] and [clusters_allocated] count every buffer
+    grabbed, however satisfied; [pool_hits] counts the subset served
+    from a {!Pool} free list, so fresh heap allocations are
+    [smalls_allocated + clusters_allocated - pool_hits]. *)
 module Counters : sig
   type t = {
     mutable bytes_copied : int;
     mutable smalls_allocated : int;
     mutable clusters_allocated : int;
+    mutable pool_hits : int;
   }
 
   val create : unit -> t
   val reset : t -> unit
 end
 
+(** A free list of recycled mbuf storage, shared per simulated world.
+
+    Chains cross node boundaries zero-copy (network delivery hands the
+    sender's storage to the receiver), so the pool is per-world, not
+    per-host: whoever ends up owning a chain releases it back to the
+    common pool.  Ownership is explicit and conservative — a chain is
+    {!release}d only at points where the owner provably holds the last
+    reference (a served request after the reply is built, a reply after
+    the client decodes it); anything ambiguous is simply left to the GC.
+    Only exactly pool-sized buffers ({!mlen} / {!mclbytes} bytes) are
+    kept; storage of any other size falls back to the GC too. *)
+module Pool : sig
+  type t
+
+  val create : ?small_cap:int -> ?cluster_cap:int -> unit -> t
+  (** Caps bound how many free buffers of each class are retained
+      (defaults: 2048 smalls, 512 clusters); releases beyond the cap are
+      dropped on the floor for the GC. *)
+
+  val hits : t -> int
+  (** Allocations served from the free list since creation. *)
+
+  val recycled : t -> int
+  (** Buffers accepted back by {!release} since creation. *)
+
+  val small_free : t -> int
+  val cluster_free : t -> int
+end
+
 type t
 (** A mutable chain of mbufs. *)
+
+val release : ?pool:Pool.t -> t -> unit
+(** Declare the chain's payload dead and hand its storage back to
+    [pool].  Each mbuf drops one reference; storage recycles only when
+    its last sharer releases, so a {!split} sibling still holding a view
+    of the same cluster keeps the bytes alive.  The chain itself is
+    emptied, making a second release a no-op.  Releasing a chain while
+    any alias of it is still being read is an ownership bug — the
+    storage may be handed to a new writer.  Without [pool] this only
+    empties the chain. *)
 
 val empty : unit -> t
 val length : t -> int
@@ -42,17 +87,20 @@ val cluster_bytes : t -> int
 (** Payload bytes held in cluster mbufs; the remainder lives in small
     mbufs.  The NIC model maps clusters but must copy small-mbuf bytes. *)
 
-val add_bytes : ?ctr:Counters.t -> t -> bytes -> off:int -> len:int -> unit
+val add_bytes : ?ctr:Counters.t -> ?pool:Pool.t -> t -> bytes -> off:int -> len:int -> unit
 (** Append by copying, filling the tail mbuf then allocating new ones
-    (clusters once the remainder is large, like [MINCLSIZE]). *)
+    (clusters once the remainder is large, like [MINCLSIZE]).  With
+    [pool], new mbuf storage is grabbed from the free list when one is
+    available, allocated fresh otherwise. *)
 
-val add_string : ?ctr:Counters.t -> t -> string -> unit
+val add_string : ?ctr:Counters.t -> ?pool:Pool.t -> t -> string -> unit
 
-val add_u32 : ?ctr:Counters.t -> t -> int32 -> unit
-(** Append a big-endian 32-bit word (the XDR unit). *)
+val add_u32 : ?ctr:Counters.t -> ?pool:Pool.t -> t -> int32 -> unit
+(** Append a big-endian 32-bit word (the XDR unit).  Writes directly
+    into the tail mbuf when four bytes of room remain. *)
 
-val of_string : ?ctr:Counters.t -> string -> t
-val of_bytes : ?ctr:Counters.t -> bytes -> t
+val of_string : ?ctr:Counters.t -> ?pool:Pool.t -> string -> t
+val of_bytes : ?ctr:Counters.t -> ?pool:Pool.t -> bytes -> t
 
 val to_bytes : ?ctr:Counters.t -> t -> bytes
 (** Linearise by copying; mainly for tests and checksums. *)
@@ -66,7 +114,7 @@ val split : t -> int -> t * t
     that straddle the boundary are shared as views (cluster reference
     sharing).  Raises [Invalid_argument] if [n] exceeds {!length}. *)
 
-val sub_copy : ?ctr:Counters.t -> t -> pos:int -> len:int -> t
+val sub_copy : ?ctr:Counters.t -> ?pool:Pool.t -> t -> pos:int -> len:int -> t
 (** Copy out a byte range as a fresh chain. *)
 
 val checksum : t -> int

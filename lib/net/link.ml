@@ -13,6 +13,10 @@ type stats = {
 
 type mangle_op = Corrupt | Truncate | Duplicate | Reorder
 
+(* All-float box for the cumulative busy-seconds counter: a float field
+   of the mixed [t] record would box every per-packet update. *)
+type busy = { mutable b : float }
+
 (* The mangler's state: one private RNG (seeded from the fault action's
    seed mixed with the link name, so every link direction draws an
    independent, reproducible stream) plus one rate per operation.
@@ -39,40 +43,27 @@ type t = {
   queue : Packet.t Queue.t;
   mutable transmitting : bool;
   stats : stats;
-  mutable busy : float;
+  busy : busy;
   owner : int; (* transmitting-side node id, -1 if unattached *)
   mutable trace : Trace.t option;
   mutable mangle : mangle option;
+  (* Batched delivery: packets in flight on the wire, FIFO.  Every
+     unmangled delivery is due exactly [delay] after its transmission
+     completes, and completions are strictly increasing (serial
+     transmitter, positive tx times), so due times are too — one shared
+     [drain] closure scheduled once per packet pops them in order,
+     instead of a fresh closure capturing each packet.  Mangled
+     deliveries (reordered or duplicated copies break the FIFO
+     invariant) keep per-packet closures. *)
+  in_flight : Packet.t Queue.t;
+  mutable drain : unit -> unit;
+  (* The transmitter is serial, so the packet whose transmission is in
+     progress lives in a field and one shared [tx_done] closure reads
+     it back — again no per-packet closure. *)
+  mutable tx_pkt : Packet.t option;
+  mutable tx_bytes : int;
+  mutable tx_done : unit -> unit;
 }
-
-let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ?(owner = -1)
-    ~rng ~deliver () =
-  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
-  {
-    sim;
-    name;
-    bandwidth_bps;
-    delay;
-    queue_limit;
-    loss;
-    up = true;
-    rng;
-    deliver;
-    queue = Queue.create ();
-    transmitting = false;
-    stats =
-      {
-        packets_sent = 0;
-        bytes_sent = 0;
-        queue_drops = 0;
-        error_drops = 0;
-        mangled = 0;
-      };
-    busy = 0.0;
-    owner;
-    trace = None;
-    mangle = None;
-  }
 
 let set_trace t tr = t.trace <- tr
 
@@ -163,32 +154,87 @@ let mangle_deliver t (m : mangle) pkt =
       { pkt with Packet.payload = copy }
   end
 
-let rec start_next t =
+let start_next t =
   match Queue.take_opt t.queue with
   | None -> t.transmitting <- false
   | Some pkt ->
       t.transmitting <- true;
       let bytes = Packet.wire_size pkt in
       let tx_time = float_of_int (bytes * 8) /. t.bandwidth_bps in
-      t.busy <- t.busy +. tx_time;
-      Sim.after t.sim tx_time (fun () ->
-          t.stats.packets_sent <- t.stats.packets_sent + 1;
-          t.stats.bytes_sent <- t.stats.bytes_sent + bytes;
-          if t.loss > 0.0 && Rng.chance t.rng t.loss then begin
-            t.stats.error_drops <- t.stats.error_drops + 1;
-            match t.trace with
-            | Some tr ->
-                Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
-                  (Trace.Pkt_drop
-                     { link = t.name; bytes; reason = Trace.Link_error })
-            | None -> ()
-          end
-          else begin
-            match t.mangle with
-            | None -> deliver_after t t.delay pkt
-            | Some m -> mangle_deliver t m pkt
-          end;
-          start_next t)
+      t.busy.b <- t.busy.b +. tx_time;
+      t.tx_pkt <- Some pkt;
+      t.tx_bytes <- bytes;
+      Sim.after t.sim tx_time t.tx_done
+
+let tx_complete t =
+  let pkt = match t.tx_pkt with Some p -> p | None -> assert false in
+  t.tx_pkt <- None;
+  let bytes = t.tx_bytes in
+  t.stats.packets_sent <- t.stats.packets_sent + 1;
+  t.stats.bytes_sent <- t.stats.bytes_sent + bytes;
+  (if t.loss > 0.0 && Rng.chance t.rng t.loss then begin
+     t.stats.error_drops <- t.stats.error_drops + 1;
+     match t.trace with
+     | Some tr ->
+         Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+           (Trace.Pkt_drop { link = t.name; bytes; reason = Trace.Link_error })
+     | None -> ()
+   end
+   else
+     match t.mangle with
+     | None ->
+         Queue.add pkt t.in_flight;
+         Sim.after t.sim t.delay t.drain
+     | Some m -> mangle_deliver t m pkt);
+  start_next t
+
+let drain_one t =
+  let pkt = Queue.take t.in_flight in
+  (match t.trace with
+  | Some tr when pkt_traced pkt ->
+      Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+        (Trace.Pkt_deliver { link = t.name; bytes = Packet.wire_size pkt })
+  | Some _ | None -> ());
+  t.deliver pkt
+
+let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ?(owner = -1)
+    ~rng ~deliver () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
+  let t =
+    {
+      sim;
+      name;
+      bandwidth_bps;
+      delay;
+      queue_limit;
+      loss;
+      up = true;
+      rng;
+      deliver;
+      queue = Queue.create ();
+      transmitting = false;
+      stats =
+        {
+          packets_sent = 0;
+          bytes_sent = 0;
+          queue_drops = 0;
+          error_drops = 0;
+          mangled = 0;
+        };
+      busy = { b = 0.0 };
+      owner;
+      trace = None;
+      mangle = None;
+      in_flight = Queue.create ();
+      drain = ignore;
+      tx_pkt = None;
+      tx_bytes = 0;
+      tx_done = ignore;
+    }
+  in
+  t.drain <- (fun () -> drain_one t);
+  t.tx_done <- (fun () -> tx_complete t);
+  t
 
 let send t pkt =
   if not t.up then begin
@@ -219,8 +265,16 @@ let send t pkt =
   end
   else begin
     Queue.add pkt t.queue;
-    trace_pkt t pkt (fun bytes ->
-        Trace.Pkt_enqueue { link = t.name; bytes; qlen = Queue.length t.queue });
+    (match t.trace with
+    | Some tr when pkt_traced pkt ->
+        Trace.record tr ~time:(Sim.now t.sim) ~node:t.owner
+          (Trace.Pkt_enqueue
+             {
+               link = t.name;
+               bytes = Packet.wire_size pkt;
+               qlen = Queue.length t.queue;
+             })
+    | Some _ | None -> ());
     if not t.transmitting then start_next t
   end
 
@@ -278,6 +332,6 @@ let mangle_rate t op =
 
 let utilization t =
   let now = Sim.now t.sim in
-  if now <= 0.0 then 0.0 else t.busy /. now
+  if now <= 0.0 then 0.0 else t.busy.b /. now
 
-let busy_time t = t.busy
+let busy_time t = t.busy.b

@@ -26,6 +26,15 @@ type stats = {
 
 type iface = { mtu : int; link : Link.t; peer : int }
 
+(* Everything a world may hang off a node to watch (or feed) it.  One
+   record instead of one setter per layer: adding an observer kind means
+   one field here plus its wiring in [attach]. *)
+type observers = {
+  trace : Trace.t option;
+  metrics : Metrics.run option;
+  pool : Mbuf.Pool.t option;
+}
+
 type t = {
   sim : Sim.t;
   id : int;
@@ -38,6 +47,13 @@ type t = {
   routes : (int, iface) Hashtbl.t;
   mutable default_route : (iface * (int, unit) Hashtbl.t) option;
       (* single-homed shortcut: (only iface, ids reachable through it) *)
+  (* One-entry route cache: a router forwards long runs of packets to
+     the same destination (cross-traffic especially), and a host's
+     sends cluster per peer — so remembering the last lookup skips the
+     hashtable (and its [find_opt] allocation) on almost every packet.
+     Invalidated by [auto_routes]. *)
+  mutable rc_dst : int;
+  mutable rc_iface : iface option;
   reasm : Ipfrag.t;
   mutable udp_handler : (datagram -> unit) option;
   mutable tcp_handler : (datagram -> unit) option;
@@ -46,6 +62,7 @@ type t = {
   mutable next_ip_id : int;
   mutable trace : Trace.t option;
   mutable metrics : Metrics.run option;
+  mutable pool : Mbuf.Pool.t option;
 }
 
 let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
@@ -60,6 +77,8 @@ let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
     ifaces = [];
     routes = Hashtbl.create 16;
     default_route = None;
+    rc_dst = min_int;
+    rc_iface = None;
     reasm = Ipfrag.create sim ();
     udp_handler = None;
     tcp_handler = None;
@@ -75,7 +94,10 @@ let create sim ~id ~name ~mips ~nic ~rng ?(forward_cost = 0.3e-3) () =
     next_ip_id = id * 100_000;
     trace = None;
     metrics = None;
+    pool = None;
   }
+
+let detached : observers = { trace = None; metrics = None; pool = None }
 
 let id t = t.id
 let name t = t.name
@@ -88,21 +110,10 @@ let copy_counters t = t.copy_ctr
 let stats t = t.stats
 let trace t = t.trace
 
-(* Attaching a sink covers the host's own hooks, its reassembly buffer
-   (fragment-loss events) and every outgoing link direction attached so
-   far — so wiring a whole topology is one call per node. *)
-let set_trace t tr =
-  t.trace <- tr;
-  List.iter (fun i -> Link.set_trace i.link tr) t.ifaces;
-  Ipfrag.set_on_timeout t.reasm (fun ~src ~ip_id ->
-      match t.trace with
-      | Some sink ->
-          Trace.record sink ~time:(Sim.now t.sim) ~node:t.id
-            (Trace.Frag_lost { src; ip_id })
-      | None -> ())
 let reassembly_timeouts t = Ipfrag.timeouts t.reasm
 let links t = List.rev_map (fun i -> i.link) t.ifaces |> List.rev
 let metrics t = t.metrics
+let pool t = t.pool
 
 let register_link_metrics run link =
   let p suffix = Printf.sprintf "link:%s/%s" (Link.name link) suffix in
@@ -120,12 +131,24 @@ let register_link_metrics run link =
   Metrics.register run ~name:(p "mangled") ~unit_:"count" ~kind:Metrics.Counter
     (fun () -> fi (Link.stats link).Link.mangled)
 
-(* Like [set_trace]: one call per node covers the host's reassembly
-   buffer, its mbuf copy accounting and every outgoing link direction
-   attached so far. *)
-let set_metrics t run =
-  t.metrics <- run;
-  match run with
+(* One call per node wires every observer kind at once: the trace sink
+   covers the host's own hooks, its reassembly buffer (fragment-loss
+   events) and every outgoing link direction attached so far; the
+   metrics run registers sampled sources for the same set; the mbuf
+   pool is simply recorded for upper layers to consult.  Detached
+   fields stay [None] and cost one branch wherever they are read. *)
+let attach t (obs : observers) =
+  t.trace <- obs.trace;
+  t.pool <- obs.pool;
+  List.iter (fun i -> Link.set_trace i.link obs.trace) t.ifaces;
+  Ipfrag.set_on_timeout t.reasm (fun ~src ~ip_id ->
+      match t.trace with
+      | Some sink ->
+          Trace.record sink ~time:(Sim.now t.sim) ~node:t.id
+            (Trace.Frag_lost { src; ip_id })
+      | None -> ());
+  t.metrics <- obs.metrics;
+  match obs.metrics with
   | None -> ()
   | Some run ->
       let p suffix = t.name ^ "." ^ suffix in
@@ -143,12 +166,19 @@ let handler_for t = function
   | Packet.Udp -> t.udp_handler
   | Packet.Tcp -> t.tcp_handler
 
-let set_proto_handler t proto h =
+(* Handlers that may suspend (block on the CPU, a socket, a timer) are
+   wrapped in a fiber at registration time, so the dispatch point below
+   stays a plain call; handlers that never suspend register with
+   [~needs_fiber:false] and skip the fiber allocation entirely — the
+   cross-traffic sink runs millions of times per run and does nothing
+   but recycle a buffer. *)
+let set_proto_handler t ?(needs_fiber = true) proto h =
+  let h = if needs_fiber then fun dg -> Proc.run (fun () -> h dg) else h in
   match proto with
   | Packet.Udp -> t.udp_handler <- Some h
   | Packet.Tcp -> t.tcp_handler <- Some h
 
-let route t dst =
+let route_slow t dst =
   match Hashtbl.find_opt t.routes dst with
   | Some _ as r -> r
   | None -> (
@@ -157,38 +187,60 @@ let route t dst =
           Some iface
       | _ -> None)
 
+let route t dst =
+  if dst = t.rc_dst then t.rc_iface
+  else begin
+    let r = route_slow t dst in
+    t.rc_dst <- dst;
+    t.rc_iface <- r;
+    r
+  end
+
 (* Deliver a locally-addressed packet: interrupt-level per-packet work,
-   reassembly, checksum of completed datagrams, protocol dispatch. *)
+   reassembly, checksum of completed datagrams, protocol dispatch.
+
+   Written in continuation-passing style over [Cpu.consume_k]: the old
+   shape spawned a process per packet just to block on the CPU twice,
+   which cost a fiber allocation and two effect suspensions per packet
+   for control flow that creates exactly the same events.  The stage
+   boundaries (one event to enter, one CPU job per stage) are
+   unchanged, so event sequences — and therefore all simulated
+   timings — are identical. *)
+let dispatch t (whole : Packet.t) =
+  t.stats.datagrams_received <- t.stats.datagrams_received + 1;
+  match handler_for t whole.Packet.proto with
+  | None -> t.stats.no_handler_drops <- t.stats.no_handler_drops + 1
+  | Some h ->
+      h
+        {
+          proto = whole.Packet.proto;
+          src = whole.Packet.src;
+          src_port = whole.Packet.src_port;
+          dst_port = whole.Packet.dst_port;
+          payload = whole.Packet.payload;
+          sum = whole.Packet.sum;
+        }
+
 let deliver_local t (pkt : Packet.t) =
-  Proc.spawn t.sim (fun () ->
-      Cpu.consume ~priority:Cpu.Interrupt t.cpu
-        (Nic.rx_cost t.nic ~data_bytes:(Packet.data_len pkt));
-      match Ipfrag.insert t.reasm pkt with
-      | None -> ()
-      | Some whole -> (
-          Cpu.consume t.cpu (Nic.checksum_cost t.nic ~bytes:(Packet.data_len whole));
-          t.stats.datagrams_received <- t.stats.datagrams_received + 1;
-          match handler_for t whole.Packet.proto with
-          | None -> t.stats.no_handler_drops <- t.stats.no_handler_drops + 1
-          | Some h ->
-              h
-                {
-                  proto = whole.Packet.proto;
-                  src = whole.Packet.src;
-                  src_port = whole.Packet.src_port;
-                  dst_port = whole.Packet.dst_port;
-                  payload = whole.Packet.payload;
-                  sum = whole.Packet.sum;
-                }))
+  Sim.after t.sim 0.0 (fun () ->
+      Cpu.consume_k ~priority:Cpu.Interrupt t.cpu
+        (Nic.rx_cost t.nic ~data_bytes:(Packet.data_len pkt))
+        (fun () ->
+          match Ipfrag.insert t.reasm pkt with
+          | None -> ()
+          | Some whole ->
+              Cpu.consume_k t.cpu
+                (Nic.checksum_cost t.nic ~bytes:(Packet.data_len whole))
+                (fun () -> dispatch t whole)))
 
 let forward t (pkt : Packet.t) =
-  Proc.spawn t.sim (fun () ->
-      Cpu.consume ~priority:Cpu.Interrupt t.cpu t.forward_cost;
-      match route t pkt.Packet.dst with
-      | None -> t.stats.no_route_drops <- t.stats.no_route_drops + 1
-      | Some iface ->
-          t.stats.packets_forwarded <- t.stats.packets_forwarded + 1;
-          List.iter (Link.send iface.link) (Packet.fragment pkt ~mtu:iface.mtu))
+  Sim.after t.sim 0.0 (fun () ->
+      Cpu.consume_k ~priority:Cpu.Interrupt t.cpu t.forward_cost (fun () ->
+          match route t pkt.Packet.dst with
+          | None -> t.stats.no_route_drops <- t.stats.no_route_drops + 1
+          | Some iface ->
+              t.stats.packets_forwarded <- t.stats.packets_forwarded + 1;
+              List.iter (Link.send iface.link) (Packet.fragment pkt ~mtu:iface.mtu)))
 
 let receive t pkt =
   if pkt.Packet.dst = t.id then deliver_local t pkt else forward t pkt
@@ -218,7 +270,12 @@ let connect a b ~name ~bandwidth_bps ~delay ~mtu ~queue_limit ?(loss = 0.0) () =
 
 let auto_routes nodes =
   let by_id = Hashtbl.create 16 in
-  List.iter (fun n -> Hashtbl.replace by_id n.id n) nodes;
+  List.iter
+    (fun n ->
+      n.rc_dst <- min_int;
+      n.rc_iface <- None;
+      Hashtbl.replace by_id n.id n)
+    nodes;
   let bfs src =
     (* Shortest-hop tree rooted at [src]; record each node's first hop. *)
     let first_hop = Hashtbl.create 16 in
@@ -282,9 +339,16 @@ let auto_routes nodes =
           | _ -> bfs n)
         nodes
 
-let send_datagram t ?sum ~proto ~dst ~src_port ~dst_port payload =
+(* Continuation-passing transmit: checksum cost, then per-fragment NIC
+   work and wire handoff, each stage from the CPU completion event of
+   the one before — the same job sequence {!Cpu.consume} produced when
+   this blocked a process, without needing one.  [k] runs right after
+   the last fragment reaches its link. *)
+let send_datagram_k t ?sum ~proto ~dst ~src_port ~dst_port payload k =
   match route t dst with
-  | None -> t.stats.no_route_drops <- t.stats.no_route_drops + 1
+  | None ->
+      t.stats.no_route_drops <- t.stats.no_route_drops + 1;
+      k ()
   | Some iface ->
       t.next_ip_id <- t.next_ip_id + 1;
       let dgram =
@@ -292,22 +356,32 @@ let send_datagram t ?sum ~proto ~dst ~src_port ~dst_port payload =
           ~ip_id:t.next_ip_id payload
       in
       let bytes = Packet.data_len dgram in
-      Cpu.consume t.cpu (Nic.checksum_cost t.nic ~bytes);
-      let frags = Packet.fragment dgram ~mtu:iface.mtu in
-      List.iter
-        (fun pkt ->
-          let data_bytes = Packet.data_len pkt in
-          let clusters = Mbuf.num_clusters pkt.Packet.payload in
-          let cluster_bytes = Mbuf.cluster_bytes pkt.Packet.payload in
-          let small_bytes = data_bytes - cluster_bytes in
-          (match t.nic.Nic.strategy with
-          | Nic.Copy_to_board ->
-              t.copy_ctr.Mbuf.Counters.bytes_copied <-
-                t.copy_ctr.Mbuf.Counters.bytes_copied + data_bytes
-          | Nic.Map_clusters ->
-              t.copy_ctr.Mbuf.Counters.bytes_copied <-
-                t.copy_ctr.Mbuf.Counters.bytes_copied + small_bytes);
-          Cpu.consume t.cpu (Nic.tx_cost t.nic ~data_bytes ~clusters ~small_bytes);
-          Link.send iface.link pkt)
-        frags;
-      t.stats.datagrams_sent <- t.stats.datagrams_sent + 1
+      Cpu.consume_k t.cpu (Nic.checksum_cost t.nic ~bytes) (fun () ->
+          let frags = Packet.fragment dgram ~mtu:iface.mtu in
+          let rec send_frags = function
+            | [] ->
+                t.stats.datagrams_sent <- t.stats.datagrams_sent + 1;
+                k ()
+            | pkt :: rest ->
+                let data_bytes = Packet.data_len pkt in
+                let clusters = Mbuf.num_clusters pkt.Packet.payload in
+                let cluster_bytes = Mbuf.cluster_bytes pkt.Packet.payload in
+                let small_bytes = data_bytes - cluster_bytes in
+                (match t.nic.Nic.strategy with
+                | Nic.Copy_to_board ->
+                    t.copy_ctr.Mbuf.Counters.bytes_copied <-
+                      t.copy_ctr.Mbuf.Counters.bytes_copied + data_bytes
+                | Nic.Map_clusters ->
+                    t.copy_ctr.Mbuf.Counters.bytes_copied <-
+                      t.copy_ctr.Mbuf.Counters.bytes_copied + small_bytes);
+                Cpu.consume_k t.cpu
+                  (Nic.tx_cost t.nic ~data_bytes ~clusters ~small_bytes)
+                  (fun () ->
+                    Link.send iface.link pkt;
+                    send_frags rest)
+          in
+          send_frags frags)
+
+let send_datagram t ?sum ~proto ~dst ~src_port ~dst_port payload =
+  Proc.suspend (fun resume ->
+      send_datagram_k t ?sum ~proto ~dst ~src_port ~dst_port payload resume)

@@ -58,28 +58,52 @@ val copy_counters : t -> Renofs_mbuf.Mbuf.Counters.t
 val stats : t -> stats
 val reassembly_timeouts : t -> int
 
-val set_trace : t -> Renofs_trace.Trace.t option -> unit
-(** Attach (or detach) a trace sink to this host: covers the host's own
-    events ([Frag_lost] from reassembly timeouts), every outgoing link
-    direction attached so far, and — because the transports and the NFS
-    client/server consult {!trace} — everything those layers record on
-    this host. *)
+(** Everything a world may hang off a node to watch (or feed) it.
+    Build one by overriding {!detached}:
+    [{ Node.detached with trace = Some tr }]. *)
+type observers = {
+  trace : Renofs_trace.Trace.t option;
+  metrics : Renofs_metrics.Metrics.run option;
+  pool : Renofs_mbuf.Mbuf.Pool.t option;
+}
+
+val detached : observers
+(** All [None] — the fast path.  A detached node records nothing,
+    registers nothing, allocates mbufs straight from the heap, and pays
+    one branch per would-be observation. *)
+
+val attach : t -> observers -> unit
+(** Wire every observer kind in one call.
+
+    [trace] covers the host's own events ([Frag_lost] from reassembly
+    timeouts), every outgoing link direction attached so far, and —
+    because the transports and the NFS client/server consult {!trace} —
+    everything those layers record on this host.
+
+    [metrics] registers sampled sources for the reassembly buffer
+    (in-flight fragments, timeouts), mbuf copy bytes, and every outgoing
+    link direction attached so far (busy-time, queue length, drops,
+    bytes); upper layers consult {!metrics} at creation time to register
+    their own sources, so attach before building them.
+
+    [pool] is the world's shared mbuf free list; the transports and RPC
+    layers consult {!pool} to recycle buffer storage across calls.
+
+    Call after {!connect}ing this node ({!connect} propagates to links
+    made later, but metrics sources are only registered for links that
+    exist now), and attach metrics at most once per run (sources
+    re-register). *)
 
 val trace : t -> Renofs_trace.Trace.t option
 (** The attached sink, if any.  Upper layers (UDP, TCP, the NFS client
     transport and server) read this on their hot paths; a [None] costs
     one branch. *)
 
-val set_metrics : t -> Renofs_metrics.Metrics.run option -> unit
-(** Attach this host to a metrics run: registers sampled sources for
-    the reassembly buffer (in-flight fragments, timeouts), mbuf copy
-    bytes, and every outgoing link direction attached so far
-    (busy-time, queue length, drops, bytes).  Like {!set_trace}, upper
-    layers consult {!metrics} at creation time to register their own
-    sources; detached, everything costs one branch. *)
-
 val metrics : t -> Renofs_metrics.Metrics.run option
 (** The attached metrics run, if any. *)
+
+val pool : t -> Renofs_mbuf.Mbuf.Pool.t option
+(** The attached mbuf pool, if any. *)
 
 val connect :
   t ->
@@ -107,8 +131,15 @@ val auto_routes : t list -> unit
     table — semantically identical, but fleet-scale worlds with
     thousands of leaf clients route in O(n) instead of O(n^2). *)
 
-val set_proto_handler : t -> Packet.proto -> (datagram -> unit) -> unit
-(** Install the UDP or TCP input function. *)
+val set_proto_handler :
+  t -> ?needs_fiber:bool -> Packet.proto -> (datagram -> unit) -> unit
+(** Install the UDP or TCP input function.  The handler runs from a
+    CPU-completion event after reassembly and per-datagram input costs.
+    By default it is given a process context ({!Proc.run}), so it may
+    block — on the CPU, a socket buffer, a timer.  A handler that never
+    suspends can pass [~needs_fiber:false] to skip the per-datagram
+    fiber allocation; calling anything that suspends from such a
+    handler raises [Effect.Unhandled]. *)
 
 val send_datagram :
   t ->
@@ -122,3 +153,19 @@ val send_datagram :
 (** Route, checksum, fragment and transmit one transport datagram.
     Must run inside a process (it consumes CPU).  Consumes the chain.
     [sum] is checksum metadata carried to the receiver (default none). *)
+
+val send_datagram_k :
+  t ->
+  ?sum:int * int ->
+  proto:Packet.proto ->
+  dst:int ->
+  src_port:int ->
+  dst_port:int ->
+  Renofs_mbuf.Mbuf.t ->
+  (unit -> unit) ->
+  unit
+(** {!send_datagram} in continuation-passing style: queues exactly the
+    same CPU jobs at the same moments, but needs no process — the final
+    callback runs once the last fragment has been handed to its link.
+    For event-driven senders (e.g. the cross-traffic generator) that
+    would otherwise keep a fiber alive just to block on the NIC. *)

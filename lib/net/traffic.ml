@@ -36,29 +36,44 @@ let pick_size rng sizes =
   in
   go 0 0.0
 
+(* One shared all-zero source buffer: payload contents are filler, so
+   every packet of every stream can copy out of the same static bytes
+   instead of allocating [size] fresh ones per packet. *)
+let max_size profile =
+  Array.fold_left (fun acc (s, _) -> max acc s) 0 profile.sizes
+
 let start ~src ~dst profile =
   let sim = Node.sim src in
+  let module Sim = Renofs_engine.Sim in
   let rng = Rng.split (Node.rng src) in
-  Proc.spawn sim (fun () ->
-      let rec burst_cycle () =
-        Proc.sleep sim (Rng.exponential rng profile.off_mean);
-        let burst_end =
-          Renofs_engine.Sim.now sim +. Rng.exponential rng profile.on_mean
-        in
-        let rec pump () =
-          if Renofs_engine.Sim.now sim < burst_end then begin
-            let size = pick_size rng profile.sizes in
-            let payload = Mbuf.of_bytes (Bytes.create size) in
-            Node.send_datagram src ~proto:Packet.Udp ~dst:(Node.id dst)
-              ~src_port:discard_port ~dst_port:discard_port payload;
-            Proc.sleep sim (Rng.exponential rng (1.0 /. profile.on_rate));
-            pump ()
-          end
-        in
-        pump ();
-        burst_cycle ()
-      in
-      burst_cycle ())
+  let filler = Bytes.create (max_size profile) in
+  (* Event-driven rather than a process: the generator runs once per
+     packet for the whole simulation, so paying a fiber suspension for
+     every sleep and every NIC wait dominates its cost.  Each [Sim.after]
+     below lands at exactly the moment the process version's
+     [Proc.sleep]/[Cpu.consume] resumes would, and the RNG draws happen
+     in the same order, so schedules are unchanged. *)
+  let rec off_cycle () = Sim.after sim (Rng.exponential rng profile.off_mean) begin_burst
+  and begin_burst () = pump (Sim.now sim +. Rng.exponential rng profile.on_mean)
+  and pump burst_end =
+    if Sim.now sim < burst_end then begin
+      let size = pick_size rng profile.sizes in
+      let payload = Mbuf.empty () in
+      Mbuf.add_bytes ?pool:(Node.pool src) payload filler ~off:0 ~len:size;
+      Node.send_datagram_k src ~proto:Packet.Udp ~dst:(Node.id dst)
+        ~src_port:discard_port ~dst_port:discard_port payload (fun () ->
+          Sim.after sim
+            (Rng.exponential rng (1.0 /. profile.on_rate))
+            (fun () -> pump burst_end))
+    end
+    else off_cycle ()
+  in
+  (* [Proc.spawn] started the process from the event queue at now + 0. *)
+  Sim.after sim 0.0 off_cycle
 
 let sink node =
-  Node.set_proto_handler node Packet.Udp (fun _ -> ())
+  (* Discard — but hand the payload storage back to the world's pool:
+     cross-traffic is the heaviest mbuf consumer in the busy worlds, and
+     its buffers cycle sender-pool-sender forever. *)
+  Node.set_proto_handler node ~needs_fiber:false Packet.Udp (fun dg ->
+      Mbuf.release ?pool:(Node.pool node) dg.Node.payload)

@@ -6,7 +6,10 @@
     marks so that request/reply boundaries survive the byte stream. *)
 
 val frame :
-  ?ctr:Renofs_mbuf.Mbuf.Counters.t -> Renofs_mbuf.Mbuf.t -> Renofs_mbuf.Mbuf.t
+  ?ctr:Renofs_mbuf.Mbuf.Counters.t ->
+  ?pool:Renofs_mbuf.Mbuf.Pool.t ->
+  Renofs_mbuf.Mbuf.t ->
+  Renofs_mbuf.Mbuf.t
 (** Wrap one message as a single-fragment record (marker prepended); the
     argument chain is spliced in without copying and becomes empty. *)
 

@@ -38,7 +38,7 @@ let encode_auth enc = function
   | Auth_unix { stamp; machine; uid; gid } ->
       Xdr.Enc.enum enc 1;
       (* Body is itself length-prefixed opaque; build it inline. *)
-      let body = Xdr.Enc.create () in
+      let body = Xdr.Enc.sub enc in
       Xdr.Enc.int body stamp;
       Xdr.Enc.string body machine;
       Xdr.Enc.int body uid;
@@ -69,8 +69,8 @@ let decode_auth dec =
       Auth_unix { stamp; machine; uid; gid }
   | n -> raise (Bad_message (Printf.sprintf "unsupported auth flavor %d" n))
 
-let encode_call ?ctr hdr =
-  let enc = Xdr.Enc.create ?ctr () in
+let encode_call ?ctr ?pool hdr =
+  let enc = Xdr.Enc.create ?ctr ?pool () in
   Xdr.Enc.u32 enc hdr.xid;
   Xdr.Enc.u32 enc msg_call;
   Xdr.Enc.int enc rpc_version;
@@ -94,8 +94,8 @@ let decode_call chain =
   let _verf = decode_auth dec in
   ({ xid; prog; vers; proc; cred }, dec)
 
-let encode_reply ?ctr ~xid status =
-  let enc = Xdr.Enc.create ?ctr () in
+let encode_reply ?ctr ?pool ~xid status =
+  let enc = Xdr.Enc.create ?ctr ?pool () in
   Xdr.Enc.u32 enc xid;
   Xdr.Enc.u32 enc msg_reply;
   (match status with

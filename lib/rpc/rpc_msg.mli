@@ -32,7 +32,10 @@ type reply_status = Accepted of accept_status | Denied of reject_reason
 exception Bad_message of string
 
 val encode_call :
-  ?ctr:Renofs_mbuf.Mbuf.Counters.t -> call_header -> Renofs_xdr.Xdr.Enc.t
+  ?ctr:Renofs_mbuf.Mbuf.Counters.t ->
+  ?pool:Renofs_mbuf.Mbuf.Pool.t ->
+  call_header ->
+  Renofs_xdr.Xdr.Enc.t
 (** Header encoded; continue with the procedure arguments. *)
 
 val decode_call : Renofs_mbuf.Mbuf.t -> call_header * Renofs_xdr.Xdr.Dec.t
@@ -40,6 +43,7 @@ val decode_call : Renofs_mbuf.Mbuf.t -> call_header * Renofs_xdr.Xdr.Dec.t
 
 val encode_reply :
   ?ctr:Renofs_mbuf.Mbuf.Counters.t ->
+  ?pool:Renofs_mbuf.Mbuf.Pool.t ->
   xid:int32 ->
   reply_status ->
   Renofs_xdr.Xdr.Enc.t

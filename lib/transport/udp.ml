@@ -47,10 +47,13 @@ let install ?sock_cost ?(checksum = true) node =
       checksum_drops = 0;
     }
   in
-  Node.set_proto_handler node Packet.Udp (fun (dg : Node.datagram) ->
-      (* Runs inside the node's receive process: charging CPU here models
-         socket-layer input processing. *)
-      Cpu.consume (Node.cpu node) stack.sock_cost;
+  (* The receive handler blocks only for the socket-layer input cost,
+     so it is written over [Cpu.consume_k] and registered without a
+     fiber: everything past the CPU charge is queue and hashtable
+     work. *)
+  Node.set_proto_handler node ~needs_fiber:false Packet.Udp
+    (fun (dg : Node.datagram) ->
+      Cpu.consume_k (Node.cpu node) stack.sock_cost @@ fun () ->
       (* Verify the sender's checksum metadata before demultiplexing.
          [sum = None] (an unchecksummed sender, e.g. background cross
          traffic) is accepted — exactly UDP's optional-checksum rule.

@@ -250,27 +250,31 @@ type world = {
   client_tcp : Tcp.stack;
 }
 
-(* Attach the cell's sink to every node, and open a new mark-delimited
-   segment: each world has its own sim clock and xid space, so the
-   report must not join across worlds. *)
-let attach_trace ctx sim topo label =
-  match ctx.trace with
-  | None -> ()
-  | Some tr ->
-      List.iter (fun n -> Node.set_trace n (Some tr)) topo.Topology.all;
-      Trace.mark tr ~time:(Sim.now sim) label
-
-(* Open a sampled metrics run for this world, labelled by the cell
-   (unique within a spec; a cell's second world gets a [#2] suffix).
-   Must run on worlds drained with [Sim.run ~until] windows — i.e.
+(* Attach one observers record to every node in this world: the cell's
+   trace sink (opening a new mark-delimited segment — each world has its
+   own sim clock and xid space, so the report must not join across
+   worlds), a metrics run when sampling was requested (labelled by the
+   cell; must run on worlds drained with [Sim.run ~until] windows — i.e.
    everything built through [drive] — because the sampling tick keeps
-   the event queue non-empty forever. *)
-let attach_metrics ctx sim topo =
-  match ctx.metrics with
+   the event queue non-empty forever), and a fresh per-world mbuf pool
+   so the transports recycle buffer storage across calls. *)
+let attach_observers ctx sim topo label =
+  (match ctx.trace with
   | None -> ()
-  | Some mt ->
-      let run = Metrics.start_run mt ~sim ~label:ctx.cell_label in
-      List.iter (fun n -> Node.set_metrics n (Some run)) topo.Topology.all
+  | Some tr -> Trace.mark tr ~time:(Sim.now sim) label);
+  let run =
+    match ctx.metrics with
+    | None -> None
+    | Some mt -> Some (Metrics.start_run mt ~sim ~label:ctx.cell_label)
+  in
+  let obs =
+    {
+      Node.trace = ctx.trace;
+      metrics = run;
+      pool = Some (Renofs_mbuf.Mbuf.Pool.create ());
+    }
+  in
+  List.iter (fun n -> Node.attach n obs) topo.Topology.all
 
 let install_faults ~ctx world =
   match ctx.faults with
@@ -296,8 +300,7 @@ let make_world ?(params = Topology.default_params)
     Topology.build sim
       { Topology.shape = Topology.shape_of_name topology; clients = 1; params }
   in
-  attach_trace ctx sim topo (Option.value run_label ~default:topology);
-  attach_metrics ctx sim topo;
+  attach_observers ctx sim topo (Option.value run_label ~default:topology);
   let sudp = Udp.install ~checksum:udp_checksum topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server =
@@ -1006,8 +1009,7 @@ let scaling_spec scale =
               }
           in
           let clients = topo.Topology.clients in
-          attach_trace ctx sim topo label;
-          attach_metrics ctx sim topo;
+          attach_observers ctx sim topo label;
           let sudp = Udp.install topo.Topology.server in
           let stcp = Tcp.install topo.Topology.server in
           let server =
@@ -1115,8 +1117,7 @@ let fleet_cell ~clients:n ~servers:n_srv ~duration ~per_client_rate =
               g_params = Topology.default_params;
             }
         in
-        attach_trace ctx sim topo label;
-        attach_metrics ctx sim topo;
+        attach_observers ctx sim topo label;
         (* One shard per client, hash-placed across the servers. *)
         let fleet =
           Fleet.create ~policy:Fleet.Hash ~shards:n topo.Topology.servers
@@ -1521,29 +1522,3 @@ let spec ?(scale = Quick) id =
   if id = "fleet-quick" then Some (fleet_spec Quick)
   else Option.map (fun mk -> mk scale) (List.assoc_opt id specs)
 
-(* Legacy single-experiment entry points: serial (the bechamel suite
-   times them as the per-artifact regeneration cost), rendered. *)
-let legacy id ?(scale = Quick) () =
-  render (run_spec ~jobs:1 ((List.assoc id specs) scale))
-
-let graph1 = legacy "graph1"
-let graph2 = legacy "graph2"
-let graph3 = legacy "graph3"
-let graph4 = legacy "graph4"
-let graph5 = legacy "graph5"
-let graph6 = legacy "graph6"
-let graph7 = legacy "graph7"
-let graph8 = legacy "graph8"
-let graph9 = legacy "graph9"
-let table1 = legacy "table1"
-let table2 = legacy "table2"
-let table3 = legacy "table3"
-let table4 = legacy "table4"
-let table5 = legacy "table5"
-let section3 = legacy "section3"
-let leases = legacy "leases"
-let scaling = legacy "scaling"
-let fleet = legacy "fleet"
-let chaos = legacy "chaos"
-
-let all = List.map (fun (id, _) -> (id, legacy id)) specs

@@ -173,82 +173,4 @@ exception Driver_stuck of string
 (** An experiment driver failed to finish; the message carries the run
     label, sim time, pending event count and events processed. *)
 
-(** {2 Legacy one-call runners}
 
-    Serial ([jobs = 1]) convenience wrappers, one per artifact:
-    [run_spec] + [render] for the given id. *)
-
-val graph1 : ?scale:scale -> unit -> table
-(** RTT vs offered load, 100% lookup mix, same-LAN topology, three
-    transports. *)
-
-val graph2 : ?scale:scale -> unit -> table
-(** As {!graph1} with the 50/50 read/lookup mix. *)
-
-val graph3 : ?scale:scale -> unit -> table
-(** Lookup mix across the token ring and two routers. *)
-
-val graph4 : ?scale:scale -> unit -> table
-(** Read/lookup mix across the token ring. *)
-
-val graph5 : ?scale:scale -> unit -> table
-(** Lookup mix across the 56 Kbit/s line and three routers. *)
-
-val table1 : ?scale:scale -> unit -> table
-(** Achieved read rates by transport and interconnect. *)
-
-val graph6 : ?scale:scale -> unit -> table
-(** Server CPU per RPC, UDP vs TCP, read mix. *)
-
-val graph7 : ?scale:scale -> unit -> table
-(** A trace of read-RPC RTT and the dynamic RTO = A+4D envelope. *)
-
-val graph8 : ?scale:scale -> unit -> table
-(** Lookup RTT vs load: Reno server, Reno without its server name
-    cache (the paper's ablation), and the reference-port server. *)
-
-val graph9 : ?scale:scale -> unit -> table
-(** As {!graph8} with the read/lookup mix. *)
-
-val table2 : ?scale:scale -> unit -> table
-(** Modified Andrew Benchmark times, MicroVAXII client. *)
-
-val table3 : ?scale:scale -> unit -> table
-(** Modified Andrew Benchmark RPC counts: Reno, Reno-noconsist,
-    Ultrix. *)
-
-val table4 : ?scale:scale -> unit -> table
-(** Modified Andrew Benchmark times, DS3100 client. *)
-
-val table5 : ?scale:scale -> unit -> table
-(** Create-Delete milliseconds by write policy and file size. *)
-
-val section3 : ?scale:scale -> unit -> table
-(** Server CPU per RPC with the stock vs tuned DEQNA driver. *)
-
-val leases : ?scale:scale -> unit -> table
-(** Extension ablation (not in the paper): the NQNFS-style lease
-    protocol's RPC economy against Reno and the unsafe noconsist bound —
-    the quantitative check of the paper's "a cache consistency protocol
-    would reduce the number of write RPCs by at least half". *)
-
-val scaling : ?scale:scale -> unit -> table
-(** Extension (not in the paper, which cites [Keith90] for server
-    characterization): aggregate throughput, latency and server CPU as
-    the number of client hosts grows. *)
-
-val fleet : ?scale:scale -> unit -> table
-(** Extension: sharded multi-server fleets — aggregate op/s, p95
-    latency and per-shard serving balance as the server count grows
-    under a fixed client population (the saturation knee moves right
-    with servers). *)
-
-val chaos : ?scale:scale -> unit -> table
-(** Extension: the fault-schedule matrix — builtin schedules x
-    transports under a steady write/read load on a hard mount, with
-    elapsed time, retransmissions, worst crash-to-service recovery gap,
-    and the {!Renofs_fault.Fault.Check} invariant verdicts per cell. *)
-
-val all : (string * (?scale:scale -> unit -> table)) list
-(** Legacy registry: same ids as {!specs}, each entry running serially
-    and rendering. *)

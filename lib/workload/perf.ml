@@ -1,0 +1,251 @@
+(* Wall-clock performance harness: how fast does the simulator itself
+   run?  Everything else in this library gates *simulated* latencies;
+   this module measures and gates events-per-second and RPCs-per-second
+   of real time over a fixed cell set (the graph5 full sweep — the
+   timer-heavy 56K WAN world whose RTO churn exercises the scheduler
+   hardest), so engine speedups are earned once and then kept by
+   `make perf-gate`. *)
+
+module Sim = Renofs_engine.Sim
+module Proc = Renofs_engine.Proc
+module Mbuf = Renofs_mbuf.Mbuf
+module Node = Renofs_net.Node
+module Topology = Renofs_net.Topology
+module Udp = Renofs_transport.Udp
+module Tcp = Renofs_transport.Tcp
+module Nfs_server = Renofs_core.Nfs_server
+module Nfs_client = Renofs_core.Nfs_client
+module Json = Renofs_json.Json
+
+type cell = {
+  c_label : string;
+  c_wall_s : float;
+  c_events : int;
+  c_rpcs : int;
+}
+
+type t = {
+  cells : cell list;
+  wall_s : float;
+  events : int;
+  rpcs : int;
+  events_per_s : float;
+  rpcs_per_s : float;
+}
+
+(* The graph5 full matrix: 6 loads x 3 transports over the 56K WAN
+   topology, 120 sim-seconds per cell after an 8 s warmup — the same
+   cells `nfsbench run graph5 -f` measures, rebuilt here without trace
+   or metrics sinks so the gate times the detached fast path. *)
+let loads = [ 4.0; 8.0; 12.0; 14.0; 16.0; 18.0 ]
+let transports = [ ("udp-fixed", `Udp_fixed); ("udp-dyn", `Udp_dynamic); ("tcp", `Tcp) ]
+let duration = 120.0
+let warmup = 8.0
+
+let fileset =
+  Fileset.generate ~dirs:20 ~files_per_dir:20 ~file_size:16384 ~long_names:true
+
+let mount_opts transport =
+  let base =
+    match transport with
+    | `Udp_fixed -> Nfs_client.reno_mount
+    | `Udp_dynamic -> Nfs_client.reno_dynamic_mount
+    | `Tcp -> Nfs_client.reno_tcp_mount
+  in
+  { base with Nfs_client.mss = 512 }
+
+let run_cell ~label ~transport ~rate =
+  let sim = Sim.create () in
+  let topo =
+    Topology.build sim
+      {
+        Topology.shape = Topology.shape_of_name "wan";
+        clients = 1;
+        params = Topology.default_params;
+      }
+  in
+  (* No trace or metrics (the detached fast path), but a shared mbuf
+     pool, exactly as [Experiments.make_world] wires production cells. *)
+  let obs = { Node.detached with pool = Some (Mbuf.Pool.create ()) } in
+  List.iter (fun n -> Node.attach n obs) topo.Topology.all;
+  let sudp = Udp.install topo.Topology.server in
+  let stcp = Tcp.install topo.Topology.server in
+  let server =
+    Nfs_server.create topo.Topology.server ~profile:Nfs_server.reno_profile
+      ~udp:sudp ~tcp:stcp ()
+  in
+  Nfs_server.start server;
+  let cudp = Udp.install topo.Topology.client in
+  let ctcp = Tcp.install topo.Topology.client in
+  let finished = ref false in
+  Proc.spawn sim (fun () ->
+      Fileset.preload_server server fileset;
+      let m =
+        Nfs_client.mount ~udp:cudp ~tcp:ctcp
+          ~server:(Topology.server_id topo)
+          ~root:(Nfs_server.root_fhandle server)
+          (mount_opts transport)
+      in
+      ignore
+        (Nhfsstone.run m fileset
+           {
+             Nhfsstone.rate;
+             duration = warmup;
+             children = 4;
+             mix = Nhfsstone.lookup_mix;
+             seed = 43;
+           });
+      ignore
+        (Nhfsstone.run m fileset
+           {
+             Nhfsstone.rate;
+             duration;
+             children = 4;
+             mix = Nhfsstone.lookup_mix;
+             seed = 42;
+           });
+      finished := true);
+  let guard = ref 0 in
+  while not !finished do
+    incr guard;
+    if !guard > 100_000 then failwith (label ^ ": perf cell never finished");
+    Sim.run ~until:(Sim.now sim +. 100.0) sim
+  done;
+  (Sim.events_processed sim, Nfs_server.rpcs_served server)
+
+let run ?(progress = ignore) () =
+  let cells =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun (tname, transport) ->
+            let label = Printf.sprintf "graph5/load%g/%s" rate tname in
+            progress label;
+            let t0 = Unix.gettimeofday () in
+            let events, rpcs = run_cell ~label ~transport ~rate in
+            { c_label = label; c_wall_s = Unix.gettimeofday () -. t0; c_events = events; c_rpcs = rpcs })
+          transports)
+      loads
+  in
+  let wall_s = List.fold_left (fun a c -> a +. c.c_wall_s) 0.0 cells in
+  let events = List.fold_left (fun a c -> a + c.c_events) 0 cells in
+  let rpcs = List.fold_left (fun a c -> a + c.c_rpcs) 0 cells in
+  {
+    cells;
+    wall_s;
+    events;
+    rpcs;
+    events_per_s = (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
+    rpcs_per_s = (if wall_s > 0.0 then float_of_int rpcs /. wall_s else 0.0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* renofs-perf/1 JSON                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Shortest round-tripping float, as Bench_json prints measurements. *)
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string (Printf.sprintf "%.6g" f) = f then Printf.sprintf "%.6g" f
+  else s
+
+let emit r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"renofs-perf/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"wall_s\":%s,\"events\":%d,\"rpcs\":%d,\"events_per_s\":%s,\"rpcs_per_s\":%s,\n"
+       (float_str r.wall_s) r.events r.rpcs
+       (float_str r.events_per_s) (float_str r.rpcs_per_s));
+  Buffer.add_string b "\"cells\":[\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf "  {\"label\":%S,\"wall_s\":%s,\"events\":%d,\"rpcs\":%d}%s\n"
+           c.c_label (float_str c.c_wall_s) c.c_events c.c_rpcs
+           (if i = List.length r.cells - 1 then "" else ",")))
+    r.cells;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write_file ~path r =
+  let oc = open_out path in
+  output_string oc (emit r);
+  close_out oc
+
+let of_json ~ctx j =
+  let o = Json.obj ~ctx j in
+  (match Json.str ~ctx (Json.member ~ctx "schema" o) with
+  | "renofs-perf/1" -> ()
+  | s -> raise (Json.Bad (Printf.sprintf "%s: unsupported schema %S" ctx s)));
+  let num name = Json.num ~ctx (Json.member ~ctx name o) in
+  let cells =
+    List.map
+      (fun cj ->
+        let co = Json.obj ~ctx cj in
+        let cnum name = Json.num ~ctx (Json.member ~ctx name co) in
+        {
+          c_label = Json.str ~ctx (Json.member ~ctx "label" co);
+          c_wall_s = cnum "wall_s";
+          c_events = int_of_float (cnum "events");
+          c_rpcs = int_of_float (cnum "rpcs");
+        })
+      (Json.arr ~ctx (Json.member ~ctx "cells" o))
+  in
+  {
+    cells;
+    wall_s = num "wall_s";
+    events = int_of_float (num "events");
+    rpcs = int_of_float (num "rpcs");
+    events_per_s = num "events_per_s";
+    rpcs_per_s = num "rpcs_per_s";
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.parse s with
+  | Error msg -> Error (path ^ ": " ^ msg)
+  | Ok j -> (
+      try Ok (of_json ~ctx:path j) with Json.Bad msg -> Error msg)
+
+(* The gate: wall-clock throughput may wobble with container noise, so
+   only a large drop (default 30%) in either rate counts as a
+   regression.  Simulated-event and RPC *counts* are deterministic and
+   compared exactly — a count drift means the workload changed and the
+   baseline needs a deliberate refresh, not that the machine was slow. *)
+type verdict = {
+  regressions : string list;
+  notes : string list;
+}
+
+let diff ~tolerance ~baseline ~current =
+  let regressions = ref [] and notes = ref [] in
+  let rate name old_v new_v =
+    if old_v > 0.0 then begin
+      let change = (new_v -. old_v) /. old_v *. 100.0 in
+      if new_v < old_v *. (1.0 -. tolerance) then
+        regressions :=
+          Printf.sprintf "%s: %.0f -> %.0f (%+.1f%%, beyond -%.0f%%)" name old_v
+            new_v change (tolerance *. 100.0)
+          :: !regressions
+      else
+        notes := Printf.sprintf "%s: %.0f -> %.0f (%+.1f%%)" name old_v new_v change :: !notes
+    end
+  in
+  rate "events/s" baseline.events_per_s current.events_per_s;
+  rate "rpcs/s" baseline.rpcs_per_s current.rpcs_per_s;
+  if baseline.events <> current.events then
+    notes :=
+      Printf.sprintf
+        "event count changed: %d -> %d (simulation behavior changed; refresh \
+         the baseline deliberately)"
+        baseline.events current.events
+      :: !notes;
+  if baseline.rpcs <> current.rpcs then
+    notes :=
+      Printf.sprintf "rpc count changed: %d -> %d" baseline.rpcs current.rpcs
+      :: !notes;
+  { regressions = List.rev !regressions; notes = List.rev !notes }

@@ -1,0 +1,60 @@
+(** Wall-clock performance of the simulator itself.
+
+    Every other gate in this library checks *simulated* latencies; this
+    one measures how fast the engine turns real CPU time into simulated
+    events.  {!run} executes a fixed cell set — the graph5 full sweep
+    (6 loads x 3 transports over the 56K WAN world, the timer-heaviest
+    standard experiment) with no trace or metrics sinks attached, so it
+    times the detached fast path — and reports aggregate events/s and
+    RPCs/s of wall clock.
+
+    [nfsbench perf] runs it; [make perf-baseline] commits the result as
+    [BENCH_perf.json]; [make perf-gate] fails when either rate drops
+    more than the tolerance below the baseline (wide, because container
+    wall clocks are noisy — see {!diff}). *)
+
+type cell = {
+  c_label : string;
+  c_wall_s : float;  (** real seconds this cell took *)
+  c_events : int;  (** simulator events processed *)
+  c_rpcs : int;  (** NFS RPCs the server completed *)
+}
+
+type t = {
+  cells : cell list;
+  wall_s : float;  (** sum over cells *)
+  events : int;
+  rpcs : int;
+  events_per_s : float;
+  rpcs_per_s : float;
+}
+
+val run : ?progress:(string -> unit) -> unit -> t
+(** Execute the fixed cell set serially (wall-clock measurement wants
+    the machine to itself; there is no [?jobs]).  [progress] is called
+    with each cell's label as it starts. *)
+
+(** {2 renofs-perf/1 JSON} *)
+
+val emit : t -> string
+(** Deterministic field order; floats printed with the shortest
+    round-tripping decimal.  (The wall-clock values themselves are of
+    course not reproducible.) *)
+
+val write_file : path:string -> t -> unit
+val read_file : string -> (t, string) result
+
+(** {2 The gate} *)
+
+type verdict = {
+  regressions : string list;
+      (** a rate fell more than [tolerance] below the baseline *)
+  notes : string list;
+      (** informational: rate movement within tolerance, and exact
+          event/RPC count drift (count drift means the simulation
+          changed and the baseline wants a deliberate
+          [make perf-baseline], not that the machine was slow) *)
+}
+
+val diff : tolerance:float -> baseline:t -> current:t -> verdict
+(** [tolerance] is a fraction of the baseline rate, e.g. [0.30]. *)

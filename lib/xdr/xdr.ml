@@ -6,11 +6,16 @@ let pad_len n = (4 - (n land 3)) land 3
 let zeros = Bytes.make 4 '\000'
 
 module Enc = struct
-  type t = { chain : Mbuf.t; ctr : Mbuf.Counters.t option }
+  type t = {
+    chain : Mbuf.t;
+    ctr : Mbuf.Counters.t option;
+    pool : Mbuf.Pool.t option;
+  }
 
-  let create ?ctr () = { chain = Mbuf.empty (); ctr }
+  let create ?ctr ?pool () = { chain = Mbuf.empty (); ctr; pool }
+  let sub t = create ?ctr:t.ctr ?pool:t.pool ()
   let chain t = t.chain
-  let u32 t v = Mbuf.add_u32 ?ctr:t.ctr t.chain v
+  let u32 t v = Mbuf.add_u32 ?ctr:t.ctr ?pool:t.pool t.chain v
 
   let int t v =
     if v < 0 || v > 0xFFFFFFFF then invalid_arg "Xdr.Enc.int: out of range";
@@ -24,9 +29,10 @@ module Enc = struct
     u32 t (Int64.to_int32 v)
 
   let opaque_fixed t b =
-    Mbuf.add_bytes ?ctr:t.ctr t.chain b ~off:0 ~len:(Bytes.length b);
+    Mbuf.add_bytes ?ctr:t.ctr ?pool:t.pool t.chain b ~off:0 ~len:(Bytes.length b);
     let pad = pad_len (Bytes.length b) in
-    if pad > 0 then Mbuf.add_bytes ?ctr:t.ctr t.chain zeros ~off:0 ~len:pad
+    if pad > 0 then
+      Mbuf.add_bytes ?ctr:t.ctr ?pool:t.pool t.chain zeros ~off:0 ~len:pad
 
   let opaque t b =
     int t (Bytes.length b);

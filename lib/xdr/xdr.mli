@@ -13,7 +13,17 @@ exception Decode_error of string
 module Enc : sig
   type t
 
-  val create : ?ctr:Renofs_mbuf.Mbuf.Counters.t -> unit -> t
+  val create :
+    ?ctr:Renofs_mbuf.Mbuf.Counters.t ->
+    ?pool:Renofs_mbuf.Mbuf.Pool.t ->
+    unit ->
+    t
+  (** [pool] recycles mbuf storage for everything this encoder appends. *)
+
+  val sub : t -> t
+  (** A fresh encoder inheriting [t]'s counters and pool, for building a
+      nested structure to splice in with {!append_chain}. *)
+
   val chain : t -> Renofs_mbuf.Mbuf.t
   (** The chain built so far (also usable mid-encode). *)
 

@@ -72,6 +72,66 @@ let test_events_processed () =
   Sim.run sim;
   Alcotest.(check int) "count" 10 (Sim.events_processed sim)
 
+(* Oracle check of the calendar queue against the (time, seq) contract:
+   a randomized script of nested schedules and cancels — thousands of
+   events across many bucket-array growths and shrinks, with same-time
+   ties, same-bucket churn and multi-year jumps — must fire in exactly
+   sorted (time, insertion order).  The local [id] counter advances in
+   lockstep with Sim's internal sequence number because every schedule
+   in this simulator goes through [spawn]. *)
+let test_sim_oracle_order () =
+  let rng = Rng.create 97 in
+  let sim = Sim.create () in
+  let next_id = ref 0 in
+  let fired = ref [] in
+  let live = Hashtbl.create 64 in (* id -> timer *)
+  let cancelled = ref 0 in
+  let cancel_youngest () =
+    let victim = Hashtbl.fold (fun id _ acc -> max id acc) live (-1) in
+    match Hashtbl.find_opt live victim with
+    | None -> ()
+    | Some tm ->
+        Sim.cancel tm;
+        Hashtbl.remove live victim;
+        incr cancelled
+  in
+  let rec spawn depth =
+    let id = !next_id in
+    incr next_id;
+    let delay =
+      match Rng.int rng 4 with
+      | 0 -> Rng.float rng 1e-4 (* same-bucket churn *)
+      | 1 -> Rng.float rng 2.0
+      | 2 -> Rng.float rng 80.0 (* several bucket-years ahead *)
+      | _ -> 0.0 (* same instant: seq tie-break *)
+    in
+    let time = Sim.now sim +. delay in
+    let tm =
+      Sim.timer_after sim delay (fun () ->
+          Hashtbl.remove live id;
+          fired := (time, id) :: !fired;
+          if depth < 3 then
+            for _ = 1 to Rng.int rng 3 do
+              spawn (depth + 1)
+            done;
+          if Rng.int rng 8 = 0 then cancel_youngest ())
+    in
+    Hashtbl.replace live id tm
+  in
+  for _ = 1 to 400 do
+    spawn 0
+  done;
+  Sim.run sim;
+  let order = List.rev !fired in
+  Alcotest.(check int) "every event fired or was cancelled"
+    !next_id
+    (List.length order + !cancelled);
+  Alcotest.(check bool) "a real population ran" true (!next_id > 1000);
+  Alcotest.(check bool) "some cancels happened" true (!cancelled > 10);
+  Alcotest.(check
+               (list (pair (float 0.0) int)))
+    "fired in (time, seq) order" (List.sort compare order) order
+
 (* ------------------------------------------------------------------ *)
 (* Proc                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -453,6 +513,8 @@ let () =
           Alcotest.test_case "run until" `Quick test_sim_until;
           Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
           Alcotest.test_case "events processed" `Quick test_events_processed;
+          Alcotest.test_case "oracle order under churn" `Quick
+            test_sim_oracle_order;
         ] );
       ( "proc",
         [

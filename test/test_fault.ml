@@ -235,7 +235,7 @@ let double_create_verdict ~dup_cache =
   let sim = Sim.create () in
   let topo = Net.Topology.lan sim () in
   let tr = Trace.create () in
-  List.iter (fun n -> Net.Node.set_trace n (Some tr)) topo.Net.Topology.all;
+  List.iter (fun n -> Net.Node.attach n { Net.Node.detached with trace = Some tr }) topo.Net.Topology.all;
   let sudp = Udp.install topo.Net.Topology.server in
   let stcp = Tcp.install topo.Net.Topology.server in
   let profile = Nfs_server.with_duplicate_cache Nfs_server.default_config dup_cache in

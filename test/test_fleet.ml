@@ -165,7 +165,7 @@ let test_shard_server_crash_invariants () =
   let sim = Sim.create () in
   let topo = two_server_world sim ~clients:1 in
   let tr = Trace.create ~capacity:(1 lsl 16) () in
-  List.iter (fun n -> Net.Node.set_trace n (Some tr)) topo.Topology.all;
+  List.iter (fun n -> Net.Node.attach n { Net.Node.detached with trace = Some tr }) topo.Topology.all;
   (* Round-robin places /home0 on server0 and /home1 on server1, so
      the crash target is known by name. *)
   let fleet =

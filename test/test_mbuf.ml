@@ -167,6 +167,92 @@ let prop_checksum_split_invariant =
       Mbuf.append_chain rejoined back;
       Mbuf.checksum rejoined = whole)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_roundtrip () =
+  let pool = Mbuf.Pool.create () in
+  let c = Mbuf.of_bytes ~pool (Bytes.make 4096 'a') in
+  Alcotest.(check int) "first chain allocates fresh" 0 (Mbuf.Pool.hits pool);
+  let clusters = Mbuf.num_clusters c in
+  Mbuf.release ~pool c;
+  Alcotest.(check int) "storage accepted back" clusters (Mbuf.Pool.recycled pool);
+  Alcotest.(check int) "free list holds it" clusters (Mbuf.Pool.cluster_free pool);
+  Alcotest.(check int) "released chain emptied" 0 (Mbuf.length c);
+  let c2 = Mbuf.of_bytes ~pool (Bytes.make 4096 'b') in
+  Alcotest.(check int) "second chain served from pool" clusters
+    (Mbuf.Pool.hits pool);
+  Alcotest.(check bytes) "recycled storage carries new bytes"
+    (Bytes.make 4096 'b') (Mbuf.to_bytes c2)
+
+let test_pool_release_never_aliases () =
+  (* Once released, a chain holds no view of its old storage: refilling
+     the recycled buffers from a new owner must not be observable
+     through the released chain, and a double release must not donate
+     the same storage twice. *)
+  let pool = Mbuf.Pool.create () in
+  let c1 = Mbuf.of_bytes ~pool (Bytes.make 2048 'x') in
+  Mbuf.release ~pool c1;
+  let donated = Mbuf.Pool.recycled pool in
+  Mbuf.release ~pool c1;
+  Alcotest.(check int) "double release is a no-op" donated
+    (Mbuf.Pool.recycled pool);
+  Alcotest.(check int) "no phantom view" 0 (Mbuf.num_mbufs c1);
+  let c2 = Mbuf.of_bytes ~pool (Bytes.make 2048 'y') in
+  Alcotest.(check bool) "reuse happened" true (Mbuf.Pool.hits pool > 0);
+  Alcotest.(check bytes) "old owner reads nothing" Bytes.empty
+    (Mbuf.to_bytes c1);
+  Alcotest.(check bytes) "new owner reads its own bytes"
+    (Bytes.make 2048 'y') (Mbuf.to_bytes c2)
+
+let test_pool_split_refcount () =
+  (* Split siblings share cluster storage; the shared cluster recycles
+     only when the *last* sharer releases, so a released sibling can
+     never hand bytes still visible to the survivor to a new writer. *)
+  let pool = Mbuf.Pool.create () in
+  let src = Bytes.init 4096 (fun i -> Char.chr (i land 0xff)) in
+  let c = Mbuf.of_bytes ~pool src in
+  let total = Mbuf.num_clusters c in
+  let front, back = Mbuf.split c 1000 in
+  Mbuf.release ~pool front;
+  Alcotest.(check bool) "shared cluster stays out of the free list" true
+    (Mbuf.Pool.cluster_free pool < total);
+  let survivor = Mbuf.of_bytes ~pool (Bytes.make 2048 'z') in
+  ignore survivor;
+  Alcotest.(check bytes) "survivor still reads its bytes"
+    (Bytes.sub src 1000 (4096 - 1000))
+    (Mbuf.to_bytes back);
+  Mbuf.release ~pool back;
+  Alcotest.(check int) "all storage back once the last sharer releases"
+    total
+    (Mbuf.Pool.recycled pool)
+
+let test_pool_counts_hits () =
+  let pool = Mbuf.Pool.create () in
+  let ctr = Mbuf.Counters.create () in
+  let c = Mbuf.of_bytes ~ctr ~pool (Bytes.make 6144 'q') in
+  Mbuf.release ~pool c;
+  let ctr2 = Mbuf.Counters.create () in
+  let c2 = Mbuf.of_bytes ~ctr:ctr2 ~pool (Bytes.make 6144 'r') in
+  ignore c2;
+  Alcotest.(check int) "counters see the pool hits"
+    (Mbuf.Pool.hits pool) ctr2.Mbuf.Counters.pool_hits;
+  Alcotest.(check bool) "fresh allocations still counted" true
+    (ctr.Mbuf.Counters.clusters_allocated > 0
+    && ctr.Mbuf.Counters.pool_hits = 0)
+
+let test_pool_caps_bound_retention () =
+  let pool = Mbuf.Pool.create ~small_cap:1 ~cluster_cap:1 () in
+  let a = Mbuf.of_bytes ~pool (Bytes.make 8192 'a') in
+  Alcotest.(check bool) "several clusters released" true
+    (Mbuf.num_clusters a > 1);
+  Mbuf.release ~pool a;
+  Alcotest.(check int) "cluster retention capped" 1
+    (Mbuf.Pool.cluster_free pool);
+  Alcotest.(check bool) "small retention capped" true
+    (Mbuf.Pool.small_free pool <= 1)
+
 let () =
   Alcotest.run "mbuf"
     [
@@ -193,6 +279,16 @@ let () =
           Alcotest.test_case "underrun" `Quick test_cursor_underrun;
           Alcotest.test_case "skip across mbufs" `Quick test_cursor_skip;
           Alcotest.test_case "hostile lengths" `Quick test_cursor_hostile_lengths;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "roundtrip recycles storage" `Quick test_pool_roundtrip;
+          Alcotest.test_case "release never aliases" `Quick
+            test_pool_release_never_aliases;
+          Alcotest.test_case "split cluster refcount" `Quick test_pool_split_refcount;
+          Alcotest.test_case "counters see hits" `Quick test_pool_counts_hits;
+          Alcotest.test_case "caps bound retention" `Quick
+            test_pool_caps_bound_retention;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

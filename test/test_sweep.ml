@@ -103,9 +103,13 @@ let test_trace_merge_equivalence () =
 (* Registry: every spec has metadata and renders a well-formed table  *)
 (* ------------------------------------------------------------------ *)
 
-let test_registry_ids_match_legacy () =
-  Alcotest.(check (list string))
-    "specs and all agree" (List.map fst E.specs) (List.map fst E.all)
+let test_registry_lookup_covers_specs () =
+  List.iter
+    (fun (id, _) ->
+      match E.spec id with
+      | Some s -> Alcotest.(check string) (id ^ " resolves") id s.E.sp_id
+      | None -> Alcotest.failf "spec %S not resolvable by id" id)
+    E.specs
 
 let test_registry_metadata () =
   List.iter
@@ -202,7 +206,8 @@ let () =
         ] );
       ( "registry",
         [
-          Alcotest.test_case "ids match legacy" `Quick test_registry_ids_match_legacy;
+          Alcotest.test_case "lookup covers specs" `Quick
+            test_registry_lookup_covers_specs;
           Alcotest.test_case "metadata" `Quick test_registry_metadata;
           Alcotest.test_case "tables well-formed" `Quick
             test_registry_tables_well_formed;

@@ -208,7 +208,7 @@ let traced_world () =
   in
   Nfs_server.start server;
   let tr = Trace.create () in
-  List.iter (fun n -> Net.Node.set_trace n (Some tr)) topo.Net.Topology.all;
+  List.iter (fun n -> Net.Node.attach n { Net.Node.detached with trace = Some tr }) topo.Net.Topology.all;
   Trace.mark tr ~time:(Sim.now sim) "live";
   let client_udp = Udp.install topo.Net.Topology.client in
   let client_tcp = Tcp.install topo.Net.Topology.client in
@@ -285,7 +285,7 @@ let test_live_trace () =
 let test_untraced_run_records_nothing () =
   let sim, topo, server, udp, tcp, tr = traced_world () in
   (* Detach: the same world must record nothing once the sink is gone. *)
-  List.iter (fun n -> Net.Node.set_trace n None) topo.Net.Topology.all;
+  List.iter (fun n -> Net.Node.attach n Net.Node.detached) topo.Net.Topology.all;
   let before = Trace.total tr in
   let done_ = ref false in
   Proc.spawn sim (fun () ->
@@ -305,7 +305,10 @@ let test_experiment_with_trace () =
   (* The nfsbench --trace path: run a real experiment under a sink and
      round-trip the whole event stream through JSONL. *)
   let tr = Trace.create () in
-  let table = E.with_trace tr (fun () -> E.table5 ~scale:E.Quick ()) in
+  let table =
+    E.with_trace tr (fun () ->
+        E.render (E.run_spec ~jobs:1 ((List.assoc "table5" E.specs) E.Quick)))
+  in
   Alcotest.(check bool) "experiment produced rows" true (List.length table.E.rows > 0);
   Alcotest.(check bool) "events recorded" true (Trace.length tr > 0);
   let report = Trace.Report.build tr in

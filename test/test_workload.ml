@@ -17,6 +17,14 @@ let cell t ~row ~col =
 
 let fcell t ~row ~col = float_of_string (cell t ~row ~col)
 
+(* Serial Quick regeneration of one registry artifact via the typed
+   spec API (the shape every caller uses since the one-call wrappers
+   were retired). *)
+let quick_table id =
+  Experiments.render
+    (Experiments.run_spec ~jobs:1
+       ((List.assoc id Experiments.specs) Experiments.Quick))
+
 (* ------------------------------------------------------------------ *)
 (* Fileset                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -251,8 +259,8 @@ let test_create_delete_local_baseline () =
 
 let test_all_experiments_produce_tables () =
   List.iter
-    (fun (id, f) ->
-      let t = f ?scale:(Some Experiments.Quick) () in
+    (fun (id, _) ->
+      let t = quick_table id in
       Alcotest.(check string) "id matches" id t.Experiments.id;
       Alcotest.(check bool) (id ^ " has rows") true (List.length t.Experiments.rows > 0);
       let cols = List.length t.Experiments.header in
@@ -260,10 +268,10 @@ let test_all_experiments_produce_tables () =
         (fun row ->
           Alcotest.(check int) (id ^ " row width") cols (List.length row))
         t.Experiments.rows)
-    Experiments.all
+    Experiments.specs
 
 let test_graph6_tcp_costs_more () =
-  let t = Experiments.graph6 () in
+  let t = quick_table "graph6" in
   List.iteri
     (fun i _ ->
       let udp = fcell t ~row:i ~col:1 and tcp = fcell t ~row:i ~col:2 in
@@ -271,7 +279,7 @@ let test_graph6_tcp_costs_more () =
     t.Experiments.rows
 
 let test_graph8_reference_port_slower () =
-  let t = Experiments.graph8 () in
+  let t = quick_table "graph8" in
   List.iteri
     (fun i _ ->
       let reno = fcell t ~row:i ~col:1 and ultrix = fcell t ~row:i ~col:3 in
@@ -279,13 +287,13 @@ let test_graph8_reference_port_slower () =
     t.Experiments.rows
 
 let test_section3_reduction () =
-  let t = Experiments.section3 () in
+  let t = quick_table "section3" in
   let stock = fcell t ~row:0 ~col:1 and tuned = fcell t ~row:1 ~col:1 in
   Alcotest.(check bool) "tuning reduces CPU" true (tuned < stock);
   Alcotest.(check bool) "by a meaningful fraction" true ((stock -. tuned) /. stock > 0.05)
 
 let test_table5_noconsist_wins_big_files () =
-  let t = Experiments.table5 () in
+  let t = quick_table "table5" in
   (* rows: Local, write thru, async4, async16, delay, noconsist *)
   let wt_100k = fcell t ~row:1 ~col:3 and nc_100k = fcell t ~row:5 ~col:3 in
   Alcotest.(check bool) "noconsist >2x faster on 100K" true (nc_100k < wt_100k /. 2.0);
@@ -293,7 +301,7 @@ let test_table5_noconsist_wins_big_files () =
   Alcotest.(check bool) "local cheapest with no data" true (local_0 < wt_0)
 
 let test_table3_cache_claims () =
-  let t = Experiments.table3 () in
+  let t = quick_table "table3" in
   let find name col =
     let row =
       List.find (fun r -> List.hd r = name) t.Experiments.rows
@@ -309,13 +317,13 @@ let test_table3_cache_claims () =
     (find "Read" 1 >= find "Read" 2)
 
 let test_table1_congestion_control_wins_on_56k () =
-  let t = Experiments.table1 () in
+  let t = quick_table "table1" in
   (* row 2 = 56Kbps; cols 1..3 = udp-fixed, udp-dyn, tcp *)
   let fixed = fcell t ~row:2 ~col:1 and tcp = fcell t ~row:2 ~col:3 in
   Alcotest.(check bool) "tcp reads faster than fixed-RTO UDP" true (tcp > fixed *. 1.3)
 
 let test_graph7_trace_tracks () =
-  let t = Experiments.graph7 () in
+  let t = quick_table "graph7" in
   Alcotest.(check bool) "trace has points" true (List.length t.Experiments.rows > 5);
   (* The RTO envelope should sit above the smoothed RTT most of the time. *)
   let above =
