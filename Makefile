@@ -19,6 +19,11 @@
 # domains, validates the JSON, and byte-compares it against a 1-domain
 # run (minus the "jobs" header line, the one legitimate difference) —
 # the determinism contract for fleet-scale worlds.
+# `make slo-smoke` exercises the scenario layer both ways: the five
+# builtin day-in-the-life scenarios must meet their SLOs (exit 0,
+# byte-identical between a 2-domain and a 1-domain run), and the
+# crash-without-reboot example must breach (non-zero exit, inverted
+# with `!`) while naming the violated SLOs.
 # `make perf-gate` measures wall-clock engine throughput (events/s,
 # RPCs/s over the fixed graph5 full cell set) and fails if either rate
 # drops more than 30% below the committed BENCH_perf.json — wide
@@ -26,7 +31,7 @@
 # hot-path regression.  Refresh with `make perf-baseline` after an
 # intentional engine change (run it on a quiet machine).
 
-.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke bench-gate bench-baseline perf-gate perf-baseline check clean
+.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate bench-baseline perf-gate perf-baseline check clean
 
 all: build
 
@@ -59,6 +64,13 @@ fleet-smoke: build
 	grep -v '"jobs"' /tmp/renofs-fleet-smoke2.json > /tmp/renofs-fleet-smoke2.stripped
 	cmp /tmp/renofs-fleet-smoke1.stripped /tmp/renofs-fleet-smoke2.stripped
 
+slo-smoke: build
+	dune exec bin/nfsbench.exe -- slo --jobs 2 > /tmp/renofs-slo-smoke2.txt
+	dune exec bin/nfsbench.exe -- slo --jobs 1 > /tmp/renofs-slo-smoke1.txt
+	cmp /tmp/renofs-slo-smoke1.txt /tmp/renofs-slo-smoke2.txt
+	dune exec bin/nfsbench.exe -- validate-json examples/crash_noreboot.scenario.json
+	! dune exec bin/nfsbench.exe -- slo examples/crash_noreboot.scenario.json > /dev/null
+
 bench-gate: build
 	dune exec bin/nfsbench.exe -- all --json /tmp/renofs-bench-gate.json > /dev/null
 	dune exec bin/nfsbench.exe -- diff BENCH_quick.json /tmp/renofs-bench-gate.json --tolerance 15
@@ -72,7 +84,7 @@ perf-gate: build
 perf-baseline: build
 	dune exec bin/nfsbench.exe -- perf --json BENCH_perf.json
 
-check: build test fmt smoke fuzz-smoke fleet-smoke bench-gate perf-gate
+check: build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate perf-gate
 
 clean:
 	dune clean

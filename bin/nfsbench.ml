@@ -15,6 +15,10 @@
      nfsbench perf --json p.json       wall-clock engine throughput
      nfsbench perf --baseline BENCH_perf.json  gate against a baseline
      nfsbench faults                   list the builtin fault schedules
+     nfsbench slo                      run the five builtin day-in-the-life
+                                       scenarios and judge their SLOs
+     nfsbench slo crash-at-peak        a builtin scenario by name
+     nfsbench slo day.scenario.json    or a renofs-scenario/1 file
      nfsbench all [-f] [--jobs N] [--json FILE]   run everything
      nfsbench run graph5 --metrics m.jsonl sample time-series metrics
      nfsbench plot m.jsonl cwnd        chart a recorded series
@@ -26,15 +30,14 @@
 
 open Cmdliner
 module E = Renofs_workload.Experiments
+module R = Renofs_workload.Run_spec
 module Perf = Renofs_workload.Perf
-module Sweep = Renofs_workload.Sweep
 module Bench_json = Renofs_workload.Bench_json
-module Trace = Renofs_trace.Trace
+module Scenario = Renofs_scenario.Scenario
+module Json = Renofs_json.Json
 module Fault = Renofs_fault.Fault
 module Metrics = Renofs_metrics.Metrics
 module Stats = Renofs_engine.Stats
-
-let scale_of_full full = if full then E.Full else E.Quick
 
 let print_with_chart table =
   E.print_table Format.std_formatter table;
@@ -44,135 +47,59 @@ let print_with_chart table =
       Format.printf "%s@." chart
   | _ -> ()
 
-(* Fail before the sweep runs, not after: a mistyped --trace or --json
-   path should not cost minutes of simulation. *)
-let check_writable path =
-  match open_out path with
-  | oc -> close_out oc; None
-  | exception Sys_error msg -> Some msg
+(* Every subcommand shares one flag surface (the Run_spec record); a
+   flag a given subcommand cannot honour is refused up front rather
+   than silently dropped. *)
+let check_unused ~cmd (rs : R.t) unsupported =
+  let set = function
+    | "scale" -> rs.R.rs_scale <> None
+    | "jobs" -> rs.R.rs_jobs <> None
+    | "seed" -> rs.R.rs_seed <> None
+    | "json" -> rs.R.rs_json <> None
+    | "trace" -> rs.R.rs_trace <> None
+    | "report" -> rs.R.rs_report
+    | "metrics" -> rs.R.rs_metrics <> None
+    | "faults" -> rs.R.rs_faults <> None
+    | _ -> false
+  in
+  match List.filter set unsupported with
+  | [] -> None
+  | offending ->
+      Some
+        (Printf.sprintf "%s does not support --%s" cmd
+           (String.concat " or --" offending))
 
-let check_outputs paths =
-  List.find_map
-    (fun (what, path) ->
-      Option.map
-        (fun msg -> Printf.sprintf "cannot write %s: %s" what msg)
-        (Option.bind path check_writable))
-    paths
+let run_result = function
+  | Ok () -> `Ok ()
+  | Error msg -> `Error (false, msg)
 
-(* The default is already clamped to the machine and to the cell count
-   (a 9-cell fleet run should not spawn idle domains); an explicit
-   larger --jobs still runs, oversubscribed, with a warning. *)
-let effective_jobs ?cells jobs =
-  let cap j = match cells with Some n when n >= 1 -> min j n | _ -> j in
-  match jobs with
-  | None -> cap (Sweep.default_jobs ())
-  | Some j ->
-      let j = max 1 j in
-      let recommended = Sweep.default_jobs () in
-      if j > recommended then
-        Format.eprintf
-          "nfsbench: --jobs %d exceeds this machine's %d recommended domains; \
-           running oversubscribed@."
-          j recommended;
-      (match cells with
-      | Some n when j > n && n >= 1 ->
-          Format.eprintf
-            "nfsbench: --jobs %d exceeds the %d cells; extra domains would \
-             idle, capping to %d@."
-            j n n
-      | _ -> ());
-      cap j
-
-let resolve_faults = function
-  | None -> Ok None
-  | Some spec -> Result.map Option.some (Fault.resolve spec)
-
-(* CSV by extension, JSONL otherwise. *)
-let export_metrics mt path =
-  if Filename.check_suffix path ".csv" then Metrics.export_csv mt path
-  else Metrics.export_jsonl mt path
-
-let run_one id full jobs trace_path report json_path faults_spec metrics_path =
-  match
-    check_outputs
-      [ ("trace", trace_path); ("json", json_path); ("metrics", metrics_path) ]
-  with
+let run_one id rs =
+  match check_unused ~cmd:"run" rs [ "seed" ] with
   | Some msg -> `Error (false, msg)
   | None -> (
-      match resolve_faults faults_spec with
-      | Error msg -> `Error (false, msg)
-      | Ok faults -> (
-          let scale = scale_of_full full in
-          match E.spec ~scale id with
-          | None ->
-              `Error
-                ( false,
-                  Printf.sprintf "unknown experiment %S; try one of: %s" id
-                    (String.concat ", " (List.map fst E.specs)) )
-          | Some spec ->
-              let jobs = effective_jobs ~cells:(List.length spec.E.sp_cells) jobs in
-              let tr =
-                if trace_path <> None || report then
-                  (* Full-scale sweeps emit a few hundred thousand events;
-                     size the ring so the early runs are not overwritten. *)
-                  Some (Trace.create ~capacity:(1 lsl 20) ())
-                else None
-              in
-              let mt =
-                match metrics_path with
-                | Some _ -> Some (Metrics.create ())
-                | None -> None
-              in
-              (match faults with
-              | Some f ->
-                  Format.printf "faults: %s — %s@." f.Fault.name f.Fault.description
-              | None -> ());
-              let results = E.run_spec ~jobs ?trace:tr ?faults ?metrics:mt spec in
-              print_with_chart (E.render results);
-              (match (mt, metrics_path) with
-              | Some mt, Some path ->
-                  export_metrics mt path;
-                  Format.printf "metrics: %d series written to %s@."
-                    (List.length (Metrics.series mt))
-                    path
-              | _ -> ());
-              (match json_path with
-              | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
-              | None -> ());
-              (match (tr, trace_path) with
-              | Some tr, Some path ->
-                  Trace.export_jsonl tr path;
-                  Format.printf "trace: %d events written to %s (%d overwritten)@."
-                    (Trace.length tr) path (Trace.dropped tr)
-              | _ -> ());
-              (match tr with
-              | Some tr when report ->
-                  Trace.Report.print Format.std_formatter (Trace.Report.build tr)
-              | _ -> ());
-              `Ok ()))
+      match E.spec ~scale:(R.scale rs) id with
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; try one of: %s" id
+                (String.concat ", " (List.map fst E.specs)) )
+      | Some spec ->
+          run_result
+            (Result.map ignore (R.execute ~print:print_with_chart rs spec)))
 
-let run_all full jobs json_path =
-  match check_outputs [ ("json", json_path) ] with
+let run_all rs =
+  match check_unused ~cmd:"all" rs [ "seed" ] with
   | Some msg -> `Error (false, msg)
   | None ->
-      let scale = scale_of_full full in
+      let scale = R.scale rs in
       let built = List.map (fun (_, mk) -> mk scale) E.specs in
-      let cells =
-        List.fold_left (fun acc s -> acc + List.length s.E.sp_cells) 0 built
-      in
-      let jobs = effective_jobs ~cells jobs in
-      Format.printf "running %d experiments (%s scale, %d jobs)...@."
+      Format.printf "running %d experiments (%s scale)...@."
         (List.length E.specs)
-        (match scale with E.Quick -> "quick" | E.Full -> "full")
-        jobs;
+        (match scale with E.Quick -> "quick" | E.Full -> "full");
       (* One pooled sweep across every experiment's cells: short
          experiments overlap long ones instead of serialising. *)
-      let results = E.run_specs ~jobs built in
-      List.iter (fun r -> print_with_chart (E.render r)) results;
-      (match json_path with
-      | Some path -> Bench_json.write_file ~scale ~jobs ~path results
-      | None -> ());
-      `Ok ()
+      run_result
+        (Result.map ignore (R.execute_many ~print:print_with_chart rs built))
 
 let any_fail results =
   let is_fail = function
@@ -181,42 +108,72 @@ let any_fail results =
   in
   List.exists (List.exists is_fail) results.E.r_rows
 
-let run_chaos scale jobs seed json_path =
-  match check_outputs [ ("json", json_path) ] with
+(* chaos and fuzz install their own schedules per cell, so an outer
+   --faults would be silently ignored — refuse it instead. *)
+let run_verdict ~cmd ~fail_msg rs spec =
+  match check_unused ~cmd rs [ "faults" ] with
   | Some msg -> `Error (false, msg)
-  | None ->
-      Format.printf "chaos: seed %d%s@." seed
-        (if seed = 0 then " (the default world)" else "");
-      let spec = E.chaos_spec ~seed scale in
-      let jobs = effective_jobs ~cells:(List.length spec.E.sp_cells) jobs in
-      let results = E.run_spec ~jobs spec in
-      print_with_chart (E.render results);
-      (match json_path with
-      | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
-      | None -> ());
-      if any_fail results then
-        `Error (false, "chaos: invariant violation detected (see table)")
-      else `Ok ()
+  | None -> (
+      match R.execute ~print:print_with_chart rs spec with
+      | Error msg -> `Error (false, msg)
+      | Ok results ->
+          if any_fail results then `Error (false, fail_msg) else `Ok ())
 
-let run_fuzz scale jobs seeds seed no_checksum json_path =
-  match check_outputs [ ("json", json_path) ] with
+let run_chaos rs =
+  let seed = R.seed rs in
+  Format.printf "chaos: seed %d%s@." seed
+    (if seed = 0 then " (the default world)" else "");
+  run_verdict ~cmd:"chaos"
+    ~fail_msg:"chaos: invariant violation detected (see table)" rs
+    (E.chaos_spec ~seed (R.scale rs))
+
+let run_fuzz rs seeds no_checksum =
+  let checksum = not no_checksum in
+  let seed = R.seed rs in
+  Format.printf "fuzz: %d seeds from base seed %d, checksums %s, profiles %s@."
+    seeds seed
+    (if checksum then "on" else "off")
+    (String.concat "," E.fuzz_profiles);
+  run_verdict ~cmd:"fuzz" ~fail_msg:"fuzz: violation detected (see table)" rs
+    (E.fuzz_spec ~seeds ~base_seed:seed ~checksum (R.scale rs))
+
+(* Scenarios carry their own world seed, load program and fault
+   timeline, so --scale/--seed/--faults would be silently ignored —
+   refuse them.  A single scenario's "run" section is layered under
+   the CLI flags; with several scenarios only the CLI applies. *)
+let run_slo rs names =
+  let resolved = List.map Scenario.resolve names in
+  match
+    List.find_map (function Error msg -> Some msg | Ok _ -> None) resolved
+  with
   | Some msg -> `Error (false, msg)
-  | None ->
-      let checksum = not no_checksum in
-      Format.printf "fuzz: %d seeds from base seed %d, checksums %s, profiles %s@."
-        seeds seed
-        (if checksum then "on" else "off")
-        (String.concat "," E.fuzz_profiles);
-      let spec = E.fuzz_spec ~seeds ~base_seed:seed ~checksum scale in
-      let jobs = effective_jobs ~cells:(List.length spec.E.sp_cells) jobs in
-      let results = E.run_spec ~jobs spec in
-      print_with_chart (E.render results);
-      (match json_path with
-      | Some path -> Bench_json.write_file ~scale ~jobs ~path [ results ]
-      | None -> ());
-      if any_fail results then
-        `Error (false, "fuzz: violation detected (see table)")
-      else `Ok ()
+  | None -> (
+      let scenarios =
+        match names with
+        | [] -> Scenario.builtins
+        | _ -> List.filter_map Result.to_option resolved
+      in
+      let rs =
+        match scenarios with
+        | [ sc ] -> R.override ~base:sc.Scenario.sc_run rs
+        | _ -> rs
+      in
+      match check_unused ~cmd:"slo" rs [ "scale"; "seed"; "faults" ] with
+      | Some msg -> `Error (false, msg)
+      | None -> (
+          match
+            R.execute ~print:print_with_chart rs (Scenario.suite_spec scenarios)
+          with
+          | Error msg -> `Error (false, msg)
+          | Ok results -> (
+              match Scenario.failures results with
+              | [] -> `Ok ()
+              | fails ->
+                  List.iter (fun f -> Format.eprintf "slo: %s@." f) fails;
+                  `Error
+                    ( false,
+                      Printf.sprintf "slo: %d scenario(s) breached their SLOs"
+                        (List.length fails) ))))
 
 (* A series address is "run/name"; PATTERN is a case-sensitive
    substring of it.  Counters plot as per-interval rates — the level of
@@ -295,12 +252,19 @@ let run_diff old_path new_path tolerance_pct =
 
 (* Wall-clock throughput of the engine itself; see Perf.  Serial by
    design — measuring real time wants the machine to itself. *)
-let run_perf json_path baseline_path tolerance_pct =
-  match check_outputs [ ("json", json_path) ] with
+let run_perf rs baseline_path tolerance_pct =
+  let unsupported =
+    [ "scale"; "jobs"; "seed"; "trace"; "report"; "metrics"; "faults" ]
+  in
+  match check_unused ~cmd:"perf (serial by design)" rs unsupported with
   | Some msg -> `Error (false, msg)
-  | None ->
-      if tolerance_pct < 0.0 then `Error (false, "--tolerance must be >= 0")
-      else begin
+  | None -> (
+      let json_path = rs.R.rs_json in
+      match R.check_outputs [ ("json", json_path) ] with
+      | Some msg -> `Error (false, msg)
+      | None ->
+          if tolerance_pct < 0.0 then `Error (false, "--tolerance must be >= 0")
+          else begin
         let baseline =
           (* Read the baseline before the minutes-long measurement so a
              bad path fails fast. *)
@@ -340,7 +304,7 @@ let run_perf json_path baseline_path tolerance_pct =
                         (List.length v.Perf.regressions)
                         tolerance_pct )
                 else `Ok ())
-      end
+      end)
 
 let list_faults () =
   List.iter
@@ -352,15 +316,63 @@ let list_faults () =
 let list_ids () =
   List.iter (fun (id, _) -> print_endline id) E.specs
 
+(* Dispatch on the document's own "schema" member, so one subcommand
+   checks any file this repo emits or consumes. *)
 let validate_json path =
-  match Bench_json.validate_file path with
-  | Ok () ->
-      Format.printf "%s: valid %s@." path "renofs-bench/1";
-      `Ok ()
-  | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+  let finish name = function
+    | Ok _ ->
+        Format.printf "%s: valid %s@." path name;
+        `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  match Json.load_file path with
+  | Error msg -> `Error (false, msg)
+  | Ok doc -> (
+      let schema =
+        match doc with
+        | Json.Obj fields -> (
+            match List.assoc_opt "schema" fields with
+            | Some (Json.Str s) -> Some s
+            | _ -> None)
+        | _ -> None
+      in
+      match schema with
+      | Some "renofs-bench/1" ->
+          finish "renofs-bench/1"
+            (Result.map_error
+               (fun msg -> path ^ ": " ^ msg)
+               (Bench_json.validate_file path))
+      | Some "renofs-scenario/1" ->
+          finish "renofs-scenario/1" (Scenario.load_file path)
+      | Some "renofs-fault/1" -> finish "renofs-fault/1" (Fault.load_file path)
+      | Some "renofs-perf/1" -> finish "renofs-perf/1" (Perf.read_file path)
+      | Some other ->
+          `Error (false, Printf.sprintf "%s: unknown schema %S" path other)
+      | None ->
+          `Error
+            ( false,
+              path
+              ^ ": no top-level \"schema\" member (want renofs-bench/1, \
+                 renofs-scenario/1, renofs-fault/1 or renofs-perf/1)" ))
+
+(* The one flag surface.  Every subcommand parses the same options with
+   the same help text into a Run_spec; a scenario file's "run" object
+   carries the same fields. *)
 
 let full_flag =
-  Arg.(value & flag & info [ "f"; "full" ] ~doc:"Run at full scale (longer sweeps).")
+  Arg.(
+    value & flag
+    & info [ "f"; "full" ]
+        ~doc:"Run at full scale (longer sweeps); shorthand for --scale full.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("quick", E.Quick); ("full", E.Full) ])) None
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Workload scale: $(b,quick) (seconds of wall time, the default) or \
+           $(b,full) (longer sweeps, every chaos schedule).")
 
 let jobs_arg =
   Arg.(
@@ -371,6 +383,16 @@ let jobs_arg =
           "Execute experiment cells across $(docv) domains (default: the \
            machine's recommended domain count). Results are deterministic \
            regardless of $(docv).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "World seed (printed in the header so a failing run can be \
+           replayed). 0 is the historical default world; for $(b,fuzz) it is \
+           the base seed: cell $(i,i) uses seed N+$(i,i).")
 
 let json_arg =
   Arg.(
@@ -394,14 +416,6 @@ let report_flag =
           "Record an RPC-lifecycle event trace and print the nfsstat-style \
            per-procedure table and latency breakdown after the experiment.")
 
-let id_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
-       ~doc:"Experiment id, e.g. graph1 or table5.")
-
-let file_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
-       ~doc:"A file produced by --json.")
-
 let metrics_arg =
   Arg.(
     value
@@ -422,20 +436,31 @@ let faults_arg =
           "Run under a fault schedule: a builtin name (see $(b,nfsbench \
            faults)) or a renofs-fault/1 JSON file.")
 
-let scale_arg =
-  Arg.(
-    value
-    & opt (enum [ ("quick", E.Quick); ("full", E.Full) ]) E.Quick
-    & info [ "scale" ] ~docv:"SCALE"
-        ~doc:"quick (3 schedules) or full (every builtin schedule).")
+let spec_term =
+  let make full scale jobs seed json trace report metrics faults =
+    {
+      R.rs_scale = (if full then Some E.Full else scale);
+      rs_jobs = jobs;
+      rs_seed = seed;
+      rs_json = json;
+      rs_trace = trace;
+      rs_report = report;
+      rs_metrics = metrics;
+      rs_faults = faults;
+    }
+  in
+  Term.(
+    const make $ full_flag $ scale_arg $ jobs_arg $ seed_arg $ json_arg
+    $ trace_arg $ report_flag $ metrics_arg $ faults_arg)
+
+let id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
+       ~doc:"Experiment id, e.g. graph1 or table5.")
 
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
-    Term.(
-      ret
-        (const run_one $ id_arg $ full_flag $ jobs_arg $ trace_arg $ report_flag
-       $ json_arg $ faults_arg $ metrics_arg))
+    Term.(ret (const run_one $ id_arg $ spec_term))
 
 let plot_cmd =
   let metrics_file =
@@ -488,22 +513,13 @@ let diff_cmd =
           cell regressed beyond the tolerance")
     Term.(ret (const run_diff $ old_file $ new_file $ tolerance))
 
-let seed_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "seed" ] ~docv:"N"
-        ~doc:
-          "World seed (printed in the header so a failing run can be \
-           replayed). 0 is the historical default world; for $(b,fuzz) it is \
-           the base seed: cell $(i,i) uses seed N+$(i,i).")
-
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the fault-schedule x transport matrix and check the recovery \
           invariants; exits non-zero on any violation")
-    Term.(ret (const run_chaos $ scale_arg $ jobs_arg $ seed_arg $ json_arg))
+    Term.(ret (const run_chaos $ spec_term))
 
 let fuzz_cmd =
   let seeds_arg =
@@ -523,13 +539,6 @@ let fuzz_cmd =
              profile is then expected to produce (and the exit code to \
              report) end-to-end data-integrity violations.")
   in
-  let fuzz_scale =
-    Arg.(
-      value
-      & opt (enum [ ("quick", E.Quick); ("full", E.Full) ]) E.Quick
-      & info [ "scale" ] ~docv:"SCALE"
-          ~doc:"Per-cell workload duration: quick (6 sim-s) or full (10).")
-  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -537,10 +546,7 @@ let fuzz_cmd =
           reorder/storm) across the three transports under load; exits \
           non-zero on any invariant or data-integrity violation, stuck \
           driver, or uncaught exception")
-    Term.(
-      ret
-        (const run_fuzz $ fuzz_scale $ jobs_arg $ seeds_arg $ seed_arg
-       $ no_checksum_flag $ json_arg))
+    Term.(ret (const run_fuzz $ spec_term $ seeds_arg $ no_checksum_flag))
 
 let perf_cmd =
   let baseline_arg =
@@ -566,7 +572,7 @@ let perf_cmd =
          "Measure wall-clock engine throughput (events/s, RPCs/s) over the \
           fixed graph5 full cell set; optionally write a renofs-perf/1 JSON \
           and gate against a baseline")
-    Term.(ret (const run_perf $ json_arg $ baseline_arg $ tolerance))
+    Term.(ret (const run_perf $ spec_term $ baseline_arg $ tolerance))
 
 let faults_cmd =
   Cmd.v
@@ -576,15 +582,44 @@ let faults_cmd =
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(ret (const run_all $ full_flag $ jobs_arg $ json_arg))
+    Term.(ret (const run_all $ spec_term))
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List experiment ids") Term.(const list_ids $ const ())
 
+let slo_cmd =
+  let scenarios_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Builtin scenario names (diurnal, flash-crowd, crash-at-peak, \
+             flapping-wan, background-corruption) or renofs-scenario/1 JSON \
+             files; all five builtins when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Run day-in-the-life scenarios — fleet world, time-varying load, \
+          fault timeline — and judge each against its SLOs (p99 latency per \
+          op class, availability, recovery time, integrity invariants); \
+          exits non-zero on any breach, naming the violated SLOs")
+    Term.(ret (const run_slo $ spec_term $ scenarios_arg))
+
 let validate_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A JSON file with a top-level \"schema\" member: renofs-bench/1, \
+             renofs-scenario/1, renofs-fault/1 or renofs-perf/1.")
+  in
   Cmd.v
     (Cmd.info "validate-json"
-       ~doc:"Validate a --json output file against the renofs-bench/1 schema")
+       ~doc:
+         "Validate a JSON file against the schema its \"schema\" member names")
     Term.(ret (const validate_json $ file_arg))
 
 let main =
@@ -599,6 +634,7 @@ let main =
       fuzz_cmd;
       perf_cmd;
       faults_cmd;
+      slo_cmd;
       all_cmd;
       list_cmd;
       validate_cmd;

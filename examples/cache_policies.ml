@@ -15,7 +15,7 @@ open Renofs_workload
 
 let with_mount ?(profile = Nfs_server.reno_profile) opts body =
   let sim = Sim.create () in
-  let topo = Topology.lan sim () in
+  let topo = Topology.build sim Topology.default_spec in
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server = Nfs_server.create topo.Topology.server ~profile ~udp:sudp ~tcp:stcp () in

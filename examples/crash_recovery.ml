@@ -16,7 +16,7 @@ module Client_transport = Renofs_core.Client_transport
 
 let () =
   let sim = Sim.create () in
-  let topo = Topology.lan sim () in
+  let topo = Topology.build sim Topology.default_spec in
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server = Nfs_server.create topo.Topology.server ~udp:sudp ~tcp:stcp () in

@@ -18,7 +18,7 @@ let () =
   let sim = Sim.create () in
 
   (* Two 0.9 MIPS MicroVAXII-class hosts on one Ethernet. *)
-  let topo = Topology.lan sim () in
+  let topo = Topology.build sim Topology.default_spec in
 
   (* Protocol stacks, the server and its filesystem. *)
   let server_udp = Udp.install topo.Topology.server in

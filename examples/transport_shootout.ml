@@ -18,7 +18,7 @@ open Renofs_workload
 
 let run_one name opts =
   let sim = Sim.create () in
-  let topo = Topology.campus sim () in
+  let topo = Topology.build sim { Topology.default_spec with Topology.shape = Topology.Campus } in
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server = Nfs_server.create topo.Topology.server ~udp:sudp ~tcp:stcp () in

@@ -18,7 +18,7 @@ open Renofs_workload
 
 let run name opts =
   let sim = Sim.create () in
-  let topo = Topology.wide_area sim () in
+  let topo = Topology.build sim { Topology.default_spec with Topology.shape = Topology.Wide_area } in
   let sudp = Udp.install topo.Topology.server in
   let stcp = Tcp.install topo.Topology.server in
   let server = Nfs_server.create topo.Topology.server ~udp:sudp ~tcp:stcp () in

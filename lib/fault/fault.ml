@@ -207,16 +207,9 @@ let parse s =
   | Ok doc -> of_json doc
 
 let load_file path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | content ->
-      (* [parse] errors already carry line/column; add which file. *)
-      Result.map_error (fun msg -> path ^ ": " ^ msg) (parse content)
-  | exception Sys_error msg -> Error msg
+  match Json.load_file path with
+  | Error _ as e -> e
+  | Ok doc -> Result.map_error (fun msg -> path ^ ": " ^ msg) (of_json doc)
 
 let resolve spec =
   match find_builtin spec with Some s -> Ok s | None -> load_file spec

@@ -99,6 +99,12 @@ val find_builtin : string -> schedule option
     [server_crash] takes an optional ["server"] node name (default
     ["*"], every server) to crash one shard of a fleet. *)
 
+val action_of_json : Renofs_json.Json.json -> action
+(** One action object (the elements of a schedule's ["actions"] array);
+    raises {!Renofs_json.Json.Bad} on shape errors.  Exposed so other
+    schemas embedding fault actions (e.g. [renofs-scenario/1]) decode
+    them identically. *)
+
 val of_json : Renofs_json.Json.json -> (schedule, string) result
 val parse : string -> (schedule, string) result
 val load_file : string -> (schedule, string) result

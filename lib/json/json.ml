@@ -166,3 +166,39 @@ let str ~ctx = function Str s -> s | _ -> fail ctx "expected string"
 let num ~ctx = function Num v -> v | _ -> fail ctx "expected number"
 let arr ~ctx = function Arr l -> l | _ -> fail ctx "expected array"
 let obj ~ctx = function Obj o -> o | _ -> fail ctx "expected object"
+
+(* ------------------------------------------------------------------ *)
+(* Located file/line decoding                                         *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> Ok content
+  | exception Sys_error msg -> Error msg
+
+let load_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok content ->
+      (* Parse errors already carry line/column; add which file. *)
+      Result.map_error
+        (fun msg -> path ^ ": parse error: " ^ msg)
+        (parse content)
+
+let decode_file path decode =
+  match load_file path with
+  | Error _ as e -> e
+  | Ok doc -> (
+      try Ok (decode doc) with Bad msg -> Error (path ^ ": " ^ msg))
+
+let decode_line ~path ~lineno line decode =
+  match parse line with
+  | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+  | Ok doc -> (
+      try Ok (decode doc)
+      with Bad msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))

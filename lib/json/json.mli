@@ -37,3 +37,25 @@ val str : ctx:string -> json -> string
 val num : ctx:string -> json -> float
 val arr : ctx:string -> json -> json list
 val obj : ctx:string -> json -> (string * json) list
+
+(** {2 Located file/line decoding}
+
+    The one place [path:] / [path:line:] error prefixes are built, so
+    the bench, fault, metrics and scenario loaders report malformed
+    input identically. *)
+
+val read_file : string -> (string, string) result
+(** Whole-file read; [Error] carries the [Sys_error] message. *)
+
+val load_file : string -> (json, string) result
+(** {!read_file} + {!parse}; parse failures come back as
+    ["path: parse error: ..."] with the line/column already inside. *)
+
+val decode_file : string -> (json -> 'a) -> ('a, string) result
+(** {!load_file}, then run a decoder that may raise {!Bad}; decoder
+    failures come back as ["path: ..."]. *)
+
+val decode_line :
+  path:string -> lineno:int -> string -> (json -> 'a) -> ('a, string) result
+(** Parse and decode one JSONL line; both parse and decoder failures
+    come back as ["path:line: ..."]. *)

@@ -223,24 +223,14 @@ let import_jsonl path =
   | exception Sys_error msg -> Error msg
   | [] -> Error (path ^ ": empty file")
   | header :: rest -> (
-      let parse_line lineno line k =
-        match Json.parse line with
-        | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg)
-        | Ok j -> (
-            try k j
-            with Json.Bad msg ->
-              Error (Printf.sprintf "%s:%d: %s" path lineno msg))
-      in
       let parse_series lineno line =
-        parse_line lineno line (fun j ->
+        Json.decode_line ~path ~lineno line (fun j ->
             let ctx = "series" in
             let o = Json.obj ~ctx j in
             let field name = Json.str ~ctx (Json.member ~ctx name o) in
             let kind_s = field "kind" in
             match kind_of_name kind_s with
-            | None ->
-                Error
-                  (Printf.sprintf "%s:%d: unknown kind %S" path lineno kind_s)
+            | None -> raise (Json.Bad (Printf.sprintf "unknown kind %S" kind_s))
             | Some kind ->
                 let points =
                   Json.arr ~ctx (Json.member ~ctx "points" o)
@@ -257,25 +247,23 @@ let import_jsonl path =
                         (fun (k, v) -> (k, Json.str ~ctx v))
                         (Json.obj ~ctx j)
                 in
-                Ok
-                  {
-                    e_run = field "run";
-                    e_name = field "name";
-                    e_kind = kind;
-                    e_unit = field "unit";
-                    e_labels = labels;
-                    e_points = points;
-                  })
+                {
+                  e_run = field "run";
+                  e_name = field "name";
+                  e_kind = kind;
+                  e_unit = field "unit";
+                  e_labels = labels;
+                  e_points = points;
+                })
       in
       let check_header j =
         let ctx = "header" in
         let o = Json.obj ~ctx j in
         let schema = Json.str ~ctx (Json.member ~ctx "schema" o) in
         if schema <> "renofs-metrics/1" then
-          Error (Printf.sprintf "%s:1: unsupported schema %S" path schema)
-        else Ok ()
+          raise (Json.Bad (Printf.sprintf "unsupported schema %S" schema))
       in
-      match parse_line 1 header (fun j -> check_header j) with
+      match Json.decode_line ~path ~lineno:1 header check_header with
       | Error _ as e -> e
       | Ok () ->
           let rec go lineno acc = function

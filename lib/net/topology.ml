@@ -344,20 +344,3 @@ let shape_of_name = function
   | "star" -> Star
   | other -> invalid_arg ("Topology.shape_of_name: unknown topology " ^ other)
 
-(* One-line compatibility wrappers over [build]. *)
-
-let lan sim ?(params = default_params) () =
-  build sim { shape = Lan; clients = 1; params }
-
-let campus sim ?(params = default_params) () =
-  build sim { shape = Campus; clients = 1; params }
-
-let wide_area sim ?(params = default_params) () =
-  build sim { shape = Wide_area; clients = 1; params }
-
-let multi_client sim ~clients ?(params = default_params) () =
-  let t = build sim { shape = Star; clients; params } in
-  (t, t.clients)
-
-let by_name name sim ?(params = default_params) () =
-  build sim { shape = shape_of_name name; clients = 1; params }

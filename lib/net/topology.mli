@@ -101,20 +101,5 @@ val shape_of_name : string -> shape
 (** "lan", "campus", "wan" or "star".  Raises [Invalid_argument]
     otherwise. *)
 
-(** {2 Wrappers}
-
-    One-liners over {!build} kept for call-site brevity. *)
-
-val lan : Renofs_engine.Sim.t -> ?params:params -> unit -> t
-val campus : Renofs_engine.Sim.t -> ?params:params -> unit -> t
-val wide_area : Renofs_engine.Sim.t -> ?params:params -> unit -> t
-
-val by_name : string -> Renofs_engine.Sim.t -> ?params:params -> unit -> t
-(** [build] on [shape_of_name] with one client. *)
-
-val multi_client :
-  Renofs_engine.Sim.t -> clients:int -> ?params:params -> unit -> t * Node.t list
-(** [build] on [Star]; the snd of the pair is [t.clients]. *)
-
 val client_id : t -> int
 val server_id : t -> int

@@ -166,15 +166,7 @@ let validate s =
   | Error msg -> Error ("parse error: " ^ msg)
   | Ok doc -> ( try Ok (validate_exn doc) with Bad msg -> Error msg)
 
-let read_file path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | content -> Ok content
-  | exception Sys_error msg -> Error msg
+let read_file = Renofs_json.Json.read_file
 
 let validate_file path =
   match read_file path with
@@ -229,15 +221,9 @@ let extract_exn doc =
     (arr "experiments" (field "document" "experiments" top))
 
 let load_for_diff path =
-  match read_file path with
-  | Error msg -> Error (path ^ ": " ^ msg)
-  | Ok content -> (
-      match parse content with
-      | Error msg -> Error (path ^ ": parse error: " ^ msg)
-      | Ok doc -> (
-          match validate_exn doc with
-          | () -> Ok (extract_exn doc)
-          | exception Bad msg -> Error (path ^ ": " ^ msg)))
+  Renofs_json.Json.decode_file path (fun doc ->
+      validate_exn doc;
+      extract_exn doc)
 
 (* A cell regresses when a latency (ms/s) grows, or a throughput
    (per_s) shrinks, by more than [tolerance] (a fraction).  Other units

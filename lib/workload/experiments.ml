@@ -144,21 +144,6 @@ let chunk n xs =
   in
   if n <= 0 then invalid_arg "chunk" else go [] [] n xs
 
-(* The sink [with_trace] installs for the calling domain.  Cells never
-   read it — the runner captures it once and hands every cell a private
-   sink through its [ctx] — so tracing stays race-free under
-   [--jobs > 1]. *)
-let dls_trace : Trace.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
-
-let with_trace tr f =
-  let old = Domain.DLS.get dls_trace in
-  Domain.DLS.set dls_trace (Some tr);
-  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_trace old) f
-
-let effective_trace = function
-  | Some _ as t -> t
-  | None -> Domain.DLS.get dls_trace
-
 (* Each cell records into its own sinks (trace and metrics alike); the
    sinks are merged into the main ones in cell order after the sweep,
    so the combined streams are identical to a serial run's (trace
@@ -204,7 +189,6 @@ let run_cells ?jobs ~trace ~faults ~metrics cells =
   outs
 
 let run_spec ?jobs ?trace ?faults ?metrics spec =
-  let trace = effective_trace trace in
   let outs = run_cells ?jobs ~trace ~faults ~metrics spec.sp_cells in
   {
     r_id = spec.sp_id;
@@ -216,7 +200,6 @@ let run_spec ?jobs ?trace ?faults ?metrics spec =
 let run_specs ?jobs ?trace ?faults ?metrics specs =
   (* One shared pool across every spec: single-cell experiments overlap
      with their neighbours instead of serialising the tail. *)
-  let trace = effective_trace trace in
   let outs =
     run_cells ?jobs ~trace ~faults ~metrics
       (List.concat_map (fun s -> s.sp_cells) specs)

@@ -130,12 +130,11 @@ val run_spec :
     reassembled by cell index, never completion order, so output is
     identical for every [jobs].
 
-    Tracing: with [trace] (or a {!with_trace} sink installed on the
-    calling domain), every cell records into a private sink of the same
-    capacity, attached to its worlds and mark-delimited per world; the
-    private sinks are merged into the main one in cell order after the
-    sweep.  The combined stream is therefore race-free and identical to
-    a serial run's.
+    Tracing: with [trace], every cell records into a private sink of
+    the same capacity, attached to its worlds and mark-delimited per
+    world; the private sinks are merged into the main one in cell order
+    after the sweep.  The combined stream is therefore race-free and
+    identical to a serial run's.
 
     Faults: with [faults], the schedule is installed on every world the
     cells build, so any experiment can run under any schedule (the
@@ -159,15 +158,6 @@ val run_specs :
 
 val render : results -> table
 (** Pure rendering of typed results via {!render_value}. *)
-
-val with_trace : Renofs_trace.Trace.t -> (unit -> 'a) -> 'a
-(** [with_trace tr f] installs [tr] as the calling domain's sink for
-    every experiment [f] runs (compatibility wrapper over the [?trace]
-    argument of {!run_spec}): each world opens a new
-    {!Renofs_trace.Trace} mark-delimited segment labelled with its
-    transport/profile/topology name, and warmup phases are gated out
-    with [Renofs_trace.Trace.set_enabled].  The sink is uninstalled
-    when [f] returns. *)
 
 exception Driver_stuck of string
 (** An experiment driver failed to finish; the message carries the run

@@ -25,6 +25,20 @@ let default_mix =
     (Op_readdir, 0.0375);
   ]
 
+(* Sustained bulk-transfer phases (the xDFS-style file-movement
+   workload): read/write dominated, a sliver of lookups to keep name
+   traffic alive. *)
+let bulk_mix = [ (Op_read, 0.45); (Op_write, 0.45); (Op_lookup, 0.10) ]
+
+let mix_of_name = function
+  | "lookup" -> Some lookup_mix
+  | "read-lookup" -> Some read_lookup_mix
+  | "default" -> Some default_mix
+  | "bulk" -> Some bulk_mix
+  | _ -> None
+
+let mix_names = [ "lookup"; "read-lookup"; "default"; "bulk" ]
+
 type config = {
   rate : float;
   duration : float;
@@ -53,10 +67,23 @@ let pick_op rng mix =
   in
   go 0.0 mix
 
-let run ?latency_hist mount fileset config =
+(* Shared per-run op machinery — open-file table, counters, latency
+   accounting — so the fixed-rate runner and the program runner issue
+   byte-identical operations; they differ only in pacing and in which
+   mix each op draws from.  The RNG draw sequence per op (file pick,
+   mix pick, read offset) must not change: the committed bench
+   baselines depend on it. *)
+type engine = {
+  en_one_op : Rng.t -> mix -> unit;
+  en_completed : int ref;
+  en_reads : int ref;
+  en_latency : Stats.Welford.t;
+}
+
+let make_engine ?latency_hist ~who mount fileset =
   let sim = Nfs_client.sim mount in
   let files = Array.of_list fileset.Fileset.files in
-  if Array.length files = 0 then invalid_arg "Nhfsstone.run: empty fileset";
+  if Array.length files = 0 then invalid_arg (who ^ ": empty fileset");
   let completed = ref 0 and reads_done = ref 0 in
   let op_latency = Stats.Welford.create () in
   (* Shared open-file table, filled lazily. *)
@@ -69,12 +96,10 @@ let run ?latency_hist mount fileset config =
         Hashtbl.replace fds path fd;
         fd
   in
-  let xport = Nfs_client.transport mount in
-  let before = Client_transport.summary xport in
-  let one_op rng =
+  let one_op rng mix =
     let path = files.(Rng.int rng (Array.length files)) in
     let t0 = Sim.now sim in
-    let op = pick_op rng config.mix in
+    let op = pick_op rng mix in
     (try
        match op with
        | Op_lookup | Op_getattr -> ignore (Nfs_client.stat mount path)
@@ -100,6 +125,36 @@ let run ?latency_hist mount fileset config =
     | Some h -> Stats.Hist.add h (dt *. 1000.0)
     | None -> ()
   in
+  {
+    en_one_op = one_op;
+    en_completed = completed;
+    en_reads = reads_done;
+    en_latency = op_latency;
+  }
+
+let finish ~offered ~duration ~before ~xport engine =
+  let after = Client_transport.summary xport in
+  let rtts =
+    Client_transport.rtt_by_proc xport
+    |> List.map (fun (name, w) -> (name, Stats.Welford.mean w, Stats.Welford.count w))
+  in
+  {
+    offered;
+    achieved = float_of_int !(engine.en_completed) /. duration;
+    ops_completed = !(engine.en_completed);
+    mean_rtt = after.Client_transport.mean_rtt;
+    rtt_by_proc = rtts;
+    retransmits =
+      after.Client_transport.retransmits - before.Client_transport.retransmits;
+    read_rate = float_of_int !(engine.en_reads) /. duration;
+    mean_op_latency = Stats.Welford.mean engine.en_latency;
+  }
+
+let run ?latency_hist mount fileset config =
+  let sim = Nfs_client.sim mount in
+  let engine = make_engine ?latency_hist ~who:"Nhfsstone.run" mount fileset in
+  let xport = Nfs_client.transport mount in
+  let before = Client_transport.summary xport in
   let children = max 1 config.children in
   let stop_at = Sim.now sim +. config.duration in
   let child_rate = config.rate /. float_of_int children in
@@ -111,7 +166,7 @@ let run ?latency_hist mount fileset config =
         let rec loop () =
           if Sim.now sim < stop_at then begin
             Proc.sleep sim (Rng.exponential crng (1.0 /. child_rate));
-            if Sim.now sim < stop_at then one_op crng;
+            if Sim.now sim < stop_at then engine.en_one_op crng config.mix;
             loop ()
           end
         in
@@ -120,19 +175,121 @@ let run ?latency_hist mount fileset config =
         if !finished = children then Proc.Ivar.fill all_done ())
   done;
   Proc.Ivar.read all_done;
-  let after = Client_transport.summary xport in
-  let rtts =
-    Client_transport.rtt_by_proc xport
-    |> List.map (fun (name, w) -> (name, Stats.Welford.mean w, Stats.Welford.count w))
+  finish ~offered:config.rate ~duration:config.duration ~before ~xport engine
+
+(* ------------------------------------------------------------------ *)
+(* Rate-schedule programs                                             *)
+(* ------------------------------------------------------------------ *)
+
+type segment = {
+  sg_label : string;
+  sg_duration : float;
+  sg_rate : float;
+  sg_rate_end : float option;
+  sg_mix : mix;
+}
+
+type program = {
+  pg_segments : segment list;
+  pg_children : int;
+  pg_seed : int;
+}
+
+let program_duration p =
+  List.fold_left (fun acc s -> acc +. s.sg_duration) 0.0 p.pg_segments
+
+let program_mean_rate p =
+  let total = program_duration p in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc s ->
+        let mean =
+          match s.sg_rate_end with
+          | None -> s.sg_rate
+          | Some re -> (s.sg_rate +. re) /. 2.0
+        in
+        acc +. (mean *. s.sg_duration))
+      0.0 p.pg_segments
+    /. total
+
+let run_program ?latency_hist mount fileset program =
+  let sim = Nfs_client.sim mount in
+  if program.pg_segments = [] then
+    invalid_arg "Nhfsstone.run_program: empty program";
+  let engine =
+    make_engine ?latency_hist ~who:"Nhfsstone.run_program" mount fileset
   in
-  {
-    offered = config.rate;
-    achieved = float_of_int !completed /. config.duration;
-    ops_completed = !completed;
-    mean_rtt = after.Client_transport.mean_rtt;
-    rtt_by_proc = rtts;
-    retransmits =
-      after.Client_transport.retransmits - before.Client_transport.retransmits;
-    read_rate = float_of_int !reads_done /. config.duration;
-    mean_op_latency = Stats.Welford.mean op_latency;
-  }
+  let xport = Nfs_client.transport mount in
+  let before = Client_transport.summary xport in
+  let children = max 1 program.pg_children in
+  let start = Sim.now sim in
+  let total = program_duration program in
+  let stop_at = start +. total in
+  (* Segment boundaries relative to [start]; [seg_at] clamps to the
+     last segment so an op landing exactly on [stop_at] still has a
+     mix. *)
+  let segs =
+    let t = ref 0.0 in
+    List.map
+      (fun s ->
+        let s0 = !t in
+        t := !t +. s.sg_duration;
+        (s0, !t, s))
+      program.pg_segments
+    |> Array.of_list
+  in
+  let seg_at t =
+    let rec go i =
+      if i >= Array.length segs - 1 then segs.(Array.length segs - 1)
+      else
+        let (_, s1, _) = segs.(i) in
+        if t < s1 then segs.(i) else go (i + 1)
+    in
+    go 0
+  in
+  (* Instantaneous offered rate: constant per segment, or a linear ramp
+     from [sg_rate] to [sg_rate_end]. *)
+  let rate_at (s0, s1, s) t =
+    match s.sg_rate_end with
+    | None -> s.sg_rate
+    | Some re ->
+        let w = s1 -. s0 in
+        if w <= 0.0 then re
+        else s.sg_rate +. ((re -. s.sg_rate) *. ((t -. s0) /. w))
+  in
+  let finished = ref 0 in
+  let all_done = Proc.Ivar.create sim in
+  for i = 1 to children do
+    let crng = Rng.create (program.pg_seed + (i * 7919)) in
+    Proc.spawn sim (fun () ->
+        let rec loop () =
+          let now = Sim.now sim in
+          if now < stop_at then begin
+            let ((_, s1, _) as seg) = seg_at (now -. start) in
+            let rate = rate_at seg (now -. start) /. float_of_int children in
+            if rate <= 1e-9 then begin
+              (* Idle phase: jump to the segment boundary rather than
+                 draw from an infinite-mean exponential. *)
+              Proc.sleep sim (s1 -. (now -. start) +. 1e-6);
+              loop ()
+            end
+            else begin
+              Proc.sleep sim (Rng.exponential crng (1.0 /. rate));
+              if Sim.now sim < stop_at then begin
+                (* The op uses the mix of the segment it fires in, not
+                   the one it was scheduled from. *)
+                let (_, _, s) = seg_at (Sim.now sim -. start) in
+                engine.en_one_op crng s.sg_mix
+              end;
+              loop ()
+            end
+          end
+        in
+        loop ();
+        incr finished;
+        if !finished = children then Proc.Ivar.fill all_done ())
+  done;
+  Proc.Ivar.read all_done;
+  finish ~offered:(program_mean_rate program) ~duration:total ~before ~xport
+    engine

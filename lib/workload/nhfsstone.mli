@@ -23,6 +23,18 @@ val default_mix : mix
     workloads beyond the paper's two; writes modify the subtree, so
     preload before every run as the appendix prescribes. *)
 
+val bulk_mix : mix
+(** Sustained bulk-transfer phases (xDFS-style file movement):
+    45% read / 45% write / 10% lookup.  Heavily mutating — preload
+    before every run. *)
+
+val mix_of_name : string -> mix option
+(** ["lookup"], ["read-lookup"], ["default"], ["bulk"] — the stable
+    names scenario files use. *)
+
+val mix_names : string list
+(** The names {!mix_of_name} accepts, for error messages. *)
+
 type config = {
   rate : float;  (** offered ops/second *)
   duration : float;  (** measurement interval, seconds *)
@@ -55,3 +67,46 @@ val run :
     every op's syscall-level latency in milliseconds — share one
     histogram across a population of clients to get fleet-wide
     quantiles. *)
+
+(** {2 Rate-schedule programs}
+
+    A time-varying load: a sequence of segments, each with its own
+    offered rate (optionally a linear ramp) and operation mix.  This is
+    the hook the scenario layer's diurnal curves, flash crowds and
+    bulk-transfer phases compile down to. *)
+
+type segment = {
+  sg_label : string;  (** e.g. ["night"], ["peak"], for diagnostics *)
+  sg_duration : float;  (** seconds of virtual time *)
+  sg_rate : float;  (** offered ops/second at segment start *)
+  sg_rate_end : float option;
+      (** when set, the rate ramps linearly to this value over the
+          segment (flash-crowd rise, diurnal shoulder) *)
+  sg_mix : mix;
+}
+
+type program = {
+  pg_segments : segment list;
+  pg_children : int;
+  pg_seed : int;
+}
+
+val program_duration : program -> float
+(** Total virtual seconds over all segments. *)
+
+val program_mean_rate : program -> float
+(** Time-weighted mean offered rate (ramps count their midpoint). *)
+
+val run_program :
+  ?latency_hist:Renofs_engine.Stats.Hist.t ->
+  Renofs_core.Nfs_client.t ->
+  Fileset.t ->
+  program ->
+  result
+(** As {!run}, but pacing follows the program: each child draws its
+    next inter-arrival gap from the instantaneous per-child rate, an op
+    uses the mix of the segment it fires in, and zero-rate segments are
+    skipped to their boundary.  [offered] in the result is
+    {!program_mean_rate}; [achieved] and [read_rate] divide by
+    {!program_duration}.  Raises [Invalid_argument] on an empty
+    program. *)

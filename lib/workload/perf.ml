@@ -201,15 +201,7 @@ let of_json ~ctx j =
     rpcs_per_s = num "rpcs_per_s";
   }
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  match Json.parse s with
-  | Error msg -> Error (path ^ ": " ^ msg)
-  | Ok j -> (
-      try Ok (of_json ~ctx:path j) with Json.Bad msg -> Error msg)
+let read_file path = Json.decode_file path (of_json ~ctx:path)
 
 (* The gate: wall-clock throughput may wobble with container noise, so
    only a large drop (default 30%) in either rate counts as a

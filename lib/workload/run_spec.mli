@@ -1,0 +1,87 @@
+(** The one spelling of "how to run an experiment".
+
+    Every nfsbench subcommand (run, chaos, fuzz, perf, slo, all) and
+    the scenario loader build one of these records — from command-line
+    flags or from a scenario file's ["run"] object — and hand it to
+    {!execute}.  A scenario file and a CLI invocation are therefore two
+    spellings of the same spec: same fields, same defaults, same
+    output-path checks, same export behavior.
+
+    Fields are optional ("not set") so that a scenario file's run
+    section and the command line can be layered with {!override}
+    before defaults apply. *)
+
+type t = {
+  rs_scale : Experiments.scale option;
+  rs_jobs : int option;  (** domains for the cell sweep *)
+  rs_seed : int option;  (** world / base seed *)
+  rs_json : string option;  (** renofs-bench/1 results file *)
+  rs_trace : string option;  (** JSONL event-trace file *)
+  rs_report : bool;  (** print the nfsstat-style trace report *)
+  rs_metrics : string option;  (** metrics JSONL (or .csv) file *)
+  rs_faults : string option;  (** builtin schedule name or file *)
+}
+
+val empty : t
+(** Nothing set: quick scale, default jobs, seed 0, no exports. *)
+
+val scale : t -> Experiments.scale
+(** [rs_scale], defaulting to [Quick]. *)
+
+val seed : t -> int
+(** [rs_seed], defaulting to 0. *)
+
+val override : base:t -> t -> t
+(** [override ~base t] layers [t] over [base]: fields set in [t] win,
+    unset fields fall through to [base] ([rs_report] ors).  The CLI
+    overriding a scenario file's run section is [override
+    ~base:(from_file) (from_cli)]. *)
+
+val of_json : ctx:string -> (string * Renofs_json.Json.json) list -> t
+(** Decode a run object — [{"scale","jobs","seed","json","trace",
+    "report","metrics","faults"}], every field optional — raising
+    {!Renofs_json.Json.Bad} (prefixed with [ctx]) on unknown fields or
+    wrong shapes, so a typo in a scenario file fails loudly instead of
+    silently running with defaults. *)
+
+val check_writable : string -> string option
+(** Probe-open a path for writing; [Some msg] on failure.  Runs before
+    the sweep so a mistyped output path does not cost minutes of
+    simulation. *)
+
+val check_outputs : (string * string option) list -> string option
+(** [check_outputs [("json", t.rs_json); ...]] — first failure message,
+    if any. *)
+
+val effective_jobs : ?cells:int -> int option -> int
+(** The domain count actually used: the machine's recommended count by
+    default, clamped to the cell count; an explicit larger value still
+    runs, oversubscribed, with a warning on stderr. *)
+
+val resolve_faults :
+  string option -> (Renofs_fault.Fault.schedule option, string) result
+
+val export_metrics : Renofs_metrics.Metrics.t -> string -> unit
+(** CSV when the path ends in [.csv], JSONL otherwise. *)
+
+val execute_many :
+  ?print:(Experiments.table -> unit) ->
+  t ->
+  Experiments.spec list ->
+  (Experiments.results list, string) result
+(** The shared run path: check output paths, resolve the fault
+    schedule (announcing it), clamp jobs to the pooled cell count,
+    create the trace sink (when [rs_trace] or [rs_report]) and metrics
+    sink (when [rs_metrics]), execute every spec's cells in one pooled
+    sweep via {!Experiments.run_specs}, print each rendered table
+    through [print], then export JSON / metrics / trace and print the
+    report.  Returns the typed results so callers can apply their own
+    verdict (chaos/fuzz/slo exit codes).  Results are byte-identical
+    at any [rs_jobs]. *)
+
+val execute :
+  ?print:(Experiments.table -> unit) ->
+  t ->
+  Experiments.spec ->
+  (Experiments.results, string) result
+(** {!execute_many} over one spec. *)

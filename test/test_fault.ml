@@ -233,7 +233,7 @@ let test_durability_invariant () =
 
 let double_create_verdict ~dup_cache =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let tr = Trace.create () in
   List.iter (fun n -> Net.Node.attach n { Net.Node.detached with trace = Some tr }) topo.Net.Topology.all;
   let sudp = Udp.install topo.Net.Topology.server in
@@ -343,7 +343,7 @@ let test_fuzz_smoke_and_determinism () =
 
 let test_schedule_crash_rides_through () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let sudp = Udp.install topo.Net.Topology.server in
   let stcp = Tcp.install topo.Net.Topology.server in
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in

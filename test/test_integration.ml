@@ -22,7 +22,7 @@ type world = {
 
 let make_world () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let sudp = Udp.install topo.Net.Topology.server in
   let stcp = Tcp.install topo.Net.Topology.server in
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in

@@ -12,7 +12,7 @@ module MP = Mount_proto
 
 let make_world () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let sudp = Udp.install topo.Net.Topology.server in
   let stcp = Tcp.install topo.Net.Topology.server in
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in
@@ -125,7 +125,7 @@ let test_rmtab_bookkeeping () =
 let test_mountd_no_daemon () =
   (* Without a mount daemon the path mount must fail in bounded time. *)
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let sudp = Udp.install topo.Net.Topology.server in
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp () in
   Nfs_server.start server;

@@ -326,7 +326,7 @@ let test_mangle_rate_save_restore () =
 
 let test_lan_datagram_delivery () =
   let sim = Sim.create () in
-  let topo = Topology.lan sim () in
+  let topo = Topology.build sim Topology.default_spec in
   let received = ref None in
   Node.set_proto_handler topo.Topology.server Packet.Udp (fun dg ->
       received := Some (dg.Node.src, Mbuf.length dg.Node.payload));
@@ -344,7 +344,7 @@ let test_lan_datagram_delivery () =
 let test_campus_forwarding () =
   let sim = Sim.create () in
   let params = { Topology.default_params with cross_traffic = false; link_loss = 0.0 } in
-  let topo = Topology.campus sim ~params () in
+  let topo = Topology.build sim { Topology.default_spec with Topology.shape = Topology.Campus; params } in
   let received = ref 0 in
   Node.set_proto_handler topo.Topology.server Packet.Udp (fun dg ->
       received := Mbuf.length dg.Node.payload);
@@ -362,7 +362,7 @@ let test_campus_forwarding () =
 let test_wan_forwarding_and_refragmentation () =
   let sim = Sim.create () in
   let params = { Topology.default_params with cross_traffic = false; link_loss = 0.0 } in
-  let topo = Topology.wide_area sim ~params () in
+  let topo = Topology.build sim { Topology.default_spec with Topology.shape = Topology.Wide_area; params } in
   let received = ref 0 in
   Node.set_proto_handler topo.Topology.server Packet.Udp (fun dg ->
       received := Mbuf.length dg.Node.payload);
@@ -381,7 +381,7 @@ let test_wan_forwarding_and_refragmentation () =
 
 let test_no_route_drop () =
   let sim = Sim.create () in
-  let topo = Topology.lan sim () in
+  let topo = Topology.build sim Topology.default_spec in
   Proc.spawn sim (fun () ->
       Node.send_datagram topo.Topology.client ~proto:Packet.Udp ~dst:99
         ~src_port:1 ~dst_port:2 (mk_payload 10));
@@ -390,7 +390,7 @@ let test_no_route_drop () =
 
 let test_send_consumes_cpu () =
   let sim = Sim.create () in
-  let topo = Topology.lan sim () in
+  let topo = Topology.build sim Topology.default_spec in
   Proc.spawn sim (fun () ->
       Node.send_datagram topo.Topology.client ~proto:Packet.Udp
         ~dst:(Node.id topo.Topology.server) ~src_port:1 ~dst_port:2
@@ -417,7 +417,7 @@ let test_nic_copy_accounting () =
       server_nic = Nic.deqna_stock;
     }
   in
-  let topo = Topology.lan sim ~params () in
+  let topo = Topology.build sim { Topology.default_spec with Topology.params = params } in
   Proc.spawn sim (fun () ->
       Node.send_datagram topo.Topology.client ~proto:Packet.Udp
         ~dst:(Node.id topo.Topology.server) ~src_port:1 ~dst_port:2
@@ -429,7 +429,7 @@ let test_nic_copy_accounting () =
   Alcotest.(check bool) "stock NIC copies all 8K" true (copied >= 8192);
   (* Now tuned: cluster bytes are mapped, not copied. *)
   let sim2 = Sim.create () in
-  let topo2 = Topology.lan sim2 () in
+  let topo2 = Topology.build sim2 Topology.default_spec in
   Proc.spawn sim2 (fun () ->
       Node.send_datagram topo2.Topology.client ~proto:Packet.Udp
         ~dst:(Node.id topo2.Topology.server) ~src_port:1 ~dst_port:2
@@ -442,7 +442,7 @@ let test_nic_copy_accounting () =
 
 let test_cross_traffic_loads_ring () =
   let sim = Sim.create () in
-  let topo = Topology.campus sim () in
+  let topo = Topology.build sim { Topology.default_spec with Topology.shape = Topology.Campus } in
   Sim.run ~until:30.0 sim;
   match topo.Topology.bottleneck with
   | Some ring ->

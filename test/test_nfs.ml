@@ -19,9 +19,11 @@ type world = {
 }
 
 let make_world ?(params = quiet) ?(profile = Nfs_server.reno_profile)
-    ?(topology = Net.Topology.lan) () =
+    ?(shape = Net.Topology.Lan) () =
   let sim = Sim.create () in
-  let topo = topology sim ~params () in
+  let topo =
+    Net.Topology.build sim { Net.Topology.shape; clients = 1; params }
+  in
   let server_udp = Udp.install topo.Net.Topology.server in
   let server_tcp = Tcp.install topo.Net.Topology.server in
   let server =
@@ -328,8 +330,8 @@ let test_readdirlook_prefetch () =
 (* Transports end-to-end                                              *)
 (* ------------------------------------------------------------------ *)
 
-let transport_roundtrip opts topology params =
-  let w = make_world ~params ~topology () in
+let transport_roundtrip opts shape params =
+  let w = make_world ~params ~shape () in
   run_client w (fun () ->
       let m = mount_in w opts in
       let fd = Nfs_client.create m "file" in
@@ -341,16 +343,16 @@ let transport_roundtrip opts topology params =
       m)
 
 let test_tcp_transport_roundtrip () =
-  ignore (transport_roundtrip Nfs_client.reno_tcp_mount Net.Topology.lan quiet)
+  ignore (transport_roundtrip Nfs_client.reno_tcp_mount Net.Topology.Lan quiet)
 
 let test_dynamic_transport_roundtrip () =
-  ignore (transport_roundtrip Nfs_client.reno_dynamic_mount Net.Topology.lan quiet)
+  ignore (transport_roundtrip Nfs_client.reno_dynamic_mount Net.Topology.Lan quiet)
 
 let test_transports_survive_lossy_wan () =
   let lossy = { quiet with Net.Topology.link_loss = 0.02 } in
   List.iter
     (fun opts ->
-      let m = transport_roundtrip opts Net.Topology.campus lossy in
+      let m = transport_roundtrip opts Net.Topology.Campus lossy in
       ignore (Client_transport.summary (Nfs_client.transport m)))
     [
       Nfs_client.reno_mount;
@@ -360,7 +362,7 @@ let test_transports_survive_lossy_wan () =
 
 let test_dynamic_window_reacts_to_loss () =
   let lossy = { quiet with Net.Topology.link_loss = 0.05 } in
-  let w = make_world ~params:lossy ~topology:Net.Topology.campus () in
+  let w = make_world ~params:lossy ~shape:Net.Topology.Campus () in
   run_client w (fun () ->
       let m = mount_in w Nfs_client.reno_dynamic_mount in
       let fd = Nfs_client.create m "f" in

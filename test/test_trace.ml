@@ -200,7 +200,7 @@ let quiet =
 
 let traced_world () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim ~params:quiet () in
+  let topo = Net.Topology.build sim { Net.Topology.default_spec with Net.Topology.params = quiet } in
   let server_udp = Udp.install topo.Net.Topology.server in
   let server_tcp = Tcp.install topo.Net.Topology.server in
   let server =
@@ -306,8 +306,7 @@ let test_experiment_with_trace () =
      round-trip the whole event stream through JSONL. *)
   let tr = Trace.create () in
   let table =
-    E.with_trace tr (fun () ->
-        E.render (E.run_spec ~jobs:1 ((List.assoc "table5" E.specs) E.Quick)))
+    E.render (E.run_spec ~jobs:1 ~trace:tr ((List.assoc "table5" E.specs) E.Quick))
   in
   Alcotest.(check bool) "experiment produced rows" true (List.length table.E.rows > 0);
   Alcotest.(check bool) "events recorded" true (Trace.length tr > 0);

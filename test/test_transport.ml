@@ -15,7 +15,7 @@ let pattern n = Bytes.init n (fun i -> Char.chr ((i * 7) mod 256))
 
 let test_udp_roundtrip () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Udp.install topo.Net.Topology.client
   and ss = Udp.install topo.Net.Topology.server in
   let server_sock = Udp.bind ss ~port:2049 in
@@ -35,7 +35,7 @@ let test_udp_roundtrip () =
 
 let test_udp_8k_over_wan () =
   let sim = Sim.create () in
-  let topo = Net.Topology.wide_area sim ~params:quiet_params () in
+  let topo = Net.Topology.build sim { Net.Topology.default_spec with Net.Topology.shape = Net.Topology.Wide_area; params = quiet_params } in
   let cs = Udp.install topo.Net.Topology.client
   and ss = Udp.install topo.Net.Topology.server in
   let server_sock = Udp.bind ss ~port:2049 in
@@ -55,7 +55,7 @@ let test_udp_8k_over_wan () =
 
 let test_udp_unknown_port_dropped () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Udp.install topo.Net.Topology.client
   and ss = Udp.install topo.Net.Topology.server in
   let bound = Udp.bind ss ~port:2049 in
@@ -68,7 +68,7 @@ let test_udp_unknown_port_dropped () =
 
 let test_udp_receive_buffer_overflow () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Udp.install topo.Net.Topology.client
   and ss = Udp.install topo.Net.Topology.server in
   (* Tiny buffer: fits just one 8K datagram. *)
@@ -85,7 +85,7 @@ let test_udp_receive_buffer_overflow () =
 
 let test_udp_port_conflict () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let ss = Udp.install topo.Net.Topology.server in
   let _ = Udp.bind ss ~port:2049 in
   Alcotest.check_raises "conflict" (Invalid_argument "Udp.bind: port 2049 in use")
@@ -134,34 +134,34 @@ let run_echo ?(mss = 1460) ~topo ~bytes () =
 
 let test_tcp_lan_echo () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let stats = run_echo ~topo ~bytes:100_000 () in
   Alcotest.(check int) "no timeouts on clean lan" 0 stats.Tcp.retransmit_timeouts;
   Alcotest.(check bool) "rtt estimated" true (stats.Tcp.srtt > 0.0)
 
 let test_tcp_campus_echo () =
   let sim = Sim.create () in
-  let topo = Net.Topology.campus sim ~params:quiet_params () in
+  let topo = Net.Topology.build sim { Net.Topology.default_spec with Net.Topology.shape = Net.Topology.Campus; params = quiet_params } in
   let stats = run_echo ~mss:512 ~topo ~bytes:60_000 () in
   Alcotest.(check bool) "segments flowed" true (stats.Tcp.segs_sent > 100)
 
 let test_tcp_wan_echo () =
   let sim = Sim.create () in
-  let topo = Net.Topology.wide_area sim ~params:quiet_params () in
+  let topo = Net.Topology.build sim { Net.Topology.default_spec with Net.Topology.shape = Net.Topology.Wide_area; params = quiet_params } in
   let _stats = run_echo ~mss:512 ~topo ~bytes:20_000 () in
   ()
 
 let test_tcp_lossy_link_recovers () =
   let sim = Sim.create () in
   let params = { quiet_params with link_loss = 0.05 } in
-  let topo = Net.Topology.campus sim ~params () in
+  let topo = Net.Topology.build sim { Net.Topology.default_spec with Net.Topology.shape = Net.Topology.Campus; params } in
   let stats = run_echo ~mss:512 ~topo ~bytes:60_000 () in
   Alcotest.(check bool) "recovered via retransmission" true
     (stats.Tcp.retransmit_timeouts + stats.Tcp.fast_retransmits > 0)
 
 let test_tcp_slow_start_growth () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Tcp.install topo.Net.Topology.client
   and ss = Tcp.install topo.Net.Topology.server in
   (* A sink server that reads forever. *)
@@ -182,7 +182,7 @@ let test_tcp_slow_start_growth () =
 
 let test_tcp_connect_timeout () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Tcp.install topo.Net.Topology.client in
   let _ss = Tcp.install topo.Net.Topology.server in
   let outcome = ref "" in
@@ -199,7 +199,7 @@ let test_tcp_concurrent_senders_serialized () =
      per-record locking above this, but the socket layer must at least
      keep the byte stream intact). *)
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Tcp.install topo.Net.Topology.client
   and ss = Tcp.install topo.Net.Topology.server in
   let total = ref 0 in
@@ -222,7 +222,7 @@ let test_tcp_concurrent_senders_serialized () =
 
 let test_tcp_close_delivers_eof () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Tcp.install topo.Net.Topology.client
   and ss = Tcp.install topo.Net.Topology.server in
   let server_saw = ref [] in
@@ -249,7 +249,7 @@ let test_tcp_zero_window_persist () =
   (* A receiver that refuses to read closes its window; the sender must
      stall, probe, and finish once the receiver drains. *)
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Tcp.install topo.Net.Topology.client
   and ss = Tcp.install topo.Net.Topology.server in
   let got = Buffer.create 65536 in
@@ -277,7 +277,7 @@ let test_tcp_interleaved_connections () =
   (* Several simultaneous connections between the same two hosts must
      demultiplex cleanly. *)
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let cs = Tcp.install topo.Net.Topology.client
   and ss = Tcp.install topo.Net.Topology.server in
   let sums = Hashtbl.create 4 in
@@ -305,7 +305,7 @@ let test_tcp_cpu_premium_over_udp () =
      more CPU than by UDP. *)
   let run_udp () =
     let sim = Sim.create () in
-    let topo = Net.Topology.lan sim () in
+    let topo = Net.Topology.build sim Net.Topology.default_spec in
     let cs = Udp.install topo.Net.Topology.client
     and ss = Udp.install topo.Net.Topology.server in
     let server_sock = Udp.bind ss ~port:2049 in
@@ -325,7 +325,7 @@ let test_tcp_cpu_premium_over_udp () =
   in
   let run_tcp () =
     let sim = Sim.create () in
-    let topo = Net.Topology.lan sim () in
+    let topo = Net.Topology.build sim Net.Topology.default_spec in
     let cs = Tcp.install topo.Net.Topology.client
     and ss = Tcp.install topo.Net.Topology.server in
     let got = ref 0 in
@@ -363,7 +363,7 @@ let prop_tcp_transfer_integrity =
           seed = bytes;
         }
       in
-      let topo = Net.Topology.campus sim ~params () in
+      let topo = Net.Topology.build sim { Net.Topology.default_spec with Net.Topology.shape = Net.Topology.Campus; params } in
       let cs = Tcp.install topo.Net.Topology.client
       and ss = Tcp.install topo.Net.Topology.server in
       let received = Buffer.create bytes in

@@ -12,9 +12,11 @@ module P = Nfs_proto
 let quiet =
   { Net.Topology.default_params with Net.Topology.cross_traffic = false; link_loss = 0.0 }
 
-let make_world ?(params = quiet) ?(topology = Net.Topology.lan) ?(serve = true) () =
+let make_world ?(params = quiet) ?(shape = Net.Topology.Lan) ?(serve = true) () =
   let sim = Sim.create () in
-  let topo = topology sim ~params () in
+  let topo =
+    Net.Topology.build sim { Net.Topology.shape; clients = 1; params }
+  in
   let sudp = Udp.install topo.Net.Topology.server in
   let stcp = Tcp.install topo.Net.Topology.server in
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in
@@ -90,7 +92,7 @@ let test_adaptive_shrinks_under_loss () =
   let params =
     { Net.Topology.default_params with cross_traffic = false; link_loss = 0.03 }
   in
-  let sim, topo, server, cudp, ctcp = make_world ~params ~topology:Net.Topology.campus () in
+  let sim, topo, server, cudp, ctcp = make_world ~params ~shape:Net.Topology.Campus () in
   let final_size = ref 0 and data_ok = ref false in
   Proc.spawn sim (fun () ->
       let m =
@@ -140,7 +142,7 @@ let test_sub_block_transfers_preserve_data () =
   let params =
     { Net.Topology.default_params with cross_traffic = false; link_loss = 0.08 }
   in
-  let sim, topo, server, cudp, ctcp = make_world ~params ~topology:Net.Topology.campus () in
+  let sim, topo, server, cudp, ctcp = make_world ~params ~shape:Net.Topology.Campus () in
   let ok = ref false in
   Proc.spawn sim (fun () ->
       let m =

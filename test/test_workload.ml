@@ -53,7 +53,7 @@ let test_fileset_long_names_defeat_cache () =
 
 let test_fileset_preload () =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let sudp = Udp.install topo.Net.Topology.server in
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp () in
   let fileset = Fileset.generate ~dirs:2 ~files_per_dir:3 ~file_size:5000 ~long_names:false in
@@ -82,7 +82,7 @@ let test_fileset_preload () =
 
 let with_lan_mount opts body =
   let sim = Sim.create () in
-  let topo = Net.Topology.lan sim () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
   let sudp = Udp.install topo.Net.Topology.server in
   let stcp = Tcp.install topo.Net.Topology.server in
   let server = Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp () in
