@@ -30,8 +30,14 @@
 # because container clocks are noisy, but tight enough to catch a real
 # hot-path regression.  Refresh with `make perf-baseline` after an
 # intentional engine change (run it on a quiet machine).
+# `make profile-smoke` exercises the observability additions: a
+# profiled + Perfetto-exported run whose renofs-profile/1 file must
+# validate (validation includes the self-time-sums-to-wall accounting
+# check), and the crash-without-reboot scenario under --flight, which
+# must still breach (inverted with `!`) while leaving a complete
+# post-mortem bundle.
 
-.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate bench-baseline perf-gate perf-baseline check clean
+.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate bench-baseline perf-gate perf-baseline profile-smoke check clean
 
 all: build
 
@@ -84,7 +90,17 @@ perf-gate: build
 perf-baseline: build
 	dune exec bin/nfsbench.exe -- perf --json BENCH_perf.json
 
-check: build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate perf-gate
+profile-smoke: build
+	dune exec bin/nfsbench.exe -- run graph1 --jobs 2 --profile /tmp/renofs-profile.json --perfetto /tmp/renofs-perfetto.json > /dev/null
+	dune exec bin/nfsbench.exe -- validate-json /tmp/renofs-profile.json
+	rm -rf /tmp/renofs-flight
+	! dune exec bin/nfsbench.exe -- slo examples/crash_noreboot.scenario.json --flight /tmp/renofs-flight > /dev/null
+	test -s /tmp/renofs-flight/*/MANIFEST.json
+	test -s /tmp/renofs-flight/*/reason.txt
+	test -s /tmp/renofs-flight/*/trace_tail.jsonl
+	test -s /tmp/renofs-flight/*/profile.json
+
+check: build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate perf-gate profile-smoke
 
 clean:
 	dune clean

@@ -21,6 +21,9 @@
      nfsbench slo day.scenario.json    or a renofs-scenario/1 file
      nfsbench all [-f] [--jobs N] [--json FILE]   run everything
      nfsbench run graph5 --metrics m.jsonl sample time-series metrics
+     nfsbench run graph5 --profile p.json  self-profile the simulator
+     nfsbench run graph5 --perfetto t.json trace for ui.perfetto.dev
+     nfsbench slo crash-at-peak --flight DIR   dump a bundle on failure
      nfsbench plot m.jsonl cwnd        chart a recorded series
      nfsbench diff OLD.json NEW.json   regression-gate two --json files
      nfsbench validate-json FILE       check a --json file against the schema
@@ -60,6 +63,9 @@ let check_unused ~cmd (rs : R.t) unsupported =
     | "report" -> rs.R.rs_report
     | "metrics" -> rs.R.rs_metrics <> None
     | "faults" -> rs.R.rs_faults <> None
+    | "profile" -> rs.R.rs_profile <> None
+    | "perfetto" -> rs.R.rs_perfetto <> None
+    | "flight" -> rs.R.rs_flight <> None
     | _ -> false
   in
   match List.filter set unsupported with
@@ -227,8 +233,40 @@ let run_plot path pattern =
         `Ok ()
       end
 
+(* The schema member of a JSON file, when it parses at all. *)
+let schema_of_file path =
+  match Json.load_file path with
+  | Ok (Json.Obj fields) -> (
+      match List.assoc_opt "schema" fields with
+      | Some (Json.Str s) -> Some s
+      | _ -> None)
+  | _ -> None
+
+let diff_perf old_path new_path tolerance_pct =
+  match (Perf.read_file old_path, Perf.read_file new_path) with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok baseline, Ok current ->
+      let v =
+        Perf.diff ~tolerance:(tolerance_pct /. 100.0) ~baseline ~current
+      in
+      List.iter (fun n -> Format.printf "note: %s@." n) v.Perf.notes;
+      List.iter (fun s -> Format.printf "%s@." s) v.Perf.regressions;
+      Format.printf "perf diff at ±%g%%: %d regressed, %d note(s)@."
+        tolerance_pct
+        (List.length v.Perf.regressions)
+        (List.length v.Perf.notes);
+      if v.Perf.regressions <> [] then
+        `Error
+          ( false,
+            Printf.sprintf "%d rate(s) regressed beyond %g%%"
+              (List.length v.Perf.regressions)
+              tolerance_pct )
+      else `Ok ()
+
 let run_diff old_path new_path tolerance_pct =
   if tolerance_pct < 0.0 then `Error (false, "--tolerance must be >= 0")
+  else if schema_of_file old_path = Some "renofs-perf/1" then
+    diff_perf old_path new_path tolerance_pct
   else
     match
       Bench_json.diff_files ~tolerance:(tolerance_pct /. 100.0) old_path new_path
@@ -254,7 +292,10 @@ let run_diff old_path new_path tolerance_pct =
    design — measuring real time wants the machine to itself. *)
 let run_perf rs baseline_path tolerance_pct =
   let unsupported =
-    [ "scale"; "jobs"; "seed"; "trace"; "report"; "metrics"; "faults" ]
+    [
+      "scale"; "jobs"; "seed"; "trace"; "report"; "metrics"; "faults";
+      "profile"; "perfetto"; "flight";
+    ]
   in
   match check_unused ~cmd:"perf (serial by design)" rs unsupported with
   | Some msg -> `Error (false, msg)
@@ -276,13 +317,19 @@ let run_perf rs baseline_path tolerance_pct =
         | Error msg -> `Error (false, msg)
         | Ok baseline ->
             let r =
-              Perf.run ~progress:(fun label -> Format.printf "%s...@." label) ()
+              Perf.run ~profile:true
+                ~progress:(fun label -> Format.printf "%s...@." label)
+                ()
             in
             Format.printf
               "%d cells, %.1f s wall: %d events (%.0f events/s), %d RPCs \
                (%.0f RPCs/s)@."
               (List.length r.Perf.cells) r.Perf.wall_s r.Perf.events
               r.Perf.events_per_s r.Perf.rpcs r.Perf.rpcs_per_s;
+            (match r.Perf.p_profile with
+            | Some s ->
+                Renofs_profile.Profile.print Format.std_formatter s
+            | None -> ());
             (match json_path with
             | Some path ->
                 Perf.write_file ~path r;
@@ -346,6 +393,8 @@ let validate_json path =
           finish "renofs-scenario/1" (Scenario.load_file path)
       | Some "renofs-fault/1" -> finish "renofs-fault/1" (Fault.load_file path)
       | Some "renofs-perf/1" -> finish "renofs-perf/1" (Perf.read_file path)
+      | Some "renofs-profile/1" ->
+          finish "renofs-profile/1" (Renofs_profile.Profile.read_file path)
       | Some other ->
           `Error (false, Printf.sprintf "%s: unknown schema %S" path other)
       | None ->
@@ -353,7 +402,8 @@ let validate_json path =
             ( false,
               path
               ^ ": no top-level \"schema\" member (want renofs-bench/1, \
-                 renofs-scenario/1, renofs-fault/1 or renofs-perf/1)" ))
+                 renofs-scenario/1, renofs-fault/1, renofs-perf/1 or \
+                 renofs-profile/1)" ))
 
 (* The one flag surface.  Every subcommand parses the same options with
    the same help text into a Run_spec; a scenario file's "run" object
@@ -436,8 +486,42 @@ let faults_arg =
           "Run under a fault schedule: a builtin name (see $(b,nfsbench \
            faults)) or a renofs-fault/1 JSON file.")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Self-profile the simulator while it runs — per-subsystem \
+           wall-clock attribution, event fire counts and durations, GC \
+           pressure — print the profile table and write it to $(docv) \
+           (schema renofs-profile/1).")
+
+let perfetto_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perfetto" ] ~docv:"FILE"
+        ~doc:
+          "Record an event trace and export it as a Chrome trace-event JSON \
+           file that https://ui.perfetto.dev opens directly: RPC spans, \
+           server service/queue slices, retransmit and drop instants, and \
+           the self-profiler's subsystem summary.")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"DIR"
+        ~doc:
+          "Arm the flight recorder: when a cell fails (invariant FAIL, SLO \
+           breach or stuck driver) dump a bundle under $(docv)/<cell> — the \
+           trace-ring tail, metrics tail, self-profile snapshot, run spec \
+           and seed — for post-mortem without a rerun.")
+
 let spec_term =
-  let make full scale jobs seed json trace report metrics faults =
+  let make full scale jobs seed json trace report metrics faults profile
+      perfetto flight =
     {
       R.rs_scale = (if full then Some E.Full else scale);
       rs_jobs = jobs;
@@ -447,11 +531,15 @@ let spec_term =
       rs_report = report;
       rs_metrics = metrics;
       rs_faults = faults;
+      rs_profile = profile;
+      rs_perfetto = perfetto;
+      rs_flight = flight;
     }
   in
   Term.(
     const make $ full_flag $ scale_arg $ jobs_arg $ seed_arg $ json_arg
-    $ trace_arg $ report_flag $ metrics_arg $ faults_arg)
+    $ trace_arg $ report_flag $ metrics_arg $ faults_arg $ profile_arg
+    $ perfetto_arg $ flight_arg)
 
 let id_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
@@ -490,13 +578,15 @@ let diff_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"OLD" ~doc:"Baseline renofs-bench/1 file.")
+      & info [] ~docv:"OLD"
+          ~doc:"Baseline renofs-bench/1 or renofs-perf/1 file.")
   in
   let new_file =
     Arg.(
       required
       & pos 1 (some string) None
-      & info [] ~docv:"NEW" ~doc:"Candidate renofs-bench/1 file.")
+      & info [] ~docv:"NEW"
+          ~doc:"Candidate file of the same schema as $(b,OLD).")
   in
   let tolerance =
     Arg.(
@@ -504,13 +594,15 @@ let diff_cmd =
       & info [ "tolerance" ] ~docv:"PCT"
           ~doc:
             "Allowed change in percent before a latency (ms/s) increase or a \
-             throughput (per_s) decrease counts as a regression.")
+             throughput (per_s) decrease counts as a regression; for perf \
+             files, the allowed wall-clock rate drop.")
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
-         "Compare two --json files cell by cell; exits non-zero when any \
-          cell regressed beyond the tolerance")
+         "Compare two --json files cell by cell (renofs-bench/1), or two \
+          perf files rate by rate and cell by cell (renofs-perf/1); exits \
+          non-zero when anything regressed beyond the tolerance")
     Term.(ret (const run_diff $ old_file $ new_file $ tolerance))
 
 let chaos_cmd =

@@ -1,4 +1,5 @@
 module Sim = Renofs_engine.Sim
+module Probe = Renofs_engine.Probe
 module Proc = Renofs_engine.Proc
 module Cpu = Renofs_engine.Cpu
 module Stats = Renofs_engine.Stats
@@ -188,9 +189,15 @@ let note_service t name seconds =
 let rpcs_served t = t.served
 let duplicates_dropped t = t.dups
 
+(* As in [Fs.charge]: the consume suspends, so when probed rebind the
+   resumed segment (decode/encode/DRC work) to the server slot with a
+   deliberately unmatched enter — the event fire boundary truncates it. *)
 let charge t instructions =
   Cpu.consume (Node.cpu t.node)
-    (Cpu.seconds_of_instructions (Node.cpu t.node) instructions)
+    (Cpu.seconds_of_instructions (Node.cpu t.node) instructions);
+  match Sim.probe (Node.sim t.node) with
+  | None -> ()
+  | Some p -> ignore (p.Probe.enter Probe.server)
 
 let charge_copy t bytes =
   let bw = (Node.nic t.node).Nic.copy_bandwidth in
@@ -564,7 +571,7 @@ let dup_store t key reply =
    undecodable garbage (dropped, as a datagram server does).
    [arrived_at] is when the request entered the socket queue (UDP only):
    it turns into the [Srv_queue] wait-time trace event. *)
-let handle_message t ?arrived_at chain ~src ~src_port =
+let handle_message_inner t ?arrived_at chain ~src ~src_port =
   if not t.up then None
   else begin
   charge t (t.profile.decode_instructions +. t.profile.xdr_layer_instructions);
@@ -658,6 +665,24 @@ let handle_message t ?arrived_at chain ~src ~src_port =
             else Hashtbl.remove t.dup_table key;
           Some reply)
   end
+
+(* Request service is fiber code ([execute] suspends on the simulated
+   CPU and disk), so the server scope relies on the probe's truncating
+   depth tokens: the segment up to the first suspension is charged to
+   the server slot, resumed segments are charged by their resume sites,
+   and the final [leave] is a harmless no-op if the stack was already
+   truncated at an event boundary. *)
+let handle_message t ?arrived_at chain ~src ~src_port =
+  match Sim.probe (Node.sim t.node) with
+  | None -> handle_message_inner t ?arrived_at chain ~src ~src_port
+  | Some p ->
+      let d = p.Probe.enter Probe.server in
+      let r =
+        try handle_message_inner t ?arrived_at chain ~src ~src_port
+        with e -> p.Probe.leave d; raise e
+      in
+      p.Probe.leave d;
+      r
 
 let crash t =
   t.up <- false;

@@ -77,7 +77,14 @@ and job_done t =
   t.cur_fin <- ignore;
   t.busy.completed <- t.busy.completed +. work;
   t.busy.cur_len <- 0.0;
-  fin ();
+  (* [fin] resumes whatever fiber was waiting on the CPU; the resumed
+     segment runs here, so charge it to the cpu slot when probed. *)
+  (match Sim.probe t.sim with
+  | None -> fin ()
+  | Some p ->
+      let d = p.Probe.enter Probe.cpu in
+      (try fin () with e -> p.Probe.leave d; raise e);
+      p.Probe.leave d);
   serve t
 
 let create sim ~mips =

@@ -1,0 +1,33 @@
+type t = {
+  enter : int -> int;
+  leave : int -> unit;
+  current : unit -> int;
+  fire_enter : int -> int;
+  fire_leave : int -> unit;
+}
+
+let harness = 0
+let scheduler = 1
+let cpu = 2
+let link = 3
+let transport = 4
+let server = 5
+let vfs = 6
+let observer = 7
+let n_slots = 8
+
+let names =
+  [| "harness"; "scheduler"; "cpu"; "link"; "transport"; "server"; "vfs";
+     "observer" |]
+
+let slot_name i =
+  if i >= 0 && i < n_slots then names.(i) else Printf.sprintf "slot%d" i
+
+let scoped probe slot f =
+  match probe with
+  | None -> f ()
+  | Some p ->
+      let d = p.enter slot in
+      let r = try f () with e -> p.leave d; raise e in
+      p.leave d;
+      r

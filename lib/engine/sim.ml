@@ -18,6 +18,10 @@ type event = {
          fall back to the exact float, then to [seq]. *)
   seq : int;
   fn : unit -> unit;
+  tag : int;
+      (* the probe slot active when the event was scheduled; 0 when no
+         probe is attached.  Lets the profiler attribute each fire to
+         the subsystem that requested it. *)
   mutable queued : bool;
   mutable vb : int;  (* virtual bucket, cached by [insert] *)
   mutable prev : event;
@@ -40,14 +44,15 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
+  mutable probe : Probe.t option;
 }
 
 let dummy_count = ref 0
 
 let sentinel () =
   let rec s =
-    { time = nan; tkey = max_int; seq = -1; fn = ignore; queued = false;
-      vb = -1; prev = s; next = s; count = dummy_count }
+    { time = nan; tkey = max_int; seq = -1; fn = ignore; tag = 0;
+      queued = false; vb = -1; prev = s; next = s; count = dummy_count }
   in
   s
 
@@ -65,9 +70,12 @@ let create () =
     clock = 0.0;
     next_seq = 0;
     processed = 0;
+    probe = None;
   }
 
 let now t = t.clock
+let set_probe t p = t.probe <- p
+let probe t = t.probe
 
 (* Virtual bucket of a time: all times are >= 0, so truncation is
    floor.  The same expression indexes inserts and pops, so boundary
@@ -231,9 +239,10 @@ let schedule t time fn =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is before now %g" time t.clock);
+  let tag = match t.probe with None -> 0 | Some p -> p.Probe.current () in
   let rec ev =
     { time; tkey = int_of_float (time *. 1e9); seq = t.next_seq;
-      fn; queued = false; vb = 0; prev = ev; next = ev; count = t.size }
+      fn; tag; queued = false; vb = 0; prev = ev; next = ev; count = t.size }
   in
   t.next_seq <- t.next_seq + 1;
   insert t ev;
@@ -254,35 +263,57 @@ let cancel ev =
 
 let pending ev = ev.queued
 
+(* One branch when detached; when probed, the fire is bracketed so the
+   profiler can charge the event's wall time to the slot that scheduled
+   it (the event [tag]) and histogram its duration. *)
+let fire t ev =
+  match t.probe with
+  | None -> ev.fn ()
+  | Some p ->
+      let d = p.Probe.fire_enter ev.tag in
+      (try ev.fn () with e -> p.Probe.fire_leave d; raise e);
+      p.Probe.fire_leave d
+
 let step t =
   match pop t with
   | None -> false
   | Some ev ->
       t.clock <- ev.time;
       t.processed <- t.processed + 1;
-      ev.fn ();
+      fire t ev;
       true
 
 let run ?until t =
-  match until with
-  | None -> while step t do () done
-  | Some limit ->
-      (* One [find_min] per event: peek, and only if the minimum is due
-         within the horizon unlink and fire it directly — going through
-         [step] would scan for the same minimum twice. *)
-      let rec loop () =
-        match find_min t with
-        | Some ev when ev.time <= limit ->
-            unlink ev;
-            decr t.size;
-            maybe_shrink t;
-            t.clock <- ev.time;
-            t.processed <- t.processed + 1;
-            ev.fn ();
-            loop ()
-        | Some _ | None -> if t.clock < limit then t.clock <- limit
-      in
-      loop ()
+  let body () =
+    match until with
+    | None -> while step t do () done
+    | Some limit ->
+        (* One [find_min] per event: peek, and only if the minimum is due
+           within the horizon unlink and fire it directly — going through
+           [step] would scan for the same minimum twice. *)
+        let rec loop () =
+          match find_min t with
+          | Some ev when ev.time <= limit ->
+              unlink ev;
+              decr t.size;
+              maybe_shrink t;
+              t.clock <- ev.time;
+              t.processed <- t.processed + 1;
+              fire t ev;
+              loop ()
+          | Some _ | None -> if t.clock < limit then t.clock <- limit
+        in
+        loop ()
+  in
+  (* The run loop itself is the "scheduler" slot: queue scans, resizes
+     and clock advances between fires are charged to it, while each
+     fire's body is charged to its own tag by [fire]. *)
+  match t.probe with
+  | None -> body ()
+  | Some p ->
+      let d = p.Probe.enter Probe.scheduler in
+      (try body () with e -> p.Probe.leave d; raise e);
+      p.Probe.leave d
 
 let events_processed t = t.processed
 let pending_events t = !(t.size)

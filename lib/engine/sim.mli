@@ -52,3 +52,18 @@ val events_processed : t -> int
 
 val pending_events : t -> int
 (** Events currently queued and not cancelled.  O(1). *)
+
+(** {1 Self-profiling}
+
+    A {!Probe.t} attached here is visible to every layer holding the
+    sim, so instrumented sites need no extra plumbing.  When attached,
+    {!run} charges queue bookkeeping to the [scheduler] slot, every
+    event fire is bracketed and attributed to the slot that scheduled
+    it, and {!schedule} stamps each event with the active slot.  When
+    detached (the default) each hook is a single [match] branch. *)
+
+val set_probe : t -> Probe.t option -> unit
+(** Attach or detach a profiler probe. *)
+
+val probe : t -> Probe.t option
+(** The attached probe, for instrumented sites in higher layers. *)

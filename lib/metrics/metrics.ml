@@ -56,12 +56,21 @@ let start_run t ~sim ~label =
      up mid-run (a client mounting) join the next sample. *)
   let rec tick () =
     if !(t.m_enabled) then begin
-      let now = Sim.now sim in
-      List.iter
-        (fun s ->
-          let v = s.s_sample () in
-          if Float.is_finite v then Stats.Timeseries.add s.s_points now v)
-        (List.rev run.r_sources_rev)
+      let sample () =
+        let now = Sim.now sim in
+        List.iter
+          (fun s ->
+            let v = s.s_sample () in
+            if Float.is_finite v then Stats.Timeseries.add s.s_points now v)
+          (List.rev run.r_sources_rev)
+      in
+      (* Sampling cost is observer overhead when probed. *)
+      match Sim.probe sim with
+      | None -> sample ()
+      | Some p ->
+          let d = p.Renofs_engine.Probe.enter Renofs_engine.Probe.observer in
+          (try sample () with e -> p.Renofs_engine.Probe.leave d; raise e);
+          p.Renofs_engine.Probe.leave d
     end;
     ignore (Sim.timer_after sim t.m_interval tick)
   in

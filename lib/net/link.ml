@@ -1,4 +1,5 @@
 module Sim = Renofs_engine.Sim
+module Probe = Renofs_engine.Probe
 module Rng = Renofs_engine.Rng
 module Trace = Renofs_trace.Trace
 module Mbuf = Renofs_mbuf.Mbuf
@@ -81,10 +82,23 @@ let trace_pkt t pkt ev_of =
         (ev_of (Packet.wire_size pkt))
   | Some _ | None -> ()
 
+(* Wire-delay and transmit-complete events run link (NIC) code and then
+   hand the packet up the receive path; when probed, charge them to the
+   link slot.  Detached cost: one branch. *)
+let link_scope t f =
+  match Sim.probe t.sim with
+  | None -> f t
+  | Some p ->
+      let d = p.Probe.enter Probe.link in
+      (try f t with e -> p.Probe.leave d; raise e);
+      p.Probe.leave d
+
 let deliver_after t delay pkt =
   Sim.after t.sim delay (fun () ->
-      trace_pkt t pkt (fun bytes -> Trace.Pkt_deliver { link = t.name; bytes });
-      t.deliver pkt)
+      link_scope t (fun t ->
+          trace_pkt t pkt (fun bytes ->
+              Trace.Pkt_deliver { link = t.name; bytes });
+          t.deliver pkt))
 
 let note_mangle t pkt op =
   t.stats.mangled <- t.stats.mangled + 1;
@@ -232,8 +246,8 @@ let create sim ~name ~bandwidth_bps ~delay ~queue_limit ?(loss = 0.0) ?(owner = 
       tx_done = ignore;
     }
   in
-  t.drain <- (fun () -> drain_one t);
-  t.tx_done <- (fun () -> tx_complete t);
+  t.drain <- (fun () -> link_scope t drain_one);
+  t.tx_done <- (fun () -> link_scope t tx_complete);
   t
 
 let send t pkt =

@@ -1,4 +1,5 @@
 module Sim = Renofs_engine.Sim
+module Probe = Renofs_engine.Probe
 module Proc = Renofs_engine.Proc
 module Cpu = Renofs_engine.Cpu
 module Rng = Renofs_engine.Rng
@@ -210,8 +211,8 @@ let dispatch t (whole : Packet.t) =
   t.stats.datagrams_received <- t.stats.datagrams_received + 1;
   match handler_for t whole.Packet.proto with
   | None -> t.stats.no_handler_drops <- t.stats.no_handler_drops + 1
-  | Some h ->
-      h
+  | Some h -> (
+      let dg =
         {
           proto = whole.Packet.proto;
           src = whole.Packet.src;
@@ -220,6 +221,15 @@ let dispatch t (whole : Packet.t) =
           payload = whole.Packet.payload;
           sum = whole.Packet.sum;
         }
+      in
+      (* The handler is the protocol layer (UDP/TCP demux, RPC decode,
+         fiber resume); charge it to the transport slot when probed. *)
+      match Sim.probe t.sim with
+      | None -> h dg
+      | Some p ->
+          let d = p.Probe.enter Probe.transport in
+          (try h dg with e -> p.Probe.leave d; raise e);
+          p.Probe.leave d)
 
 let deliver_local t (pkt : Packet.t) =
   Sim.after t.sim 0.0 (fun () ->

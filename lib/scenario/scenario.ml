@@ -547,6 +547,14 @@ let scenario_fileset =
   Fileset.generate ~dirs:3 ~files_per_dir:4 ~file_size:8192 ~long_names:false
 
 let attach_observers (ctx : E.ctx) sim topo label =
+  (match ctx.E.profile with
+  | None -> ()
+  | Some p ->
+      let probe = Some (Renofs_profile.Profile.probe p) in
+      Sim.set_probe sim probe;
+      (match ctx.E.trace with
+      | Some tr -> Trace.set_probe tr probe
+      | None -> ()));
   (match ctx.E.trace with
   | None -> ()
   | Some tr -> Trace.mark tr ~time:(Sim.now sim) label);

@@ -46,17 +46,28 @@ type t = {
   mutable next : int; (* next slot to overwrite *)
   mutable total : int;
   mutable on : bool;
+  mutable probe : Renofs_engine.Probe.t option;
 }
 
 let dummy = { time = 0.0; node = -1; ev = Run_mark { label = "" } }
 
 let create ?(capacity = 1 lsl 18) () =
   if capacity <= 0 then invalid_arg "Trace.create: nonpositive capacity";
-  { capacity; buf = Array.make capacity dummy; next = 0; total = 0; on = true }
+  { capacity; buf = Array.make capacity dummy; next = 0; total = 0; on = true;
+    probe = None }
+
+let set_probe t p = t.probe <- p
 
 let record t ~time ~node ev =
   if t.on then begin
-    t.buf.(t.next) <- { time; node; ev };
+    (* When probed, the recording cost itself is charged to the observer
+       slot — that is the "how much does tracing cost" answer. *)
+    (match t.probe with
+    | None -> t.buf.(t.next) <- { time; node; ev }
+    | Some p ->
+        let d = p.Renofs_engine.Probe.enter Renofs_engine.Probe.observer in
+        t.buf.(t.next) <- { time; node; ev };
+        p.Renofs_engine.Probe.leave d);
     t.next <- (t.next + 1) mod t.capacity;
     t.total <- t.total + 1
   end
@@ -417,6 +428,14 @@ let export_jsonl t path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      (* The metadata header makes ring overwrites visible in the file
+         itself (no silent truncation): [held] records follow, out of
+         [total] observed, [overwritten] lost to the ring.  Readers that
+         predate the header see a line without a "t" field and can skip
+         any line carrying "schema". *)
+      Printf.fprintf oc
+        "{\"schema\":\"renofs-trace/1\",\"held\":%d,\"total\":%d,\"overwritten\":%d}\n"
+        (length t) (total t) (dropped t);
       List.iter
         (fun r ->
           output_string oc (line_of_record r);
@@ -432,12 +451,18 @@ let import_jsonl path =
         match input_line ic with
         | "" -> go (lineno + 1) acc
         | line ->
-            let r =
-              try record_of_line line
-              with Failure msg ->
-                failwith (Printf.sprintf "%s:%d: %s" path lineno msg)
-            in
-            go (lineno + 1) (r :: acc)
+            if
+              List.exists
+                (fun (k, _) -> String.equal k "schema")
+                (try parse_fields line with Failure _ -> [])
+            then go (lineno + 1) acc
+            else
+              let r =
+                try record_of_line line
+                with Failure msg ->
+                  failwith (Printf.sprintf "%s:%d: %s" path lineno msg)
+              in
+              go (lineno + 1) (r :: acc)
         | exception End_of_file -> List.rev acc
       in
       go 1 [])

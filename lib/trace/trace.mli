@@ -91,6 +91,11 @@ val set_enabled : t -> bool -> unit
 (** Gate recording without detaching the sink — e.g. off during a
     warmup phase.  Sinks start enabled. *)
 
+val set_probe : t -> Renofs_engine.Probe.t option -> unit
+(** With a probe attached, each {!record} charges its own cost to the
+    observer slot — the trace's overhead becomes self-measuring.
+    Detached (the default): one extra branch per record. *)
+
 val enabled : t -> bool
 
 val length : t -> int
@@ -138,10 +143,15 @@ val record_of_line : string -> record_
 (** Raises [Failure] on malformed input. *)
 
 val export_jsonl : t -> string -> unit
-(** Write surviving records to a file, one per line. *)
+(** Write surviving records to a file, one per line, preceded by a
+    [{"schema":"renofs-trace/1","held":H,"total":T,"overwritten":D}]
+    metadata line so ring overwrites are visible in the export itself,
+    not only in {!Report.print}. *)
 
 val import_jsonl : string -> record_ list
-(** Raises [Failure] with [path:line:] context on malformed input. *)
+(** Raises [Failure] with [path:line:] context on malformed input.
+    Lines carrying a ["schema"] field (the export header) are
+    skipped, so files from before the header import identically. *)
 
 (** {2 Analysis} *)
 

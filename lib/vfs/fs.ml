@@ -1,4 +1,5 @@
 module Sim = Renofs_engine.Sim
+module Probe = Renofs_engine.Probe
 module Cpu = Renofs_engine.Cpu
 
 type kind = Reg | Dir | Lnk
@@ -99,7 +100,17 @@ let inode_alloc_instr = 300.0
 (* How many directory entries we treat as living in one cached block. *)
 let dirents_per_block = 128
 
-let charge t instr = Cpu.consume t.cpu (Cpu.seconds_of_instructions t.cpu instr)
+(* Every operation opens with a [charge], which suspends on the CPU, so
+   the file-system computation proper runs in the resumed segment.  When
+   probed, rebind that segment to the vfs slot: the enter is deliberately
+   unmatched — the enclosing event's fire boundary truncates the stack —
+   which is safe by the probe's truncation discipline and attributes the
+   rest of the segment (hash lookups, bcache, byte blits) to vfs. *)
+let charge t instr =
+  Cpu.consume t.cpu (Cpu.seconds_of_instructions t.cpu instr);
+  match Sim.probe t.sim with
+  | None -> ()
+  | Some p -> ignore (p.Probe.enter Probe.vfs)
 
 let root_ino = 2
 

@@ -17,6 +17,8 @@ module Trace = Renofs_trace.Trace
 module Fault = Renofs_fault.Fault
 module Metrics = Renofs_metrics.Metrics
 module Fleet = Renofs_fleet.Fleet
+module Profile = Renofs_profile.Profile
+module Flight = Renofs_profile.Flight
 
 type scale = Quick | Full
 
@@ -106,8 +108,11 @@ type ctx = {
   trace : Trace.t option;
   faults : Fault.schedule option;
   metrics : Metrics.t option;
+  profile : Profile.t option;
   cell_label : string;
 }
+
+exception Driver_stuck of string
 
 type cell = { cell_label : string; cell_run : ctx -> value list }
 
@@ -144,17 +149,36 @@ let chunk n xs =
   in
   if n <= 0 then invalid_arg "chunk" else go [] [] n xs
 
-(* Each cell records into its own sinks (trace and metrics alike); the
-   sinks are merged into the main ones in cell order after the sweep,
-   so the combined streams are identical to a serial run's (trace
-   segments stay mark-delimited; metrics runs keep start order). *)
-let run_cells ?jobs ~trace ~faults ~metrics cells =
+(* A cell that failed, in its own verdict: any row value that is a
+   FAIL-prefixed text — chaos/fuzz invariant verdicts, the fuzzer's
+   FAIL:stuck / FAIL:exn rows, a scenario's SLO-breach verdict. *)
+let fail_value out =
+  List.find_map
+    (function
+      | Text s when String.length s >= 4 && String.sub s 0 4 = "FAIL" -> Some s
+      | _ -> None)
+    out
+
+(* Each cell records into its own sinks (trace, metrics and profile
+   alike); the sinks are merged into the main ones in cell order after
+   the sweep, so the combined streams are identical to a serial run's
+   (trace segments stay mark-delimited; metrics runs keep start order;
+   profile counters commute).
+
+   An armed flight recorder forces a private trace sink and profile on
+   every cell even when the caller asked for neither, so a failing cell
+   always has a tail and a snapshot to dump.  Dumps happen inside the
+   cell body — in the worker domain, before [Sweep.run] re-raises — so
+   a [Driver_stuck] on one cell cannot lose another cell's bundle. *)
+let run_cells ?jobs ?profile ?flight ~trace ~faults ~metrics cells =
   let trace_sinks =
-    match trace with
-    | None -> List.map (fun _ -> None) cells
-    | Some main ->
+    match (trace, flight) with
+    | Some main, _ ->
         let cap = Trace.capacity main in
         List.map (fun _ -> Some (Trace.create ~capacity:cap ())) cells
+    | None, Some _ ->
+        List.map (fun _ -> Some (Trace.create ~capacity:(1 lsl 18) ())) cells
+    | None, None -> List.map (fun _ -> None) cells
   in
   let metric_sinks =
     match metrics with
@@ -164,15 +188,50 @@ let run_cells ?jobs ~trace ~faults ~metrics cells =
           (fun _ -> Some (Metrics.create ~interval:(Metrics.interval main) ()))
           cells
   in
+  let profile_sinks =
+    match (profile, flight) with
+    | Some _, _ | None, Some _ ->
+        List.map (fun _ -> Some (Profile.create ())) cells
+    | None, None -> List.map (fun _ -> None) cells
+  in
+  let run_one c ctx =
+    (match ctx.profile with Some p -> Profile.start p | None -> ());
+    let finish () =
+      match ctx.profile with Some p -> Profile.stop p | None -> ()
+    in
+    let dump reason =
+      match flight with
+      | None -> ()
+      | Some f ->
+          ignore
+            (Flight.dump f ~label:c.cell_label ~reason ?trace:ctx.trace
+               ?metrics:ctx.metrics ?profile:ctx.profile ())
+    in
+    match c.cell_run ctx with
+    | out ->
+        finish ();
+        (match fail_value out with Some reason -> dump reason | None -> ());
+        out
+    | exception e ->
+        finish ();
+        (match e with Driver_stuck msg -> dump msg | _ -> ());
+        raise e
+  in
   let outs =
     Sweep.run ?jobs
       (List.map2
-         (fun c (tr, mt) ->
+         (fun c ((tr, mt), pf) ->
            Sweep.cell ~label:c.cell_label (fun () ->
-               c.cell_run
-                 { trace = tr; faults; metrics = mt; cell_label = c.cell_label }))
+               run_one c
+                 {
+                   trace = tr;
+                   faults;
+                   metrics = mt;
+                   profile = pf;
+                   cell_label = c.cell_label;
+                 }))
          cells
-         (List.combine trace_sinks metric_sinks))
+         (List.combine (List.combine trace_sinks metric_sinks) profile_sinks))
   in
   (match trace with
   | Some main ->
@@ -186,10 +245,18 @@ let run_cells ?jobs ~trace ~faults ~metrics cells =
         (function Some sink -> Metrics.merge ~into:main sink | None -> ())
         metric_sinks
   | None -> ());
+  (match profile with
+  | Some main ->
+      List.iter
+        (function Some sink -> Profile.merge ~into:main sink | None -> ())
+        profile_sinks
+  | None -> ());
   outs
 
-let run_spec ?jobs ?trace ?faults ?metrics spec =
-  let outs = run_cells ?jobs ~trace ~faults ~metrics spec.sp_cells in
+let run_spec ?jobs ?trace ?faults ?metrics ?profile ?flight spec =
+  let outs =
+    run_cells ?jobs ?profile ?flight ~trace ~faults ~metrics spec.sp_cells
+  in
   {
     r_id = spec.sp_id;
     r_title = spec.sp_title;
@@ -197,11 +264,11 @@ let run_spec ?jobs ?trace ?faults ?metrics spec =
     r_rows = spec.sp_assemble outs;
   }
 
-let run_specs ?jobs ?trace ?faults ?metrics specs =
+let run_specs ?jobs ?trace ?faults ?metrics ?profile ?flight specs =
   (* One shared pool across every spec: single-cell experiments overlap
      with their neighbours instead of serialising the tail. *)
   let outs =
-    run_cells ?jobs ~trace ~faults ~metrics
+    run_cells ?jobs ?profile ?flight ~trace ~faults ~metrics
       (List.concat_map (fun s -> s.sp_cells) specs)
   in
   let rec split specs outs =
@@ -242,6 +309,14 @@ type world = {
    the event queue non-empty forever), and a fresh per-world mbuf pool
    so the transports recycle buffer storage across calls. *)
 let attach_observers ctx sim topo label =
+  (* Probe first, so the metrics tick and everything scheduled from
+     here on carries a slot tag. *)
+  (match ctx.profile with
+  | None -> ()
+  | Some p ->
+      let probe = Some (Profile.probe p) in
+      Sim.set_probe sim probe;
+      (match ctx.trace with Some tr -> Trace.set_probe tr probe | None -> ()));
   (match ctx.trace with
   | None -> ()
   | Some tr -> Trace.mark tr ~time:(Sim.now sim) label);
@@ -302,8 +377,6 @@ let make_world ?(params = Topology.default_params)
   in
   if not defer_faults then install_faults ~ctx world;
   world
-
-exception Driver_stuck of string
 
 let stuck_message ~label ~windows sim =
   Printf.sprintf

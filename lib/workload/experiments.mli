@@ -53,13 +53,14 @@ type ctx = {
   trace : Renofs_trace.Trace.t option;
   faults : Renofs_fault.Fault.schedule option;
   metrics : Renofs_metrics.Metrics.t option;
+  profile : Renofs_profile.Profile.t option;
   cell_label : string;
 }
-(** Everything a cell receives from the runner.  The trace and metrics
-    sinks, when present, are private to the cell — see {!run_spec}.
-    The fault schedule, when present, is installed on every world the
-    cell builds through [make_world].  [cell_label] labels the cell's
-    metrics runs. *)
+(** Everything a cell receives from the runner.  The trace, metrics and
+    profile sinks, when present, are private to the cell — see
+    {!run_spec}.  The fault schedule, when present, is installed on
+    every world the cell builds through [make_world].  [cell_label]
+    labels the cell's metrics runs. *)
 
 type cell = {
   cell_label : string;  (** e.g. ["graph1/load10/udp-dyn"], for diagnostics *)
@@ -123,6 +124,8 @@ val run_spec :
   ?trace:Renofs_trace.Trace.t ->
   ?faults:Renofs_fault.Fault.schedule ->
   ?metrics:Renofs_metrics.Metrics.t ->
+  ?profile:Renofs_profile.Profile.t ->
+  ?flight:Renofs_profile.Flight.t ->
   spec ->
   results
 (** Execute a spec's cells across [jobs] domains (default
@@ -144,13 +147,26 @@ val run_spec :
     the same interval, one labelled run per world; the sinks are merged
     into the main one in cell order after the sweep, so the exported
     series are byte-identical at any [jobs] (the [nfsbench run ID
-    --metrics FILE] path). *)
+    --metrics FILE] path).
+
+    Profiling: with [profile], every cell gets a private
+    {!Renofs_profile.Profile.t} which {!attach_observers} turns into a
+    [Sim] probe on each world; the per-cell counters are merged in cell
+    order.  The deterministic slice (enter/fire counts) is identical at
+    any [jobs]; the wall-clock attribution is real time and is not.
+
+    Flight recorder: with [flight], a private trace sink and profile
+    are forced on every cell, and a cell that raises {!Driver_stuck} or
+    returns a row with a ["FAIL"]-prefixed value (invariant or SLO
+    verdicts) dumps a post-mortem bundle before the sweep re-raises. *)
 
 val run_specs :
   ?jobs:int ->
   ?trace:Renofs_trace.Trace.t ->
   ?faults:Renofs_fault.Fault.schedule ->
   ?metrics:Renofs_metrics.Metrics.t ->
+  ?profile:Renofs_profile.Profile.t ->
+  ?flight:Renofs_profile.Flight.t ->
   spec list ->
   results list
 (** As {!run_spec} over several specs, pooling all their cells into one

@@ -16,6 +16,7 @@ module Tcp = Renofs_transport.Tcp
 module Nfs_server = Renofs_core.Nfs_server
 module Nfs_client = Renofs_core.Nfs_client
 module Json = Renofs_json.Json
+module Profile = Renofs_profile.Profile
 
 type cell = {
   c_label : string;
@@ -31,6 +32,7 @@ type t = {
   rpcs : int;
   events_per_s : float;
   rpcs_per_s : float;
+  p_profile : Profile.snapshot option;
 }
 
 (* The graph5 full matrix: 6 loads x 3 transports over the 56K WAN
@@ -54,8 +56,11 @@ let mount_opts transport =
   in
   { base with Nfs_client.mss = 512 }
 
-let run_cell ~label ~transport ~rate =
+let run_cell ?profile ~label ~transport ~rate () =
   let sim = Sim.create () in
+  (match profile with
+  | Some p -> Sim.set_probe sim (Some (Profile.probe p))
+  | None -> ());
   let topo =
     Topology.build sim
       {
@@ -113,7 +118,7 @@ let run_cell ~label ~transport ~rate =
   done;
   (Sim.events_processed sim, Nfs_server.rpcs_served server)
 
-let run ?(progress = ignore) () =
+let run ?(progress = ignore) ?(profile = false) () =
   let cells =
     List.concat_map
       (fun rate ->
@@ -122,10 +127,31 @@ let run ?(progress = ignore) () =
             let label = Printf.sprintf "graph5/load%g/%s" rate tname in
             progress label;
             let t0 = Unix.gettimeofday () in
-            let events, rpcs = run_cell ~label ~transport ~rate in
+            let events, rpcs = run_cell ~label ~transport ~rate () in
             { c_label = label; c_wall_s = Unix.gettimeofday () -. t0; c_events = events; c_rpcs = rpcs })
           transports)
       loads
+  in
+  (* The gate timings above run detached.  Attribution comes from a
+     second, probed pass over the same cells — it never pollutes the
+     rates the baseline compares. *)
+  let p_profile =
+    if not profile then None
+    else begin
+      let p = Profile.create () in
+      List.iter
+        (fun rate ->
+          List.iter
+            (fun (tname, transport) ->
+              let label = Printf.sprintf "graph5/load%g/%s+prof" rate tname in
+              progress label;
+              Profile.start p;
+              ignore (run_cell ~profile:p ~label ~transport ~rate ());
+              Profile.stop p)
+            transports)
+        loads;
+      Some (Profile.snapshot p)
+    end
   in
   let wall_s = List.fold_left (fun a c -> a +. c.c_wall_s) 0.0 cells in
   let events = List.fold_left (fun a c -> a + c.c_events) 0 cells in
@@ -137,6 +163,7 @@ let run ?(progress = ignore) () =
     rpcs;
     events_per_s = (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
     rpcs_per_s = (if wall_s > 0.0 then float_of_int rpcs /. wall_s else 0.0);
+    p_profile;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -165,7 +192,13 @@ let emit r =
            c.c_label (float_str c.c_wall_s) c.c_events c.c_rpcs
            (if i = List.length r.cells - 1 then "" else ",")))
     r.cells;
-  Buffer.add_string b "]}\n";
+  Buffer.add_string b "]";
+  (match r.p_profile with
+  | Some s ->
+      Buffer.add_string b ",\n\"profile\":";
+      Buffer.add_string b (String.trim (Profile.emit s))
+  | None -> ());
+  Buffer.add_string b "}\n";
   Buffer.contents b
 
 let write_file ~path r =
@@ -192,6 +225,11 @@ let of_json ~ctx j =
         })
       (Json.arr ~ctx (Json.member ~ctx "cells" o))
   in
+  let p_profile =
+    Option.map
+      (Profile.of_json ~ctx:(ctx ^ ".profile"))
+      (Json.member_opt "profile" o)
+  in
   {
     cells;
     wall_s = num "wall_s";
@@ -199,6 +237,7 @@ let of_json ~ctx j =
     rpcs = int_of_float (num "rpcs");
     events_per_s = num "events_per_s";
     rpcs_per_s = num "rpcs_per_s";
+    p_profile;
   }
 
 let read_file path = Json.decode_file path (of_json ~ctx:path)
@@ -240,4 +279,62 @@ let diff ~tolerance ~baseline ~current =
     notes :=
       Printf.sprintf "rpc count changed: %d -> %d" baseline.rpcs current.rpcs
       :: !notes;
+  (* Per-cell localization: which cell moved?  Cells are matched by
+     label; a single cell's wall clock is far noisier than the
+     aggregate, so beyond-tolerance cells are reported as notes — the
+     aggregate rates above remain the gate. *)
+  List.iter
+    (fun bc ->
+      match List.find_opt (fun c -> c.c_label = bc.c_label) current.cells with
+      | None -> notes := Printf.sprintf "cell %s: gone" bc.c_label :: !notes
+      | Some cc ->
+          if bc.c_events <> cc.c_events then
+            notes :=
+              Printf.sprintf "cell %s: event count %d -> %d" bc.c_label
+                bc.c_events cc.c_events
+              :: !notes;
+          let b_rate =
+            if bc.c_wall_s > 0.0 then float_of_int bc.c_events /. bc.c_wall_s
+            else 0.0
+          and c_rate =
+            if cc.c_wall_s > 0.0 then float_of_int cc.c_events /. cc.c_wall_s
+            else 0.0
+          in
+          if b_rate > 0.0 && c_rate < b_rate *. (1.0 -. tolerance) then
+            notes :=
+              Printf.sprintf "cell %s: events/s %.0f -> %.0f (%+.1f%%)"
+                bc.c_label b_rate c_rate
+                ((c_rate -. b_rate) /. b_rate *. 100.0)
+              :: !notes)
+    baseline.cells;
+  List.iter
+    (fun (cc : cell) ->
+      if not (List.exists (fun bc -> bc.c_label = cc.c_label) baseline.cells)
+      then notes := Printf.sprintf "cell %s: new" cc.c_label :: !notes)
+    current.cells;
+  (* When both sides carry a self-profile, report subsystem-share
+     shifts: "events/s fell and the server slot's share doubled" is a
+     lead, not just a number that moved. *)
+  (match (baseline.p_profile, current.p_profile) with
+  | Some bp, Some cp when bp.Profile.p_wall_s > 0.0 && cp.Profile.p_wall_s > 0.0
+    ->
+      List.iter
+        (fun (bs : Profile.slot_stat) ->
+          match
+            List.find_opt
+              (fun (cs : Profile.slot_stat) ->
+                cs.Profile.ss_name = bs.Profile.ss_name)
+              cp.Profile.p_slots
+          with
+          | None -> ()
+          | Some cs ->
+              let b_share = bs.Profile.ss_self_s /. bp.Profile.p_wall_s
+              and c_share = cs.Profile.ss_self_s /. cp.Profile.p_wall_s in
+              if abs_float (c_share -. b_share) > 0.05 then
+                notes :=
+                  Printf.sprintf "profile: %s share %.1f%% -> %.1f%%"
+                    bs.Profile.ss_name (b_share *. 100.0) (c_share *. 100.0)
+                  :: !notes)
+        bp.Profile.p_slots
+  | _ -> ());
   { regressions = List.rev !regressions; notes = List.rev !notes }

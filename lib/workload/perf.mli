@@ -27,12 +27,17 @@ type t = {
   rpcs : int;
   events_per_s : float;
   rpcs_per_s : float;
+  p_profile : Renofs_profile.Profile.snapshot option;
+      (** per-subsystem attribution from the profiled second pass *)
 }
 
-val run : ?progress:(string -> unit) -> unit -> t
+val run : ?progress:(string -> unit) -> ?profile:bool -> unit -> t
 (** Execute the fixed cell set serially (wall-clock measurement wants
     the machine to itself; there is no [?jobs]).  [progress] is called
-    with each cell's label as it starts. *)
+    with each cell's label as it starts.  With [~profile:true] a second
+    pass runs the same cells with the self-profiler attached and stores
+    the attribution snapshot in [p_profile]; the gate rates always come
+    from the first, detached pass. *)
 
 (** {2 renofs-perf/1 JSON} *)
 
@@ -50,10 +55,14 @@ type verdict = {
   regressions : string list;
       (** a rate fell more than [tolerance] below the baseline *)
   notes : string list;
-      (** informational: rate movement within tolerance, and exact
+      (** informational: rate movement within tolerance, exact
           event/RPC count drift (count drift means the simulation
           changed and the baseline wants a deliberate
-          [make perf-baseline], not that the machine was slow) *)
+          [make perf-baseline], not that the machine was slow),
+          per-cell localization (count drift, beyond-tolerance rate
+          moves — a single cell's wall clock is too noisy to gate on),
+          and subsystem-share shifts when both files carry a
+          self-profile *)
 }
 
 val diff : tolerance:float -> baseline:t -> current:t -> verdict

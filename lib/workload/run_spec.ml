@@ -3,6 +3,9 @@ module Json = Renofs_json.Json
 module Trace = Renofs_trace.Trace
 module Fault = Renofs_fault.Fault
 module Metrics = Renofs_metrics.Metrics
+module Profile = Renofs_profile.Profile
+module Perfetto = Renofs_profile.Perfetto
+module Flight = Renofs_profile.Flight
 
 type t = {
   rs_scale : E.scale option;
@@ -13,6 +16,9 @@ type t = {
   rs_report : bool;
   rs_metrics : string option;
   rs_faults : string option;
+  rs_profile : string option;
+  rs_perfetto : string option;
+  rs_flight : string option;
 }
 
 let empty =
@@ -25,6 +31,9 @@ let empty =
     rs_report = false;
     rs_metrics = None;
     rs_faults = None;
+    rs_profile = None;
+    rs_perfetto = None;
+    rs_flight = None;
   }
 
 let scale t = Option.value t.rs_scale ~default:E.Quick
@@ -41,6 +50,9 @@ let override ~base t =
     rs_report = t.rs_report || base.rs_report;
     rs_metrics = pick t.rs_metrics base.rs_metrics;
     rs_faults = pick t.rs_faults base.rs_faults;
+    rs_profile = pick t.rs_profile base.rs_profile;
+    rs_perfetto = pick t.rs_perfetto base.rs_perfetto;
+    rs_flight = pick t.rs_flight base.rs_flight;
   }
 
 let of_json ~ctx o =
@@ -49,7 +61,7 @@ let of_json ~ctx o =
     (fun (k, _) ->
       match k with
       | "scale" | "jobs" | "seed" | "json" | "trace" | "report" | "metrics"
-      | "faults" ->
+      | "faults" | "profile" | "perfetto" | "flight" ->
           ()
       | other -> bad "unknown run field %S" other)
     o;
@@ -83,6 +95,9 @@ let of_json ~ctx o =
     rs_report = report;
     rs_metrics = str "metrics";
     rs_faults = str "faults";
+    rs_profile = str "profile";
+    rs_perfetto = str "perfetto";
+    rs_flight = str "flight";
   }
 
 (* Fail before the sweep runs, not after: a mistyped --trace or --json
@@ -135,10 +150,39 @@ let export_metrics mt path =
   if Filename.check_suffix path ".csv" then Metrics.export_csv mt path
   else Metrics.export_jsonl mt path
 
+(* A compact rendering of the effective run spec, stored in flight
+   bundles so a dump can be replayed without the original command line. *)
+let spec_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"schema\":\"renofs-runspec/1\"";
+  Buffer.add_string buf
+    (Printf.sprintf ",\"scale\":\"%s\""
+       (match scale t with E.Quick -> "quick" | E.Full -> "full"));
+  Buffer.add_string buf (Printf.sprintf ",\"seed\":%d" (seed t));
+  (match t.rs_jobs with
+  | Some j -> Buffer.add_string buf (Printf.sprintf ",\"jobs\":%d" j)
+  | None -> ());
+  let str_field name v =
+    match v with
+    | Some s ->
+        Buffer.add_string buf (Printf.sprintf ",%S:%S" name s)
+    | None -> ()
+  in
+  str_field "faults" t.rs_faults;
+  str_field "flight" t.rs_flight;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
 let execute_many ?(print = fun _ -> ()) t specs =
   match
     check_outputs
-      [ ("trace", t.rs_trace); ("json", t.rs_json); ("metrics", t.rs_metrics) ]
+      [
+        ("trace", t.rs_trace);
+        ("json", t.rs_json);
+        ("metrics", t.rs_metrics);
+        ("profile", t.rs_profile);
+        ("perfetto", t.rs_perfetto);
+      ]
   with
   | Some msg -> Error msg
   | None -> (
@@ -150,7 +194,7 @@ let execute_many ?(print = fun _ -> ()) t specs =
           in
           let jobs = effective_jobs ~cells t.rs_jobs in
           let tr =
-            if t.rs_trace <> None || t.rs_report then
+            if t.rs_trace <> None || t.rs_report || t.rs_perfetto <> None then
               (* Full-scale sweeps emit a few hundred thousand events;
                  size the ring so the early runs are not overwritten. *)
               Some (Trace.create ~capacity:(1 lsl 20) ())
@@ -161,11 +205,25 @@ let execute_many ?(print = fun _ -> ()) t specs =
             | Some _ -> Some (Metrics.create ())
             | None -> None
           in
+          let profile =
+            if t.rs_profile <> None || t.rs_perfetto <> None then
+              Some (Profile.create ())
+            else None
+          in
+          let flight =
+            match t.rs_flight with
+            | Some dir ->
+                Some (Flight.arm ~dir ~spec_json:(spec_json t) ~seed:(seed t))
+            | None -> None
+          in
           (match faults with
           | Some f ->
               Format.printf "faults: %s — %s@." f.Fault.name f.Fault.description
           | None -> ());
-          let results = E.run_specs ~jobs ?trace:tr ?faults ?metrics:mt specs in
+          let results =
+            E.run_specs ~jobs ?trace:tr ?faults ?metrics:mt ?profile ?flight
+              specs
+          in
           List.iter (fun r -> print (E.render r)) results;
           (match (mt, t.rs_metrics) with
           | Some mt, Some path ->
@@ -187,6 +245,24 @@ let execute_many ?(print = fun _ -> ()) t specs =
           (match tr with
           | Some tr when t.rs_report ->
               Trace.Report.print Format.std_formatter (Trace.Report.build tr)
+          | _ -> ());
+          (match (profile, t.rs_profile) with
+          | Some p, Some path ->
+              Profile.write_file ~path p;
+              Format.printf "profile: written to %s@." path
+          | _ -> ());
+          (match profile with
+          | Some p ->
+              Profile.print Format.std_formatter (Profile.snapshot p)
+          | None -> ());
+          (match (tr, t.rs_perfetto) with
+          | Some tr, Some path ->
+              let n =
+                Perfetto.export ~path
+                  ?profile:(Option.map Profile.snapshot profile)
+                  (Trace.to_list tr)
+              in
+              Format.printf "perfetto: %d events written to %s@." n path
           | _ -> ());
           Ok results)
 

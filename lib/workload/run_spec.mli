@@ -20,6 +20,9 @@ type t = {
   rs_report : bool;  (** print the nfsstat-style trace report *)
   rs_metrics : string option;  (** metrics JSONL (or .csv) file *)
   rs_faults : string option;  (** builtin schedule name or file *)
+  rs_profile : string option;  (** renofs-profile/1 self-profile file *)
+  rs_perfetto : string option;  (** Chrome trace-event (Perfetto) file *)
+  rs_flight : string option;  (** flight-recorder bundle directory *)
 }
 
 val empty : t
@@ -39,7 +42,8 @@ val override : base:t -> t -> t
 
 val of_json : ctx:string -> (string * Renofs_json.Json.json) list -> t
 (** Decode a run object — [{"scale","jobs","seed","json","trace",
-    "report","metrics","faults"}], every field optional — raising
+    "report","metrics","faults","profile","perfetto","flight"}], every
+    field optional — raising
     {!Renofs_json.Json.Bad} (prefixed with [ctx]) on unknown fields or
     wrong shapes, so a typo in a scenario file fails loudly instead of
     silently running with defaults. *)
@@ -71,13 +75,16 @@ val execute_many :
   (Experiments.results list, string) result
 (** The shared run path: check output paths, resolve the fault
     schedule (announcing it), clamp jobs to the pooled cell count,
-    create the trace sink (when [rs_trace] or [rs_report]) and metrics
-    sink (when [rs_metrics]), execute every spec's cells in one pooled
-    sweep via {!Experiments.run_specs}, print each rendered table
-    through [print], then export JSON / metrics / trace and print the
-    report.  Returns the typed results so callers can apply their own
-    verdict (chaos/fuzz/slo exit codes).  Results are byte-identical
-    at any [rs_jobs]. *)
+    create the trace sink (when [rs_trace], [rs_report] or
+    [rs_perfetto]), metrics sink (when [rs_metrics]) and self-profiler
+    (when [rs_profile] or [rs_perfetto]), arm the flight recorder
+    (when [rs_flight]), execute every spec's cells in one pooled sweep
+    via {!Experiments.run_specs}, print each rendered table through
+    [print], then export JSON / metrics / trace / profile / perfetto
+    and print the report and profile table.  Returns the typed results
+    so callers can apply their own verdict (chaos/fuzz/slo exit
+    codes).  Cell results are byte-identical at any [rs_jobs];
+    profiler wall-times are not (fire counts are). *)
 
 val execute :
   ?print:(Experiments.table -> unit) ->
