@@ -5,7 +5,12 @@
 # run: list the registry, run one experiment across 2 domains with
 # JSON output, validate that output against the renofs-bench/1
 # schema, and exercise the fault layer (builtin listing, a schedule
-# file on a normal experiment, the chaos invariant matrix).
+# file on a normal experiment).
+# `make chaos-smoke` runs the quick chaos matrix — every fault
+# schedule crossed with the three transports plus the v3
+# UNSTABLE+COMMIT profile — failing on any invariant violation, and
+# byte-compares a 2-domain run against a 1-domain run: the recovery
+# verdicts must be deterministic at any --jobs.
 # `make fuzz-smoke` runs the seeded wire-corruption fuzzer at fixed
 # seeds: the checksums-on pass must come back clean (exit 0), and the
 # checksums-off pass under bit corruption must detect at least one
@@ -37,7 +42,7 @@
 # must still breach (inverted with `!`) while leaving a complete
 # post-mortem bundle.
 
-.PHONY: all build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate bench-baseline perf-gate perf-baseline profile-smoke check clean
+.PHONY: all build test fmt smoke chaos-smoke fuzz-smoke fleet-smoke slo-smoke bench-gate bench-baseline perf-gate perf-baseline profile-smoke check clean
 
 all: build
 
@@ -56,7 +61,11 @@ smoke: build
 	dune exec bin/nfsbench.exe -- validate-json /tmp/renofs-smoke.json
 	dune exec bin/nfsbench.exe -- faults
 	dune exec bin/nfsbench.exe -- run graph1 --jobs 2 --faults examples/crash.json
-	dune exec bin/nfsbench.exe -- chaos --scale quick
+
+chaos-smoke: build
+	dune exec bin/nfsbench.exe -- chaos --scale quick --jobs 2 > /tmp/renofs-chaos-smoke2.txt
+	dune exec bin/nfsbench.exe -- chaos --scale quick --jobs 1 > /tmp/renofs-chaos-smoke1.txt
+	cmp /tmp/renofs-chaos-smoke1.txt /tmp/renofs-chaos-smoke2.txt
 
 fuzz-smoke: build
 	dune exec bin/nfsbench.exe -- fuzz --seeds 15 --jobs 2
@@ -100,7 +109,7 @@ profile-smoke: build
 	test -s /tmp/renofs-flight/*/trace_tail.jsonl
 	test -s /tmp/renofs-flight/*/profile.json
 
-check: build test fmt smoke fuzz-smoke fleet-smoke slo-smoke bench-gate perf-gate profile-smoke
+check: build test fmt smoke chaos-smoke fuzz-smoke fleet-smoke slo-smoke bench-gate perf-gate profile-smoke
 
 clean:
 	dune clean

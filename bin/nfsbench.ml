@@ -616,11 +616,12 @@ let chaos_cmd =
 let fuzz_cmd =
   let seeds_arg =
     Arg.(
-      value & opt int 15
+      value & opt int 20
       & info [ "seeds" ] ~docv:"N"
           ~doc:
-            "Number of fuzzing cells; profile and transport cycle per cell, \
-             so 15 or more covers the full profile x transport matrix.")
+            "Number of fuzzing cells; profile and mount (the three \
+             transports plus the v3 profile) cycle per cell, so 20 or more \
+             covers the full matrix.")
   in
   let no_checksum_flag =
     Arg.(
@@ -635,9 +636,9 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Sweep seeded wire-mangling profiles (corrupt/truncate/duplicate/\
-          reorder/storm) across the three transports under load; exits \
-          non-zero on any invariant or data-integrity violation, stuck \
-          driver, or uncaught exception")
+          reorder/storm) across the three transports and the v3 profile \
+          under load; exits non-zero on any invariant or data-integrity \
+          violation, stuck driver, or uncaught exception")
     Term.(ret (const run_fuzz $ spec_term $ seeds_arg $ no_checksum_flag))
 
 let perf_cmd =

@@ -15,7 +15,12 @@ module Metrics = Renofs_metrics.Metrics
 module P = Nfs_proto
 
 exception Rpc_error of string
-exception Rpc_timed_out
+exception Rpc_timed_out of { proc : string; final_timeo : float }
+
+(* Ceiling on the backed-off retransmission timeout: exponential backoff
+   must not grow a soft mount's final wait (or a hard mount's retry
+   interval) past a minute, as BSD's NFS_MAXTIMEO (60 s) does. *)
+let max_rto = 60.0
 
 type summary = { calls : int; retransmits : int; mean_rtt : float }
 
@@ -117,11 +122,13 @@ let estimator_for est proc =
    used; computing at arm time gives the same effect). *)
 let rto_for t p =
   match t.mode with
-  | Udp_fixed -> t.timeo *. p.backoff
+  | Udp_fixed -> Float.min max_rto (t.timeo *. p.backoff)
   | Udp_dynamic est -> (
       match estimator_for est p.p_proc with
-      | Some e -> Rtt.rto e.e_rtt ~default:t.timeo *. e.e_backoff *. p.backoff
-      | None -> t.timeo *. p.backoff)
+      | Some e ->
+          Float.min max_rto
+            (Rtt.rto e.e_rtt ~default:t.timeo *. e.e_backoff *. p.backoff)
+      | None -> Float.min max_rto (t.timeo *. p.backoff))
   | Tcp_stream _ -> infinity
 
 let record_rtt t p rtt =
@@ -202,7 +209,10 @@ and on_udp_timeout t p =
               (Trace.Wl_error { op = P.proc_name p.p_proc; soft = true })
         | None -> ());
         Mbuf.release ?pool:(Node.pool t.node) p.request;
-        Proc.Ivar.fill p.reply (Error Rpc_timed_out)
+        Proc.Ivar.fill p.reply
+          (Error
+             (Rpc_timed_out
+                { proc = P.proc_name p.p_proc; final_timeo = rto_for t p }))
     | _ ->
         t.n_retransmits <- t.n_retransmits + 1;
         p.retransmitted <- true;

@@ -25,8 +25,12 @@ exception Rpc_error of string
 (** The server rejected the RPC at the Sun-RPC layer, or the TCP
     connection failed. *)
 
-exception Rpc_timed_out
-(** A soft mount's retransmission limit was exhausted. *)
+exception Rpc_timed_out of { proc : string; final_timeo : float }
+(** A soft mount's retransmission limit was exhausted.  [proc] names the
+    procedure that gave up and [final_timeo] is the retransmission
+    timeout in force at the give-up — the mount [timeo] after
+    exponential backoff, capped at 60 s (BSD's [NFS_MAXTIMEO]) so the
+    backoff can never stretch a soft mount's final wait past a minute. *)
 
 type summary = {
   calls : int;

@@ -47,6 +47,12 @@ type mount_opts = {
           suggests: halve the read/write transfer size when
           retransmissions indicate fragment loss, and grow it back after
           a run of clean transfers *)
+  v3 : bool;
+      (** the v3-style protocol profile: WRITE goes out UNSTABLE (the
+          server may buffer it volatile) and a COMMIT makes it durable
+          before close/fsync return; a changed write verifier in any
+          reply means the server rebooted and the client rewrites every
+          uncommitted range *)
   uid : int;  (** AUTH_UNIX credentials presented to the server *)
   gid : int;
 }
@@ -75,6 +81,7 @@ let reno_mount =
     soft = false;
     retrans = 4;
     adaptive_transfer = false;
+    v3 = false;
     uid = 100;
     gid = 100;
   }
@@ -102,6 +109,18 @@ let lease_mount =
     push_dirty_before_read = false;
   }
 
+(* The v3 profile: asynchronous writes with COMMIT, 32K transfers, and
+   the bulk-lookup READDIR — the NFSv3 feature set grafted onto the Reno
+   client structure. *)
+let v3_mount =
+  {
+    reno_mount with
+    v3 = true;
+    rsize = P.max_data_v3;
+    wsize = P.max_data_v3;
+    use_readdirlook = true;
+  }
+
 let ultrix_mount =
   {
     reno_mount with
@@ -127,6 +146,7 @@ let with_consistency c consistency = { c with consistency }
 let with_leases c use_leases = { c with use_leases }
 let with_soft c ~retrans = { c with soft = true; retrans }
 let with_adaptive_transfer c adaptive_transfer = { c with adaptive_transfer }
+let with_v3 c v3 = { c with v3 }
 
 exception Nfs_error of P.stat
 
@@ -147,6 +167,11 @@ type cblock = {
       (* a write RPC for this block is in flight (B_BUSY): further
          pushes must chain behind it or the server could apply them out
          of order *)
+  mutable needs_commit : (int * int) option;
+      (* the write-behind ledger (B_NEEDCOMMIT): the block-relative
+         range acknowledged UNSTABLE by a v3 server and not yet covered
+         by a successful COMMIT — the only client-side record of data
+         the server may be holding in volatile memory *)
 }
 
 type cfile = {
@@ -159,6 +184,10 @@ type cfile = {
   mutable outstanding : int; (* async write RPCs in flight *)
   mutable waiters : (unit -> unit) list;
   mutable write_error : P.stat option;
+  mutable commit_verf : int option;
+      (* the write verifier the file's unstable writes were acked under;
+         a different verifier in any later reply means the server
+         rebooted and the uncommitted ranges must be rewritten *)
   mutable lease : (P.lease_mode * float) option; (* (mode, expiry) *)
   mutable open_count : int;
   mutable silly : (int * string) option;
@@ -214,7 +243,7 @@ let rpc t call =
   Stats.Counter.incr t.counters (P.proc_name (P.proc_of_call call));
   let reply =
     try Client_transport.call t.xport call
-    with Client_transport.Rpc_timed_out ->
+    with Client_transport.Rpc_timed_out _ ->
       (* Soft mount semantics: the operation fails with EIO. *)
       fail P.NFSERR_IO
   in
@@ -227,6 +256,10 @@ let rpc t call =
   | P.Rread (Ok (a, _)), P.Read r -> Attrcache.update t.attrs r.P.read_file a
   | P.Rlease (Ok (Some ok)), P.Getlease la ->
       Attrcache.update t.attrs la.P.lease_file ok.P.lease_attr
+  | P.Rwrite3 (Ok ok), P.Write3 { P.w3_file = fh; _ } ->
+      Attrcache.update t.attrs fh ok.P.w3_attr
+  | P.Rcommit (Ok ok), P.Commit { P.cm_file = fh; _ } ->
+      Attrcache.update t.attrs fh ok.P.cmo_attr
   | _ -> ());
   reply
 
@@ -359,6 +392,7 @@ let cfile_of t fh ~attr =
           outstanding = 0;
           waiters = [];
           write_error = None;
+          commit_verf = None;
           lease = None;
           open_count = 0;
           silly = None;
@@ -409,6 +443,42 @@ let wait_outstanding cf =
   in
   wait ()
 
+let uncommitted_blocks cf =
+  Hashtbl.fold
+    (fun _ b acc -> if b.needs_commit <> None then b :: acc else acc)
+    cf.blocks []
+
+(* Fold a write verifier from a v3 reply into the file's ledger.  A
+   changed verifier under uncommitted data means the server rebooted and
+   dropped its unstable buffer: trace the detection and re-dirty every
+   uncommitted range so the normal push machinery rewrites it. *)
+let note_verf t cf verf =
+  match cf.commit_verf with
+  | Some v when v <> verf ->
+      cf.commit_verf <- Some verf;
+      let lost = uncommitted_blocks cf in
+      if lost <> [] then begin
+        (match Node.trace t.node with
+        | Some tr ->
+            Trace.record tr ~time:(Sim.now t.sim) ~node:(Node.id t.node)
+              (Trace.Verf_mismatch { file = cf.c_fh; expected = v; got = verf })
+        | None -> ());
+        List.iter
+          (fun b ->
+            match b.needs_commit with
+            | None -> ()
+            | Some (lo, hi) ->
+                b.needs_commit <- None;
+                let range =
+                  match b.dirty with
+                  | Some (dlo, dhi) -> (min lo dlo, max hi dhi)
+                  | None -> (lo, hi)
+                in
+                set_dirty cf b (Some range))
+          lost
+      end
+  | _ -> cf.commit_verf <- Some verf
+
 let push_block t cf b ~wait =
   match b.dirty with
   | None -> ()
@@ -428,19 +498,59 @@ let push_block t cf b ~wait =
             let n = min (hi - lo) (max 1024 t.xfer_size) in
             let off = (b.b_blk * t.opts.rsize) + lo in
             let payload = Bytes.sub b.data lo n in
-            (match
-               rpc t
-                 (P.Write { P.write_file = cf.c_fh; write_offset = off; data = payload })
-             with
-            | P.Rattr (Ok a) ->
-                (* Under a write lease nobody else can be writing, so the
-                   new modify time is certainly ours. *)
-                if t.opts.trust_own_writes || lease_valid t cf P.Lease_write then
-                  cf.cached_mtime <- mtime_of a;
-                cf.csize <- max cf.csize a.P.size
-            | P.Rattr (Error st) -> cf.write_error <- Some st
-            | exception Nfs_error st -> cf.write_error <- Some st
-            | _ -> cf.write_error <- Some P.NFSERR_IO);
+            (if t.opts.v3 then begin
+               (* Write-through demands stability now; everything else
+                  goes out UNSTABLE and is made durable by the COMMIT at
+                  fsync/close. *)
+               let stable =
+                 match t.opts.write_policy with
+                 | Write_through -> P.File_sync
+                 | Async | Delayed -> P.Unstable
+               in
+               match
+                 rpc t
+                   (P.Write3
+                      {
+                        P.w3_file = cf.c_fh;
+                        w3_offset = off;
+                        w3_stable = stable;
+                        w3_data = payload;
+                      })
+               with
+               | P.Rwrite3 (Ok ok) ->
+                   if t.opts.trust_own_writes || lease_valid t cf P.Lease_write
+                   then cf.cached_mtime <- mtime_of ok.P.w3_attr;
+                   cf.csize <- max cf.csize ok.P.w3_attr.P.size;
+                   (if ok.P.w3_committed = P.Unstable then
+                      (* Enter the range in the write-behind ledger:
+                         only a covering COMMIT under the same verifier
+                         releases it. *)
+                      let range =
+                        match b.needs_commit with
+                        | Some (clo, chi) -> (min lo clo, max (lo + n) chi)
+                        | None -> (lo, lo + n)
+                      in
+                      b.needs_commit <- Some range);
+                   note_verf t cf ok.P.w3_verf
+               | P.Rwrite3 (Error st) -> cf.write_error <- Some st
+               | exception Nfs_error st -> cf.write_error <- Some st
+               | _ -> cf.write_error <- Some P.NFSERR_IO
+             end
+             else
+               match
+                 rpc t
+                   (P.Write
+                      { P.write_file = cf.c_fh; write_offset = off; data = payload })
+               with
+               | P.Rattr (Ok a) ->
+                   (* Under a write lease nobody else can be writing, so
+                      the new modify time is certainly ours. *)
+                   if t.opts.trust_own_writes || lease_valid t cf P.Lease_write
+                   then cf.cached_mtime <- mtime_of a;
+                   cf.csize <- max cf.csize a.P.size
+               | P.Rattr (Error st) -> cf.write_error <- Some st
+               | exception Nfs_error st -> cf.write_error <- Some st
+               | _ -> cf.write_error <- Some P.NFSERR_IO);
             note_transfer t;
             go (lo + n)
           end
@@ -471,23 +581,65 @@ let flush_file t cf ~wait =
   Hashtbl.iter (fun _ b -> push_block t cf b ~wait:false) cf.blocks;
   if wait then wait_outstanding cf
 
+(* Make a file's acknowledged-unstable data durable: flush dirty blocks,
+   COMMIT, and check the verifier.  A mismatch means the server rebooted
+   under the data — [note_verf] has re-dirtied the lost ranges, so write
+   them again and re-COMMIT until the ledger is clean.  Any COMMIT
+   failure (including a soft mount's give-up) records the error and
+   releases the ledger: a wedged ledger would block every later
+   close/fsync forever, while the recorded error reaches the caller. *)
+let rec commit_file t cf =
+  flush_file t cf ~wait:true;
+  if t.opts.v3 then
+    match uncommitted_blocks cf with
+    | [] -> ()
+    | uncommitted -> (
+        let expected = cf.commit_verf in
+        match rpc t (P.Commit { P.cm_file = cf.c_fh; cm_offset = 0; cm_count = 0 }) with
+        | P.Rcommit (Ok ok) -> (
+            note_verf t cf ok.P.cmo_verf;
+            match expected with
+            | Some v when v <> ok.P.cmo_verf ->
+                (* The data this COMMIT covered predates the reboot and
+                   is gone; rewrite and try again. *)
+                commit_file t cf
+            | _ -> List.iter (fun b -> b.needs_commit <- None) uncommitted)
+        | P.Rcommit (Error st) ->
+            cf.write_error <- Some st;
+            List.iter (fun b -> b.needs_commit <- None) uncommitted
+        | exception Nfs_error st ->
+            cf.write_error <- Some st;
+            List.iter (fun b -> b.needs_commit <- None) uncommitted
+        | _ ->
+            cf.write_error <- Some P.NFSERR_IO;
+            List.iter (fun b -> b.needs_commit <- None) uncommitted)
+
 (* Evict the least-recently-used block across all files, pushing it
-   first if dirty. *)
+   first if dirty.  Blocks in the write-behind ledger are passed over
+   when possible — their contents may exist nowhere but here and the
+   server's volatile buffer — and committed first when not. *)
 let evict_one t =
   let victim = ref None in
+  let consider cf b =
+    match !victim with
+    | Some (_, best) when best.lru <= b.lru -> ()
+    | _ -> victim := Some (cf, b)
+  in
   Hashtbl.iter
     (fun _ cf ->
       Hashtbl.iter
-        (fun _ b ->
-          match !victim with
-          | Some (_, best) when best.lru <= b.lru -> ()
-          | _ -> victim := Some (cf, b))
+        (fun _ b -> if b.needs_commit = None then consider cf b)
         cf.blocks)
     t.files;
+  if !victim = None then
+    Hashtbl.iter
+      (fun _ cf -> Hashtbl.iter (fun _ b -> consider cf b) cf.blocks)
+      t.files;
   match !victim with
   | None -> ()
   | Some (cf, b) ->
       push_block t cf b ~wait:true;
+      if b.needs_commit <> None then commit_file t cf;
       Hashtbl.remove cf.blocks b.b_blk;
       t.total_blocks <- t.total_blocks - 1
 
@@ -511,6 +663,7 @@ let get_or_create_block t cf blk =
           lru = t.lru_clock;
           fetching = None;
           pushing = false;
+          needs_commit = None;
         }
       in
       Hashtbl.replace cf.blocks blk b;
@@ -518,12 +671,15 @@ let get_or_create_block t cf blk =
       b
 
 (* Invalidate the clean cached blocks of a file (dirty data survives:
-   it still has to reach the server). *)
+   it still has to reach the server, and uncommitted data survives: it
+   may still have to be rewritten after a server reboot). *)
 let invalidate_clean t cf =
   let doomed =
     Hashtbl.fold
       (fun blk b acc ->
-        if b.dirty = None && not b.pushing then blk :: acc else acc)
+        if b.dirty = None && (not b.pushing) && b.needs_commit = None then
+          blk :: acc
+        else acc)
       cf.blocks []
   in
   List.iter
@@ -983,7 +1139,13 @@ let create t path =
       (* Truncation by create: discard any cached data. *)
       (match Hashtbl.find_opt t.files fh with
       | Some old ->
-          Hashtbl.iter (fun _ b -> set_dirty old b None) old.blocks;
+          Hashtbl.iter
+            (fun _ b ->
+              set_dirty old b None;
+              (* Truncation discards the ledger too: the data is gone by
+                 request, nothing is left to replay. *)
+              b.needs_commit <- None)
+            old.blocks;
           invalidate_clean t old;
           old.csize <- 0;
           old.cached_mtime <- mtime_of a
@@ -998,7 +1160,7 @@ let create t path =
 
 let fsync t fd =
   charge t syscall_instructions;
-  flush_file t fd ~wait:true;
+  commit_file t fd;
   match fd.write_error with
   | Some st ->
       fd.write_error <- None;
@@ -1033,7 +1195,7 @@ let close t fd =
        blocking push: a later opener's lease request forces our flush. *)
     ()
   else if t.opts.push_on_close && t.opts.consistency then begin
-    flush_file t fd ~wait:true;
+    commit_file t fd;
     match fd.write_error with
     | Some st ->
         fd.write_error <- None;
@@ -1224,7 +1386,9 @@ let statfs t =
 
 let flush_all t =
   Hashtbl.iter (fun _ cf -> flush_file t cf ~wait:false) t.files;
-  Hashtbl.iter (fun _ cf -> wait_outstanding cf) t.files
+  Hashtbl.iter (fun _ cf -> wait_outstanding cf) t.files;
+  if t.opts.v3 then
+    Hashtbl.iter (fun _ cf -> commit_file t cf) t.files
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                      *)

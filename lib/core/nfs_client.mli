@@ -62,6 +62,13 @@ type mount_opts = {
           suggests: halve the read/write transfer size when
           retransmissions indicate IP fragment loss, and grow it back
           after a run of clean transfers *)
+  v3 : bool;
+      (** the v3-style protocol profile: writes go out UNSTABLE (the
+          server may acknowledge from volatile memory), a write-behind
+          ledger tracks every such range until a COMMIT under the same
+          write verifier covers it, and close/fsync do not succeed until
+          the ledger is clean — rewriting any ranges a server reboot
+          (detected by the verifier changing) lost *)
   uid : int;  (** AUTH_UNIX credentials presented to the server *)
   gid : int;
 }
@@ -77,6 +84,10 @@ val noconsist_mount : mount_opts
 val lease_mount : mount_opts
 (** Reno with the lease protocol: the noconsist mount's write savings
     {e with} consistency — the optimistic bound made safe. *)
+
+val v3_mount : mount_opts
+(** The v3 profile: Reno semantics with UNSTABLE writes + COMMIT, 32K
+    transfers ([Nfs_proto.max_data_v3]) and the bulk-lookup READDIR. *)
 
 val ultrix_mount : mount_opts
 
@@ -105,6 +116,7 @@ val with_soft : config -> retrans:int -> config
 (** Switch to a soft mount giving up after [retrans] retransmissions. *)
 
 val with_adaptive_transfer : config -> bool -> config
+val with_v3 : config -> bool -> config
 
 exception Nfs_error of Nfs_proto.stat
 

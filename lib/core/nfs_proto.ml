@@ -4,6 +4,7 @@ let program = 100003
 let version = 2
 let port = 2049
 let max_data = 8192
+let max_data_v3 = 32768
 let fhandle_size = 32
 let max_name = 255
 let max_path = 1024
@@ -142,6 +143,32 @@ type leaseargs = {
 
 type leaseok = { granted_duration : int; lease_attr : fattr }
 
+(* NFSv3-style asynchronous writes.  UNSTABLE lets the server buffer
+   the data volatile; DATA_SYNC/FILE_SYNC demand stability before the
+   reply.  The reply's [verf] is the server's per-boot write verifier:
+   a change between an unstable WRITE and its covering COMMIT tells the
+   client the buffer died in a crash and the range must be rewritten. *)
+type stable_how = Unstable | Data_sync | File_sync
+
+type write3args = {
+  w3_file : fhandle;
+  w3_offset : int;
+  w3_stable : stable_how;
+  w3_data : bytes;
+}
+
+type commitargs = { cm_file : fhandle; cm_offset : int; cm_count : int }
+(** [cm_count = 0] commits from [cm_offset] to the end of the file. *)
+
+type write3ok = {
+  w3_attr : fattr;
+  w3_count : int;
+  w3_committed : stable_how;  (** may be stronger than requested *)
+  w3_verf : int;
+}
+
+type commitok = { cmo_attr : fattr; cmo_verf : int }
+
 type call =
   | Null
   | Getattr of fhandle
@@ -161,6 +188,8 @@ type call =
   | Statfs of fhandle
   | Readdirlook of readdirargs
   | Getlease of leaseargs
+  | Write3 of write3args
+  | Commit of commitargs
 
 type reply =
   | Rnull
@@ -173,6 +202,8 @@ type reply =
   | Rstatfs of (statfsok, stat) result
   | Rreaddirlook of (lookent list * bool, stat) result
   | Rlease of (leaseok option, stat) result
+  | Rwrite3 of (write3ok, stat) result
+  | Rcommit of (commitok, stat) result
 
 let proc_of_call = function
   | Null -> 0
@@ -193,6 +224,8 @@ let proc_of_call = function
   | Statfs _ -> 17
   | Readdirlook _ -> 18
   | Getlease _ -> 19
+  | Write3 _ -> 20
+  | Commit _ -> 21
 
 let proc_name = function
   | 0 -> "null"
@@ -215,13 +248,26 @@ let proc_name = function
   | 17 -> "statfs"
   | 18 -> "readdirlook"
   | 19 -> "getlease"
+  | 20 -> "write3"
+  | 21 -> "commit"
   | n -> Printf.sprintf "proc%d" n
 
+(* COMMIT (21) is idempotent: re-flushing already-stable data changes
+   nothing.  WRITE3 (20) is too in the overwrite sense, but is kept out
+   of the list to match v2 WRITE's treatment in the duplicate cache. *)
 let is_idempotent = function
-  | 0 | 1 | 4 | 5 | 6 | 16 | 17 | 18 | 19 -> true
+  | 0 | 1 | 4 | 5 | 6 | 16 | 17 | 18 | 19 | 21 -> true
   | _ -> false
 
-let classify = function 6 | 8 | 16 | 18 -> `Big | _ -> `Small
+let classify = function 6 | 8 | 16 | 18 | 20 -> `Big | _ -> `Small
+
+let int_of_stable_how = function Unstable -> 0 | Data_sync -> 1 | File_sync -> 2
+
+let stable_how_of_int = function
+  | 0 -> Unstable
+  | 1 -> Data_sync
+  | 2 -> File_sync
+  | n -> raise (Xdr.Decode_error (Printf.sprintf "bad stable_how %d" n))
 
 (* ------------------------------------------------------------------ *)
 (* XDR pieces                                                         *)
@@ -374,6 +420,16 @@ let encode_call ?ctr:_ enc call =
       enc_fhandle enc l.lease_file;
       Xdr.Enc.enum enc (match l.lease_mode with Lease_read -> 0 | Lease_write -> 1);
       Xdr.Enc.int enc l.lease_duration
+  | Write3 w ->
+      enc_fhandle enc w.w3_file;
+      Xdr.Enc.int enc w.w3_offset;
+      Xdr.Enc.int enc (Bytes.length w.w3_data);
+      Xdr.Enc.enum enc (int_of_stable_how w.w3_stable);
+      Xdr.Enc.opaque enc w.w3_data
+  | Commit c ->
+      enc_fhandle enc c.cm_file;
+      Xdr.Enc.int enc c.cm_offset;
+      Xdr.Enc.int enc c.cm_count
 
 let decode_call ~proc dec =
   match proc with
@@ -389,7 +445,8 @@ let decode_call ~proc dec =
       let offset = Xdr.Dec.int dec in
       let count = Xdr.Dec.int dec in
       let _total = Xdr.Dec.int dec in
-      if count > max_data then raise (Xdr.Decode_error "read count too large");
+      (* v3 mounts read in 32K-class transfers over the same READ proc. *)
+      if count > max_data_v3 then raise (Xdr.Decode_error "read count too large");
       Read { read_file; offset; count }
   | 8 ->
       let write_file = dec_fhandle dec in
@@ -433,6 +490,20 @@ let decode_call ~proc dec =
       in
       let lease_duration = Xdr.Dec.int dec in
       Getlease { lease_file; lease_mode; lease_duration }
+  | 20 ->
+      let w3_file = dec_fhandle dec in
+      let w3_offset = Xdr.Dec.int dec in
+      let count = Xdr.Dec.int dec in
+      let w3_stable = stable_how_of_int (Xdr.Dec.enum dec) in
+      let w3_data = Xdr.Dec.opaque dec ~max:max_data_v3 in
+      if count <> Bytes.length w3_data then
+        raise (Xdr.Decode_error "write3 count does not match data");
+      Write3 { w3_file; w3_offset; w3_stable; w3_data }
+  | 21 ->
+      let cm_file = dec_fhandle dec in
+      let cm_offset = Xdr.Dec.int dec in
+      let cm_count = Xdr.Dec.int dec in
+      Commit { cm_file; cm_offset; cm_count }
   | n -> raise (Xdr.Decode_error (Printf.sprintf "unknown NFS procedure %d" n))
 
 (* ------------------------------------------------------------------ *)
@@ -508,6 +579,16 @@ let encode_reply ?ctr enc reply =
               Xdr.Enc.int enc ok.granted_duration;
               enc_fattr enc ok.lease_attr
           | None -> Xdr.Enc.bool enc false)
+  | Rwrite3 r ->
+      enc_result enc r (fun ok ->
+          enc_fattr enc ok.w3_attr;
+          Xdr.Enc.int enc ok.w3_count;
+          Xdr.Enc.enum enc (int_of_stable_how ok.w3_committed);
+          Xdr.Enc.int enc ok.w3_verf)
+  | Rcommit r ->
+      enc_result enc r (fun ok ->
+          enc_fattr enc ok.cmo_attr;
+          Xdr.Enc.int enc ok.cmo_verf)
 
 let dec_entries dec dec_one =
   let rec go acc =
@@ -531,7 +612,9 @@ let decode_reply ~proc dec =
       Rread
         (dec_result dec (fun () ->
              let a = dec_fattr dec in
-             (a, Xdr.Dec.opaque dec ~max:max_data)))
+             (* v3 mounts read in 32K-class transfers over the same
+                READ proc, so replies carry up to [max_data_v3]. *)
+             (a, Xdr.Dec.opaque dec ~max:max_data_v3)))
   | 10 | 11 | 12 | 13 | 15 -> Rstat (stat_of_int (Xdr.Dec.enum dec))
   | 16 ->
       Rreaddir
@@ -567,4 +650,18 @@ let decode_reply ~proc dec =
                let granted_duration = Xdr.Dec.int dec in
                Some { granted_duration; lease_attr = dec_fattr dec }
              else None))
+  | 20 ->
+      Rwrite3
+        (dec_result dec (fun () ->
+             let w3_attr = dec_fattr dec in
+             let w3_count = Xdr.Dec.int dec in
+             let w3_committed = stable_how_of_int (Xdr.Dec.enum dec) in
+             let w3_verf = Xdr.Dec.int dec in
+             { w3_attr; w3_count; w3_committed; w3_verf }))
+  | 21 ->
+      Rcommit
+        (dec_result dec (fun () ->
+             let cmo_attr = dec_fattr dec in
+             let cmo_verf = Xdr.Dec.int dec in
+             { cmo_attr; cmo_verf }))
   | n -> raise (Xdr.Decode_error (Printf.sprintf "unknown NFS procedure %d" n))

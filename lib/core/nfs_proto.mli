@@ -1,13 +1,25 @@
-(** The NFS version 2 protocol (RFC 1094), plus one experimental
-    extension.
+(** The NFS version 2 protocol (RFC 1094), plus experimental
+    extensions.
 
     Wire-faithful XDR encoding and decoding of every procedure's
-    arguments and results, built directly in mbuf chains.  The extension
-    is the [Readdirlook] procedure the paper's Future Directions sketches
-    ("a way of doing many name lookups per RPC, possibly by adding a
-    readdir_and_lookup_files RPC"): a READDIR that also returns each
-    entry's file handle and attributes — NFSv3's READDIRPLUS, five years
-    early.  It is off unless a client asks for it. *)
+    arguments and results, built directly in mbuf chains.  The first
+    extension is the [Readdirlook] procedure the paper's Future
+    Directions sketches ("a way of doing many name lookups per RPC,
+    possibly by adding a readdir_and_lookup_files RPC"): a READDIR that
+    also returns each entry's file handle and attributes — NFSv3's
+    READDIRPLUS, five years early.  It is off unless a client asks for
+    it.
+
+    The v3 profile adds the asynchronous-write pair that shipped in
+    NFSv3: [Write3] with a {!stable_how} stability demand and a
+    per-boot write verifier in the reply, and [Commit] to make buffered
+    unstable data durable — plus 32K-class transfers ({!max_data_v3}).
+    The verifier contract: a server may acknowledge an UNSTABLE write
+    before touching stable storage, but must return a verifier that
+    changes whenever buffered data could have been lost (i.e. per
+    boot); a client holding unstable writes that sees the verifier
+    change must rewrite those ranges before reporting close/fsync
+    success. *)
 
 val program : int
 (** 100003. *)
@@ -19,7 +31,10 @@ val port : int
 (** 2049. *)
 
 val max_data : int
-(** 8192, the largest read/write transfer. *)
+(** 8192, the largest v2 read/write transfer. *)
+
+val max_data_v3 : int
+(** 32768, the largest transfer under the v3 profile. *)
 
 val fhandle_size : int
 (** 32 bytes. *)
@@ -125,6 +140,33 @@ type leaseok = {
   lease_attr : fattr;  (** current attributes, so a grant refreshes caches *)
 }
 
+(** v3-style write stability: [Unstable] lets the server reply before
+    the data reaches stable storage, [Data_sync]/[File_sync] do not. *)
+type stable_how = Unstable | Data_sync | File_sync
+
+type write3args = {
+  w3_file : fhandle;
+  w3_offset : int;
+  w3_stable : stable_how;
+  w3_data : bytes;
+}
+
+type commitargs = {
+  cm_file : fhandle;
+  cm_offset : int;
+  cm_count : int;  (** 0 = from [cm_offset] to end of file *)
+}
+
+type write3ok = {
+  w3_attr : fattr;
+  w3_count : int;
+  w3_committed : stable_how;
+      (** the stability actually achieved (may exceed the request) *)
+  w3_verf : int;  (** the server's per-boot write verifier *)
+}
+
+type commitok = { cmo_attr : fattr; cmo_verf : int }
+
 type call =
   | Null
   | Getattr of fhandle
@@ -144,6 +186,8 @@ type call =
   | Statfs of fhandle
   | Readdirlook of readdirargs
   | Getlease of leaseargs
+  | Write3 of write3args
+  | Commit of commitargs
 
 type reply =
   | Rnull
@@ -158,6 +202,8 @@ type reply =
   | Rlease of (leaseok option, stat) result
       (** [Ok None] = vacate: the lease is contested and will not be
           renewed; flush and stop caching *)
+  | Rwrite3 of (write3ok, stat) result
+  | Rcommit of (commitok, stat) result
 
 val proc_of_call : call -> int
 val proc_name : int -> string

@@ -76,6 +76,10 @@ type lease_holder = {
          refused so the holder flushes and the wait is bounded *)
 }
 
+(* One buffered unstable extent: data a v3 WRITE left in volatile
+   memory, in arrival order, awaiting COMMIT. *)
+type uext = { ue_off : int; ue_data : bytes }
+
 type t = {
   node : Node.t;
   profile : profile;
@@ -93,10 +97,25 @@ type t = {
   leases : (int, lease_holder list ref) Hashtbl.t; (* per fhandle *)
   mutable up : bool;
   mutable no_leases_before : float; (* reboot grace period *)
+  unstable : (int, uext list ref) Hashtbl.t;
+      (* per-fhandle unstable-write buffer, newest extent first; dies
+         with the machine on crash *)
+  mutable boots : int;
+  mutable write_verf : int;
+  mutable lie_on_commit : bool;
+      (* fault-injection hook: ack COMMIT without flushing, so the
+         committed_durable invariant has a guilty server to convict *)
 }
 
 let dup_window = 6.0
 let dup_capacity = 128
+
+(* Deterministic per-boot write verifier: a 30-bit fold of node id and
+   boot count.  Real servers use boot time; ours must be reproducible at
+   any [--jobs], and 30 bits survives the XDR int and JSONL number
+   round-trips exactly. *)
+let verf_of ~node_id ~boots =
+  (((node_id + 1) * 0x9E3779B1) + ((boots + 1) * 0x85EBCA77)) land 0x3FFFFFFF
 
 let lease_duration = 6.0
 (* Short, as NQNFS leases are: the bound on both staleness after a
@@ -156,6 +175,10 @@ let create node ?(profile = reno_profile) ~udp ?tcp () =
       leases = Hashtbl.create 64;
       up = true;
       no_leases_before = 0.0;
+      unstable = Hashtbl.create 16;
+      boots = 0;
+      write_verf = verf_of ~node_id:(Node.id node) ~boots:0;
+      lie_on_commit = false;
     }
   in
   register_metrics t;
@@ -188,6 +211,60 @@ let note_service t name seconds =
 
 let rpcs_served t = t.served
 let duplicates_dropped t = t.dups
+let write_verf t = t.write_verf
+let set_lie_on_commit t v = t.lie_on_commit <- v
+
+(* --- v3 unstable-write overlay -------------------------------------- *)
+
+let uext_end e = e.ue_off + Bytes.length e.ue_data
+
+let unstable_append t fh ~off data =
+  let r =
+    match Hashtbl.find_opt t.unstable fh with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.unstable fh r;
+        r
+  in
+  r := { ue_off = off; ue_data = data } :: !r
+
+let unstable_size t fh =
+  match Hashtbl.find_opt t.unstable fh with
+  | None -> 0
+  | Some r -> List.fold_left (fun acc e -> max acc (uext_end e)) 0 !r
+
+let unstable_bytes t =
+  Hashtbl.fold
+    (fun _ r acc ->
+      List.fold_left (fun a e -> a + Bytes.length e.ue_data) acc !r)
+    t.unstable 0
+
+(* Reads must see buffered unstable data: lay intersecting extents,
+   oldest first, over what stable storage returned. *)
+let overlay_read t fh ~off ~len base =
+  match Hashtbl.find_opt t.unstable fh with
+  | None -> base
+  | Some r ->
+      let inter =
+        List.filter (fun e -> e.ue_off < off + len && uext_end e > off) !r
+      in
+      if inter = [] then base
+      else begin
+        let ov_end =
+          List.fold_left (fun acc e -> max acc (uext_end e)) 0 inter
+        in
+        let want = max (Bytes.length base) (min len (ov_end - off)) in
+        let buf = Bytes.make want '\000' in
+        Bytes.blit base 0 buf 0 (Bytes.length base);
+        List.iter
+          (fun e ->
+            let s = max e.ue_off off and e_ = min (uext_end e) (off + len) in
+            if e_ > s then
+              Bytes.blit e.ue_data (s - e.ue_off) buf (s - off) (e_ - s))
+          (List.rev inter);
+        buf
+      end
 
 (* As in [Fs.charge]: the consume suspends, so when probed rebind the
    resumed segment (decode/encode/DRC work) to the server slot with a
@@ -329,7 +406,15 @@ let execute t ?(client = (0, 0)) ?(cred = Rpc_msg.Auth_null) (call : P.call) :
     | Rpc_msg.Auth_null -> (65534, 65534) (* nobody *)
   in
   let vn fh = Fs.vnode_by_ino t.fs fh in
-  let attr v = fattr_of_attrs (Fs.getattr t.fs v) in
+  (* Attributes reflect buffered unstable data too: a client that just
+     wrote UNSTABLE past EOF must see the grown size. *)
+  let attr v =
+    let a = fattr_of_attrs (Fs.getattr t.fs v) in
+    let os = unstable_size t a.P.fileid in
+    if os > a.P.size then
+      { a with P.size = os; blocks = (os + 511) / 512 }
+    else a
+  in
   (* Raises through the wrap_* handlers below. *)
   let check v ~want =
     if not (access_ok (Fs.getattr t.fs v) ~uid ~gid ~want) then raise Access_denied
@@ -377,7 +462,12 @@ let execute t ?(client = (0, 0)) ?(cred = Rpc_msg.Auth_null) (call : P.call) :
       try
         let v = vn read_file in
         check v ~want:r_ok;
-        let data = Fs.read t.fs v ~off:offset ~len:count in
+        let fsize = (Fs.getattr t.fs v).Fs.size in
+        let data =
+          if offset >= fsize then Bytes.empty
+          else Fs.read t.fs v ~off:offset ~len:count
+        in
+        let data = overlay_read t read_file ~off:offset ~len:count data in
         (* Buffer cache to mbuf copy: the residual bottleneck of
            Section 3. *)
         charge_copy t (Bytes.length data);
@@ -532,6 +622,98 @@ let execute t ?(client = (0, 0)) ?(cred = Rpc_msg.Auth_null) (call : P.call) :
         in
         P.Rreaddirlook (Ok (ents, eof))
       with Fs.Err e -> P.Rreaddirlook (Error (stat_of_fs_err e)))
+  | P.Write3 { P.w3_file; w3_offset; w3_stable; w3_data } -> (
+      try
+        let v = vn w3_file in
+        check v ~want:w_ok;
+        (* mbuf to buffer cache copy; for UNSTABLE that is the whole
+           cost — no disk until COMMIT, the v3 write-behind win. *)
+        charge_copy t (Bytes.length w3_data);
+        let committed =
+          match w3_stable with
+          | P.Unstable ->
+              unstable_append t w3_file ~off:w3_offset w3_data;
+              trace_event t
+                (Trace.Write_unstable
+                   {
+                     file = w3_file;
+                     off = w3_offset;
+                     len = Bytes.length w3_data;
+                     digest = Trace.digest w3_data;
+                     verf = t.write_verf;
+                   });
+              P.Unstable
+          | P.Data_sync | P.File_sync ->
+              Fs.write t.fs v ~off:w3_offset w3_data;
+              let a = Fs.getattr t.fs v in
+              trace_event t
+                (Trace.Write_committed
+                   {
+                     file = w3_file;
+                     off = w3_offset;
+                     len = Bytes.length w3_data;
+                     digest = Trace.digest w3_data;
+                     mtime = a.Fs.mtime;
+                   });
+              P.File_sync
+        in
+        P.Rwrite3
+          (Ok
+             {
+               P.w3_attr = attr v;
+               w3_count = Bytes.length w3_data;
+               w3_committed = committed;
+               w3_verf = t.write_verf;
+             })
+      with
+      | Fs.Err e -> P.Rwrite3 (Error (stat_of_fs_err e))
+      | Access_denied -> P.Rwrite3 (Error P.NFSERR_ACCES))
+  | P.Commit { P.cm_file; cm_offset; cm_count } -> (
+      try
+        let v = vn cm_file in
+        check v ~want:w_ok;
+        let upto = if cm_count = 0 then max_int else cm_offset + cm_count in
+        (* A lying server skips the flush but still acknowledges: the
+           committed_durable invariant must convict it at read-back. *)
+        (if not t.lie_on_commit then
+           match Hashtbl.find_opt t.unstable cm_file with
+           | None -> ()
+           | Some r ->
+               let covered, kept =
+                 List.partition
+                   (fun e -> e.ue_off < upto && uext_end e > cm_offset)
+                   !r
+               in
+               r := kept;
+               if kept = [] then Hashtbl.remove t.unstable cm_file;
+               (* Flush in arrival order so overlaps resolve
+                  last-writer-wins, matching reads through the overlay. *)
+               List.iter
+                 (fun e ->
+                   Fs.write t.fs v ~off:e.ue_off e.ue_data;
+                   let a = Fs.getattr t.fs v in
+                   trace_event t
+                     (Trace.Write_committed
+                        {
+                          file = cm_file;
+                          off = e.ue_off;
+                          len = Bytes.length e.ue_data;
+                          digest = Trace.digest e.ue_data;
+                          mtime = a.Fs.mtime;
+                        }))
+                 (List.rev covered));
+        trace_event t
+          (Trace.Commit_ok
+             {
+               file = cm_file;
+               off = cm_offset;
+               count = cm_count;
+               verf = t.write_verf;
+             });
+        P.Rcommit (Ok { P.cmo_attr = attr v; cmo_verf = t.write_verf })
+      with
+      | Fs.Err e -> P.Rcommit (Error (stat_of_fs_err e))
+      | Access_denied -> P.Rcommit (Error P.NFSERR_ACCES))
 
 let dup_key (hdr : Rpc_msg.call_header) ~src ~src_port =
   (hdr.Rpc_msg.xid, src, src_port)
@@ -690,6 +872,9 @@ let crash t =
   Hashtbl.reset t.dup_table;
   Queue.clear t.dup_order;
   Hashtbl.reset t.leases;
+  (* Acknowledged-but-uncommitted v3 data legally vanishes here; the
+     regenerated verifier (see [reboot]) tells clients to rewrite it. *)
+  Hashtbl.reset t.unstable;
   (match Fs.namecache t.fs with Some nc -> Renofs_vfs.Namecache.purge nc | None -> ());
   (* A rebooting host's TCP resets every connection. *)
   (match t.tcp with Some stack -> Tcp.reset_all stack | None -> ());
@@ -699,6 +884,8 @@ let reboot t =
   (* Grace period: 1.5 lease terms, covering a pre-crash lease plus the
      holder's write-back slack. *)
   t.no_leases_before <- Sim.now (Node.sim t.node) +. (1.5 *. lease_duration);
+  t.boots <- t.boots + 1;
+  t.write_verf <- verf_of ~node_id:(Node.id t.node) ~boots:t.boots;
   t.up <- true;
   trace_event t Trace.Srv_reboot
 

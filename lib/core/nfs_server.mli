@@ -79,6 +79,21 @@ val service_times : t -> (string * float * int) list
 val rpcs_served : t -> int
 val duplicates_dropped : t -> int
 
+val write_verf : t -> int
+(** The current per-boot write verifier returned in v3 WRITE and COMMIT
+    replies.  Deterministic (a fold of node id and boot count) so runs
+    reproduce at any [--jobs]; changes on every {!reboot}. *)
+
+val unstable_bytes : t -> int
+(** Bytes of acknowledged UNSTABLE write data currently buffered in
+    volatile memory, awaiting COMMIT.  Dies with {!crash}. *)
+
+val set_lie_on_commit : t -> bool -> unit
+(** Fault-injection hook: when set, COMMIT acknowledges (and traces
+    [Commit_ok]) {e without} flushing buffered unstable data — the
+    guilty server the [Fault.Check.committed_durable] invariant must
+    convict.  Default false. *)
+
 val crash_and_reboot : t -> downtime:float -> unit
 (** The statelessness demonstration of Section 1: kill the server for
     [downtime] seconds and bring it back with every volatile structure
@@ -93,11 +108,17 @@ val crash_and_reboot : t -> downtime:float -> unit
 
 val crash : t -> unit
 (** The instantaneous half of {!crash_and_reboot}: mark the server down
-    and discard its volatile state (traced as [Srv_crash]).  Does not
-    sleep — safe to call from a timer callback. *)
+    and discard its volatile state (traced as [Srv_crash]) — including
+    the v3 unstable-write buffer, whose acknowledged-but-uncommitted
+    data legally vanishes here.  Does not sleep — safe to call from a
+    timer callback. *)
 
 val reboot : t -> unit
-(** Bring a crashed server back up and start the lease grace period
-    (traced as [Srv_reboot]).  Does not sleep. *)
+(** Bring a crashed server back up, start the lease grace period, and
+    regenerate the per-boot write verifier so v3 clients detect the
+    loss of buffered data (traced as [Srv_reboot]).  A second crash
+    {e during} the grace window restarts the full window from the later
+    reboot — grace is never shortened by overlapping outages.  Does not
+    sleep. *)
 
 val is_up : t -> bool

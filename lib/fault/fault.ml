@@ -422,6 +422,136 @@ module Check = struct
           }
         else verdict name violations
 
+  (* -- v3 committed durability -------------------------------------- *)
+
+  type unstable_w = {
+    u_file : int;
+    u_off : int;
+    u_len : int;
+    u_digest : int;
+    u_verf : int;
+    mutable u_committed : bool;
+  }
+
+  (* Every write-class event in trace order, for the supersession scan. *)
+  type wseq =
+    | Wu of unstable_w
+    | Wc of { c_file : int; c_off : int; c_len : int; c_digest : int }
+
+  let committed_durable ?read_back records =
+    let name = "committed-durable" in
+    let seq = ref [] in
+    (* Newest first while accumulating. *)
+    List.iter
+      (fun r ->
+        match r.Trace.ev with
+        | Trace.Run_mark _ -> seq := []
+        | Trace.Write_unstable { file; off; len; digest; verf } ->
+            seq :=
+              Wu
+                {
+                  u_file = file;
+                  u_off = off;
+                  u_len = len;
+                  u_digest = digest;
+                  u_verf = verf;
+                  u_committed = false;
+                }
+              :: !seq
+        | Trace.Write_committed { file; off; len; digest; _ } ->
+            seq :=
+              Wc { c_file = file; c_off = off; c_len = len; c_digest = digest }
+              :: !seq
+        | Trace.Commit_ok { file; off; count; verf } ->
+            (* An acknowledged COMMIT promises durability for every
+               earlier unstable write it covers {e under the same
+               verifier}: a reboot between write and commit changed the
+               verifier, so such writes stay uncovered — the client is
+               obliged to rewrite them, and until then their data may
+               legally be gone. *)
+            List.iter
+              (function
+                | Wu u
+                  when (not u.u_committed)
+                       && u.u_file = file && u.u_verf = verf && off <= u.u_off
+                       && (count = 0 || off + count >= u.u_off + u.u_len) ->
+                    u.u_committed <- true
+                | _ -> ())
+              !seq
+        | _ -> ())
+      records;
+    let seq = List.rev !seq in
+    let total =
+      List.length
+        (List.filter (function Wu u -> u.u_committed | Wc _ -> false) seq)
+    in
+    match read_back with
+    | None ->
+        {
+          v_name = name;
+          v_ok = true;
+          v_detail =
+            Printf.sprintf "%d commit-covered writes (no read-back handle)"
+              total;
+        }
+    | Some read_back ->
+        let overlaps u ~file ~off ~len =
+          u.u_file = file && u.u_off < off + len && off < u.u_off + u.u_len
+        in
+        (* As in [durable_writes], only extents nothing later superseded
+           are digest-comparable — but an honest server's COMMIT flush
+           echoes each extent as an identical [Write_committed], which
+           must not count as supersession of the write it makes durable. *)
+        let rec survivors = function
+          | [] -> []
+          | Wc _ :: later -> survivors later
+          | Wu u :: later ->
+              if not u.u_committed then survivors later
+              else if
+                List.exists
+                  (function
+                    | Wu v ->
+                        overlaps u ~file:v.u_file ~off:v.u_off ~len:v.u_len
+                    | Wc c ->
+                        overlaps u ~file:c.c_file ~off:c.c_off ~len:c.c_len
+                        && not
+                             (c.c_file = u.u_file && c.c_off = u.u_off
+                              && c.c_len = u.u_len && c.c_digest = u.u_digest))
+                  later
+              then survivors later
+              else u :: survivors later
+        in
+        let violations =
+          List.filter_map
+            (fun u ->
+              match read_back ~file:u.u_file ~off:u.u_off ~len:u.u_len with
+              | None ->
+                  Some
+                    (Printf.sprintf
+                       "file %d vanished (committed write at %d+%d lost)"
+                       u.u_file u.u_off u.u_len)
+              | Some data ->
+                  if
+                    Bytes.length data = u.u_len
+                    && Trace.digest data = u.u_digest
+                  then None
+                  else
+                    Some
+                      (Printf.sprintf
+                         "file %d bytes %d+%d: commit acknowledged but \
+                          read-back digest mismatches"
+                         u.u_file u.u_off u.u_len))
+            (survivors seq)
+        in
+        if violations = [] then
+          {
+            v_name = name;
+            v_ok = true;
+            v_detail =
+              Printf.sprintf "%d commit-covered writes verified" total;
+          }
+        else verdict name violations
+
   (* -- end-to-end data integrity ----------------------------------- *)
 
   let data_integrity ~expected ~read_back =
@@ -546,6 +676,7 @@ module Check = struct
   let check_all ?read_back records =
     [
       durable_writes ?read_back records;
+      committed_durable ?read_back records;
       hard_mount_errors records;
       no_double_effect records;
       no_stale_lease_reads records;

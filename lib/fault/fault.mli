@@ -144,6 +144,22 @@ module Check : sig
       post-run file system.  Without [read_back] the verdict passes
       vacuously, saying so in the detail. *)
 
+  val committed_durable :
+    ?read_back:(file:int -> off:int -> len:int -> bytes option) ->
+    Renofs_trace.Trace.record_ list ->
+    verdict
+  (** The v3 verifier contract: every UNSTABLE write
+      ([Write_unstable]) covered by a later acknowledged COMMIT
+      ([Commit_ok]) {e under the same write verifier} must survive —
+      its extent (when no later write supersedes it) must digest-match
+      what [read_back] returns.  Unstable data never covered by a
+      commit may legally vanish (the client's write-behind ledger is
+      then obliged to rewrite it), and a verifier change between write
+      and commit leaves the write uncovered by construction.  A server
+      that acknowledges COMMIT without flushing is convicted here.
+      Without [read_back] the verdict passes vacuously, saying so in
+      the detail. *)
+
   val data_integrity :
     expected:(int * int * bytes) list ->
     read_back:(file:int -> off:int -> len:int -> bytes option) ->
@@ -179,10 +195,15 @@ module Check : sig
     ?read_back:(file:int -> off:int -> len:int -> bytes option) ->
     Renofs_trace.Trace.record_ list ->
     verdict list
-  (** All four, in the order above. *)
+  (** Every invariant above except {!data_integrity} (which needs a
+      client-side ledger), in declaration order.  Add invariants here,
+      not in callers: {!summary} and every harness derive their counts
+      from this list's length. *)
 
   val summary : verdict list -> string
-  (** ["4/4 ok"], or ["FAIL:" ^ names] of the failing invariants. *)
+  (** ["N/N ok"] with [N = List.length verdicts] when all pass, or
+      ["FAIL:" ^ names] of the failing invariants — never a hard-coded
+      count. *)
 
   val recovery_time : Renofs_trace.Trace.record_ list -> float
   (** Worst crash-to-first-service gap: for each [Srv_crash], the time

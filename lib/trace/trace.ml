@@ -37,6 +37,15 @@ type event =
   | Cached_read of { file : int; holder : int; mtime : float }
   | Wl_error of { op : string; soft : bool }
   | Fault_inject of { action : string }
+  | Write_unstable of {
+      file : int;
+      off : int;
+      len : int;
+      digest : int;
+      verf : int;
+    }
+  | Commit_ok of { file : int; off : int; count : int; verf : int }
+  | Verf_mismatch of { file : int; expected : int; got : int }
 
 type record_ = { time : float; node : int; ev : event }
 
@@ -119,6 +128,8 @@ let proc_name = function
   | 17 -> "statfs"
   | 18 -> "readdirlook"
   | 19 -> "getlease"
+  | 20 -> "write3"
+  | 21 -> "commit"
   | n -> Printf.sprintf "proc%d" n
 
 (* FNV-1a folded to 30 bits: stays a small nonnegative int on every
@@ -277,7 +288,25 @@ let line_of_record r =
       int "soft" (if soft then 1 else 0)
   | Fault_inject { action } ->
       tag "fault_inject";
-      str "action" action);
+      str "action" action
+  | Write_unstable { file; off; len; digest; verf } ->
+      tag "write_unstable";
+      int "file" file;
+      int "off" off;
+      int "len" len;
+      int "digest" digest;
+      int "verf" verf
+  | Commit_ok { file; off; count; verf } ->
+      tag "commit_ok";
+      int "file" file;
+      int "off" off;
+      int "count" count;
+      int "verf" verf
+  | Verf_mismatch { file; expected; got } ->
+      tag "verf_mismatch";
+      int "file" file;
+      int "expected" expected;
+      int "got" got);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -419,6 +448,17 @@ let record_of_line line =
           { file = int "file"; holder = int "holder"; mtime = num "mtime" }
     | "wl_error" -> Wl_error { op = str "op"; soft = int "soft" <> 0 }
     | "fault_inject" -> Fault_inject { action = str "action" }
+    | "write_unstable" ->
+        Write_unstable
+          { file = int "file"; off = int "off"; len = int "len";
+            digest = int "digest"; verf = int "verf" }
+    | "commit_ok" ->
+        Commit_ok
+          { file = int "file"; off = int "off"; count = int "count";
+            verf = int "verf" }
+    | "verf_mismatch" ->
+        Verf_mismatch
+          { file = int "file"; expected = int "expected"; got = int "got" }
     | tag -> failwith ("Trace: unknown event tag " ^ tag)
   in
   { time = num "t"; node = int "node"; ev }
@@ -555,7 +595,8 @@ module Report = struct
         | Pkt_enqueue _ | Pkt_drop _ | Pkt_deliver _ | Pkt_mangle _
         | Frag_lost _ | Cwnd_update _ | Rto_update _ | Cache_hit _
         | Cache_miss _ | Srv_crash | Srv_reboot | Write_committed _
-        | Lease_grant _ | Cached_read _ | Wl_error _ | Fault_inject _ ->
+        | Lease_grant _ | Cached_read _ | Wl_error _ | Fault_inject _
+        | Write_unstable _ | Commit_ok _ | Verf_mismatch _ ->
             ())
       records;
     (List.rev !out, !incomplete + Hashtbl.length pending)

@@ -69,6 +69,26 @@ type event =
           leaked an error — the invariant checkers flag it. *)
   | Fault_inject of { action : string }
       (** A fault schedule applied an action (human-readable form). *)
+  | Write_unstable of {
+      file : int;  (** inode number *)
+      off : int;
+      len : int;
+      digest : int;  (** {!digest} of the data as received *)
+      verf : int;  (** the server's per-boot write verifier *)
+    }
+      (** The v3 server acknowledged an UNSTABLE WRITE: data is buffered
+          volatile and may legally vanish in a crash — until a
+          {!Commit_ok} with the same [verf] covers it, at which point
+          durability is promised. *)
+  | Commit_ok of { file : int; off : int; count : int; verf : int }
+      (** The v3 server acknowledged a COMMIT over [off, off+count)
+          ([count = 0] means to end of file) after flushing the covered
+          unstable data to stable storage.  [Fault.Check.committed_durable]
+          pairs these with {!Write_unstable} events by verifier. *)
+  | Verf_mismatch of { file : int; expected : int; got : int }
+      (** A v3 client noticed the server's write verifier change under
+          uncommitted data — the crash-detection signal that obliges it
+          to rewrite every unstable range before acking close/fsync. *)
 
 type record_ = { time : float; node : int; ev : event }
 (** [node] is the host id the event was observed on, or [-1] when the

@@ -417,6 +417,16 @@ let mount_in world opts =
 
 let transports = [ ("udp-fixed", `Udp_fixed); ("udp-dyn", `Udp_dynamic); ("tcp", `Tcp) ]
 
+(* The robustness matrices (chaos, fuzz) add a fourth column to the
+   transport sweep: the v3 profile, whose UNSTABLE writes may legally
+   die with a crashed server — the write-behind ledger and COMMIT
+   verifier check are what keep the durability invariants green. *)
+let robustness_mounts ~topology =
+  List.map
+    (fun (name, transport) -> (name, mount_opts_for ~transport ~topology))
+    transports
+  @ [ ("v3", { Nfs_client.v3_mount with Nfs_client.mss = mss_for topology }) ]
+
 let standard_fileset =
   Fileset.generate ~dirs:20 ~files_per_dir:20 ~file_size:16384 ~long_names:true
 
@@ -744,6 +754,7 @@ let table2_spec scale =
       ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
       ("Reno-TCP", { Nfs_client.reno_tcp_mount with Nfs_client.mss = 1460 }, Nfs_server.reno_profile);
       ("Reno-nopush", Nfs_client.reno_nopush_mount, Nfs_server.reno_profile);
+      ("Reno-v3", Nfs_client.v3_mount, Nfs_server.reno_profile);
       ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
     ]
   in
@@ -776,10 +787,13 @@ let table3_spec scale =
     [
       ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
       ("Reno-noconsist", Nfs_client.noconsist_mount, Nfs_server.reno_profile);
+      ("Reno-v3", Nfs_client.v3_mount, Nfs_server.reno_profile);
       ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
     ]
   in
-  let interesting = [ "getattr"; "setattr"; "read"; "write"; "lookup"; "readdir" ] in
+  let interesting =
+    [ "getattr"; "setattr"; "read"; "write"; "write3"; "commit"; "lookup"; "readdir" ]
+  in
   (* Each cell reduces its Andrew run to the per-procedure counts the
      table needs; assembly transposes runs into rows. *)
   let cells =
@@ -826,6 +840,7 @@ let table4_spec scale =
   let runs =
     [
       ("Reno", Nfs_client.reno_mount, Nfs_server.reno_profile);
+      ("Reno-v3", Nfs_client.v3_mount, Nfs_server.reno_profile);
       ("Ultrix2.2", Nfs_client.ultrix_mount, Nfs_server.reference_port_profile);
     ]
   in
@@ -889,6 +904,7 @@ let table5_spec scale =
       ("async,16biod", `Nfs { Nfs_client.reno_mount with Nfs_client.write_policy = Nfs_client.Async; num_biods = 16 });
       ("delay wrt.", `Nfs Nfs_client.reno_mount);
       ("no consist", `Nfs Nfs_client.noconsist_mount);
+      ("v3 commit", `Nfs Nfs_client.v3_mount);
     ]
   in
   let cells =
@@ -1303,7 +1319,7 @@ let chaos_drive world m ~duration =
   Nfs_client.flush_all m;
   Array.iter (fun fd -> Nfs_client.close m fd) fds
 
-let chaos_cell ?(seed = 0) ~schedule ~tname ~transport ~duration () =
+let chaos_cell ?(seed = 0) ~schedule ~tname ~opts ~duration () =
   let label = Printf.sprintf "chaos/%s/%s" schedule.Fault.name tname in
   {
     cell_label = label;
@@ -1326,7 +1342,7 @@ let chaos_cell ?(seed = 0) ~schedule ~tname ~transport ~duration () =
         let start = Sim.now world.sim in
         let verdicts, retrans, recovery, elapsed =
           drive ~label world (fun () ->
-              let m = mount_in world (mount_opts_for ~transport ~topology:"lan") in
+              let m = mount_in world opts in
               chaos_drive world m ~duration;
               let fs = Nfs_server.fs world.server in
               let read_back ~file ~off ~len =
@@ -1365,9 +1381,9 @@ let chaos_spec ?seed scale =
       List.concat_map
         (fun schedule ->
           List.map
-            (fun (tname, transport) ->
-              chaos_cell ?seed ~schedule ~tname ~transport ~duration ())
-            transports)
+            (fun (tname, opts) ->
+              chaos_cell ?seed ~schedule ~tname ~opts ~duration ())
+            (robustness_mounts ~topology:"lan"))
         schedules;
     sp_assemble = (fun outs -> outs);
   }
@@ -1427,7 +1443,7 @@ let fuzz_drive world m ~duration =
   Hashtbl.fold (fun (file, off) data acc -> (file, off, data) :: acc) ledger []
   |> List.sort compare
 
-let fuzz_cell ~seed ~profile ~mk_actions ~tname ~transport ~checksum ~duration =
+let fuzz_cell ~seed ~profile ~mk_actions ~tname ~opts ~checksum ~duration =
   let label = Printf.sprintf "fuzz/%d/%s/%s" seed profile tname in
   let row verdict ~retrans ~garbled ~ckdrops =
     [
@@ -1464,9 +1480,7 @@ let fuzz_cell ~seed ~profile ~mk_actions ~tname ~transport ~checksum ~duration =
               ~topology:"lan" ()
           in
           drive ~label world (fun () ->
-              let m =
-                mount_in world (mount_opts_for ~transport ~topology:"lan")
-              in
+              let m = mount_in world opts in
               let expected = fuzz_drive world m ~duration in
               let fs = Nfs_server.fs world.server in
               (* [check_all] keys files by server inode (from the trace);
@@ -1516,13 +1530,14 @@ let fuzz_cell ~seed ~profile ~mk_actions ~tname ~transport ~checksum ~duration =
               ~retrans:0 ~garbled:0 ~ckdrops:0);
   }
 
-(* Seed [base_seed + i] drives cell [i]; profile and transport cycle so
-   any [seeds >= 15] covers the full profile x transport matrix.  Kept
-   out of the [specs] registry: fuzzing is a robustness gate, not a
-   paper artifact. *)
-let fuzz_spec ?(seeds = 15) ?(base_seed = 0) ?(checksum = true) scale =
+(* Seed [base_seed + i] drives cell [i]; profile and mount cycle so any
+   [seeds >= 20] covers the full profile x (transport + v3) matrix.
+   Kept out of the [specs] registry: fuzzing is a robustness gate, not
+   a paper artifact. *)
+let fuzz_spec ?(seeds = 20) ?(base_seed = 0) ?(checksum = true) scale =
   let duration = match scale with Quick -> 6.0 | Full -> 10.0 in
   let nprofiles = List.length fuzz_profile_actions in
+  let mounts = robustness_mounts ~topology:"lan" in
   {
     sp_id = "fuzz";
     sp_title =
@@ -1536,10 +1551,10 @@ let fuzz_spec ?(seeds = 15) ?(base_seed = 0) ?(checksum = true) scale =
           let profile, mk_actions =
             List.nth fuzz_profile_actions (i mod nprofiles)
           in
-          let tname, transport =
-            List.nth transports (i / nprofiles mod List.length transports)
+          let tname, opts =
+            List.nth mounts (i / nprofiles mod List.length mounts)
           in
-          fuzz_cell ~seed:(base_seed + i) ~profile ~mk_actions ~tname ~transport
+          fuzz_cell ~seed:(base_seed + i) ~profile ~mk_actions ~tname ~opts
             ~checksum ~duration);
     sp_assemble = (fun outs -> outs);
   }

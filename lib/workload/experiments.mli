@@ -108,8 +108,9 @@ val fuzz_spec : ?seeds:int -> ?base_seed:int -> ?checksum:bool -> scale -> spec
 (** Seeded wire-corruption fuzzing, deliberately absent from {!specs}
     (it is a robustness gate, not a paper artifact).  Cell [i] runs the
     chaos-style write/read workload on a hard mount under mangling
-    driven by seed [base_seed + i], cycling profile and transport so
-    any [seeds >= 15] covers the full matrix.  Each row reports
+    driven by seed [base_seed + i], cycling profile and mount — the
+    three transports plus the v3 UNSTABLE+COMMIT profile — so any
+    [seeds >= 20] covers the full matrix.  Each row reports
     retransmissions, garbled replies, checksum drops, and the
     {!Renofs_fault.Fault.Check} verdicts including the end-to-end
     {!Renofs_fault.Fault.Check.data_integrity} check against the

@@ -139,6 +139,10 @@ let test_new_events_jsonl_roundtrip () =
       Trace.Pkt_drop { link = "udp:2049"; bytes = 1500; reason = Trace.Bad_checksum };
       Trace.Pkt_drop { link = "client:rpc"; bytes = 40; reason = Trace.Garbled };
       Trace.Pkt_mangle { link = "eth0:client>server"; bytes = 1500; op = "corrupt" };
+      Trace.Write_unstable
+        { file = 7; off = 1024; len = 512; digest = 12345; verf = 77 };
+      Trace.Commit_ok { file = 7; off = 0; count = 0; verf = 77 };
+      Trace.Verf_mismatch { file = 7; expected = 77; got = 91 };
     ]
 
 (* ---------------------------------------------------------------- *)
@@ -225,6 +229,250 @@ let test_durability_invariant () =
     (String.length
        (Check.summary [ Check.hard_mount_errors [ r 1.0 (Trace.Wl_error { op = "x"; soft = false }) ] ])
     >= 4)
+
+let test_committed_durable_invariant () =
+  let data = Bytes.of_string "hello" in
+  let wu t verf =
+    r ~node:2 t
+      (Trace.Write_unstable
+         { file = 9; off = 0; len = 5; digest = Trace.digest data; verf })
+  in
+  let cok t verf =
+    r ~node:2 t (Trace.Commit_ok { file = 9; off = 0; count = 0; verf })
+  in
+  let wc t s =
+    r ~node:2 t
+      (Trace.Write_committed
+         {
+           file = 9;
+           off = 0;
+           len = String.length s;
+           digest = Trace.digest (Bytes.of_string s);
+           mtime = t;
+         })
+  in
+  let returns s ~file:_ ~off:_ ~len:_ = Some (Bytes.of_string s) in
+  let gone ~file:_ ~off:_ ~len:_ = None in
+  (* The contract: commit-covered unstable data must survive. *)
+  Alcotest.(check bool) "covered + present passes" true
+    (Check.committed_durable ~read_back:(returns "hello") [ wu 1.0 7; cok 2.0 7 ])
+      .Check.v_ok;
+  let v =
+    Check.committed_durable ~read_back:gone [ wu 1.0 7; cok 2.0 7 ]
+  in
+  Alcotest.(check bool) "covered + vanished flagged" false v.Check.v_ok;
+  Alcotest.(check string) "named" "committed-durable" v.Check.v_name;
+  (* Unstable data never covered by a COMMIT may legally vanish. *)
+  Alcotest.(check bool) "uncovered may vanish" true
+    (Check.committed_durable ~read_back:gone [ wu 1.0 7 ]).Check.v_ok;
+  (* A verifier change between write and commit leaves the write
+     uncovered by construction: the client owes the replay, not the
+     server the data. *)
+  Alcotest.(check bool) "verifier change uncovers" true
+    (Check.committed_durable ~read_back:gone [ wu 1.0 7; cok 2.0 8 ]).Check.v_ok;
+  (* A later different committed write supersedes the extent... *)
+  Alcotest.(check bool) "superseded extent not checked" true
+    (Check.committed_durable ~read_back:(returns "world")
+       [ wu 1.0 7; cok 2.0 7; wc 3.0 "world" ])
+      .Check.v_ok;
+  (* ...but the server's own COMMIT-flush echo (identical extent and
+     digest) does not — the data must still read back. *)
+  Alcotest.(check bool) "flush echo does not supersede" false
+    (Check.committed_durable ~read_back:(returns "jello")
+       [ wu 1.0 7; cok 2.0 7; wc 2.0 "hello" ])
+      .Check.v_ok;
+  (* No read-back handle: vacuous pass, and it says so. *)
+  let vac = Check.committed_durable [ wu 1.0 7; cok 2.0 7 ] in
+  Alcotest.(check bool) "vacuous without read_back" true vac.Check.v_ok
+
+(* ---------------------------------------------------------------- *)
+(* v3 over the wire: lying COMMIT convicted, crash replay heals,     *)
+(* soft COMMIT give-up never wedges the ledger                       *)
+(* ---------------------------------------------------------------- *)
+
+type v3_world = {
+  w_sim : Sim.t;
+  w_server : Nfs_server.t;
+  w_trace : Trace.t;
+  w_cudp : Udp.stack;
+  w_server_id : int;
+  w_mount : Nfs_client.mount_opts -> Nfs_client.t;
+}
+
+let make_v3_world () =
+  let sim = Sim.create () in
+  let topo = Net.Topology.build sim Net.Topology.default_spec in
+  let tr = Trace.create () in
+  List.iter
+    (fun n -> Net.Node.attach n { Net.Node.detached with trace = Some tr })
+    topo.Net.Topology.all;
+  let sudp = Udp.install topo.Net.Topology.server in
+  let stcp = Tcp.install topo.Net.Topology.server in
+  let server =
+    Nfs_server.create topo.Net.Topology.server ~udp:sudp ~tcp:stcp ()
+  in
+  Nfs_server.start server;
+  let cudp = Udp.install topo.Net.Topology.client in
+  let ctcp = Tcp.install topo.Net.Topology.client in
+  let w_mount opts =
+    Nfs_client.mount ~udp:cudp ~tcp:ctcp
+      ~server:(Net.Topology.server_id topo)
+      ~root:(Nfs_server.root_fhandle server)
+      opts
+  in
+  {
+    w_sim = sim;
+    w_server = server;
+    w_trace = tr;
+    w_cudp = cudp;
+    w_server_id = Net.Topology.server_id topo;
+    w_mount;
+  }
+
+let server_read_back server ~file ~off ~len =
+  let fs = Nfs_server.fs server in
+  try Some (Renofs_vfs.Fs.read fs (Renofs_vfs.Fs.vnode_by_ino fs file) ~off ~len)
+  with _ -> None
+
+let commit_durable_verdict_with ~lie =
+  let w = make_v3_world () in
+  Nfs_server.set_lie_on_commit w.w_server lie;
+  let verdict = ref None in
+  Proc.spawn w.w_sim (fun () ->
+      let m = w.w_mount Nfs_client.v3_mount in
+      let fd = Nfs_client.create m "liar" in
+      Nfs_client.write m fd ~off:0 (Bytes.make 4096 'L');
+      (* fsync = flush UNSTABLE + COMMIT; a lying server acks the
+         COMMIT while the data never leaves its volatile buffer. *)
+      Nfs_client.fsync m fd;
+      Nfs_client.close m fd;
+      (* [Fs] operations suspend on the modelled CPU, so the read-back
+         must run inside a fiber too. *)
+      verdict :=
+        Some
+          (Check.committed_durable
+             ~read_back:(server_read_back w.w_server)
+             (Trace.to_list w.w_trace)));
+  Sim.run ~until:600.0 w.w_sim;
+  match !verdict with
+  | None -> Alcotest.fail "client never finished"
+  | Some v -> v
+
+let test_lying_commit_convicted () =
+  (* The seeded negative case: a server acking COMMIT without durable
+     data must be caught by the invariant... *)
+  Alcotest.(check bool) "lying server convicted" false
+    (commit_durable_verdict_with ~lie:true).Check.v_ok;
+  (* ...and the honest server must pass the identical workload. *)
+  Alcotest.(check bool) "honest server passes" true
+    (commit_durable_verdict_with ~lie:false).Check.v_ok
+
+let test_v3_crash_replay () =
+  let w = make_v3_world () in
+  let wsize = Nfs_client.v3_mount.Nfs_client.wsize in
+  let payload = Bytes.init wsize (fun i -> Char.chr (i land 0xff)) in
+  let finished = ref false in
+  Proc.spawn w.w_sim (fun () ->
+      let m = w.w_mount Nfs_client.v3_mount in
+      let fd = Nfs_client.create m "replay" in
+      (* A full block goes out asynchronously as UNSTABLE; wait for
+         the biod push so the server is really buffering it. *)
+      Nfs_client.write m fd ~off:0 payload;
+      Proc.sleep w.w_sim 2.0;
+      Alcotest.(check bool) "server buffers unstable data" true
+        (Nfs_server.unstable_bytes w.w_server > 0);
+      let verf0 = Nfs_server.write_verf w.w_server in
+      (* Crash: the buffered data legally vanishes, the verifier
+         changes on reboot. *)
+      Nfs_server.crash w.w_server;
+      Proc.sleep w.w_sim 1.0;
+      Nfs_server.reboot w.w_server;
+      Alcotest.(check bool) "verifier regenerated" true
+        (Nfs_server.write_verf w.w_server <> verf0);
+      (* fsync's COMMIT sees the new verifier and must rewrite the
+         lost ranges before succeeding. *)
+      Nfs_client.fsync m fd;
+      Nfs_client.close m fd;
+      let records = Trace.to_list w.w_trace in
+      Alcotest.(check bool) "verifier mismatch traced" true
+        (List.exists
+           (fun r ->
+             match r.Trace.ev with Trace.Verf_mismatch _ -> true | _ -> false)
+           records);
+      (* The replay made it durable: the bytes are on stable storage and
+         every invariant (including committed-durable) holds. *)
+      let fs = Nfs_server.fs w.w_server in
+      let v = Renofs_vfs.Fs.lookup fs (Renofs_vfs.Fs.root fs) "replay" in
+      Alcotest.(check bytes) "replayed data durable" payload
+        (Renofs_vfs.Fs.read fs v ~off:0 ~len:wsize);
+      Alcotest.(check int) "no unstable residue" 0
+        (Nfs_server.unstable_bytes w.w_server);
+      List.iter
+        (fun verdict ->
+          Alcotest.(check bool) (verdict.Check.v_name ^ " holds") true
+            verdict.Check.v_ok)
+        (Check.check_all ~read_back:(server_read_back w.w_server) records);
+      finished := true);
+  Sim.run ~until:600.0 w.w_sim;
+  Alcotest.(check bool) "client finished" true !finished
+
+let test_soft_v3_commit_never_wedges () =
+  let w = make_v3_world () in
+  let soft = Nfs_client.with_soft Nfs_client.v3_mount ~retrans:2 in
+  let wsize = soft.Nfs_client.wsize in
+  let payload = Bytes.make wsize 's' in
+  let finished = ref false in
+  Proc.spawn w.w_sim (fun () ->
+      let m = w.w_mount soft in
+      let fd = Nfs_client.create m "soft" in
+      Nfs_client.write m fd ~off:0 payload;
+      Proc.sleep w.w_sim 2.0;
+      (* Server dies holding the unstable data and stays down past the
+         soft give-up: the COMMIT must fail with EIO, not wedge. *)
+      Nfs_server.crash w.w_server;
+      (match Nfs_client.fsync m fd with
+      | () -> Alcotest.fail "soft COMMIT against a dead server succeeded"
+      | exception Nfs_client.Nfs_error _ -> ());
+      (* The give-up released the write-behind ledger: once the server
+         returns, the same fd keeps working and a clean write commits. *)
+      Nfs_server.reboot w.w_server;
+      let second = Bytes.make wsize 'S' in
+      Nfs_client.write m fd ~off:0 second;
+      Nfs_client.fsync m fd;
+      Nfs_client.close m fd;
+      let fs = Nfs_server.fs w.w_server in
+      let v = Renofs_vfs.Fs.lookup fs (Renofs_vfs.Fs.root fs) "soft" in
+      Alcotest.(check bytes) "post-recovery write durable" second
+        (Renofs_vfs.Fs.read fs v ~off:0 ~len:wsize);
+      finished := true);
+  Sim.run ~until:3_600.0 w.w_sim;
+  Alcotest.(check bool) "client finished" true !finished
+
+let test_soft_giveup_reports_capped_timeo () =
+  (* The Rpc_timeout record carries the final backed-off timeout, and
+     the exponential backoff is clamped at 60 s (BSD's NFS_MAXTIMEO):
+     timeo 25 s doubled twice would be 100 s without the cap. *)
+  let w = make_v3_world () in
+  let root = Nfs_server.root_fhandle w.w_server in
+  Nfs_server.crash w.w_server;
+  let observed = ref None in
+  Proc.spawn w.w_sim (fun () ->
+      let x =
+        Client_transport.create_udp_fixed w.w_cudp ~server:w.w_server_id
+          ~timeo:25.0 ~max_retries:2 ()
+      in
+      match Client_transport.call x (P.Getattr root) with
+      | _ -> Alcotest.fail "call against a dead server completed"
+      | exception Client_transport.Rpc_timed_out { proc; final_timeo } ->
+          observed := Some (proc, final_timeo));
+  Sim.run ~until:3_600.0 w.w_sim;
+  match !observed with
+  | None -> Alcotest.fail "never gave up"
+  | Some (proc, final_timeo) ->
+      Alcotest.(check string) "names the procedure" "getattr" proc;
+      Alcotest.(check bool) "backed off past the mount timeo" true
+        (final_timeo > 25.0);
+      Alcotest.(check (float 1e-9)) "capped at NFS_MAXTIMEO" 60.0 final_timeo
 
 (* ---------------------------------------------------------------- *)
 (* Duplicate CREATE over the wire: the checker sees what the         *)
@@ -409,6 +657,18 @@ let () =
           Alcotest.test_case "dup cache on: clean" `Quick
             test_dup_cache_on_double_create_clean;
           Alcotest.test_case "data integrity" `Quick test_data_integrity_check;
+          Alcotest.test_case "committed durable" `Quick
+            test_committed_durable_invariant;
+        ] );
+      ( "v3",
+        [
+          Alcotest.test_case "lying COMMIT convicted" `Quick
+            test_lying_commit_convicted;
+          Alcotest.test_case "crash replay heals" `Quick test_v3_crash_replay;
+          Alcotest.test_case "soft COMMIT never wedges" `Quick
+            test_soft_v3_commit_never_wedges;
+          Alcotest.test_case "soft give-up reports capped timeo" `Quick
+            test_soft_giveup_reports_capped_timeo;
         ] );
       ( "chaos",
         [

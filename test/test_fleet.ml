@@ -1,7 +1,7 @@
 (* The fleet layer: shard placement is deterministic under a fixed
    seed, every mount point has exactly one owner, the Hash policy
    keeps fleets balanced, a real multi-server world serves mounts
-   end-to-end, the recovery invariants stay green (5/5) when one shard
+   end-to-end, the recovery invariants stay green (6/6) when one shard
    server crash/reboots mid-run, and the fleet experiment family is
    byte-identical at any --jobs. *)
 
@@ -158,7 +158,7 @@ let test_fleet_mounts_end_to_end () =
   Alcotest.(check bool) "balance within bound" true (Fleet.balance fleet <= 2.0)
 
 (* ---------------------------------------------------------------- *)
-(* One shard server crashes mid-run: invariants stay 5/5            *)
+(* One shard server crashes mid-run: invariants stay 6/6            *)
 (* ---------------------------------------------------------------- *)
 
 let test_shard_server_crash_invariants () =
@@ -233,7 +233,7 @@ let test_shard_server_crash_invariants () =
           ]);
   Sim.run ~until:1200.0 sim;
   let verdicts = !verdicts_ref in
-  Alcotest.(check int) "five invariants" 5 (List.length verdicts);
+  Alcotest.(check int) "six invariants" 6 (List.length verdicts);
   List.iter
     (fun v ->
       if not v.Check.v_ok then

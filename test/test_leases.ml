@@ -204,6 +204,64 @@ let test_lease_and_plain_mounts_coexist () =
         (Bytes.to_string data))
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery: the grace period                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_second_crash_restarts_grace () =
+  (* The lease table dies with the kernel, so a rebooted server refuses
+     grants until every pre-crash lease must have expired.  A second
+     crash *during* that grace period has to restart it: the new boot's
+     table is just as empty as the first's.  Timeline (lease term 6 s,
+     grace 1.5x = 9 s):
+
+       t=10  crash #1   t=11  reboot #1  -> grace until 20
+       t=15  crash #2 mid-grace
+       t=16  reboot #2  -> grace restarted, until 25
+       t=21  past where the first window ended, inside the restarted
+             one: still vacated
+       t=26  past the restarted window: granted again *)
+  let w = make_world () in
+  run_client w (fun () ->
+      let x =
+        Client_transport.create_udp_fixed w.client_udp
+          ~server:(Net.Topology.server_id w.topo)
+          ()
+      in
+      let root = Nfs_server.root_fhandle w.server in
+      let ask () =
+        match
+          Client_transport.call x
+            (P.Getlease
+               {
+                 P.lease_file = root;
+                 lease_mode = P.Lease_read;
+                 lease_duration = 6;
+               })
+        with
+        | P.Rlease (Ok (Some _)) -> `Granted
+        | P.Rlease (Ok None) -> `Vacated
+        | _ -> Alcotest.fail "unexpected getlease reply"
+      in
+      Alcotest.(check bool) "granted on a healthy server" true
+        (ask () = `Granted);
+      Proc.sleep w.sim 10.0;
+      Nfs_server.crash w.server;
+      Proc.sleep w.sim 1.0;
+      Nfs_server.reboot w.server;
+      Proc.sleep w.sim 4.0;
+      (* Second crash strikes mid-grace. *)
+      Nfs_server.crash w.server;
+      Proc.sleep w.sim 1.0;
+      Nfs_server.reboot w.server;
+      Proc.sleep w.sim 5.0;
+      Alcotest.(check bool) "restarted grace still refuses at t=21" true
+        (ask () = `Vacated);
+      Proc.sleep w.sim 5.5;
+      Alcotest.(check bool) "grants again once the restarted window ends"
+        true
+        (ask () = `Granted))
+
+(* ------------------------------------------------------------------ *)
 (* RPC economy: the paper's prediction                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -254,6 +312,11 @@ let () =
           Alcotest.test_case "alternating writers" `Quick test_alternating_writers;
           Alcotest.test_case "coexists with plain mounts" `Quick
             test_lease_and_plain_mounts_coexist;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "second crash restarts grace" `Quick
+            test_second_crash_restarts_grace;
         ] );
       ( "economy",
         [

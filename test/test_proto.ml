@@ -76,6 +76,17 @@ let all_calls =
     P.Readdirlook { P.rd_dir = 2; cookie = 0; rd_count = 8192 };
     P.Getlease { P.lease_file = 5; lease_mode = P.Lease_write; lease_duration = 6 };
     P.Getlease { P.lease_file = 6; lease_mode = P.Lease_read; lease_duration = 30 };
+    P.Write3
+      { P.w3_file = 13; w3_offset = 65536; w3_stable = P.Unstable;
+        w3_data = Bytes.make 32768 'u' };
+    P.Write3
+      { P.w3_file = 13; w3_offset = 0; w3_stable = P.Data_sync;
+        w3_data = Bytes.make 1 'd' };
+    P.Write3
+      { P.w3_file = 14; w3_offset = 4096; w3_stable = P.File_sync;
+        w3_data = Bytes.empty };
+    P.Commit { P.cm_file = 13; cm_offset = 0; cm_count = 0 };
+    P.Commit { P.cm_file = 13; cm_offset = 8192; cm_count = 32768 };
   ]
 
 let all_replies =
@@ -125,6 +136,19 @@ let all_replies =
     (19, P.Rlease (Ok (Some { P.granted_duration = 6; lease_attr = sample_fattr })));
     (19, P.Rlease (Ok None));
     (19, P.Rlease (Error P.NFSERR_STALE));
+    ( 20,
+      P.Rwrite3
+        (Ok
+           { P.w3_attr = sample_fattr; w3_count = 32768;
+             w3_committed = P.Unstable; w3_verf = 0x1234_5678 }) );
+    ( 20,
+      P.Rwrite3
+        (Ok
+           { P.w3_attr = sample_fattr; w3_count = 1; w3_committed = P.File_sync;
+             w3_verf = 1 }) );
+    (20, P.Rwrite3 (Error P.NFSERR_IO));
+    (21, P.Rcommit (Ok { P.cmo_attr = sample_fattr; cmo_verf = 0x3FFF_FFFF }));
+    (21, P.Rcommit (Error P.NFSERR_STALE));
   ]
 
 let test_call_roundtrips () =
@@ -239,20 +263,26 @@ let test_classification () =
   Alcotest.(check bool) "read is big" true (P.classify 6 = `Big);
   Alcotest.(check bool) "write is big" true (P.classify 8 = `Big);
   Alcotest.(check bool) "readdir is big" true (P.classify 16 = `Big);
+  Alcotest.(check bool) "write3 is big" true (P.classify 20 = `Big);
   Alcotest.(check bool) "lookup is small" true (P.classify 4 = `Small);
-  Alcotest.(check bool) "getattr is small" true (P.classify 1 = `Small)
+  Alcotest.(check bool) "getattr is small" true (P.classify 1 = `Small);
+  Alcotest.(check bool) "commit is small" true (P.classify 21 = `Small)
 
 let test_idempotency_table () =
+  (* COMMIT is idempotent (re-flushing flushed data is harmless);
+     WRITE3 is not — an UNSTABLE write replayed after an intervening
+     overlapping write would resurrect old bytes, so the duplicate
+     cache must absorb the retransmission. *)
   List.iter
     (fun proc ->
       Alcotest.(check bool) (P.proc_name proc ^ " idempotent") true (P.is_idempotent proc))
-    [ 0; 1; 4; 5; 6; 16; 17; 18; 19 ];
+    [ 0; 1; 4; 5; 6; 16; 17; 18; 19; 21 ];
   List.iter
     (fun proc ->
       Alcotest.(check bool)
         (P.proc_name proc ^ " not idempotent")
         false (P.is_idempotent proc))
-    [ 2; 8; 9; 10; 11; 12; 13; 14; 15 ]
+    [ 2; 8; 9; 10; 11; 12; 13; 14; 15; 20 ]
 
 let test_time_conversion () =
   let t = P.time_of_float 12.25 in

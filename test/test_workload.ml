@@ -308,13 +308,19 @@ let test_table3_cache_claims () =
     in
     int_of_string (List.nth row col)
   in
-  (* columns: 1 = Reno, 2 = Reno-noconsist, 3 = Ultrix *)
+  (* columns: 1 = Reno, 2 = Reno-noconsist, 3 = Reno-v3, 4 = Ultrix *)
   Alcotest.(check bool) "ultrix lookups at least double" true
-    (find "Lookup" 3 >= 2 * find "Lookup" 1);
+    (find "Lookup" 4 >= 2 * find "Lookup" 1);
   Alcotest.(check bool) "noconsist cuts writes" true (find "Write" 2 < find "Write" 1);
-  Alcotest.(check bool) "ultrix writes more" true (find "Write" 3 > find "Write" 1);
+  Alcotest.(check bool) "ultrix writes more" true (find "Write" 4 > find "Write" 1);
   Alcotest.(check bool) "reno reads at least noconsist" true
-    (find "Read" 1 >= find "Read" 2)
+    (find "Read" 1 >= find "Read" 2);
+  (* The v3 profile moves the write traffic to WRITE3+COMMIT, in fewer
+     RPCs than Reno's 8K v2 writes (32K transfers batch harder). *)
+  Alcotest.(check int) "v3 issues no v2 writes" 0 (find "Write" 3);
+  Alcotest.(check bool) "v3 write3s are fewer than reno writes" true
+    (find "Write3" 3 < find "Write" 1);
+  Alcotest.(check bool) "every v3 close commits" true (find "Commit" 3 > 0)
 
 let test_table1_congestion_control_wins_on_56k () =
   let t = quick_table "table1" in
